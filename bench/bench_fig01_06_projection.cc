@@ -1,0 +1,137 @@
+// Reproduces the paper's Section 3 (projection micro-benchmark):
+//   Figure 1: CPU cycles breakdown, DBMS R / DBMS C, projectivity 1-4
+//   Figure 2: stall cycles breakdown, DBMS R / DBMS C
+//   Figure 3: CPU cycles breakdown, Typer / Tectorwise
+//   Figure 4: stall cycles breakdown, Typer / Tectorwise
+//   Figure 5: single-core sequential bandwidth, Typer / Tectorwise
+//   Figure 6: normalized response time (Typer = 1), all four systems
+//
+// Default sf: 0.5 (scan working sets are far beyond the 35 MB L3; the
+// per-tuple behaviour is scale-invariant).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "harness/context.h"
+#include "harness/profile.h"
+
+namespace {
+
+using uolap::TablePrinter;
+using uolap::core::ProfileResult;
+using uolap::engine::OlapEngine;
+using uolap::engine::Workers;
+using uolap::harness::BenchContext;
+using uolap::harness::ProfileSingle;
+
+ProfileResult RunProjection(BenchContext& ctx, OlapEngine& engine,
+                            int degree) {
+  return ProfileSingle(ctx.machine(), [&](Workers& w) {
+    engine.Projection(w, degree);
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchContext ctx(argc, argv, /*default_sf=*/0.5);
+  ctx.PrintHeader("Figures 1-6: projection micro-benchmark (Section 3)");
+
+  std::vector<OlapEngine*> commercial = {&ctx.rowstore(), &ctx.colstore()};
+  std::vector<OlapEngine*> hiperf = {&ctx.typer(), &ctx.tectorwise()};
+
+  // Keep every profile for reuse across the figures.
+  struct Cell {
+    std::string label;
+    ProfileResult r;
+  };
+  auto profile_all = [&](std::vector<OlapEngine*> engines) {
+    std::vector<Cell> cells;
+    for (OlapEngine* e : engines) {
+      for (int d = 1; d <= 4; ++d) {
+        std::printf("# running %s p%d...\n", e->name().c_str(), d);
+        std::fflush(stdout);
+        cells.push_back({e->name() + " p" + std::to_string(d),
+                         RunProjection(ctx, *e, d)});
+      }
+    }
+    return cells;
+  };
+
+  const std::vector<Cell> comm = profile_all(commercial);
+  const std::vector<Cell> fast = profile_all(hiperf);
+
+  {
+    TablePrinter t(
+        "Figure 1: CPU cycles breakdown for projection as projectivity "
+        "increases (DBMS R and DBMS C)");
+    t.SetHeader(uolap::harness::CpuCyclesHeader("system/projectivity"));
+    for (const auto& c : comm) {
+      t.AddRow(uolap::harness::CpuCyclesRow(c.label, c.r.cycles));
+    }
+    ctx.Emit(t);
+  }
+  {
+    TablePrinter t(
+        "Figure 2: Stall cycles breakdown for projection (DBMS R and "
+        "DBMS C)");
+    t.SetHeader(uolap::harness::StallHeader("system/projectivity"));
+    for (const auto& c : comm) {
+      t.AddRow(uolap::harness::StallRow(c.label, c.r.cycles));
+    }
+    ctx.Emit(t);
+  }
+  {
+    TablePrinter t(
+        "Figure 3: CPU cycles breakdown for projection (Typer and "
+        "Tectorwise)");
+    t.SetHeader(uolap::harness::CpuCyclesHeader("system/projectivity"));
+    for (const auto& c : fast) {
+      t.AddRow(uolap::harness::CpuCyclesRow(c.label, c.r.cycles));
+    }
+    ctx.Emit(t);
+  }
+  {
+    TablePrinter t(
+        "Figure 4: Stall cycles breakdown for projection (Typer and "
+        "Tectorwise)");
+    t.SetHeader(uolap::harness::StallHeader("system/projectivity"));
+    for (const auto& c : fast) {
+      t.AddRow(uolap::harness::StallRow(c.label, c.r.cycles));
+    }
+    ctx.Emit(t);
+  }
+  {
+    TablePrinter t(
+        "Figure 5: Single-core sequential bandwidth for projection "
+        "(MAX = 12 GB/s per core on Broadwell)");
+    t.SetHeader({"system/projectivity", "Bandwidth (GB/s)", "MAX (GB/s)"});
+    for (const auto& c : fast) {
+      t.AddRow({c.label, TablePrinter::Fmt(c.r.bandwidth_gbps, 2),
+                TablePrinter::Fmt(
+                    ctx.machine().bandwidth.per_core_seq_gbps, 1)});
+    }
+    ctx.Emit(t);
+  }
+  {
+    // Figure 6 uses projectivity 4, normalized to Typer.
+    const double base = fast[3].r.total_cycles;  // Typer p4
+    TablePrinter t(
+        "Figure 6: Normalized response time breakdown for projection "
+        "degree 4 (Typer = 1)");
+    t.SetHeader({"system", "Normalized total", "Retiring", "Stall"});
+    auto add = [&](const std::string& name, const ProfileResult& r) {
+      t.AddRow({name, TablePrinter::Fmt(r.total_cycles / base, 1),
+                TablePrinter::Fmt(r.cycles.retiring / base, 1),
+                TablePrinter::Fmt(r.cycles.StallCycles() / base, 1)});
+    };
+    add("DBMS R", comm[3].r);
+    add("DBMS C", comm[7].r);
+    add("Typer", fast[3].r);
+    add("Tectorwise", fast[7].r);
+    ctx.Emit(t);
+  }
+  return 0;
+}

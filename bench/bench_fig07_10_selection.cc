@@ -1,0 +1,131 @@
+// Reproduces the paper's Section 4 (selection micro-benchmark):
+//   Figure 7:  CPU cycles breakdown, DBMS R / DBMS C, selectivity 10/50/90%
+//   Figure 8:  stall cycles breakdown, DBMS R / DBMS C
+//   Figure 9:  CPU cycles breakdown, Typer / Tectorwise
+//   Figure 10: stall cycles breakdown, Typer / Tectorwise
+//   + the in-text single-core bandwidth numbers (Typer 3/5/5 GB/s,
+//     Tectorwise 2.5/3/3 GB/s at 10/50/90%).
+//
+// Default sf: 0.5.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "engine/query.h"
+#include "harness/context.h"
+#include "harness/profile.h"
+
+namespace {
+
+using uolap::TablePrinter;
+using uolap::core::ProfileResult;
+using uolap::engine::OlapEngine;
+using uolap::engine::Workers;
+using uolap::harness::BenchContext;
+using uolap::harness::ProfileSingle;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchContext ctx(argc, argv, /*default_sf=*/0.5);
+  ctx.PrintHeader("Figures 7-10: selection micro-benchmark (Section 4)");
+
+  const std::vector<double> selectivities = {0.1, 0.5, 0.9};
+
+  struct Cell {
+    std::string label;
+    ProfileResult r;
+  };
+  auto profile_all = [&](std::vector<OlapEngine*> engines) {
+    std::vector<Cell> cells;
+    for (OlapEngine* e : engines) {
+      for (double s : selectivities) {
+        std::printf("# running %s sel=%.0f%%...\n", e->name().c_str(),
+                    s * 100);
+        std::fflush(stdout);
+        const auto params = uolap::engine::MakeSelectionParams(ctx.db(), s);
+        cells.push_back(
+            {e->name() + " " + TablePrinter::Pct(s, 0),
+             ProfileSingle(ctx.machine(), [&](Workers& w) {
+               e->Selection(w, params);
+             })});
+      }
+    }
+    return cells;
+  };
+
+  const std::vector<Cell> comm =
+      profile_all({&ctx.rowstore(), &ctx.colstore()});
+  const std::vector<Cell> fast =
+      profile_all({&ctx.typer(), &ctx.tectorwise()});
+
+  {
+    TablePrinter t(
+        "Figure 7: CPU cycles breakdown for selection as selectivity "
+        "increases (DBMS R and DBMS C)");
+    t.SetHeader(uolap::harness::CpuCyclesHeader("system/selectivity"));
+    for (const auto& c : comm) {
+      t.AddRow(uolap::harness::CpuCyclesRow(c.label, c.r.cycles));
+    }
+    ctx.Emit(t);
+  }
+  {
+    TablePrinter t(
+        "Figure 8: Stall cycles breakdown for selection (DBMS R and "
+        "DBMS C)");
+    t.SetHeader(uolap::harness::StallHeader("system/selectivity"));
+    for (const auto& c : comm) {
+      t.AddRow(uolap::harness::StallRow(c.label, c.r.cycles));
+    }
+    ctx.Emit(t);
+  }
+  {
+    TablePrinter t(
+        "Figure 9: CPU cycles breakdown for selection (Typer and "
+        "Tectorwise)");
+    t.SetHeader(uolap::harness::CpuCyclesHeader("system/selectivity"));
+    for (const auto& c : fast) {
+      t.AddRow(uolap::harness::CpuCyclesRow(c.label, c.r.cycles));
+    }
+    ctx.Emit(t);
+  }
+  {
+    TablePrinter t(
+        "Figure 10: Stall cycles breakdown for selection (Typer and "
+        "Tectorwise)");
+    t.SetHeader(uolap::harness::StallHeader("system/selectivity"));
+    for (const auto& c : fast) {
+      t.AddRow(uolap::harness::StallRow(c.label, c.r.cycles));
+    }
+    ctx.Emit(t);
+  }
+  {
+    TablePrinter t(
+        "Section 4 (text): single-core bandwidth for branched selection "
+        "(paper: Typer 3/5/5, Tectorwise 2.5/3/3 GB/s)");
+    t.SetHeader({"system/selectivity", "Bandwidth (GB/s)"});
+    for (const auto& c : fast) {
+      t.AddRow({c.label, TablePrinter::Fmt(c.r.bandwidth_gbps, 2)});
+    }
+    ctx.Emit(t);
+  }
+  {
+    // The paper's in-text claim: the commercial systems are 1.6x-40x
+    // slower than the high-performance engines on selection.
+    TablePrinter t(
+        "Section 4 (text): commercial slowdown vs Typer for selection");
+    t.SetHeader({"system/selectivity", "Slowdown vs Typer"});
+    for (size_t e = 0; e < 2; ++e) {
+      for (size_t s = 0; s < selectivities.size(); ++s) {
+        const auto& c = comm[e * selectivities.size() + s];
+        const double base = fast[s].r.total_cycles;  // Typer at same sel
+        t.AddRow({c.label,
+                  TablePrinter::Fmt(c.r.total_cycles / base, 1) + "x"});
+      }
+    }
+    ctx.Emit(t);
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Reproduces the paper's Section 7 (predication):
+//   Figure 17/18: Typer branched vs branch-free selection — response time
+//                 and stall time breakdowns
+//   Figure 19/20: the same for Tectorwise
+//   Figure 21:    single-core bandwidth of the predicated selection
+//   + the in-text predicated-Q6 observations (Typer -11%, Tectorwise -52%;
+//     bandwidth 4.7 -> 6.9 GB/s and 1 -> 4.7 GB/s).
+//
+// Default sf: 0.5.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "engine/query.h"
+#include "harness/context.h"
+#include "harness/profile.h"
+
+namespace {
+
+using uolap::TablePrinter;
+using uolap::core::ProfileResult;
+using uolap::engine::OlapEngine;
+using uolap::engine::Workers;
+using uolap::harness::BenchContext;
+using uolap::harness::ProfileSingle;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchContext ctx(argc, argv, /*default_sf=*/0.5);
+  ctx.PrintHeader("Figures 17-21: predication (Section 7)");
+
+  const std::vector<double> selectivities = {0.1, 0.5, 0.9};
+
+  struct Cell {
+    std::string label;
+    ProfileResult r;
+  };
+  auto run_engine = [&](OlapEngine& e) {
+    std::vector<Cell> cells;
+    for (double s : selectivities) {
+      for (bool predicated : {false, true}) {
+        std::printf("# running %s sel=%.0f%% %s...\n", e.name().c_str(),
+                    s * 100, predicated ? "branch-free" : "branched");
+        std::fflush(stdout);
+        const auto params =
+            uolap::engine::MakeSelectionParams(ctx.db(), s, predicated);
+        cells.push_back(
+            {TablePrinter::Pct(s, 0) +
+                 (predicated ? " Br.-free" : " Br."),
+             ProfileSingle(ctx.machine(), [&](Workers& w) {
+               e.Selection(w, params);
+             })});
+      }
+    }
+    return cells;
+  };
+
+  const std::vector<Cell> typer_cells = run_engine(ctx.typer());
+  const std::vector<Cell> tw_cells = run_engine(ctx.tectorwise());
+
+  auto emit_pair = [&](const char* fig_resp, const char* fig_stall,
+                       const char* name, const std::vector<Cell>& cells) {
+    {
+      TablePrinter t(std::string(fig_resp) + ": response time breakdown, " +
+                     name + " branched vs branch-free selection");
+      t.SetHeader(uolap::harness::TimeHeader("selectivity/variant"));
+      for (const auto& c : cells) {
+        t.AddRow(uolap::harness::TimeRow(c.label, c.r));
+      }
+      ctx.Emit(t);
+    }
+    {
+      TablePrinter t(std::string(fig_stall) + ": stall time breakdown, " +
+                     name + " branched vs branch-free selection");
+      t.SetHeader(uolap::harness::StallHeader("selectivity/variant"));
+      for (const auto& c : cells) {
+        t.AddRow(uolap::harness::StallRow(c.label, c.r.cycles));
+      }
+      ctx.Emit(t);
+    }
+  };
+  emit_pair("Figure 17", "Figure 18", "Typer", typer_cells);
+  emit_pair("Figure 19", "Figure 20", "Tectorwise", tw_cells);
+
+  {
+    TablePrinter t(
+        "Figure 21: single-core bandwidth for the predicated selection "
+        "(MAX = 12 GB/s; paper: Typer stable/high, Tectorwise lower with "
+        "a peak at 50%)");
+    t.SetHeader({"system/selectivity", "Bandwidth (GB/s)"});
+    for (size_t i = 0; i < selectivities.size(); ++i) {
+      t.AddRow({"Typer " + TablePrinter::Pct(selectivities[i], 0),
+                TablePrinter::Fmt(typer_cells[i * 2 + 1].r.bandwidth_gbps,
+                                  2)});
+    }
+    for (size_t i = 0; i < selectivities.size(); ++i) {
+      t.AddRow({"Tectorwise " + TablePrinter::Pct(selectivities[i], 0),
+                TablePrinter::Fmt(tw_cells[i * 2 + 1].r.bandwidth_gbps, 2)});
+    }
+    ctx.Emit(t);
+  }
+
+  {
+    // Predicated Q6 (in-text): response-time change and bandwidth.
+    TablePrinter t(
+        "Section 7 (text): predicated TPC-H Q6 (paper: Typer -11%, "
+        "Tectorwise -52%; bandwidth 4.7->6.9 and 1->4.7 GB/s)");
+    t.SetHeader({"system", "Branched ms", "Predicated ms", "Change",
+                 "Branched GB/s", "Predicated GB/s"});
+    for (OlapEngine* e :
+         std::vector<OlapEngine*>{&ctx.typer(), &ctx.tectorwise()}) {
+      const auto branched = ProfileSingle(ctx.machine(), [&](Workers& w) {
+        e->Q6(w, uolap::engine::MakeQ6Params(false));
+      });
+      const auto predicated = ProfileSingle(ctx.machine(), [&](Workers& w) {
+        e->Q6(w, uolap::engine::MakeQ6Params(true));
+      });
+      const double change =
+          (predicated.total_cycles - branched.total_cycles) /
+          branched.total_cycles;
+      t.AddRow({e->name(), TablePrinter::Fmt(branched.time_ms, 1),
+                TablePrinter::Fmt(predicated.time_ms, 1),
+                TablePrinter::Pct(change, 0),
+                TablePrinter::Fmt(branched.bandwidth_gbps, 2),
+                TablePrinter::Fmt(predicated.bandwidth_gbps, 2)});
+    }
+    ctx.Emit(t);
+  }
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Reproduces the paper's Section 8 (SIMD, on the Skylake server):
+//   Figure 22: normalized response time, Tectorwise projection + predicated
+//              selection, with and without AVX-512
+//   Figure 23: normalized stall time for the same
+//   Figure 24: single-core bandwidth with and without SIMD
+//   Figure 25: large-join probe phase with and without SIMD (normalized
+//              response + bandwidth)
+//
+// Default sf: 0.5; the machine defaults to Skylake here (the paper's SIMD
+// experiments cannot run on Broadwell, which lacks AVX-512).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "engine/query.h"
+#include "harness/context.h"
+#include "harness/profile.h"
+
+namespace {
+
+using uolap::TablePrinter;
+using uolap::core::ProfileResult;
+using uolap::engine::Workers;
+using uolap::harness::BenchContext;
+using uolap::harness::ProfileSingle;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Inject the Skylake default while still honouring an explicit
+  // --machine flag.
+  std::vector<char*> args(argv, argv + argc);
+  std::string default_machine = "--machine=skylake";
+  bool has_machine = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--machine", 0) == 0) has_machine = true;
+  }
+  if (!has_machine) args.push_back(default_machine.data());
+
+  BenchContext ctx(static_cast<int>(args.size()), args.data(),
+                   /*default_sf=*/0.5);
+  ctx.PrintHeader("Figures 22-25: SIMD (Section 8, Skylake server)");
+
+  auto& scalar = ctx.tectorwise();
+  auto& simd = ctx.tectorwise_simd();
+
+  struct Pair {
+    std::string label;
+    ProfileResult without;
+    ProfileResult with;
+  };
+  std::vector<Pair> pairs;
+
+  auto run_pair = [&](const std::string& label, auto&& fn) {
+    std::printf("# running %s (scalar + SIMD)...\n", label.c_str());
+    std::fflush(stdout);
+    Pair p;
+    p.label = label;
+    p.without = ProfileSingle(ctx.machine(),
+                              [&](Workers& w) { fn(scalar, w); });
+    p.with = ProfileSingle(ctx.machine(), [&](Workers& w) { fn(simd, w); });
+    pairs.push_back(std::move(p));
+  };
+
+  run_pair("Proj.", [](uolap::tectorwise::TectorwiseEngine& e, Workers& w) {
+    e.Projection(w, 4);
+  });
+  for (double s : {0.1, 0.5, 0.9}) {
+    const auto params =
+        uolap::engine::MakeSelectionParams(ctx.db(), s, /*predicated=*/true);
+    run_pair("Sel. " + TablePrinter::Pct(s, 0),
+             [&params](uolap::tectorwise::TectorwiseEngine& e, Workers& w) {
+               e.Selection(w, params);
+             });
+  }
+
+  {
+    TablePrinter t(
+        "Figure 22: normalized response time, Tectorwise with and without "
+        "SIMD (without = 1; paper: -22% proj, -42/-23/-21% selection)");
+    t.SetHeader({"workload", "W/o SIMD", "W/ SIMD", "W/ SIMD Retiring",
+                 "W/ SIMD Stall"});
+    for (const auto& p : pairs) {
+      const double base = p.without.total_cycles;
+      t.AddRow({p.label, "1.00",
+                TablePrinter::Fmt(p.with.total_cycles / base, 2),
+                TablePrinter::Fmt(p.with.cycles.retiring / base, 2),
+                TablePrinter::Fmt(p.with.cycles.StallCycles() / base, 2)});
+    }
+    ctx.Emit(t);
+  }
+  {
+    TablePrinter t(
+        "Figure 23: normalized stall time with and without SIMD (stall "
+        "time without SIMD = 1; paper: Dcache up, Execution down)");
+    t.SetHeader({"workload", "variant", "Execution", "Dcache", "Decoding",
+                 "Icache", "Branch misp."});
+    for (const auto& p : pairs) {
+      const double base = p.without.cycles.StallCycles();
+      auto row = [&](const char* variant, const ProfileResult& r) {
+        const auto& b = r.cycles;
+        t.AddRow({p.label, variant,
+                  TablePrinter::Fmt(b.execution / base, 2),
+                  TablePrinter::Fmt(b.dcache / base, 2),
+                  TablePrinter::Fmt(b.decoding / base, 2),
+                  TablePrinter::Fmt(b.icache / base, 2),
+                  TablePrinter::Fmt(b.branch_misp / base, 2)});
+      };
+      row("W/o SIMD", p.without);
+      row("W/ SIMD", p.with);
+    }
+    ctx.Emit(t);
+  }
+  {
+    TablePrinter t(
+        "Figure 24: single-core bandwidth with and without SIMD "
+        "(MAX = 10 GB/s per core on Skylake)");
+    t.SetHeader({"workload", "W/o SIMD (GB/s)", "W/ SIMD (GB/s)"});
+    for (const auto& p : pairs) {
+      t.AddRow({p.label, TablePrinter::Fmt(p.without.bandwidth_gbps, 2),
+                TablePrinter::Fmt(p.with.bandwidth_gbps, 2)});
+    }
+    ctx.Emit(t);
+  }
+  {
+    std::printf("# running large-join probe (scalar + SIMD)...\n");
+    std::fflush(stdout);
+    const auto without = ProfileSingle(ctx.machine(), [&](Workers& w) {
+      scalar.LargeJoinProbeOnly(w);
+    });
+    const auto with = ProfileSingle(ctx.machine(), [&](Workers& w) {
+      simd.LargeJoinProbeOnly(w);
+    });
+    const double base = without.total_cycles;
+    TablePrinter t(
+        "Figure 25: large-join probe phase with and without SIMD "
+        "(paper: -27% response, +50% bandwidth)");
+    t.SetHeader({"variant", "Normalized response", "Retiring", "Dcache",
+                 "Bandwidth (GB/s)"});
+    auto row = [&](const char* variant, const ProfileResult& r) {
+      t.AddRow({variant, TablePrinter::Fmt(r.total_cycles / base, 2),
+                TablePrinter::Fmt(r.cycles.retiring / base, 2),
+                TablePrinter::Fmt(r.cycles.dcache / base, 2),
+                TablePrinter::Fmt(r.bandwidth_gbps, 2)});
+    };
+    row("W/o SIMD", without);
+    row("W/ SIMD", with);
+    ctx.Emit(t);
+  }
+  return 0;
+}

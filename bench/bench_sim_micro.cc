@@ -1,0 +1,104 @@
+// google-benchmark performance suite for the simulator itself: these are
+// wall-clock benchmarks of the instrument (how fast the model simulates),
+// used to keep the simulator fast enough for SF >= 1 experiments.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/branch_predictor.h"
+#include "core/cache.h"
+#include "core/core.h"
+#include "core/machine.h"
+#include "engine/hash_table.h"
+#include "tpch/dbgen.h"
+
+namespace {
+
+using uolap::Rng;
+using uolap::core::BranchPredictor;
+using uolap::core::Core;
+using uolap::core::MachineConfig;
+using uolap::core::SetAssociativeCache;
+
+void BM_CacheHit(benchmark::State& state) {
+  SetAssociativeCache cache(64, 8);
+  for (uint64_t k = 0; k < 8; ++k) cache.Insert(k * 64, false);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Access((k++ % 8) * 64, false));
+  }
+}
+BENCHMARK(BM_CacheHit);
+
+void BM_CacheMissInsert(benchmark::State& state) {
+  SetAssociativeCache cache(512, 8);
+  uint64_t k = 0;
+  for (auto _ : state) {
+    cache.Access(k, false);
+    benchmark::DoNotOptimize(cache.Insert(k, false));
+    ++k;
+  }
+}
+BENCHMARK(BM_CacheMissInsert);
+
+void BM_CoreSequentialLoad(benchmark::State& state) {
+  Core core(MachineConfig::Broadwell());
+  std::vector<int64_t> data(1 << 20, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    core.Load(&data[i], 8);
+    i = (i + 1) & (data.size() - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoreSequentialLoad);
+
+void BM_CoreRandomLoad(benchmark::State& state) {
+  Core core(MachineConfig::Broadwell());
+  std::vector<int64_t> data(1 << 22, 1);
+  Rng rng(3);
+  for (auto _ : state) {
+    core.Load(&data[static_cast<size_t>(rng.Next()) & (data.size() - 1)], 8);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoreRandomLoad);
+
+void BM_BranchPredictor(benchmark::State& state) {
+  BranchPredictor bp;
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bp.Record(1, rng.Bernoulli(0.5)));
+  }
+}
+BENCHMARK(BM_BranchPredictor);
+
+void BM_HashTableProbe(benchmark::State& state) {
+  Core core(MachineConfig::Broadwell());
+  uolap::engine::JoinHashTable ht(1 << 16);
+  for (int64_t k = 0; k < (1 << 16); ++k) ht.Insert(core, k, k);
+  int64_t k = 0;
+  int64_t payload;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ht.ProbeFirst(core, 1, k++ & ((1 << 16) - 1), &payload));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashTableProbe);
+
+void BM_DbGenLineitemsPerSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    uolap::tpch::DbGen gen(1);
+    auto db = gen.Generate(0.01);
+    benchmark::DoNotOptimize(db.value().lineitem.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 60000);
+}
+BENCHMARK(BM_DbGenLineitemsPerSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

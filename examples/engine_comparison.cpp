@@ -1,0 +1,76 @@
+// Compares the four OLAP systems of the paper on the same workloads:
+// a commercial row store (DBMS R), its column-store extension (DBMS C),
+// a compiled engine (Typer) and a vectorized engine (Tectorwise).
+//
+// This is the paper's Section 3/5 story in one program: the commercial
+// systems retire orders of magnitude more instructions; the
+// high-performance engines are fast but stall-bound.
+//
+//   ./build/examples/engine_comparison [--sf=0.1]
+
+#include <cstdio>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "core/machine.h"
+#include "engines/colstore/colstore_engine.h"
+#include "engines/rowstore/rowstore_engine.h"
+#include "engines/tectorwise/tw_engine.h"
+#include "engines/typer/typer_engine.h"
+#include "tpch/dbgen.h"
+
+int main(int argc, char** argv) {
+  using namespace uolap;
+
+  FlagSet flags;
+  UOLAP_CHECK(flags.Parse(argc, argv).ok());
+  const double sf = flags.GetDouble("sf", 0.1);
+
+  tpch::DbGen generator(42);
+  tpch::Database db = std::move(generator.Generate(sf)).value();
+
+  typer::TyperEngine typer(db);
+  tectorwise::TectorwiseEngine tw(db);
+  rowstore::RowstoreEngine dbms_r(db);
+  colstore::ColstoreEngine dbms_c(db);
+  std::vector<engine::OlapEngine*> engines = {&dbms_r, &dbms_c, &typer, &tw};
+
+  auto profile = [&](engine::OlapEngine& e, auto&& query) {
+    core::Machine machine(core::MachineConfig::Broadwell(), 1);
+    engine::Workers w(machine.core(0));
+    query(e, w);
+    machine.FinalizeAll();
+    return machine.AnalyzeCore(0);
+  };
+
+  auto compare = [&](const char* title, auto&& query) {
+    TablePrinter t(title);
+    t.SetHeader({"system", "time (ms)", "instructions", "IPC", "stall %",
+                 "GB/s"});
+    double base = 0;
+    for (engine::OlapEngine* e : engines) {
+      const core::ProfileResult r = profile(*e, query);
+      if (e == &typer) base = r.time_ms;
+      t.AddRow({e->name(), TablePrinter::Fmt(r.time_ms, 1),
+                std::to_string(r.instructions),
+                TablePrinter::Fmt(r.ipc, 2),
+                TablePrinter::Pct(r.cycles.StallRatio(), 0),
+                TablePrinter::Fmt(r.bandwidth_gbps, 1)});
+    }
+    std::printf("%s(Typer baseline: %.1f ms)\n\n", t.ToAscii().c_str(),
+                base);
+  };
+
+  compare("Projection degree 4 (SUM over four lineitem columns)",
+          [](engine::OlapEngine& e, engine::Workers& w) {
+            e.Projection(w, 4);
+          });
+  compare("TPC-H Q1 (low-cardinality group-by)",
+          [](engine::OlapEngine& e, engine::Workers& w) { e.Q1(w); });
+  compare("Large join (lineitem x orders)",
+          [](engine::OlapEngine& e, engine::Workers& w) {
+            e.Join(w, engine::JoinSize::kLarge);
+          });
+  return 0;
+}

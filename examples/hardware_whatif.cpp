@@ -1,0 +1,81 @@
+// Hardware what-if analysis: the same query on variations of the machine
+// model. This is what the simulator adds over a real-PMU study: the
+// machine is a parameter.
+//
+// Scenarios:
+//   - the paper's Broadwell (baseline),
+//   - all hardware prefetchers disabled (Section 9),
+//   - the paper's Skylake (AVX-512 server of Section 8),
+//   - a hypothetical Broadwell with doubled per-core memory bandwidth
+//     (directly testing the paper's "prefetchers are not fast enough /
+//     bandwidth-limited" conclusion),
+//   - a hypothetical 6-wide core (testing the "not enough execution
+//     units" observation).
+//
+//   ./build/examples/hardware_whatif [--sf=0.1]
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "core/machine.h"
+#include "engines/typer/typer_engine.h"
+#include "tpch/dbgen.h"
+
+int main(int argc, char** argv) {
+  using namespace uolap;
+
+  FlagSet flags;
+  UOLAP_CHECK(flags.Parse(argc, argv).ok());
+  const double sf = flags.GetDouble("sf", 0.1);
+
+  tpch::DbGen generator(42);
+  tpch::Database db = std::move(generator.Generate(sf)).value();
+  typer::TyperEngine engine(db);
+
+  auto run = [&](const core::MachineConfig& cfg) {
+    core::Machine machine(cfg, 1);
+    engine::Workers w(machine.core(0));
+    engine.Projection(w, 4);
+    machine.FinalizeAll();
+    return machine.AnalyzeCore(0);
+  };
+
+  core::MachineConfig baseline = core::MachineConfig::Broadwell();
+
+  core::MachineConfig no_pf = baseline;
+  no_pf.prefetchers = core::PrefetcherConfig::AllDisabled();
+
+  core::MachineConfig fat_bw = baseline;
+  fat_bw.name = "broadwell-2x-bandwidth";
+  fat_bw.bandwidth.per_core_seq_gbps *= 2;
+  fat_bw.bandwidth.per_core_rand_gbps *= 2;
+
+  core::MachineConfig wide = baseline;
+  wide.name = "broadwell-6wide";
+  wide.exec.issue_width = 6;
+  wide.exec.decode_width = 6;
+  wide.exec.alu_ports = 6;
+
+  TablePrinter t("Typer projection degree 4 under hardware variations");
+  t.SetHeader({"machine", "time (ms)", "stall %", "Dcache %", "Execution %",
+               "GB/s"});
+  for (const core::MachineConfig& cfg :
+       {baseline, no_pf, core::MachineConfig::Skylake(), fat_bw, wide}) {
+    const core::ProfileResult r = run(cfg);
+    const auto& b = r.cycles;
+    const std::string label =
+        cfg.prefetchers.AnyEnabled() ? cfg.name : cfg.name + " (no pf)";
+    t.AddRow({label, TablePrinter::Fmt(r.time_ms, 1),
+              TablePrinter::Pct(b.StallRatio(), 0),
+              TablePrinter::Pct(b.Frac(b.dcache), 0),
+              TablePrinter::Pct(b.Frac(b.execution), 0),
+              TablePrinter::Fmt(r.bandwidth_gbps, 1)});
+  }
+  std::printf("%s", t.ToAscii().c_str());
+  std::printf(
+      "\nReading: disabling prefetchers multiplies response time (Fig. 26);"
+      "\ndoubling bandwidth shows the scan is memory-bound (the paper's"
+      "\ncentral claim); a wider core barely helps a bandwidth-bound scan.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Multi-core scheduling advisor: the paper's Section 10 conclusion turned
+// into a tool. For a given workload it sweeps thread counts, finds where
+// the socket bandwidth saturates, and recommends how many cores are worth
+// assigning ("using more than eight cores for Typer when running the
+// projection query would waste the cores").
+//
+//   ./build/examples/multicore_scaling [--sf=0.2]
+
+#include <cstdio>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "core/machine.h"
+#include "engines/typer/typer_engine.h"
+#include "tpch/dbgen.h"
+
+int main(int argc, char** argv) {
+  using namespace uolap;
+
+  FlagSet flags;
+  UOLAP_CHECK(flags.Parse(argc, argv).ok());
+  const double sf = flags.GetDouble("sf", 0.2);
+
+  tpch::DbGen generator(42);
+  tpch::Database db = std::move(generator.Generate(sf)).value();
+  typer::TyperEngine engine(db);
+  const core::MachineConfig cfg = core::MachineConfig::Broadwell();
+
+  auto run = [&](int threads, auto&& query) {
+    core::Machine machine(cfg, static_cast<uint32_t>(threads));
+    std::vector<core::Core*> cores;
+    for (int i = 0; i < threads; ++i) cores.push_back(&machine.core(i));
+    engine::Workers w(cores);
+    query(w);
+    machine.FinalizeAll();
+    return machine.AnalyzeAll();
+  };
+
+  auto advise = [&](const char* title, auto&& query) {
+    TablePrinter t(title);
+    t.SetHeader({"threads", "time (ms)", "speedup", "socket GB/s",
+                 "saturated"});
+    double t1 = 0;
+    int recommended = static_cast<int>(cfg.cores_per_socket);
+    bool found = false;
+    for (int n : {1, 2, 4, 8, 12, 14}) {
+      const core::MultiCoreResult r = run(n, query);
+      if (n == 1) t1 = r.time_ms;
+      if (r.socket_saturated && !found) {
+        recommended = n;
+        found = true;
+      }
+      t.AddRow({std::to_string(n), TablePrinter::Fmt(r.time_ms, 1),
+                TablePrinter::Fmt(t1 / r.time_ms, 1) + "x",
+                TablePrinter::Fmt(r.socket_bandwidth_gbps, 1),
+                r.socket_saturated ? "yes" : "no"});
+    }
+    std::printf("%s", t.ToAscii().c_str());
+    if (found) {
+      std::printf(
+          "-> bandwidth saturates around %d cores; additional cores are "
+          "wasted on this workload.\n\n",
+          recommended);
+    } else {
+      std::printf(
+          "-> compute-bound at every thread count: all %d cores are "
+          "useful (the memory bandwidth stays underutilized).\n\n",
+          static_cast<int>(cfg.cores_per_socket));
+    }
+  };
+
+  advise("Projection degree 4 (bandwidth-hungry sequential scan)",
+         [&](engine::Workers& w) { engine.Projection(w, 4); });
+  advise("Large join (latency-bound random probes)",
+         [&](engine::Workers& w) {
+           engine.Join(w, engine::JoinSize::kLarge);
+         });
+  return 0;
+}

@@ -1,0 +1,145 @@
+// A VTune-style micro-architectural report for one (engine, query) pair:
+// the full counter dump, the Top-Down breakdown, the stall decomposition
+// and the roofline verdict — everything the paper's methodology derives
+// from the hardware, from one command.
+//
+//   ./build/examples/uarch_report --engine=typer --query=q9 --sf=0.2
+//
+// engines: typer | tectorwise | tectorwise-simd | dbmsr | dbmsc
+// queries: p1..p4 | sel10|sel50|sel90 | join-small|join-medium|join-large |
+//          q1 | q6 | q9 | q18 | groupby<N>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/flags.h"
+#include "core/machine.h"
+#include "core/roofline.h"
+#include "engines/colstore/colstore_engine.h"
+#include "engines/rowstore/rowstore_engine.h"
+#include "engines/tectorwise/tw_engine.h"
+#include "engines/typer/typer_engine.h"
+#include "tpch/dbgen.h"
+
+namespace {
+
+using namespace uolap;
+
+int Fail(const char* what) {
+  std::fprintf(stderr, "unknown %s; see the header comment for options\n",
+               what);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  UOLAP_CHECK(flags.Parse(argc, argv).ok());
+  const double sf = flags.GetDouble("sf", 0.1);
+  const std::string engine_name = flags.GetString("engine", "typer");
+  const std::string query = flags.GetString("query", "q6");
+
+  tpch::DbGen generator(static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  tpch::Database db = std::move(generator.Generate(sf)).value();
+
+  std::unique_ptr<engine::OlapEngine> eng;
+  if (engine_name == "typer") {
+    eng = std::make_unique<typer::TyperEngine>(db);
+  } else if (engine_name == "tectorwise") {
+    eng = std::make_unique<tectorwise::TectorwiseEngine>(db);
+  } else if (engine_name == "tectorwise-simd") {
+    eng = std::make_unique<tectorwise::TectorwiseEngine>(db, true);
+  } else if (engine_name == "dbmsr") {
+    eng = std::make_unique<rowstore::RowstoreEngine>(db);
+  } else if (engine_name == "dbmsc") {
+    eng = std::make_unique<colstore::ColstoreEngine>(db);
+  } else {
+    return Fail("--engine");
+  }
+
+  const core::MachineConfig cfg =
+      flags.GetString("machine", "broadwell") == "skylake"
+          ? core::MachineConfig::Skylake()
+          : core::MachineConfig::Broadwell();
+  core::Machine machine(cfg, 1);
+  engine::Workers w(machine.core(0));
+
+  if (query == "p1" || query == "p2" || query == "p3" || query == "p4") {
+    eng->Projection(w, query[1] - '0');
+  } else if (query == "sel10" || query == "sel50" || query == "sel90") {
+    eng->Selection(w, engine::MakeSelectionParams(db, (query[3] - '0') / 10.0));
+  } else if (query == "join-small") {
+    eng->Join(w, engine::JoinSize::kSmall);
+  } else if (query == "join-medium") {
+    eng->Join(w, engine::JoinSize::kMedium);
+  } else if (query == "join-large") {
+    eng->Join(w, engine::JoinSize::kLarge);
+  } else if (query == "q1") {
+    eng->Q1(w);
+  } else if (query == "q6") {
+    eng->Q6(w, engine::MakeQ6Params());
+  } else if (query == "q9") {
+    eng->Q9(w);
+  } else if (query == "q18") {
+    eng->Q18(w);
+  } else if (query.rfind("groupby", 0) == 0) {
+    eng->GroupBy(w, std::max<int64_t>(1, std::atoll(query.c_str() + 7)));
+  } else {
+    return Fail("--query");
+  }
+
+  machine.FinalizeAll();
+  const core::ProfileResult r = machine.AnalyzeCore(0);
+  const auto& c = r.counters;
+  const auto& m = c.mem;
+  const auto& b = r.cycles;
+
+  std::printf("uarch report: %s / %s on %s (sf %.3g)\n", eng->name().c_str(),
+              query.c_str(), cfg.name.c_str(), sf);
+  std::printf("-------------------------------------------------------\n");
+  std::printf("time            %12.2f ms (%.0f cycles)\n", r.time_ms,
+              r.total_cycles);
+  std::printf("instructions    %12llu   IPC %.2f\n",
+              static_cast<unsigned long long>(r.instructions), r.ipc);
+  std::printf("DRAM traffic    %12.1f MB  bandwidth %.2f GB/s\n",
+              r.dram_bytes / 1e6, r.bandwidth_gbps);
+  std::printf("\nTop-Down breakdown:\n");
+  auto comp = [&](const char* name, double cycles) {
+    std::printf("  %-13s %6.1f%%\n", name, 100.0 * b.Frac(cycles));
+  };
+  comp("Retiring", b.retiring);
+  comp("Branch misp.", b.branch_misp);
+  comp("Icache", b.icache);
+  comp("Decoding", b.decoding);
+  comp("Dcache", b.dcache);
+  comp("Execution", b.execution);
+  std::printf("\ncounters:\n");
+  std::printf("  branches %llu (mispredicted %llu, %.1f%%)\n",
+              static_cast<unsigned long long>(c.branch_events),
+              static_cast<unsigned long long>(c.branch_mispredicts),
+              c.branch_events
+                  ? 100.0 * static_cast<double>(c.branch_mispredicts) /
+                        static_cast<double>(c.branch_events)
+                  : 0.0);
+  std::printf("  data accesses %llu: L1 %llu / L2 %llu / L3 %llu / DRAM %llu\n",
+              static_cast<unsigned long long>(m.data_accesses),
+              static_cast<unsigned long long>(m.l1d_hits),
+              static_cast<unsigned long long>(m.l2_hits),
+              static_cast<unsigned long long>(m.l3_hits),
+              static_cast<unsigned long long>(m.dram_lines));
+  std::printf("  DRAM lines: stream-covered %llu, random %llu\n",
+              static_cast<unsigned long long>(m.dram_seq_l2_streamer +
+                                              m.dram_seq_l1_streamer),
+              static_cast<unsigned long long>(m.dram_rand));
+  std::printf("  prefetch waste %.1f MB, writebacks %.1f MB\n",
+              static_cast<double>(m.dram_prefetch_waste_bytes) / 1e6,
+              static_cast<double>(m.dram_writeback_bytes) / 1e6);
+  std::printf("  TLB: STLB hits %llu, page walks %llu\n",
+              static_cast<unsigned long long>(m.stlb_hits),
+              static_cast<unsigned long long>(m.page_walks));
+  std::printf("\nroofline: %s\n",
+              core::RooflineVerdict(core::ComputeRoofline(r, cfg)).c_str());
+  return 0;
+}

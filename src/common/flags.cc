@@ -1,0 +1,61 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace uolap {
+
+Status FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const size_t eq = arg.find('=');
+    std::string name(arg.substr(0, eq));
+    if (name.empty()) {
+      return Status::InvalidArgument("empty flag name in '" +
+                                     std::string(argv[i]) + "'");
+    }
+    if (eq == std::string_view::npos) {
+      values_[name] = "true";
+    } else {
+      values_[name] = std::string(arg.substr(eq + 1));
+    }
+  }
+  return Status::OK();
+}
+
+bool FlagSet::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string FlagSet::GetString(const std::string& name,
+                               const std::string& default_value) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+double FlagSet::GetDouble(const std::string& name,
+                          double default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+int64_t FlagSet::GetInt(const std::string& name, int64_t default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+bool FlagSet::GetBool(const std::string& name, bool default_value) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace uolap

@@ -1,0 +1,47 @@
+#ifndef UOLAP_COMMON_FLAGS_H_
+#define UOLAP_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uolap {
+
+/// Minimal command-line flag parser shared by the bench and example
+/// binaries. Accepts `--name=value` and bare `--name` (boolean true).
+/// Anything that does not start with `--` is collected as a positional
+/// argument.
+///
+/// Usage:
+///   FlagSet flags;
+///   UOLAP_CHECK(flags.Parse(argc, argv).ok());
+///   double sf = flags.GetDouble("sf", 1.0);
+///   bool quick = flags.GetBool("quick", false);
+class FlagSet {
+ public:
+  /// Parses argv. Returns InvalidArgument on malformed input (e.g. an
+  /// empty flag name).
+  Status Parse(int argc, char** argv);
+
+  /// True if the flag was present on the command line.
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  /// Bare `--name` and the values "1", "true", "yes", "on" are true.
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace uolap
+
+#endif  // UOLAP_COMMON_FLAGS_H_

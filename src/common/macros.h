@@ -1,0 +1,41 @@
+#ifndef UOLAP_COMMON_MACROS_H_
+#define UOLAP_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Branch-prediction hints for hot paths.
+#define UOLAP_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define UOLAP_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+
+// Fatal invariant check. Always on: the simulator's correctness depends on
+// these invariants, and the cost is negligible outside the per-access hot
+// paths (which use DCHECK).
+#define UOLAP_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (UOLAP_UNLIKELY(!(cond))) {                                          \
+      ::std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                     __LINE__, #cond);                                      \
+      ::std::abort();                                                       \
+    }                                                                       \
+  } while (0)
+
+#define UOLAP_CHECK_MSG(cond, msg)                                          \
+  do {                                                                      \
+    if (UOLAP_UNLIKELY(!(cond))) {                                          \
+      ::std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                     __LINE__, #cond, msg);                                 \
+      ::std::abort();                                                       \
+    }                                                                       \
+  } while (0)
+
+// Debug-only check for per-element hot paths.
+#ifdef NDEBUG
+#define UOLAP_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define UOLAP_DCHECK(cond) UOLAP_CHECK(cond)
+#endif
+
+#endif  // UOLAP_COMMON_MACROS_H_

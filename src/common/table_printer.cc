@@ -1,0 +1,91 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace uolap {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    UOLAP_CHECK_MSG(row.size() == header_.size(),
+                    "row width does not match header width");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::ToAscii() const {
+  // Column widths over header + rows.
+  size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<size_t> widths(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      widths[i] = std::max(widths[i], r[i].size());
+    }
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto rule = [&]() {
+    std::string s = "+";
+    for (size_t w : widths) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& r) {
+    std::string s = "|";
+    for (size_t i = 0; i < ncols; ++i) {
+      const std::string& cell = i < r.size() ? r[i] : std::string();
+      s += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule();
+  if (!header_.empty()) {
+    out += line(header_);
+    out += rule();
+  }
+  for (const auto& r : rows_) out += line(r);
+  out += rule();
+  return out;
+}
+
+std::string TablePrinter::ToCsv() const {
+  auto line = [](const std::vector<std::string>& r) {
+    std::string s;
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (i > 0) s += ",";
+      s += r[i];
+    }
+    s += "\n";
+    return s;
+  };
+  std::string out;
+  if (!header_.empty()) out += line(header_);
+  for (const auto& r : rows_) out += line(r);
+  return out;
+}
+
+}  // namespace uolap

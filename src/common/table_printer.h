@@ -1,0 +1,44 @@
+#ifndef UOLAP_COMMON_TABLE_PRINTER_H_
+#define UOLAP_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace uolap {
+
+/// Accumulates rows of string cells and renders them as an aligned ASCII
+/// table (for the bench binaries' figure output) or CSV (for `--csv=`).
+///
+/// The bench harness prints each paper figure as one TablePrinter whose
+/// header row carries the figure's series labels, so the console output can
+/// be compared to the paper's plots line by line.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table (e.g. "Figure 3: CPU cycles ...").
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience for mixed text/number rows.
+  static std::string Fmt(double v, int precision = 1);
+  static std::string Pct(double fraction, int precision = 1);
+
+  /// Renders an aligned, boxed ASCII table.
+  std::string ToAscii() const;
+  /// Renders the header + rows as RFC-4180-ish CSV (no quoting of commas;
+  /// cell values in this project never contain commas).
+  std::string ToCsv() const;
+
+  const std::string& title() const { return title_; }
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace uolap
+
+#endif  // UOLAP_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,120 @@
+#include "core/cache.h"
+
+namespace uolap::core {
+
+namespace {
+bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+SetAssociativeCache::SetAssociativeCache(uint64_t num_sets, uint32_t ways)
+    : num_sets_(num_sets),
+      ways_(ways),
+      pow2_sets_(IsPowerOfTwo(num_sets)),
+      set_mask_(num_sets - 1) {
+  UOLAP_CHECK_MSG(num_sets >= 1, "num_sets must be positive");
+  UOLAP_CHECK(ways >= 1);
+  lines_.resize(num_sets_ * ways_);
+}
+
+SetAssociativeCache::Line* SetAssociativeCache::Find(uint64_t key) {
+  Line* set = &lines_[SetIndex(key) * ways_];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].valid && set[w].key == key) return &set[w];
+  }
+  return nullptr;
+}
+
+const SetAssociativeCache::Line* SetAssociativeCache::Find(
+    uint64_t key) const {
+  const Line* set = &lines_[SetIndex(key) * ways_];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].valid && set[w].key == key) return &set[w];
+  }
+  return nullptr;
+}
+
+void SetAssociativeCache::Touch(uint64_t set_index, Line* line,
+                                uint32_t old_rank) {
+  // Age every line younger than `old_rank` by one; make `line` MRU.
+  // For fresh insertions callers pass old_rank == ways_ so that every
+  // resident line ages.
+  Line* set = &lines_[set_index * ways_];
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (set[w].valid && set[w].lru < old_rank) ++set[w].lru;
+  }
+  line->lru = 0;
+}
+
+bool SetAssociativeCache::Access(uint64_t key, bool is_store) {
+  Line* line = Find(key);
+  if (line == nullptr) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  if (is_store) line->dirty = true;
+  Touch(SetIndex(key), line, line->lru);
+  return true;
+}
+
+CacheAccessResult SetAssociativeCache::Insert(uint64_t key, bool dirty) {
+  CacheAccessResult result;
+  const uint64_t set_index = SetIndex(key);
+  Line* set = &lines_[set_index * ways_];
+
+  if (Line* existing = Find(key); existing != nullptr) {
+    result.hit = true;
+    existing->dirty = existing->dirty || dirty;
+    Touch(set_index, existing, existing->lru);
+    return result;
+  }
+
+  // Pick an invalid way, else the LRU way.
+  Line* victim = nullptr;
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (!set[w].valid) {
+      victim = &set[w];
+      break;
+    }
+    if (victim == nullptr || set[w].lru > victim->lru) victim = &set[w];
+  }
+  if (victim->valid) {
+    result.evicted = true;
+    result.evicted_dirty = victim->dirty;
+    result.evicted_key = victim->key;
+  }
+  victim->key = key;
+  victim->valid = true;
+  victim->dirty = dirty;
+  Touch(set_index, victim, ways_);
+  return result;
+}
+
+bool SetAssociativeCache::Contains(uint64_t key) const {
+  return Find(key) != nullptr;
+}
+
+bool SetAssociativeCache::MarkDirty(uint64_t key) {
+  Line* line = Find(key);
+  if (line == nullptr) return false;
+  line->dirty = true;
+  return true;
+}
+
+bool SetAssociativeCache::Invalidate(uint64_t key, bool* was_dirty) {
+  Line* line = Find(key);
+  if (line == nullptr) {
+    if (was_dirty != nullptr) *was_dirty = false;
+    return false;
+  }
+  if (was_dirty != nullptr) *was_dirty = line->dirty;
+  line->valid = false;
+  line->dirty = false;
+  return true;
+}
+
+void SetAssociativeCache::Clear() {
+  for (Line& line : lines_) line = Line{};
+}
+
+}  // namespace uolap::core

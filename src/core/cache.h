@@ -1,0 +1,92 @@
+#ifndef UOLAP_CORE_CACHE_H_
+#define UOLAP_CORE_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace uolap::core {
+
+/// Result of a cache access.
+struct CacheAccessResult {
+  bool hit = false;
+  /// Valid only when an insert evicted a line.
+  bool evicted = false;
+  bool evicted_dirty = false;
+  uint64_t evicted_key = 0;
+};
+
+/// A set-associative cache over abstract 64-bit keys with true-LRU
+/// replacement and per-line dirty bits.
+///
+/// Keys are whatever granule the instantiation chooses: the data/instruction
+/// caches key by line address (addr >> 6), the TLBs key by page number.
+/// The simulator calls `Access` for lookups and `Insert` for fills; the two
+/// are split so the memory system can walk the hierarchy, decide where the
+/// line came from, and then fill the upper levels (modelling demand fills
+/// and writeback propagation explicitly).
+class SetAssociativeCache {
+ public:
+  /// `num_sets` and `ways` define the geometry; both must be >= 1.
+  /// Power-of-two set counts index with a mask; others (sliced LLCs) use
+  /// modulo.
+  SetAssociativeCache(uint64_t num_sets, uint32_t ways);
+
+  /// Looks up `key`. On a hit, promotes the line to MRU and (for stores)
+  /// marks it dirty.
+  bool Access(uint64_t key, bool is_store);
+
+  /// Inserts `key` as MRU. Returns eviction information so the caller can
+  /// propagate dirty writebacks down the hierarchy. Inserting a key that is
+  /// already present just promotes it.
+  CacheAccessResult Insert(uint64_t key, bool dirty);
+
+  /// True if `key` is currently resident (no LRU update; used by tests).
+  bool Contains(uint64_t key) const;
+
+  /// Marks `key` dirty if resident. Returns whether it was resident.
+  bool MarkDirty(uint64_t key);
+
+  /// Invalidates `key` if resident; returns whether the line was dirty.
+  bool Invalidate(uint64_t key, bool* was_dirty);
+
+  /// Drops all contents (used between profile phases in tests).
+  void Clear();
+
+  uint64_t num_sets() const { return num_sets_; }
+  uint32_t ways() const { return ways_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void ResetStats() { hits_ = misses_ = 0; }
+
+ private:
+  struct Line {
+    uint64_t key = 0;
+    bool valid = false;
+    bool dirty = false;
+    uint32_t lru = 0;  // 0 == MRU; higher == older
+  };
+
+  uint64_t SetIndex(uint64_t key) const {
+    // Power-of-two geometries (L1/L2/TLBs) use the fast mask; sliced LLCs
+    // like Broadwell's 35 MB L3 (28672 sets) fall back to modulo.
+    return pow2_sets_ ? (key & set_mask_) : (key % num_sets_);
+  }
+  Line* Find(uint64_t key);
+  const Line* Find(uint64_t key) const;
+  void Touch(uint64_t set_index, Line* line, uint32_t old_rank);
+
+  uint64_t num_sets_;
+  uint32_t ways_;
+  bool pow2_sets_;
+  uint64_t set_mask_;
+  std::vector<Line> lines_;  // num_sets_ * ways_, set-major
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace uolap::core
+
+#endif  // UOLAP_CORE_CACHE_H_

@@ -1,0 +1,117 @@
+#ifndef UOLAP_CORE_CALIBRATION_H_
+#define UOLAP_CORE_CALIBRATION_H_
+
+#include <cstdint>
+
+namespace uolap::core {
+
+// ---------------------------------------------------------------------------
+// Behavioural model constants that the paper's hardware does not pin down
+// numerically. Every constant documents the paper statement it is calibrated
+// against (see DESIGN.md Section 5 for the full list). These are the ONLY
+// free parameters of the cycle model; everything else comes from
+// MachineConfig, i.e. the paper's Table 1.
+// ---------------------------------------------------------------------------
+
+/// Effective memory-level parallelism for *sequential* streams when no
+/// streamer covers them (all prefetchers disabled, or next-line only).
+/// The out-of-order window can keep several independent line fetches in
+/// flight even without prefetching. Calibrated so that disabling all
+/// prefetchers increases projection response time ~3.7x (paper Fig. 26:
+/// prefetchers cut response time by 73%).
+inline constexpr double kSeqNoPfMlp = 5.0;
+
+/// Fraction of the DRAM latency that a next-line prefetcher hides for a
+/// sequential stream (it runs only one line ahead, so it mostly converts
+/// the L1/L2 portion of the miss). Calibrated so that "only L1 NL" and
+/// "only L2 NL" land between "all disabled" and "only L2 streamer" in the
+/// paper's Fig. 26.
+inline constexpr double kNextLineHideFraction = 0.30;
+
+/// Fraction of the DRAM latency the L1 (DCU) streamer hides. It prefetches
+/// into L1 with a short lookahead, so it is better than next-line but not
+/// as timely as the L2 streamer (paper Fig. 26: L2 streamer alone is as
+/// good as all four together).
+inline constexpr double kL1StreamerHideFraction = 0.70;
+
+/// MLP applied to the residual latency of partially covered sequential
+/// lines (streams overlap the remainder across lines).
+inline constexpr double kSeqResidualMlp = 4.0;
+
+/// Residual fraction of the L2/L3 hit latency still paid for
+/// streamer-covered sequential lines that hit below L1. Even a covered
+/// stream pays some cost moving lines up into L1 (this is what keeps
+/// Tectorwise's cache-resident intermediate vectors from being free).
+inline constexpr double kCoveredUpperLevelResidual = 0.25;
+
+/// Fraction of non-memory compute cycles that can overlap with the memory
+/// pipeline for streamer-covered sequential streams. Less than 1.0 because
+/// prefetch timeliness is imperfect: this is the knob behind the paper's
+/// headline "hardware prefetchers are not fast enough" finding (50-75% of
+/// cycles spent on stalls for scan-heavy queries even though the access
+/// pattern is perfectly predictable).
+inline constexpr double kSeqComputeOverlap = 0.55;
+
+/// Steady-state stream startup cost: each newly established stream pays one
+/// mostly-unoverlapped DRAM latency before the streamer catches up.
+inline constexpr double kStreamStartupMlp = 2.0;
+
+/// Frontend overlap for instruction-cache misses (decoders keep working on
+/// buffered bytes while a line is fetched).
+inline constexpr double kIcacheOverlap = 0.3;
+
+/// Default memory-level parallelism for random (non-stream) accesses.
+/// Engines override this per phase: a scalar hash-probe loop sustains less
+/// MLP than a vectorized gather loop. Calibrated against the paper's large
+/// join (stall ratio up to ~82%, Retiring down to ~18%) and the observation
+/// that single-core random bandwidth stays well below the 7 GB/s maximum.
+inline constexpr double kMlpDefault = 3.0;
+inline constexpr double kMlpScalarProbe = 2.2;
+inline constexpr double kMlpVectorProbe = 3.0;
+/// AVX-512 gathers issue many independent element fetches: the mechanism
+/// behind the paper's Fig. 25 finding that SIMD "effectively parallelizes
+/// the random accesses of hash table probings" (-27% response, +50% BW).
+inline constexpr double kMlpSimdGather = 7.0;
+
+/// Memory-level parallelism of bursty partitioning stores (radix join's
+/// scatter passes): write-allocate misses overlap deeply through the
+/// ~42-entry store buffer, so a scatter with a fan-out beyond the stream
+/// detector's reach still proceeds at near-bandwidth speed (cf. the radix
+/// join literature the paper cites as [20]).
+inline constexpr double kMlpPartitionWrite = 10.0;
+
+/// Cost (cycles) attributed to the Execution component for an L1-resident
+/// dependent pointer chase (bucket -> entry -> payload). This is what makes
+/// the small/medium joins Execution-stall-bound in the paper's Fig. 13
+/// ("costly hash computations"): the chase is not a memory stall (VTune
+/// attributes L1 hits to core-bound) but it does serialize execution.
+inline constexpr double kL1ChaseCycles = 4.0;
+
+/// Streams whose detector entry dies while still established leave this
+/// many streamer-prefetched lines unconsumed (bandwidth waste). Calibrated
+/// against the paper's Fig. 21/24 discussion of "the most confusing" 50%
+/// selectivity pattern creating unnecessary memory traffic.
+inline constexpr double kStreamerWasteLines = 8.0;
+
+/// Forward skip (in lines) a stream survives: hardware streamers track
+/// page-local forward progress, so a selective scan that skips a few lines
+/// keeps its stream. Calibrated against the paper's observation that
+/// mid-selectivity scans remain prefetcher-covered (with extra wasted
+/// traffic) while truly sparse gathers become latency-bound.
+inline constexpr uint64_t kStreamSkipTolerance = 3;
+
+/// Run length at which the stream detector considers a stream established
+/// (hardware streamers typically need a few sequential demands to train).
+inline constexpr int kStreamEstablishLength = 3;
+
+/// Number of simultaneously tracked streams (Intel documents 32 streams
+/// for the L2 streamer).
+inline constexpr int kStreamTableEntries = 32;
+
+/// Multi-core analytical what-ifs quoted in the paper's Section 10: SMT
+/// raises achievable bandwidth utilization by ~1.3x.
+inline constexpr double kHyperThreadingBandwidthUplift = 1.3;
+
+}  // namespace uolap::core
+
+#endif  // UOLAP_CORE_CALIBRATION_H_

@@ -1,0 +1,107 @@
+#include "core/core.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace uolap::core {
+
+Core::Core(const MachineConfig& config)
+    : config_(config), memory_(config), predictor_() {
+  std::memset(filter_line_, 0xFF, sizeof(filter_line_));
+  std::memset(filter_dirty_, 0, sizeof(filter_dirty_));
+}
+
+void Core::Retire(const InstrMix& mix) {
+  mix_ += mix;
+  ClosePhase(mix);
+
+  // Analytic instruction-fetch model: the region's loop body is walked
+  // cyclically; with true-LRU a cyclic walk larger than a level gets the
+  // capacity-proportional hit fraction at that level.
+  const double lines =
+      static_cast<double>(mix.TotalInstructions()) * kAvgInstrBytes / 64.0;
+  if (lines <= 0) return;
+  const double footprint =
+      std::max<double>(64.0, static_cast<double>(region_.footprint_bytes));
+  const double f_l1 =
+      std::min(1.0, static_cast<double>(config_.l1i.size_bytes) / footprint);
+  const double f_l2 =
+      std::min(1.0, static_cast<double>(config_.l2.size_bytes) / footprint);
+  const double f_l3 =
+      std::min(1.0, static_cast<double>(config_.l3.size_bytes) / footprint);
+
+  const double l1 = lines * f_l1;
+  const double l2 = lines * std::max(0.0, f_l2 - f_l1);
+  const double l3 = lines * std::max(0.0, f_l3 - f_l2);
+  const double dram = lines * std::max(0.0, 1.0 - f_l3);
+  ifetch_l1_ += l1;
+  ifetch_l2_ += l2;
+  ifetch_l3_ += l3;
+  ifetch_dram_ += dram;
+}
+
+void Core::ClosePhase(const InstrMix& retired) {
+  // Phase mix: explicitly retired instructions plus the memory/branch
+  // instructions auto-counted since the previous Retire.
+  InstrMix phase = pending_;
+  phase += retired;
+  pending_ = InstrMix{};
+
+  const ExecConfig& xc = config_.exec;
+  const double simd_ports =
+      xc.simd_width_bits >= 512 ? 1.0 : static_cast<double>(xc.simd_ports);
+  const double port_cycles = std::max(
+      {static_cast<double>(phase.alu) / xc.alu_ports,
+       static_cast<double>(phase.mul) / xc.mul_ports +
+           static_cast<double>(phase.div) * xc.div_latency,
+       static_cast<double>(phase.load) / xc.load_ports,
+       static_cast<double>(phase.store) / xc.store_ports,
+       static_cast<double>(phase.load + phase.store) / xc.agu_ports,
+       static_cast<double>(phase.simd) / simd_ports});
+  const double exec_base =
+      std::max(port_cycles, static_cast<double>(phase.chain_cycles));
+  const double retiring =
+      static_cast<double>(phase.TotalInstructions()) / xc.issue_width;
+  exec_stall_cycles_ += std::max(0.0, exec_base - retiring);
+}
+
+void Core::Finalize() {
+  // Account any trailing auto-counted instructions as their own phase.
+  ClosePhase(InstrMix{});
+  memory_.Finalize();
+  MemCounters* mc = memory_.mutable_counters();
+  mc->code_fetches += static_cast<uint64_t>(
+      std::llround(ifetch_l1_ + ifetch_l2_ + ifetch_l3_ + ifetch_dram_));
+  mc->l1i_hits += static_cast<uint64_t>(std::llround(ifetch_l1_));
+  mc->l1i_l2_hits += static_cast<uint64_t>(std::llround(ifetch_l2_));
+  mc->l1i_l3_hits += static_cast<uint64_t>(std::llround(ifetch_l3_));
+  mc->l1i_dram += static_cast<uint64_t>(std::llround(ifetch_dram_));
+  ifetch_l1_ = ifetch_l2_ = ifetch_l3_ = ifetch_dram_ = 0;
+}
+
+CoreCounters Core::counters() const {
+  CoreCounters c;
+  c.mix = mix_;
+  c.branch_events = branch_events_;
+  c.branch_mispredicts = branch_mispredicts_;
+  c.exec_stall_cycles = exec_stall_cycles_;
+  c.mem = memory_.counters();
+  return c;
+}
+
+void Core::Reset() {
+  memory_.Reset();
+  predictor_.Reset();
+  mix_ = InstrMix{};
+  pending_ = InstrMix{};
+  branch_events_ = 0;
+  branch_mispredicts_ = 0;
+  exec_stall_cycles_ = 0;
+  region_ = CodeRegion{"default", 2048};
+  ifetch_l1_ = ifetch_l2_ = ifetch_l3_ = ifetch_dram_ = 0;
+  std::memset(filter_line_, 0xFF, sizeof(filter_line_));
+  std::memset(filter_dirty_, 0, sizeof(filter_dirty_));
+}
+
+}  // namespace uolap::core

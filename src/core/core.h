@@ -1,0 +1,154 @@
+#ifndef UOLAP_CORE_CORE_H_
+#define UOLAP_CORE_CORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/branch_predictor.h"
+#include "core/config.h"
+#include "core/counters.h"
+#include "core/memory_system.h"
+
+namespace uolap::core {
+
+/// A logical code region (operator / interpreter / compiled query loop).
+/// The instruction-cache model is analytic per region: a loop whose body
+/// footprint fits L1I never misses; larger footprints spill to L2/L3
+/// proportionally (cyclic LRU behaviour). This is where the paper's
+/// "large instruction footprint" commercial-system story lives.
+struct CodeRegion {
+  std::string name;
+  uint64_t footprint_bytes = 2048;
+};
+
+/// Per-thread execution façade the engines drive. Contract:
+///  - `Load`/`Store` for every data access (they auto-count the memory
+///    instructions and drive the cache/TLB/prefetcher model);
+///  - `Branch` for every *data-dependent* branch (predicates, hash-chain
+///    checks) — it drives the gshare predictor;
+///  - `Retire` for everything else (ALU work, loop overhead, perfectly
+///    predicted back-edges), typically batched per tuple block;
+///  - `SetCodeRegion` when entering an operator with a different code
+///    footprint, `SetMlpHint` when entering a phase with different
+///    memory-level parallelism (see calibration.h).
+///
+/// The average x86 instruction is modelled as 4 bytes for I-fetch purposes.
+class Core {
+ public:
+  explicit Core(const MachineConfig& config);
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  /// --- data side (hot path) -------------------------------------------
+  /// A 16-entry recently-touched-line filter short-circuits repeated
+  /// accesses to the same cache line (indexed by 4 KB page so interleaved
+  /// column streams do not thrash it); everything else walks the full
+  /// simulated hierarchy.
+  void Load(const void* p, uint32_t bytes) {
+    ++mix_.load;
+    ++pending_.load;
+    AccessFiltered(reinterpret_cast<uint64_t>(p), bytes, /*is_store=*/false);
+  }
+  void Store(const void* p, uint32_t bytes) {
+    ++mix_.store;
+    ++pending_.store;
+    AccessFiltered(reinterpret_cast<uint64_t>(p), bytes, /*is_store=*/true);
+  }
+
+  /// --- branch side -----------------------------------------------------
+  /// Returns true if the simulated predictor mispredicted.
+  bool Branch(uint32_t site_id, bool taken) {
+    ++mix_.branch;
+    ++pending_.branch;
+    ++branch_events_;
+    const bool misp = predictor_.Record(site_id, taken);
+    if (misp) ++branch_mispredicts_;
+    return misp;
+  }
+
+  /// --- instruction side ------------------------------------------------
+  void Retire(const InstrMix& mix);
+  /// Convenience: retire `n` copies of a per-iteration mix.
+  void RetireN(const InstrMix& per_iter, uint64_t n) {
+    Retire(per_iter.Scaled(n));
+  }
+
+  void SetCodeRegion(const CodeRegion& region) { region_ = region; }
+  const CodeRegion& code_region() const { return region_; }
+
+  void SetMlpHint(double mlp) { memory_.SetMlpHint(mlp); }
+
+  /// Flushes stream-detector state and the analytic I-fetch accumulators.
+  /// Must be called once before reading `counters()` at the end of a run.
+  void Finalize();
+
+  /// Assembled counter snapshot (call after Finalize()).
+  CoreCounters counters() const;
+
+  const MachineConfig& config() const { return config_; }
+  MemorySystem& memory() { return memory_; }
+
+  /// Full state reset (caches, predictor, counters).
+  void Reset();
+
+ private:
+  static constexpr int kFilterSlots = 16;
+  static constexpr double kAvgInstrBytes = 4.0;
+
+  void AccessFiltered(uint64_t addr, uint32_t bytes, bool is_store) {
+    const uint64_t line = addr >> 6;
+    if (UOLAP_UNLIKELY(((addr & 63) + bytes) > 64)) {
+      // Straddles a line boundary: take the slow path for all lines.
+      memory_.AccessData(addr, bytes, is_store);
+      return;
+    }
+    const int slot = static_cast<int>((line >> 6) & (kFilterSlots - 1));
+    if (filter_line_[slot] == line) {
+      if (!is_store || filter_dirty_[slot]) {
+        // Repeated same-line access: an L1 hit by construction.
+        ++memory_.mutable_counters()->data_accesses;
+        ++memory_.mutable_counters()->l1d_hits;
+        return;
+      }
+      // First store to a filtered line must reach the cache to set the
+      // dirty bit (writeback accounting).
+      filter_dirty_[slot] = true;
+      memory_.AccessDataLine(line, /*is_store=*/true);
+      return;
+    }
+    filter_line_[slot] = line;
+    filter_dirty_[slot] = is_store;
+    memory_.AccessDataLine(line, is_store);
+  }
+
+  const MachineConfig config_;
+  MemorySystem memory_;
+  BranchPredictor predictor_;
+
+  /// Closes the current retirement phase: merges the auto-counted pending
+  /// memory/branch instructions with `retired`, accumulates the phase's
+  /// execution-port/chain stall, and advances the I-fetch model.
+  void ClosePhase(const InstrMix& retired);
+
+  InstrMix mix_;
+  InstrMix pending_;  ///< auto-counted instrs since the last Retire
+  uint64_t branch_events_ = 0;
+  uint64_t branch_mispredicts_ = 0;
+  double exec_stall_cycles_ = 0;
+
+  CodeRegion region_{"default", 2048};
+  // Analytic I-fetch accumulators (flushed in Finalize()).
+  double ifetch_l1_ = 0;
+  double ifetch_l2_ = 0;
+  double ifetch_l3_ = 0;
+  double ifetch_dram_ = 0;
+
+  uint64_t filter_line_[kFilterSlots];
+  bool filter_dirty_[kFilterSlots];
+};
+
+}  // namespace uolap::core
+
+#endif  // UOLAP_CORE_CORE_H_

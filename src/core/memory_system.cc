@@ -1,0 +1,343 @@
+#include "core/memory_system.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace uolap::core {
+
+namespace {
+
+uint64_t Log2Exact(uint64_t x) {
+  UOLAP_CHECK_MSG(x != 0 && (x & (x - 1)) == 0, "expected a power of two");
+  uint64_t shift = 0;
+  while ((1ull << shift) != x) ++shift;
+  return shift;
+}
+
+}  // namespace
+
+MemorySystem::MemorySystem(const MachineConfig& config)
+    : config_(config),
+      l1i_(config.l1i.num_sets(), config.l1i.associativity),
+      l1d_(config.l1d.num_sets(), config.l1d.associativity),
+      l2_(config.l2.num_sets(), config.l2.associativity),
+      l3_(config.l3.num_sets(), config.l3.associativity),
+      dtlb_(config.dtlb_entries / config.dtlb_ways, config.dtlb_ways),
+      stlb_(config.stlb_entries / config.stlb_ways, config.stlb_ways),
+      page_shift_(Log2Exact(config.page_bytes)) {
+  UOLAP_CHECK(page_shift_ > kLineShift);
+}
+
+void MemorySystem::Reset() {
+  l1i_.Clear();
+  l1d_.Clear();
+  l2_.Clear();
+  l3_.Clear();
+  dtlb_.Clear();
+  stlb_.Clear();
+  for (auto& s : streams_) s = StreamEntry{};
+  counters_ = MemCounters{};
+  mlp_hint_ = kMlpDefault;
+}
+
+void MemorySystem::TouchStream(int index, uint32_t old_rank) {
+  for (auto& s : streams_) {
+    if (s.valid && s.lru < old_rank) ++s.lru;
+  }
+  streams_[static_cast<size_t>(index)].lru = 0;
+}
+
+void MemorySystem::KillStream(StreamEntry* entry) {
+  if (entry->valid && entry->Established() && entry->last_fill_dram &&
+      config_.prefetchers.AnyStreamer()) {
+    // The streamer had run ahead of the dying stream; those prefetched
+    // lines are never consumed. This is the "unnecessary memory traffic"
+    // of the paper's Fig. 21/24 discussion.
+    const uint64_t waste =
+        std::min<uint64_t>(entry->run, static_cast<uint64_t>(kStreamerWasteLines));
+    counters_.dram_prefetch_waste_bytes += waste * 64;
+    ++counters_.streams_killed;
+  }
+  *entry = StreamEntry{};
+}
+
+bool MemorySystem::UpdateStreams(uint64_t line, bool* is_reaccess) {
+  *is_reaccess = false;
+  StreamEntry* invalid_victim = nullptr;
+  StreamEntry* lru_victim = nullptr;
+  int matched = -1;
+  for (int i = 0; i < kStreamTableEntries; ++i) {
+    StreamEntry& s = streams_[static_cast<size_t>(i)];
+    if (!s.valid) {
+      if (invalid_victim == nullptr) invalid_victim = &s;
+      continue;
+    }
+    if (line + 1 == s.next_fwd) {
+      // Re-access of the stream's current line (e.g. several elements of
+      // the same cache line arriving at line granularity, or a hot
+      // aggregation line being hammered). Not an advance.
+      *is_reaccess = true;
+      matched = i;
+      break;
+    }
+    // Hardware streamers track both ascending and descending sequences;
+    // the direction is locked in by the second matching access. Small
+    // skips are tolerated; skipped lines were prefetched but never
+    // consumed (wasted bandwidth — the paper's "most confusing"
+    // mid-selectivity traffic).
+    const bool fwd_match = s.dir >= 0 && line >= s.next_fwd &&
+                           line <= s.next_fwd + kStreamSkipTolerance;
+    const bool bwd_match = s.dir <= 0 && line <= s.next_bwd &&
+                           line + kStreamSkipTolerance >= s.next_bwd;
+    if (fwd_match || bwd_match) {
+      const uint64_t skipped =
+          fwd_match ? line - s.next_fwd : s.next_bwd - line;
+      if (skipped > 0 && s.Established() && s.last_fill_dram &&
+          config_.prefetchers.AnyStreamer()) {
+        counters_.dram_prefetch_waste_bytes += skipped * 64;
+      }
+      s.dir = fwd_match ? 1 : -1;
+      s.next_fwd = line + 1;
+      s.next_bwd = line - 1;
+      const bool was_established = s.Established();
+      ++s.run;
+      if (!was_established && s.Established()) {
+        ++counters_.streams_established;
+        newly_established_ = true;
+      }
+      matched = i;
+      break;
+    }
+    if (lru_victim == nullptr || s.lru > lru_victim->lru) {
+      lru_victim = &s;
+    }
+  }
+
+  if (matched >= 0) {
+    TouchStream(matched, streams_[static_cast<size_t>(matched)].lru);
+    matched_stream_ = matched;
+    return streams_[static_cast<size_t>(matched)].Established();
+  }
+
+  // No stream matched: allocate a fresh detector entry, preferring an
+  // invalid slot over evicting a live stream.
+  StreamEntry* victim =
+      invalid_victim != nullptr ? invalid_victim : lru_victim;
+  UOLAP_DCHECK(victim != nullptr);
+  KillStream(victim);
+  victim->valid = true;
+  victim->next_fwd = line + 1;
+  victim->next_bwd = line - 1;
+  victim->dir = 0;
+  victim->run = 1;
+  victim->last_fill_dram = false;
+  matched_stream_ = static_cast<int>(victim - streams_.data());
+  TouchStream(matched_stream_, static_cast<uint32_t>(kStreamTableEntries));
+  return false;
+}
+
+int MemorySystem::WalkData(uint64_t line, bool is_store) {
+  if (l1d_.Access(line, is_store)) return 1;
+  if (l2_.Access(line, /*is_store=*/false)) {
+    FillUpperLevels(line, is_store, /*from_level=*/2);
+    return 2;
+  }
+  if (l3_.Access(line, /*is_store=*/false)) {
+    FillUpperLevels(line, is_store, /*from_level=*/3);
+    return 3;
+  }
+  FillUpperLevels(line, is_store, /*from_level=*/4);
+  return 4;
+}
+
+void MemorySystem::FillUpperLevels(uint64_t line, bool is_store,
+                                   int from_level) {
+  // Fill order is outside-in so that evictions cascade naturally.
+  if (from_level >= 4) {
+    CacheAccessResult ev3 = l3_.Insert(line, /*dirty=*/false);
+    if (ev3.evicted && ev3.evicted_dirty) {
+      counters_.dram_writeback_bytes += 64;
+    }
+  }
+  if (from_level >= 3) {
+    CacheAccessResult ev2 = l2_.Insert(line, /*dirty=*/false);
+    if (ev2.evicted && ev2.evicted_dirty) {
+      if (!l3_.MarkDirty(ev2.evicted_key)) {
+        CacheAccessResult ev3 = l3_.Insert(ev2.evicted_key, /*dirty=*/true);
+        if (ev3.evicted && ev3.evicted_dirty) {
+          counters_.dram_writeback_bytes += 64;
+        }
+      }
+    }
+  }
+  CacheAccessResult ev1 = l1d_.Insert(line, /*dirty=*/is_store);
+  if (ev1.evicted && ev1.evicted_dirty) {
+    if (!l2_.MarkDirty(ev1.evicted_key)) {
+      CacheAccessResult ev2 = l2_.Insert(ev1.evicted_key, /*dirty=*/true);
+      if (ev2.evicted && ev2.evicted_dirty) {
+        if (!l3_.MarkDirty(ev2.evicted_key)) {
+          CacheAccessResult ev3 = l3_.Insert(ev2.evicted_key, /*dirty=*/true);
+          if (ev3.evicted && ev3.evicted_dirty) {
+            counters_.dram_writeback_bytes += 64;
+          }
+        }
+      }
+    }
+  }
+}
+
+void MemorySystem::AccessDataLine(uint64_t line, bool is_store) {
+  ++counters_.data_accesses;
+
+  // --- address translation ---
+  const uint64_t page = line >> (page_shift_ - kLineShift);
+  if (dtlb_.Access(page, /*is_store=*/false)) {
+    ++counters_.dtlb_hits;
+  } else if (stlb_.Access(page, /*is_store=*/false)) {
+    ++counters_.stlb_hits;
+    counters_.tlb_cycles += config_.stlb_hit_cycles / mlp_hint_;
+    dtlb_.Insert(page, /*dirty=*/false);
+  } else {
+    ++counters_.page_walks;
+    counters_.tlb_cycles += config_.page_walk_cycles / mlp_hint_;
+    stlb_.Insert(page, /*dirty=*/false);
+    dtlb_.Insert(page, /*dirty=*/false);
+  }
+
+  // --- stream detection (prefetcher training happens on the demand
+  //     stream, before the cache walk) ---
+  newly_established_ = false;
+  bool is_reaccess = false;
+  const bool is_seq = UpdateStreams(line, &is_reaccess);
+
+  // --- hierarchy walk ---
+  const int level = WalkData(line, is_store);
+  if (matched_stream_ >= 0) {
+    streams_[static_cast<size_t>(matched_stream_)].last_fill_dram =
+        (level == 4);
+  }
+
+  // --- access costing ---
+  const PrefetcherConfig& pf = config_.prefetchers;
+  const double dram_lat = config_.DramCycles();
+  switch (level) {
+    case 1:
+      ++counters_.l1d_hits;
+      if (!is_seq && !is_reaccess && !is_store) {
+        // Random-access L1 hits model dependent pointer chases (hash
+        // bucket -> entry). VTune attributes these to core-bound
+        // (Execution), not memory-bound.
+        counters_.exec_chase_cycles += kL1ChaseCycles / mlp_hint_;
+      }
+      break;
+    case 2: {
+      ++counters_.l2_hits;
+      const double lat = config_.L2HitCycles();
+      if (is_seq) {
+        ++counters_.l2_hits_seq;
+        const bool covered = pf.l1_streamer || pf.l1_next_line;
+        counters_.seq_residual_cycles +=
+            (covered ? kCoveredUpperLevelResidual : 1.0) * lat /
+            kSeqResidualMlp;
+      } else {
+        ++counters_.l2_hits_rand;
+        counters_.rand_dcache_cycles += lat / mlp_hint_;
+      }
+      break;
+    }
+    case 3: {
+      ++counters_.l3_hits;
+      const double lat = config_.L3HitCycles();
+      if (is_seq) {
+        ++counters_.l3_hits_seq;
+        const bool covered = pf.l2_streamer || pf.l2_next_line || pf.l1_streamer;
+        counters_.seq_residual_cycles +=
+            (covered ? kCoveredUpperLevelResidual : 1.0) * lat /
+            kSeqResidualMlp;
+      } else {
+        ++counters_.l3_hits_rand;
+        counters_.rand_dcache_cycles += lat / mlp_hint_;
+      }
+      break;
+    }
+    case 4:
+      ++counters_.dram_lines;
+      if (is_seq) {
+        counters_.dram_demand_bytes_seq += 64;
+        if (pf.l2_streamer) {
+          // Fully service-model costed (bandwidth/timeliness fixed point
+          // in the Top-Down model).
+          ++counters_.dram_seq_l2_streamer;
+        } else if (pf.l1_streamer) {
+          ++counters_.dram_seq_l1_streamer;
+          counters_.seq_residual_cycles +=
+              (1.0 - kL1StreamerHideFraction) * dram_lat / kSeqResidualMlp;
+        } else if (pf.AnyNextLine()) {
+          ++counters_.dram_seq_next_line;
+          counters_.seq_residual_cycles +=
+              (1.0 - kNextLineHideFraction) * dram_lat / kSeqNoPfMlp;
+        } else {
+          ++counters_.dram_seq_uncovered;
+          counters_.seq_residual_cycles += dram_lat / kSeqNoPfMlp;
+        }
+      } else {
+        ++counters_.dram_rand;
+        counters_.dram_demand_bytes_rand += 64;
+        counters_.rand_dcache_cycles += dram_lat / mlp_hint_;
+      }
+      break;
+    default:
+      UOLAP_CHECK_MSG(false, "impossible service level");
+  }
+
+  if (newly_established_ && level == 4) {
+    // A fresh stream pays (mostly unoverlapped) DRAM latency until the
+    // streamer catches up.
+    counters_.stream_startup_cycles += dram_lat / kStreamStartupMlp;
+  }
+}
+
+int MemorySystem::WalkCode(uint64_t line) {
+  if (l1i_.Access(line, /*is_store=*/false)) return 1;
+  if (l2_.Access(line, /*is_store=*/false)) {
+    l1i_.Insert(line, /*dirty=*/false);
+    return 2;
+  }
+  if (l3_.Access(line, /*is_store=*/false)) {
+    l2_.Insert(line, /*dirty=*/false);
+    l1i_.Insert(line, /*dirty=*/false);
+    return 3;
+  }
+  l3_.Insert(line, /*dirty=*/false);
+  l2_.Insert(line, /*dirty=*/false);
+  l1i_.Insert(line, /*dirty=*/false);
+  return 4;
+}
+
+void MemorySystem::FetchCode(uint64_t line) {
+  ++counters_.code_fetches;
+  switch (WalkCode(line)) {
+    case 1:
+      ++counters_.l1i_hits;
+      break;
+    case 2:
+      ++counters_.l1i_l2_hits;
+      break;
+    case 3:
+      ++counters_.l1i_l3_hits;
+      break;
+    case 4:
+      ++counters_.l1i_dram;
+      counters_.dram_demand_bytes_rand += 64;
+      break;
+  }
+}
+
+void MemorySystem::Finalize() {
+  for (auto& s : streams_) {
+    if (s.valid) KillStream(&s);
+  }
+}
+
+}  // namespace uolap::core

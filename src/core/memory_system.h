@@ -1,0 +1,114 @@
+#ifndef UOLAP_CORE_MEMORY_SYSTEM_H_
+#define UOLAP_CORE_MEMORY_SYSTEM_H_
+
+#include <array>
+#include <cstdint>
+
+#include "core/cache.h"
+#include "core/calibration.h"
+#include "core/config.h"
+#include "core/counters.h"
+
+namespace uolap::core {
+
+/// Execution-driven model of one core's memory hierarchy:
+/// L1I + L1D + private L2 + L3, DTLB/STLB, a stream detector standing in
+/// for the four Intel hardware prefetchers, and DRAM byte accounting.
+///
+/// Every data access the engines make is pushed through this model, so
+/// locality, reuse, conflict misses, hash-table residency and scan/probe
+/// access patterns are all *emergent* — the model only decides how to cost
+/// each observed event (see calibration.h for the behavioural constants).
+///
+/// Cost accounting at access time fills `MemCounters`; the Top-Down model
+/// later combines those with the instruction mix (a fixed point is needed
+/// because prefetch timeliness and bandwidth queuing depend on total time).
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MachineConfig& config);
+
+  MemorySystem(const MemorySystem&) = delete;
+  MemorySystem& operator=(const MemorySystem&) = delete;
+
+  /// Data access at byte granularity; internally walks all touched lines.
+  void AccessData(uint64_t addr, uint32_t bytes, bool is_store) {
+    const uint64_t first = addr >> kLineShift;
+    const uint64_t last = (addr + bytes - 1) >> kLineShift;
+    for (uint64_t line = first; line <= last; ++line) {
+      AccessDataLine(line, is_store);
+    }
+  }
+
+  /// One line-granular data access.
+  void AccessDataLine(uint64_t line, bool is_store);
+
+  /// One line-granular instruction fetch.
+  void FetchCode(uint64_t line);
+
+  /// Sets the memory-level-parallelism hint used to cost random accesses
+  /// from now on. Engines set this per phase (scalar probe loop vs
+  /// vectorized gather etc.; see calibration.h).
+  void SetMlpHint(double mlp) { mlp_hint_ = mlp; }
+  double mlp_hint() const { return mlp_hint_; }
+
+  /// Flushes live established streams (accounts their trailing prefetch
+  /// waste). Call once at the end of a profiled run.
+  void Finalize();
+
+  const MemCounters& counters() const { return counters_; }
+  MemCounters* mutable_counters() { return &counters_; }
+  const MachineConfig& config() const { return config_; }
+
+  /// Drops cache/TLB/stream state and counters (for test isolation).
+  void Reset();
+
+ private:
+  static constexpr int kLineShift = 6;  // 64-byte lines
+
+  struct StreamEntry {
+    uint64_t next_fwd = 0;  ///< next line if the stream runs forward
+    uint64_t next_bwd = 0;  ///< next line if the stream runs backward
+    int8_t dir = 0;         ///< +1 forward, -1 backward, 0 undecided
+    uint32_t run = 0;       ///< consecutive matches so far
+    uint32_t lru = 0;       ///< 0 == most recently used
+    bool last_fill_dram = false;
+    bool valid = false;
+
+    bool Established() const {
+      return run >= static_cast<uint32_t>(kStreamEstablishLength);
+    }
+  };
+
+  /// Updates the stream detector with `line`; returns whether the access
+  /// belongs to an established sequential stream.
+  bool UpdateStreams(uint64_t line, bool* is_reaccess);
+  void TouchStream(int index, uint32_t old_rank);
+  void KillStream(StreamEntry* entry);
+
+  /// Walks L1D -> L2 -> L3 -> DRAM and performs fills; returns 1/2/3/4 for
+  /// the level that serviced the access (4 == DRAM).
+  int WalkData(uint64_t line, bool is_store);
+  /// Same for the instruction side (L1I -> shared L2/L3 -> DRAM).
+  int WalkCode(uint64_t line);
+
+  void FillUpperLevels(uint64_t line, bool is_store, int from_level);
+
+  const MachineConfig config_;
+  SetAssociativeCache l1i_;
+  SetAssociativeCache l1d_;
+  SetAssociativeCache l2_;
+  SetAssociativeCache l3_;
+  SetAssociativeCache dtlb_;
+  SetAssociativeCache stlb_;
+
+  std::array<StreamEntry, kStreamTableEntries> streams_;
+  int matched_stream_ = -1;      ///< detector entry used by the last access
+  bool newly_established_ = false;
+  double mlp_hint_ = kMlpDefault;
+  uint64_t page_shift_;
+  MemCounters counters_;
+};
+
+}  // namespace uolap::core
+
+#endif  // UOLAP_CORE_MEMORY_SYSTEM_H_

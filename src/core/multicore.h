@@ -1,0 +1,48 @@
+#ifndef UOLAP_CORE_MULTICORE_H_
+#define UOLAP_CORE_MULTICORE_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/counters.h"
+#include "core/topdown.h"
+
+namespace uolap::core {
+
+/// Result of combining N concurrently running cores under the shared
+/// per-socket memory-bandwidth ceiling (the paper's Section 10 analysis).
+struct MultiCoreResult {
+  std::vector<ProfileResult> per_core;
+  /// Component-wise sum of all cores' cycles: the multi-core CPU/stall
+  /// breakdowns of the paper's Figs. 27/28 are plotted from this.
+  CycleBreakdown aggregate;
+  double makespan_cycles = 0;  ///< slowest core's cycles == wall time
+  double time_ms = 0;
+  double total_dram_bytes = 0;
+  /// Average per-socket bandwidth over the makespan: the series of the
+  /// paper's Figs. 29/30.
+  double socket_bandwidth_gbps = 0;
+  /// Final per-core bandwidth scale after contention (1.0 == unconstrained).
+  double bandwidth_scale = 1.0;
+  bool socket_saturated = false;
+  int threads = 0;
+};
+
+/// Analytic shared-bandwidth contention model: per-core demands feed a
+/// fixed point against the socket ceiling; when the sum of unconstrained
+/// demands exceeds it, every core's memory time inflates proportionally.
+/// This reproduces the paper's saturation points (projection: 8 cores for
+/// Typer, 12 for Tectorwise at 66 GB/s) and the join's underutilization.
+class MultiCoreModel {
+ public:
+  explicit MultiCoreModel(const MachineConfig& config) : config_(config) {}
+
+  MultiCoreResult Analyze(const std::vector<CoreCounters>& cores) const;
+
+ private:
+  const MachineConfig config_;
+};
+
+}  // namespace uolap::core
+
+#endif  // UOLAP_CORE_MULTICORE_H_

@@ -1,0 +1,43 @@
+#include "core/roofline.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace uolap::core {
+
+RooflinePoint ComputeRoofline(const ProfileResult& result,
+                              const MachineConfig& machine) {
+  RooflinePoint p;
+  const double instr = static_cast<double>(result.instructions);
+  const double bytes = result.dram_bytes;
+  const double bpc = machine.SeqBytesPerCycle();
+  const double width = machine.exec.issue_width;
+
+  p.ridge_intensity = width / bpc;
+  if (bytes <= 0) {
+    // No DRAM traffic at all: pure compute, infinite intensity.
+    p.intensity = p.ridge_intensity * 1e6;
+  } else {
+    p.intensity = instr / bytes;
+  }
+  p.achieved_ipc = result.ipc;
+  p.roof_ipc = std::min(width, p.intensity * bpc);
+  p.memory_bound = p.intensity < p.ridge_intensity;
+  p.roof_fraction = p.roof_ipc > 0 ? p.achieved_ipc / p.roof_ipc : 0.0;
+  return p;
+}
+
+std::string RooflineVerdict(const RooflinePoint& p) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s roof (intensity %.2f instr/B, ridge %.2f): achieving "
+                "%.2f of %.2f IPC (%.0f%%%s)",
+                p.memory_bound ? "memory" : "compute", p.intensity,
+                p.ridge_intensity, p.achieved_ipc, p.roof_ipc,
+                100.0 * p.roof_fraction,
+                p.roof_fraction < 0.6 ? ", latency-bound below the roof"
+                                      : "");
+  return buf;
+}
+
+}  // namespace uolap::core

@@ -1,0 +1,47 @@
+#ifndef UOLAP_CORE_ROOFLINE_H_
+#define UOLAP_CORE_ROOFLINE_H_
+
+#include <string>
+
+#include "core/config.h"
+#include "core/topdown.h"
+
+namespace uolap::core {
+
+/// Roofline characterization of a profiled run: where the workload sits
+/// between the machine's instruction-throughput roof (issue width) and its
+/// memory-bandwidth roof. This formalizes the paper's closing argument —
+/// OLAP operators have "disproportional compute and memory demands", so a
+/// query is either under the compute roof with idle bandwidth (joins,
+/// group-bys) or pinned to the bandwidth roof with idle issue slots
+/// (scans).
+struct RooflinePoint {
+  /// Instructions retired per byte of DRAM traffic (the x-axis; the
+  /// integer-workload analogue of FLOPs/byte).
+  double intensity = 0;
+  /// Achieved instructions per cycle (the y-axis).
+  double achieved_ipc = 0;
+  /// The roof at this intensity: min(issue width, intensity x peak
+  /// bytes/cycle).
+  double roof_ipc = 0;
+  /// achieved / roof, in (0, 1]. Low values = the micro-architecture is
+  /// stalled below even the applicable roof (latency-bound).
+  double roof_fraction = 0;
+  /// Intensity at which the two roofs meet (the ridge).
+  double ridge_intensity = 0;
+  /// True if the applicable roof is the memory roof.
+  bool memory_bound = false;
+};
+
+/// Computes the roofline point of `result` on `machine`, using the
+/// sequential per-core bandwidth as the memory roof.
+RooflinePoint ComputeRoofline(const ProfileResult& result,
+                              const MachineConfig& machine);
+
+/// One-line human-readable verdict ("memory-bound, 83% of the bandwidth
+/// roof" / "compute-roof workload running at 41% (latency-bound)").
+std::string RooflineVerdict(const RooflinePoint& point);
+
+}  // namespace uolap::core
+
+#endif  // UOLAP_CORE_ROOFLINE_H_

@@ -1,0 +1,85 @@
+#ifndef UOLAP_CORE_TOPDOWN_H_
+#define UOLAP_CORE_TOPDOWN_H_
+
+#include <cstdint>
+
+#include "core/config.h"
+#include "core/counters.h"
+
+namespace uolap::core {
+
+/// The six-component CPU-cycles breakdown the paper reports for every
+/// experiment: Retiring plus the five stall categories of its Section 2
+/// methodology (VTune general-exploration / Top-Down).
+struct CycleBreakdown {
+  double retiring = 0;
+  double branch_misp = 0;
+  double icache = 0;
+  double decoding = 0;
+  double dcache = 0;
+  double execution = 0;
+
+  double Total() const {
+    return retiring + branch_misp + icache + decoding + dcache + execution;
+  }
+  double StallCycles() const { return Total() - retiring; }
+  /// Stall / total, the paper's headline "x% of CPU cycles on stalls".
+  double StallRatio() const {
+    const double t = Total();
+    return t > 0 ? StallCycles() / t : 0.0;
+  }
+  /// Component as a fraction of total cycles.
+  double Frac(double component) const {
+    const double t = Total();
+    return t > 0 ? component / t : 0.0;
+  }
+  /// Component as a fraction of stall cycles (the paper's stall-breakdown
+  /// figures are normalized this way).
+  double StallFrac(double component) const {
+    const double s = StallCycles();
+    return s > 0 ? component / s : 0.0;
+  }
+
+  CycleBreakdown& operator+=(const CycleBreakdown& o) {
+    retiring += o.retiring;
+    branch_misp += o.branch_misp;
+    icache += o.icache;
+    decoding += o.decoding;
+    dcache += o.dcache;
+    execution += o.execution;
+    return *this;
+  }
+};
+
+/// The outcome of profiling one run on one core.
+struct ProfileResult {
+  CycleBreakdown cycles;
+  double total_cycles = 0;
+  double time_ms = 0;
+  double dram_bytes = 0;
+  double bandwidth_gbps = 0;  ///< total DRAM traffic / wall time
+  double ipc = 0;
+  uint64_t instructions = 0;
+  CoreCounters counters;
+};
+
+/// Combines a core's raw counters with the machine parameters into the
+/// paper's cycle breakdown. See DESIGN.md Section 3 for the model; all
+/// hardware constants come from MachineConfig (the paper's Table 1), all
+/// behavioural constants from calibration.h.
+class TopDownModel {
+ public:
+  explicit TopDownModel(const MachineConfig& config) : config_(config) {}
+
+  /// `bw_scale` scales the per-core bandwidth ceilings; the multi-core
+  /// model uses it to express socket-level contention (< 1.0 when the
+  /// socket is oversubscribed).
+  ProfileResult Analyze(const CoreCounters& c, double bw_scale = 1.0) const;
+
+ private:
+  const MachineConfig config_;
+};
+
+}  // namespace uolap::core
+
+#endif  // UOLAP_CORE_TOPDOWN_H_

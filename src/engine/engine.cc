@@ -1,0 +1,19 @@
+#include "engine/engine.h"
+
+#include "common/macros.h"
+
+namespace uolap::engine {
+
+Q9Result OlapEngine::Q9(Workers&) const {
+  UOLAP_CHECK_MSG(false,
+                  "Q9 is only implemented by the high-performance engines");
+  return Q9Result{};
+}
+
+Q18Result OlapEngine::Q18(Workers&) const {
+  UOLAP_CHECK_MSG(false,
+                  "Q18 is only implemented by the high-performance engines");
+  return Q18Result{};
+}
+
+}  // namespace uolap::engine

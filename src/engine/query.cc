@@ -1,0 +1,72 @@
+#include "engine/query.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace uolap::engine {
+
+std::string JoinSizeName(JoinSize s) {
+  switch (s) {
+    case JoinSize::kSmall:
+      return "Small";
+    case JoinSize::kMedium:
+      return "Medium";
+    case JoinSize::kLarge:
+      return "Large";
+  }
+  return "?";
+}
+
+namespace {
+
+tpch::Date Quantile(const std::vector<tpch::Date>& col, double q) {
+  UOLAP_CHECK(!col.empty());
+  std::vector<tpch::Date> copy = col;
+  const size_t k = std::min(
+      copy.size() - 1, static_cast<size_t>(q * static_cast<double>(copy.size())));
+  std::nth_element(copy.begin(), copy.begin() + static_cast<long>(k),
+                   copy.end());
+  return copy[k];
+}
+
+}  // namespace
+
+SelectionParams MakeSelectionParams(const tpch::Database& db,
+                                    double selectivity, bool predicated) {
+  UOLAP_CHECK_MSG(selectivity > 0 && selectivity < 1,
+                  "selectivity must be in (0,1)");
+  SelectionParams p;
+  p.selectivity = selectivity;
+  p.predicated = predicated;
+  p.ship_cut = Quantile(db.lineitem.shipdate, selectivity);
+  p.commit_cut = Quantile(db.lineitem.commitdate, selectivity);
+  p.receipt_cut = Quantile(db.lineitem.receiptdate, selectivity);
+  return p;
+}
+
+Q6Params MakeQ6Params(bool predicated) {
+  Q6Params p;
+  p.date_lo = tpch::MakeDate(1994, 1, 1);
+  p.date_hi = tpch::MakeDate(1995, 1, 1);
+  p.discount_lo = 5;
+  p.discount_hi = 7;
+  p.quantity_lim = 24;
+  p.predicated = predicated;
+  return p;
+}
+
+tpch::Date Q1ShipdateCut() { return tpch::MakeDate(1998, 12, 1) - 90; }
+
+RowRange PartitionRange(size_t n, size_t part, size_t parts) {
+  UOLAP_CHECK(parts >= 1 && part < parts);
+  const size_t chunk = n / parts;
+  const size_t extra = n % parts;
+  RowRange r;
+  r.begin = part * chunk + std::min(part, extra);
+  r.end = r.begin + chunk + (part < extra ? 1 : 0);
+  return r;
+}
+
+}  // namespace uolap::engine

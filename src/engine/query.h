@@ -1,0 +1,67 @@
+#ifndef UOLAP_ENGINE_QUERY_H_
+#define UOLAP_ENGINE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "tpch/schema.h"
+#include "tpch/types.h"
+
+namespace uolap::engine {
+
+/// Half-open range of rows of a query's driving table; the unit of
+/// multi-core partitioning.
+struct RowRange {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+};
+
+/// The paper's join micro-benchmark sizes (Section 2):
+/// small: supplier x nation, medium: partsupp x supplier,
+/// large: lineitem x orders.
+enum class JoinSize { kSmall, kMedium, kLarge };
+std::string JoinSizeName(JoinSize s);
+
+/// Selection micro-benchmark: the degree-4 projection plus three
+/// predicates `col < cutoff` on l_shipdate / l_commitdate / l_receiptdate,
+/// each with the same *individual* selectivity.
+struct SelectionParams {
+  tpch::Date ship_cut = 0;
+  tpch::Date commit_cut = 0;
+  tpch::Date receipt_cut = 0;
+  double selectivity = 0;   ///< the individual per-predicate selectivity
+  bool predicated = false;  ///< branch-free (Section 7) variant
+};
+
+/// Computes per-column cutoffs so each predicate individually selects
+/// `selectivity` of lineitem (exact quantiles of the generated data).
+SelectionParams MakeSelectionParams(const tpch::Database& db,
+                                    double selectivity,
+                                    bool predicated = false);
+
+/// TPC-H Q6 parameters (the standard validation values).
+struct Q6Params {
+  tpch::Date date_lo;    ///< 1994-01-01
+  tpch::Date date_hi;    ///< 1995-01-01 (exclusive)
+  int64_t discount_lo;   ///< 5 (percent points)
+  int64_t discount_hi;   ///< 7
+  int64_t quantity_lim;  ///< 24 (exclusive)
+  bool predicated = false;
+};
+Q6Params MakeQ6Params(bool predicated = false);
+
+/// TPC-H Q1: shipdate <= 1998-12-01 - 90 days.
+tpch::Date Q1ShipdateCut();
+
+/// TPC-H Q18 quantity threshold (sum(l_quantity) > 300).
+inline constexpr int64_t kQ18QuantityThreshold = 300;
+/// TPC-H Q18 LIMIT.
+inline constexpr size_t kQ18Limit = 100;
+
+/// Splits [0, n) into `parts` near-equal contiguous ranges.
+RowRange PartitionRange(size_t n, size_t part, size_t parts);
+
+}  // namespace uolap::engine
+
+#endif  // UOLAP_ENGINE_QUERY_H_

@@ -1,0 +1,67 @@
+#ifndef UOLAP_ENGINE_RESULTS_H_
+#define UOLAP_ENGINE_RESULTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tpch/types.h"
+
+namespace uolap::engine {
+
+/// One group of TPC-H Q1 (group by l_returnflag, l_linestatus). Averages
+/// are derivable from the sums and count, so only sums are stored; all
+/// engines must produce bit-identical rows (differential-tested).
+struct Q1Row {
+  int8_t returnflag = 0;
+  int8_t linestatus = 0;
+  int64_t sum_qty = 0;
+  tpch::Money sum_base_price = 0;
+  tpch::Money sum_disc_price = 0;
+  tpch::Money sum_charge = 0;
+  int64_t count = 0;
+
+  friend bool operator==(const Q1Row&, const Q1Row&) = default;
+};
+
+/// Q1 result, rows sorted by (returnflag, linestatus).
+struct Q1Result {
+  std::vector<Q1Row> rows;
+  friend bool operator==(const Q1Result&, const Q1Result&) = default;
+};
+
+/// One group of TPC-H Q9 (nation, year -> profit).
+struct Q9Row {
+  std::string nation;
+  int year = 0;
+  tpch::Money profit = 0;
+  friend bool operator==(const Q9Row&, const Q9Row&) = default;
+};
+
+/// Q9 result, rows sorted by nation asc, year desc.
+struct Q9Result {
+  std::vector<Q9Row> rows;
+  friend bool operator==(const Q9Result&, const Q9Result&) = default;
+};
+
+/// One row of TPC-H Q18's final output.
+struct Q18Row {
+  std::string cust_name;
+  int64_t custkey = 0;
+  int64_t orderkey = 0;
+  tpch::Date orderdate = 0;
+  tpch::Money totalprice = 0;
+  int64_t sum_qty = 0;
+  friend bool operator==(const Q18Row&, const Q18Row&) = default;
+};
+
+/// Q18 result: top-100 by (totalprice desc, orderdate asc, orderkey asc —
+/// the last key makes the ordering total so engines agree bit-for-bit).
+struct Q18Result {
+  std::vector<Q18Row> rows;
+  friend bool operator==(const Q18Result&, const Q18Result&) = default;
+};
+
+}  // namespace uolap::engine
+
+#endif  // UOLAP_ENGINE_RESULTS_H_

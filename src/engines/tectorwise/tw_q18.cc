@@ -1,0 +1,126 @@
+// Tectorwise TPC-H Q18: vectorized high-cardinality aggregation.
+
+#include <algorithm>
+#include <vector>
+
+#include "common/macros.h"
+#include "engines/tectorwise/primitives.h"
+#include "engines/tectorwise/tw_engine.h"
+#include "storage/column_view.h"
+
+namespace uolap::tectorwise {
+
+using engine::AggHashTable;
+using engine::JoinHashTable;
+using engine::PartitionRange;
+using engine::Q18Result;
+using engine::Q18Row;
+using engine::RowRange;
+using engine::Workers;
+using storage::ColumnView;
+using tpch::Money;
+
+Q18Result TectorwiseEngine::Q18(Workers& w) const {
+  const auto& l = db_.lineitem;
+  const auto& ord = db_.orders;
+
+  // --- phase 1+2: qty-by-orderkey aggregation per worker, then HAVING.
+  std::vector<std::pair<int64_t, int64_t>> qualifying;
+  for (size_t t = 0; t < w.count(); ++t) {
+    core::Core& core = *w.cores[t];
+    const RowRange r = PartitionRange(l.size(), t, w.count());
+    core.SetCodeRegion({"tw/q18-agg", 5120});
+    VecCtx ctx{&core, simd_};
+    core.SetMlpHint(simd_ ? core::kMlpSimdGather : core::kMlpVectorProbe);
+
+    AggHashTable<1> agg(r.size() / 4 + 16);
+    std::vector<int64_t> keys(kVecSize), qtys(kVecSize);
+    for (size_t base = r.begin; base < r.end; base += kVecSize) {
+      const size_t m = std::min(kVecSize, r.end - base);
+      // Vectorized key/qty load primitives, then the grouped update loop.
+      detail::ChargeCallOverhead(ctx);
+      for (size_t k = 0; k < m; ++k) {
+        detail::StoreElem(ctx, &keys[k],
+                          detail::LoadElem(ctx, &l.orderkey[base + k]));
+        detail::StoreElem(ctx, &qtys[k],
+                          detail::LoadElem(ctx, &l.quantity[base + k]));
+      }
+      if (ctx.simd) {
+        detail::ChargeSimdLoop(ctx, m, 4);
+      } else {
+        detail::ChargeScalarLoop(ctx, m, 1);
+      }
+      for (size_t k = 0; k < m; ++k) {
+        auto* entry = agg.FindOrCreate(
+            core, engine::branch_site::kQ18AggChain, keys[k]);
+        agg.Add(core, entry, 0, qtys[k]);
+      }
+      detail::ChargeScalarLoop(ctx, m, 1);
+    }
+
+    core.SetCodeRegion({"tw/q18-having", 1024});
+    for (const auto& e : agg.entries()) {
+      core.Load(&e, sizeof(e));
+      const bool pass = e.aggs[0] > engine::kQ18QuantityThreshold;
+      core.Branch(engine::branch_site::kQ18Filter, pass);
+      if (pass) qualifying.emplace_back(e.key, e.aggs[0]);
+    }
+    core::InstrMix per_group;
+    per_group.alu = 2;
+    core.RetireN(per_group, agg.num_groups());
+    core.SetMlpHint(core::kMlpDefault);
+  }
+
+  // --- phase 3: probe orders against the qualifying set, vectorized.
+  JoinHashTable qual(qualifying.size() + 8);
+  {
+    core::Core& core = *w.cores[0];
+    core.SetCodeRegion({"tw/q18-build-qual", 1024});
+    for (const auto& [okey, sumqty] : qualifying) {
+      qual.Insert(core, okey, sumqty);
+    }
+  }
+
+  std::vector<Q18Row> rows;
+  for (size_t t = 0; t < w.count(); ++t) {
+    core::Core& core = *w.cores[t];
+    const RowRange r = PartitionRange(ord.size(), t, w.count());
+    core.SetCodeRegion({"tw/q18-probe", 3072});
+    VecCtx ctx{&core, simd_};
+
+    std::vector<uint32_t> match_sel(kVecSize);
+    std::vector<int64_t> sumqtys(kVecSize);
+    for (size_t base = r.begin; base < r.end; base += kVecSize) {
+      const size_t m = std::min(kVecSize, r.end - base);
+      const size_t matches = HtProbeSel(
+          ctx, engine::branch_site::kQ18Chain, qual,
+          ord.orderkey.data() + base, 0, nullptr, m, match_sel.data(),
+          sumqtys.data());
+      for (size_t k = 0; k < matches; ++k) {
+        const uint32_t i = detail::LoadElem(ctx, &match_sel[k]);
+        Q18Row row;
+        row.orderkey = ord.orderkey[base + i];
+        row.custkey = detail::LoadElem(ctx, &ord.custkey[base + i]);
+        row.orderdate = detail::LoadElem(ctx, &ord.orderdate[base + i]);
+        row.totalprice = detail::LoadElem(ctx, &ord.totalprice[base + i]);
+        row.sum_qty = sumqtys[k];
+        row.cust_name = std::string(
+            db_.customer.name.Get(static_cast<size_t>(row.custkey - 1)));
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+
+  std::sort(rows.begin(), rows.end(), [](const Q18Row& a, const Q18Row& b) {
+    if (a.totalprice != b.totalprice) return a.totalprice > b.totalprice;
+    if (a.orderdate != b.orderdate) return a.orderdate < b.orderdate;
+    return a.orderkey < b.orderkey;
+  });
+  if (rows.size() > engine::kQ18Limit) rows.resize(engine::kQ18Limit);
+
+  Q18Result result;
+  result.rows = std::move(rows);
+  return result;
+}
+
+}  // namespace uolap::tectorwise

@@ -1,0 +1,238 @@
+// Tectorwise TPC-H Q1 and Q6.
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/macros.h"
+#include "engines/tectorwise/primitives.h"
+#include "engines/tectorwise/tw_engine.h"
+
+namespace uolap::tectorwise {
+
+using engine::AggHashTable;
+using engine::PartitionRange;
+using engine::Q1Result;
+using engine::Q1Row;
+using engine::RowRange;
+using engine::Workers;
+using tpch::Money;
+
+Q1Result TectorwiseEngine::Q1(Workers& w) const {
+  const auto& l = db_.lineitem;
+  const size_t n = l.size();
+  const tpch::Date cut = engine::Q1ShipdateCut();
+
+  std::map<int64_t, Q1Row> merged;
+  for (size_t t = 0; t < w.count(); ++t) {
+    core::Core& core = *w.cores[t];
+    const RowRange r = PartitionRange(n, t, w.count());
+    core.SetCodeRegion({"tw/q1", 6144});
+    VecCtx ctx{&core, simd_};
+
+    std::vector<uint32_t> sel(kVecSize);
+    std::vector<int64_t> keys(kVecSize), disc_price(kVecSize),
+        charge(kVecSize);
+    AggHashTable<5> agg(8);
+
+    for (size_t base = r.begin; base < r.end; base += kVecSize) {
+      const size_t m = std::min(kVecSize, r.end - base);
+      // Filter primitive: shipdate <= cut (~99% selectivity, easy branch).
+      const size_t ms = SelPredFull(
+          ctx, engine::branch_site::kSelectionP1, l.shipdate.data() + base,
+          m, sel.data(), [cut](tpch::Date d) { return d <= cut; });
+
+      // Key and arithmetic primitives over the selection vector.
+      detail::ChargeCallOverhead(ctx);
+      for (size_t k = 0; k < ms; ++k) {
+        const uint32_t i = detail::LoadElem(ctx, &sel[k]);
+        const int64_t flag = detail::LoadElem(ctx, &l.returnflag[base + i]);
+        const int64_t status =
+            detail::LoadElem(ctx, &l.linestatus[base + i]);
+        detail::StoreElem(ctx, &keys[k], (flag << 8) | status);
+      }
+      if (ctx.simd) {
+        detail::ChargeSimdLoop(ctx, ms, 5);
+      } else {
+        detail::ChargeScalarLoop(ctx, ms, 3);
+      }
+
+      detail::ChargeCallOverhead(ctx);
+      for (size_t k = 0; k < ms; ++k) {
+        const uint32_t i = detail::LoadElem(ctx, &sel[k]);
+        const Money ep = detail::LoadElem(ctx, &l.extendedprice[base + i]);
+        const int64_t d = detail::LoadElem(ctx, &l.discount[base + i]);
+        const int64_t tax = detail::LoadElem(ctx, &l.tax[base + i]);
+        const Money dp = tpch::DiscountedPrice(ep, d);
+        detail::StoreElem(ctx, &disc_price[k], dp);
+        detail::StoreElem(ctx, &charge[k], dp * (100 + tax) / 100);
+      }
+      if (ctx.simd) {
+        detail::ChargeSimdLoop(ctx, ms, 8);
+      } else {
+        core::InstrMix per;
+        per.alu = 5;
+        per.mul = 4;
+        core.RetireN(per, ms);
+      }
+
+      // Aggregation: hash the key vector, then update the group slots.
+      for (size_t k = 0; k < ms; ++k) {
+        const uint32_t i = sel[k];
+        auto* entry = agg.FindOrCreate(
+            core, engine::branch_site::kAggChain, keys[k]);
+        agg.Add(core, entry, 0, detail::LoadElem(ctx, &l.quantity[base + i]));
+        agg.Add(core, entry, 1,
+                detail::LoadElem(ctx, &l.extendedprice[base + i]));
+        agg.Add(core, entry, 2, detail::LoadElem(ctx, &disc_price[k]));
+        agg.Add(core, entry, 3, detail::LoadElem(ctx, &charge[k]));
+        agg.Add(core, entry, 4, 1);
+      }
+      detail::ChargeScalarLoop(ctx, ms, 2);
+    }
+
+    for (const auto& e : agg.entries()) {
+      Q1Row& row = merged[e.key];
+      row.returnflag = static_cast<int8_t>(e.key >> 8);
+      row.linestatus = static_cast<int8_t>(e.key & 0xFF);
+      row.sum_qty += e.aggs[0];
+      row.sum_base_price += e.aggs[1];
+      row.sum_disc_price += e.aggs[2];
+      row.sum_charge += e.aggs[3];
+      row.count += e.aggs[4];
+    }
+  }
+
+  Q1Result result;
+  for (const auto& [key, row] : merged) result.rows.push_back(row);
+  std::sort(result.rows.begin(), result.rows.end(),
+            [](const Q1Row& a, const Q1Row& b) {
+              return std::tie(a.returnflag, a.linestatus) <
+                     std::tie(b.returnflag, b.linestatus);
+            });
+  return result;
+}
+
+int64_t TectorwiseEngine::GroupBy(Workers& w, int64_t num_groups) const {
+  UOLAP_CHECK(num_groups >= 1);
+  const auto& l = db_.lineitem;
+  const size_t n = l.size();
+
+  std::map<int64_t, int64_t> merged;
+  for (size_t t = 0; t < w.count(); ++t) {
+    core::Core& core = *w.cores[t];
+    const engine::RowRange r = PartitionRange(n, t, w.count());
+    core.SetCodeRegion({"tw/groupby", 4096});
+    VecCtx ctx{&core, simd_};
+    core.SetMlpHint(simd_ ? core::kMlpSimdGather : core::kMlpVectorProbe);
+
+    AggHashTable<1> agg(static_cast<size_t>(
+        std::min<int64_t>(num_groups, static_cast<int64_t>(r.size())) + 1));
+    std::vector<int64_t> keys(kVecSize), vals(kVecSize);
+    for (size_t base = r.begin; base < r.end; base += kVecSize) {
+      const size_t m = std::min(kVecSize, r.end - base);
+      // Hash primitive: key vector from l_orderkey.
+      detail::ChargeCallOverhead(ctx);
+      for (size_t k = 0; k < m; ++k) {
+        detail::StoreElem(
+            ctx, &keys[k],
+            engine::groupby::GroupKey(
+                detail::LoadElem(ctx, &l.orderkey[base + k]), num_groups));
+        detail::StoreElem(ctx, &vals[k],
+                          detail::LoadElem(ctx, &l.extendedprice[base + k]));
+      }
+      if (ctx.simd) {
+        detail::ChargeSimdLoop(ctx, m, 7);
+      } else {
+        core::InstrMix per;
+        per.mul = 4;
+        per.alu = 4;
+        core.RetireN(per, m);
+      }
+      // Grouped update loop.
+      for (size_t k = 0; k < m; ++k) {
+        auto* entry = agg.FindOrCreate(
+            core, engine::branch_site::kGroupByChain, keys[k]);
+        agg.Add(core, entry, 0, vals[k]);
+      }
+      detail::ChargeScalarLoop(ctx, m, 1);
+    }
+    core.SetMlpHint(core::kMlpDefault);
+    for (const auto& e : agg.entries()) merged[e.key] += e.aggs[0];
+  }
+
+  int64_t checksum = 0;
+  for (const auto& [key, sum] : merged) {
+    checksum = engine::groupby::Combine(checksum, key, sum);
+  }
+  return checksum;
+}
+
+Money TectorwiseEngine::Q6(Workers& w, const engine::Q6Params& p) const {
+  const auto& l = db_.lineitem;
+  const size_t n = l.size();
+
+  Money total = 0;
+  for (size_t t = 0; t < w.count(); ++t) {
+    core::Core& core = *w.cores[t];
+    const RowRange r = PartitionRange(n, t, w.count());
+    core.SetCodeRegion({p.predicated ? "tw/q6-predicated" : "tw/q6", 5120});
+    VecCtx ctx{&core, simd_};
+
+    std::vector<uint32_t> sel1(kVecSize), sel2(kVecSize), sel3(kVecSize);
+
+    Money acc = 0;
+    for (size_t base = r.begin; base < r.end; base += kVecSize) {
+      const size_t m = std::min(kVecSize, r.end - base);
+      size_t m1, m2, m3;
+      const auto date_pred = [&p](tpch::Date d) {
+        return d >= p.date_lo && d < p.date_hi;
+      };
+      const auto disc_pred = [&p](int64_t d) {
+        return d >= p.discount_lo && d <= p.discount_hi;
+      };
+      const auto qty_pred = [&p](int64_t q) { return q < p.quantity_lim; };
+      if (!p.predicated) {
+        // Three branched primitives; the predictor sees the individual
+        // selectivities (~14% / ~27% / ~46%) — the paper's Q6 story.
+        m1 = SelPredFull(ctx, engine::branch_site::kQ6P1,
+                         l.shipdate.data() + base, m, sel1.data(), date_pred,
+                         /*alu_per_elem=*/2);
+        m2 = SelPred(ctx, engine::branch_site::kQ6P2,
+                     l.discount.data() + base, sel1.data(), m1, sel2.data(),
+                     disc_pred, /*alu_per_elem=*/2);
+        m3 = SelPred(ctx, engine::branch_site::kQ6P3,
+                     l.quantity.data() + base, sel2.data(), m2, sel3.data(),
+                     qty_pred);
+      } else {
+        m1 = SelPredPredicatedFull(ctx, l.shipdate.data() + base, m,
+                                   sel1.data(), date_pred);
+        m2 = SelPredPredicated(ctx, l.discount.data() + base, sel1.data(),
+                               m1, sel2.data(), disc_pred);
+        m3 = SelPredPredicated(ctx, l.quantity.data() + base, sel2.data(),
+                               m2, sel3.data(), qty_pred);
+      }
+      if (m3 == 0) continue;
+      // sum(extendedprice * discount) over the final selection vector.
+      detail::ChargeCallOverhead(ctx);
+      for (size_t k = 0; k < m3; ++k) {
+        const uint32_t i = detail::LoadElem(ctx, &sel3[k]);
+        acc += detail::LoadElem(ctx, &l.extendedprice[base + i]) *
+               detail::LoadElem(ctx, &l.discount[base + i]);
+      }
+      if (ctx.simd) {
+        detail::ChargeSimdLoop(ctx, m3, 4, /*chain=*/1);
+      } else {
+        core::InstrMix per;
+        per.mul = 1;
+        per.alu = 2;
+        per.chain_cycles = 1;
+        core.RetireN(per, m3);
+      }
+    }
+    total += acc;
+  }
+  return total;
+}
+
+}  // namespace uolap::tectorwise

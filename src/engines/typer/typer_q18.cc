@@ -1,0 +1,126 @@
+// Typer's TPC-H Q18: the high-cardinality group-by. Phase 1 aggregates
+// l_quantity by l_orderkey (one group per order — the paper's "1.5 million
+// groups"); phase 2 keeps groups with sum > 300; phase 3 joins the
+// qualifying orderkeys back to orders/customer and emits the top 100.
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "core/calibration.h"
+#include "engine/hash_table.h"
+#include "engines/typer/typer_engine.h"
+#include "storage/column_view.h"
+
+namespace uolap::typer {
+
+using core::InstrMix;
+using engine::AggHashTable;
+using engine::JoinHashTable;
+using engine::PartitionRange;
+using engine::Q18Result;
+using engine::Q18Row;
+using engine::RowRange;
+using engine::Workers;
+using storage::ColumnView;
+using tpch::Money;
+
+Q18Result TyperEngine::Q18(Workers& w) const {
+  const auto& l = db_.lineitem;
+  const auto& ord = db_.orders;
+
+  // --- phase 1+2: per-worker qty-by-orderkey aggregation, then filter.
+  // lineitem is clustered on orderkey, so worker-local tables hold
+  // disjoint key sets and the merge is pure concatenation.
+  std::vector<std::pair<int64_t, int64_t>> qualifying;  // (orderkey, sumqty)
+  for (size_t t = 0; t < w.count(); ++t) {
+    core::Core& core = *w.cores[t];
+    const RowRange r = PartitionRange(l.size(), t, w.count());
+    core.SetCodeRegion({"typer/q18-agg", 1536});
+    core.SetMlpHint(core::kMlpScalarProbe);
+
+    ColumnView<int64_t> ok(l.orderkey, &core);
+    ColumnView<int64_t> qty(l.quantity, &core);
+
+    AggHashTable<1> agg(r.size() / 4 + 16);
+    for (size_t i = r.begin; i < r.end; ++i) {
+      auto* entry = agg.FindOrCreate(
+          core, engine::branch_site::kQ18AggChain, ok.Get(i));
+      agg.Add(core, entry, 0, qty.Get(i));
+    }
+    InstrMix per_tuple;
+    per_tuple.alu = 2;
+    per_tuple.branch = 1;
+    per_tuple.chain_cycles = 1;
+    core.RetireN(per_tuple, r.size());
+
+    // Filter scan over the group entries (sequential).
+    core.SetCodeRegion({"typer/q18-having", 512});
+    for (const auto& e : agg.entries()) {
+      core.Load(&e, sizeof(e));
+      const bool pass = e.aggs[0] > engine::kQ18QuantityThreshold;
+      core.Branch(engine::branch_site::kQ18Filter, pass);
+      if (pass) qualifying.emplace_back(e.key, e.aggs[0]);
+    }
+    InstrMix per_group;
+    per_group.alu = 2;
+    core.RetireN(per_group, agg.num_groups());
+  }
+
+  // --- phase 3: join qualifying orderkeys with orders (and customer for
+  // the name). The qualifying set is tiny; build it on worker 0.
+  JoinHashTable qual(qualifying.size() + 8);
+  {
+    core::Core& core = *w.cores[0];
+    core.SetCodeRegion({"typer/q18-build-qual", 512});
+    for (const auto& [okey, sumqty] : qualifying) {
+      qual.Insert(core, okey, sumqty);
+    }
+  }
+
+  std::vector<Q18Row> rows;
+  for (size_t t = 0; t < w.count(); ++t) {
+    core::Core& core = *w.cores[t];
+    const RowRange r = PartitionRange(ord.size(), t, w.count());
+    core.SetCodeRegion({"typer/q18-probe", 1024});
+    core.SetMlpHint(core::kMlpScalarProbe);
+
+    ColumnView<int64_t> ok(ord.orderkey, &core);
+    ColumnView<int64_t> ck(ord.custkey, &core);
+    ColumnView<tpch::Date> od(ord.orderdate, &core);
+    ColumnView<Money> tp(ord.totalprice, &core);
+
+    for (size_t i = r.begin; i < r.end; ++i) {
+      int64_t sumqty = -1;
+      if (!qual.ProbeFirst(core, engine::branch_site::kQ18Chain, ok.Get(i),
+                           &sumqty)) {
+        continue;
+      }
+      Q18Row row;
+      row.orderkey = ok.GetRaw(i);
+      row.custkey = ck.Get(i);
+      row.orderdate = od.Get(i);
+      row.totalprice = tp.Get(i);
+      row.sum_qty = sumqty;
+      row.cust_name = std::string(
+          db_.customer.name.Get(static_cast<size_t>(row.custkey - 1)));
+      rows.push_back(std::move(row));
+    }
+    InstrMix per_tuple;
+    per_tuple.alu = 2;
+    per_tuple.branch = 1;
+    core.RetireN(per_tuple, r.size());
+  }
+
+  std::sort(rows.begin(), rows.end(), [](const Q18Row& a, const Q18Row& b) {
+    if (a.totalprice != b.totalprice) return a.totalprice > b.totalprice;
+    if (a.orderdate != b.orderdate) return a.orderdate < b.orderdate;
+    return a.orderkey < b.orderkey;
+  });
+  if (rows.size() > engine::kQ18Limit) rows.resize(engine::kQ18Limit);
+
+  Q18Result result;
+  result.rows = std::move(rows);
+  return result;
+}
+
+}  // namespace uolap::typer

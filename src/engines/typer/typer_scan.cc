@@ -1,0 +1,144 @@
+// Typer's fused scan loops: the projection and selection micro-benchmarks.
+
+#include "common/macros.h"
+#include "core/calibration.h"
+#include "engines/typer/typer_engine.h"
+#include "storage/column_view.h"
+
+namespace uolap::typer {
+
+using core::InstrMix;
+using engine::PartitionRange;
+using engine::RowRange;
+using engine::Workers;
+using storage::ColumnView;
+using tpch::Money;
+
+namespace {
+
+// Per-tuple loop-control overhead of a 4x-unrolled compiled loop:
+// 0.25 back-edge branches and ~0.5 ALU (compare + advance). Accounted in
+// batches of 4 tuples to keep integer arithmetic exact.
+constexpr uint64_t kUnroll = 4;
+
+}  // namespace
+
+Money TyperEngine::Projection(Workers& w, int degree) const {
+  UOLAP_CHECK(degree >= 1 && degree <= 4);
+  const auto& l = db_.lineitem;
+  const size_t n = l.size();
+
+  Money total = 0;
+  for (size_t t = 0; t < w.count(); ++t) {
+    core::Core& core = *w.cores[t];
+    const RowRange r = PartitionRange(n, t, w.count());
+    core.SetCodeRegion({"typer/projection", 1024});
+    core.SetMlpHint(core::kMlpDefault);
+
+    ColumnView<Money> ep(l.extendedprice, &core);
+    ColumnView<int64_t> disc(l.discount, &core);
+    ColumnView<int64_t> tax(l.tax, &core);
+    ColumnView<int64_t> qty(l.quantity, &core);
+
+    Money acc = 0;
+    for (size_t i = r.begin; i < r.end; ++i) {
+      Money v = ep.Get(i);
+      if (degree >= 2) v += disc.Get(i);
+      if (degree >= 3) v += tax.Get(i);
+      if (degree >= 4) v += qty.Get(i);
+      acc += v;
+    }
+    total += acc;
+
+    // Per tuple: `degree` adds folded as a tree (ALU) feeding one serial
+    // accumulator add (1-cycle chain), plus unrolled loop control.
+    InstrMix per4;
+    per4.alu = static_cast<uint64_t>(degree) * kUnroll + 2;
+    per4.branch = 1;
+    per4.chain_cycles = kUnroll;
+    core.RetireN(per4, r.size() / kUnroll);
+    InstrMix tail;
+    tail.alu = static_cast<uint64_t>(degree) + 1;
+    tail.branch = 1;
+    tail.chain_cycles = 1;
+    core.RetireN(tail, r.size() % kUnroll);
+  }
+  return total;
+}
+
+Money TyperEngine::Selection(Workers& w,
+                             const engine::SelectionParams& p) const {
+  const auto& l = db_.lineitem;
+  const size_t n = l.size();
+
+  Money total = 0;
+  for (size_t t = 0; t < w.count(); ++t) {
+    core::Core& core = *w.cores[t];
+    const RowRange r = PartitionRange(n, t, w.count());
+    core.SetCodeRegion({p.predicated ? "typer/selection-predicated"
+                                     : "typer/selection-branched",
+                        1280});
+    core.SetMlpHint(core::kMlpDefault);
+
+    ColumnView<tpch::Date> ship(l.shipdate, &core);
+    ColumnView<tpch::Date> commit(l.commitdate, &core);
+    ColumnView<tpch::Date> receipt(l.receiptdate, &core);
+    ColumnView<Money> ep(l.extendedprice, &core);
+    ColumnView<int64_t> disc(l.discount, &core);
+    ColumnView<int64_t> tax(l.tax, &core);
+    ColumnView<int64_t> qty(l.quantity, &core);
+
+    Money acc = 0;
+    uint64_t passes = 0;
+    if (!p.predicated) {
+      // Branched, compiled: all three predicates evaluated with bitwise
+      // `&` into ONE branch, so the predictor faces the combined
+      // selectivity (s^3).
+      for (size_t i = r.begin; i < r.end; ++i) {
+        const bool pass = (ship.Get(i) < p.ship_cut) &
+                          (commit.Get(i) < p.commit_cut) &
+                          (receipt.Get(i) < p.receipt_cut);
+        core.Branch(engine::branch_site::kSelectionCombined, pass);
+        if (pass) {
+          acc += ep.Get(i) + disc.Get(i) + tax.Get(i) + qty.Get(i);
+          ++passes;
+        }
+      }
+      // Per tuple: 3 compares + 2 ands + loop control; per passing tuple:
+      // 4 adds (tree) + serial accumulator add.
+      InstrMix per_tuple;
+      per_tuple.alu = 5 + 1;  // predicates + unrolled loop control share
+      core.RetireN(per_tuple, r.size());
+      InstrMix loop4;
+      loop4.branch = 1;
+      core.RetireN(loop4, r.size() / kUnroll);
+      InstrMix per_pass;
+      per_pass.alu = 4;
+      per_pass.chain_cycles = 1;
+      core.RetireN(per_pass, passes);
+    } else {
+      // Predicated, branch-free: the projection is computed for EVERY
+      // tuple and multiplied by the 0/1 predicate mask (Section 7's
+      // trade-off: more computation, no branches).
+      for (size_t i = r.begin; i < r.end; ++i) {
+        const int64_t mask = static_cast<int64_t>(
+            (ship.Get(i) < p.ship_cut) & (commit.Get(i) < p.commit_cut) &
+            (receipt.Get(i) < p.receipt_cut));
+        acc += mask * (ep.Get(i) + disc.Get(i) + tax.Get(i) + qty.Get(i));
+        passes += static_cast<uint64_t>(mask);
+      }
+      InstrMix per_tuple;
+      per_tuple.alu = 5 + 4 + 1 + 1;  // predicates + adds + mask counting
+      per_tuple.mul = 1;              // mask multiply
+      per_tuple.chain_cycles = 1;
+      core.RetireN(per_tuple, r.size());
+      InstrMix loop4;
+      loop4.branch = 1;
+      core.RetireN(loop4, r.size() / kUnroll);
+    }
+    total += acc;
+  }
+  return total;
+}
+
+}  // namespace uolap::typer

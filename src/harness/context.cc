@@ -1,0 +1,91 @@
+#include "harness/context.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "common/macros.h"
+
+namespace uolap::harness {
+
+BenchContext::BenchContext(int argc, char** argv, double default_sf) {
+  UOLAP_CHECK(flags_.Parse(argc, argv).ok());
+  quick_ = flags_.GetBool("quick", false);
+  sf_ = flags_.GetDouble("sf", quick_ ? 0.05 : default_sf);
+  seed_ = static_cast<uint64_t>(flags_.GetInt("seed", 42));
+  csv_path_ = flags_.GetString("csv", "");
+
+  const std::string machine_name =
+      flags_.GetString("machine", "broadwell");
+  if (machine_name == "skylake") {
+    machine_ = core::MachineConfig::Skylake();
+  } else {
+    UOLAP_CHECK_MSG(machine_name == "broadwell",
+                    "--machine must be broadwell or skylake");
+    machine_ = core::MachineConfig::Broadwell();
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  tpch::DbGen gen(seed_);
+  db_ = std::make_unique<tpch::Database>(std::move(gen.Generate(sf_)).value());
+  const double gen_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("# generated TPC-H sf=%.3g (%zu lineitems) in %.1fs\n", sf_,
+              db_->lineitem.size(), gen_s);
+}
+
+typer::TyperEngine& BenchContext::typer() {
+  if (!typer_) typer_ = std::make_unique<typer::TyperEngine>(*db_);
+  return *typer_;
+}
+
+tectorwise::TectorwiseEngine& BenchContext::tectorwise() {
+  if (!tw_) tw_ = std::make_unique<tectorwise::TectorwiseEngine>(*db_);
+  return *tw_;
+}
+
+tectorwise::TectorwiseEngine& BenchContext::tectorwise_simd() {
+  if (!tw_simd_) {
+    tw_simd_ =
+        std::make_unique<tectorwise::TectorwiseEngine>(*db_, /*simd=*/true);
+  }
+  return *tw_simd_;
+}
+
+rowstore::RowstoreEngine& BenchContext::rowstore() {
+  if (!rowstore_) {
+    std::printf("# materializing DBMS R row-store pages...\n");
+    rowstore_ = std::make_unique<rowstore::RowstoreEngine>(*db_);
+  }
+  return *rowstore_;
+}
+
+colstore::ColstoreEngine& BenchContext::colstore() {
+  if (!colstore_) {
+    colstore_ = std::make_unique<colstore::ColstoreEngine>(*db_);
+  }
+  return *colstore_;
+}
+
+void BenchContext::Emit(const TablePrinter& table) {
+  std::printf("\n%s\n", table.ToAscii().c_str());
+  std::fflush(stdout);
+  if (!csv_path_.empty()) {
+    std::ofstream out(csv_path_, std::ios::app);
+    out << "# " << table.title() << "\n" << table.ToCsv() << "\n";
+  }
+}
+
+void BenchContext::PrintHeader(const std::string& bench_name) const {
+  std::printf(
+      "==============================================================\n"
+      "%s\n"
+      "machine=%s  sf=%.3g  seed=%llu%s\n"
+      "==============================================================\n",
+      bench_name.c_str(), machine_.name.c_str(), sf_,
+      static_cast<unsigned long long>(seed_), quick_ ? "  (quick)" : "");
+  std::fflush(stdout);
+}
+
+}  // namespace uolap::harness

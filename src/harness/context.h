@@ -1,0 +1,67 @@
+#ifndef UOLAP_HARNESS_CONTEXT_H_
+#define UOLAP_HARNESS_CONTEXT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "core/machine.h"
+#include "engines/colstore/colstore_engine.h"
+#include "engines/rowstore/rowstore_engine.h"
+#include "engines/tectorwise/tw_engine.h"
+#include "engines/typer/typer_engine.h"
+#include "tpch/dbgen.h"
+
+namespace uolap::harness {
+
+/// Shared setup of every bench binary: flags, database, machine config,
+/// lazily constructed engines, and output plumbing.
+///
+/// Flags understood by all benches:
+///   --sf=<double>     TPC-H scale factor (default: per-bench)
+///   --quick           tiny scale factor for smoke runs
+///   --seed=<int>      generator seed (default 42)
+///   --machine=<name>  "broadwell" (default) or "skylake"
+///   --csv=<path>      also append every table as CSV to <path>
+class BenchContext {
+ public:
+  /// Parses flags and generates the database. `default_sf` is the bench's
+  /// documented default scale factor.
+  BenchContext(int argc, char** argv, double default_sf);
+
+  const tpch::Database& db() const { return *db_; }
+  const core::MachineConfig& machine() const { return machine_; }
+  double scale_factor() const { return sf_; }
+  bool quick() const { return quick_; }
+
+  typer::TyperEngine& typer();
+  tectorwise::TectorwiseEngine& tectorwise();
+  tectorwise::TectorwiseEngine& tectorwise_simd();
+  rowstore::RowstoreEngine& rowstore();
+  colstore::ColstoreEngine& colstore();
+
+  /// Prints the table to stdout (ASCII) and appends CSV if --csv given.
+  void Emit(const TablePrinter& table);
+
+  /// Prints the standard bench banner (scale factor, machine, seed).
+  void PrintHeader(const std::string& bench_name) const;
+
+ private:
+  FlagSet flags_;
+  double sf_ = 1.0;
+  bool quick_ = false;
+  uint64_t seed_ = 42;
+  core::MachineConfig machine_;
+  std::string csv_path_;
+  std::unique_ptr<tpch::Database> db_;
+  std::unique_ptr<typer::TyperEngine> typer_;
+  std::unique_ptr<tectorwise::TectorwiseEngine> tw_;
+  std::unique_ptr<tectorwise::TectorwiseEngine> tw_simd_;
+  std::unique_ptr<rowstore::RowstoreEngine> rowstore_;
+  std::unique_ptr<colstore::ColstoreEngine> colstore_;
+};
+
+}  // namespace uolap::harness
+
+#endif  // UOLAP_HARNESS_CONTEXT_H_

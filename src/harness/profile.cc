@@ -1,0 +1,73 @@
+#include "harness/profile.h"
+
+namespace uolap::harness {
+
+using uolap::TablePrinter;
+
+std::vector<std::string> CpuCyclesHeader(const std::string& key_name) {
+  return {key_name, "Stall", "Retiring"};
+}
+
+std::vector<std::string> CpuCyclesRow(const std::string& key,
+                                      const core::CycleBreakdown& b) {
+  return {key, TablePrinter::Pct(b.StallRatio()),
+          TablePrinter::Pct(b.Frac(b.retiring))};
+}
+
+std::vector<std::string> StallHeader(const std::string& key_name) {
+  return {key_name, "Execution", "Dcache", "Decoding", "Icache",
+          "Branch misp."};
+}
+
+std::vector<std::string> StallRow(const std::string& key,
+                                  const core::CycleBreakdown& b) {
+  return {key,
+          TablePrinter::Pct(b.StallFrac(b.execution)),
+          TablePrinter::Pct(b.StallFrac(b.dcache)),
+          TablePrinter::Pct(b.StallFrac(b.decoding)),
+          TablePrinter::Pct(b.StallFrac(b.icache)),
+          TablePrinter::Pct(b.StallFrac(b.branch_misp))};
+}
+
+std::vector<std::string> TimeHeader(const std::string& key_name) {
+  return {key_name,  "Total ms", "Retiring ms", "Branch ms",
+          "Icache ms", "Decoding ms", "Dcache ms", "Execution ms"};
+}
+
+namespace {
+double ToMs(double cycles, const core::ProfileResult& r) {
+  return r.total_cycles > 0 ? r.time_ms * cycles / r.total_cycles : 0.0;
+}
+}  // namespace
+
+std::vector<std::string> TimeRow(const std::string& key,
+                                 const core::ProfileResult& r) {
+  const auto& b = r.cycles;
+  return {key,
+          TablePrinter::Fmt(r.time_ms, 1),
+          TablePrinter::Fmt(ToMs(b.retiring, r), 1),
+          TablePrinter::Fmt(ToMs(b.branch_misp, r), 1),
+          TablePrinter::Fmt(ToMs(b.icache, r), 1),
+          TablePrinter::Fmt(ToMs(b.decoding, r), 1),
+          TablePrinter::Fmt(ToMs(b.dcache, r), 1),
+          TablePrinter::Fmt(ToMs(b.execution, r), 1)};
+}
+
+std::vector<std::string> NormTimeRow(const std::string& key,
+                                     const core::ProfileResult& r,
+                                     double base_cycles) {
+  const auto& b = r.cycles;
+  auto norm = [&](double cycles) {
+    return TablePrinter::Fmt(base_cycles > 0 ? cycles / base_cycles : 0.0, 2);
+  };
+  return {key,
+          norm(r.total_cycles),
+          norm(b.retiring),
+          norm(b.branch_misp),
+          norm(b.icache),
+          norm(b.decoding),
+          norm(b.dcache),
+          norm(b.execution)};
+}
+
+}  // namespace uolap::harness

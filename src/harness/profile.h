@@ -1,0 +1,66 @@
+#ifndef UOLAP_HARNESS_PROFILE_H_
+#define UOLAP_HARNESS_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "core/machine.h"
+#include "engine/engine.h"
+
+namespace uolap::harness {
+
+/// Runs `fn(Workers&)` on one fresh simulated core and returns the
+/// Top-Down analysis — the standard single-core measurement of every
+/// figure in Sections 3-9.
+template <typename Fn>
+core::ProfileResult ProfileSingle(const core::MachineConfig& cfg, Fn&& fn) {
+  core::Machine machine(cfg, 1);
+  engine::Workers w(machine.core(0));
+  fn(w);
+  machine.FinalizeAll();
+  return machine.AnalyzeCore(0);
+}
+
+/// Runs `fn(Workers&)` across `threads` fresh cores and returns the
+/// socket-contention analysis — the Section 10 measurement.
+template <typename Fn>
+core::MultiCoreResult ProfileMulti(const core::MachineConfig& cfg,
+                                   int threads, Fn&& fn) {
+  core::Machine machine(cfg, static_cast<uint32_t>(threads));
+  std::vector<core::Core*> cores;
+  cores.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) cores.push_back(&machine.core(i));
+  engine::Workers w(cores);
+  fn(w);
+  machine.FinalizeAll();
+  return machine.AnalyzeAll();
+}
+
+// --- standard row formats shared by the figure tables ---------------------
+
+/// Header/row pair for the paper's "CPU cycles breakdown" bars
+/// (Stall vs Retiring).
+std::vector<std::string> CpuCyclesHeader(const std::string& key_name);
+std::vector<std::string> CpuCyclesRow(const std::string& key,
+                                      const core::CycleBreakdown& b);
+
+/// Header/row pair for the paper's "stall cycles breakdown" bars
+/// (five components normalized to total stall cycles).
+std::vector<std::string> StallHeader(const std::string& key_name);
+std::vector<std::string> StallRow(const std::string& key,
+                                  const core::CycleBreakdown& b);
+
+/// Header/row for response-time breakdowns in milliseconds (Figures that
+/// plot absolute or normalized time with the component split inside).
+std::vector<std::string> TimeHeader(const std::string& key_name);
+std::vector<std::string> TimeRow(const std::string& key,
+                                 const core::ProfileResult& r);
+/// Same but normalized against `base_cycles` (e.g. Figure 6/14/22/25).
+std::vector<std::string> NormTimeRow(const std::string& key,
+                                     const core::ProfileResult& r,
+                                     double base_cycles);
+
+}  // namespace uolap::harness
+
+#endif  // UOLAP_HARNESS_PROFILE_H_

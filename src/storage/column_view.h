@@ -1,0 +1,75 @@
+#ifndef UOLAP_STORAGE_COLUMN_VIEW_H_
+#define UOLAP_STORAGE_COLUMN_VIEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/core.h"
+
+namespace uolap::storage {
+
+/// A read-only view over a column that drives every element access through
+/// the simulated memory hierarchy. This is the engines' standard way of
+/// touching base data: `view.Get(i)` performs the real read (so results
+/// are real) *and* the simulated cache/TLB/prefetcher access (so counters
+/// are real too).
+template <typename T>
+class ColumnView {
+ public:
+  ColumnView(const std::vector<T>& data, core::Core* core)
+      : data_(data.data()), size_(data.size()), core_(core) {
+    UOLAP_DCHECK(core != nullptr);
+  }
+
+  T Get(size_t i) const {
+    UOLAP_DCHECK(i < size_);
+    core_->Load(&data_[i], sizeof(T));
+    return data_[i];
+  }
+
+  /// Raw (unsimulated) read, for setup/verification code paths only.
+  T GetRaw(size_t i) const {
+    UOLAP_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  const T* data_;
+  size_t size_;
+  core::Core* core_;
+};
+
+/// A mutable simulated array for intermediates (vectorized engines'
+/// materialized vectors, selection vectors, hash-table scratch).
+template <typename T>
+class SimVector {
+ public:
+  SimVector(size_t n, core::Core* core) : data_(n), core_(core) {}
+
+  void Set(size_t i, T value) {
+    UOLAP_DCHECK(i < data_.size());
+    core_->Store(&data_[i], sizeof(T));
+    data_[i] = value;
+  }
+  T Get(size_t i) const {
+    UOLAP_DCHECK(i < data_.size());
+    core_->Load(&data_[i], sizeof(T));
+    return data_[i];
+  }
+  T GetRaw(size_t i) const { return data_[i]; }
+
+  size_t size() const { return data_.size(); }
+  const T* data() const { return data_.data(); }
+
+ private:
+  std::vector<T> data_;
+  core::Core* core_;
+};
+
+}  // namespace uolap::storage
+
+#endif  // UOLAP_STORAGE_COLUMN_VIEW_H_

@@ -1,0 +1,113 @@
+#ifndef UOLAP_STORAGE_ROW_STORE_H_
+#define UOLAP_STORAGE_ROW_STORE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/core.h"
+
+namespace uolap::storage {
+
+/// Physical field descriptor inside a fixed-length row layout.
+struct RowField {
+  std::string name;
+  uint32_t offset = 0;
+  uint32_t size = 0;
+};
+
+/// Fixed-length tuple layout (NSM). Built once per table.
+class RowSchema {
+ public:
+  /// Appends a field of `size` bytes; returns its index.
+  int AddField(std::string name, uint32_t size) {
+    RowField f;
+    f.name = std::move(name);
+    f.offset = tuple_bytes_;
+    f.size = size;
+    fields_.push_back(f);
+    tuple_bytes_ += size;
+    return static_cast<int>(fields_.size()) - 1;
+  }
+
+  const RowField& field(int i) const {
+    return fields_[static_cast<size_t>(i)];
+  }
+  uint32_t tuple_bytes() const { return tuple_bytes_; }
+  size_t num_fields() const { return fields_.size(); }
+
+ private:
+  std::vector<RowField> fields_;
+  uint32_t tuple_bytes_ = 0;
+};
+
+/// Slotted-page row store: 8 KB pages, a small header, a slot directory of
+/// tuple offsets growing from the front, tuples packed behind it. This is
+/// the storage layout DBMS R (the traditional commercial row store) scans:
+/// the per-tuple indirections (page header, slot, then the tuple) are what
+/// give the row store its memory-access profile.
+class RowTableStorage {
+ public:
+  static constexpr uint32_t kPageBytes = 8192;
+
+  explicit RowTableStorage(RowSchema schema);
+
+  /// Appends a tuple; `bytes` must hold schema().tuple_bytes() bytes.
+  void Append(const void* bytes);
+
+  size_t num_tuples() const { return num_tuples_; }
+  size_t num_pages() const { return pages_.size(); }
+  const RowSchema& schema() const { return schema_; }
+
+  /// Simulated tuple access: walks header -> slot -> returns the tuple
+  /// pointer (fields are then read individually by the scan operator).
+  const uint8_t* TupleForScan(size_t index, core::Core* core) const;
+
+  /// Unsimulated access for verification.
+  const uint8_t* TupleRaw(size_t index) const;
+
+  /// Field decode helpers (simulated).
+  int64_t ReadI64(const uint8_t* tuple, int field, core::Core* core) const {
+    const RowField& f = schema_.field(field);
+    UOLAP_DCHECK(f.size == 8);
+    core->Load(tuple + f.offset, 8);
+    int64_t v;
+    std::memcpy(&v, tuple + f.offset, 8);
+    return v;
+  }
+  int32_t ReadI32(const uint8_t* tuple, int field, core::Core* core) const {
+    const RowField& f = schema_.field(field);
+    UOLAP_DCHECK(f.size == 4);
+    core->Load(tuple + f.offset, 4);
+    int32_t v;
+    std::memcpy(&v, tuple + f.offset, 4);
+    return v;
+  }
+  int8_t ReadI8(const uint8_t* tuple, int field, core::Core* core) const {
+    const RowField& f = schema_.field(field);
+    UOLAP_DCHECK(f.size == 1);
+    core->Load(tuple + f.offset, 1);
+    return static_cast<int8_t>(tuple[f.offset]);
+  }
+
+ private:
+  struct Page {
+    // Raw page image: [u16 slot_count][u16 slots...][...tuples from back].
+    std::unique_ptr<uint8_t[]> bytes;
+    uint32_t slot_count = 0;
+    uint32_t free_back = kPageBytes;  // tuples grow downwards
+  };
+
+  uint32_t SlotsPerPage() const;
+
+  RowSchema schema_;
+  std::vector<Page> pages_;
+  size_t num_tuples_ = 0;
+};
+
+}  // namespace uolap::storage
+
+#endif  // UOLAP_STORAGE_ROW_STORE_H_

@@ -1,0 +1,401 @@
+// Shape-regression tests: loose bands asserting that the emergent
+// micro-architectural behaviour still matches the paper's findings
+// (DESIGN.md Section 5). These keep model regressions from silently
+// breaking the reproduction. Bands are deliberately wide: the claims are
+// about *shape* (who stalls, on what, who wins), not absolute numbers.
+
+#include <gtest/gtest.h>
+
+#include "core/machine.h"
+#include "engines/colstore/colstore_engine.h"
+#include "engines/rowstore/rowstore_engine.h"
+#include "engines/tectorwise/tw_engine.h"
+#include "engines/typer/typer_engine.h"
+#include "tpch/dbgen.h"
+
+namespace uolap {
+namespace {
+
+using core::CycleBreakdown;
+using core::Machine;
+using core::MachineConfig;
+using core::ProfileResult;
+using engine::JoinSize;
+using engine::Workers;
+
+class ShapeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tpch::DbGen gen(42);
+    db_ = new tpch::Database(std::move(gen.Generate(0.05)).value());
+    typer_ = new typer::TyperEngine(*db_);
+    tw_ = new tectorwise::TectorwiseEngine(*db_);
+  }
+
+  template <typename Fn>
+  static ProfileResult Run(Fn&& fn,
+                           MachineConfig cfg = MachineConfig::Broadwell()) {
+    Machine machine(cfg, 1);
+    Workers w(machine.core(0));
+    fn(w);
+    machine.FinalizeAll();
+    return machine.AnalyzeCore(0);
+  }
+
+  static tpch::Database* db_;
+  static typer::TyperEngine* typer_;
+  static tectorwise::TectorwiseEngine* tw_;
+};
+tpch::Database* ShapeTest::db_ = nullptr;
+typer::TyperEngine* ShapeTest::typer_ = nullptr;
+tectorwise::TectorwiseEngine* ShapeTest::tw_ = nullptr;
+
+// --- Section 3: projection ------------------------------------------------
+
+TEST_F(ShapeTest, TyperProjectionIsStallAndDcacheBound) {
+  const ProfileResult p1 =
+      Run([&](Workers& w) { typer_->Projection(w, 1); });
+  const ProfileResult p4 =
+      Run([&](Workers& w) { typer_->Projection(w, 4); });
+  // Paper: stalls 60% -> 75% as projectivity grows, Dcache-dominated.
+  EXPECT_GT(p1.cycles.StallRatio(), 0.50);
+  EXPECT_GT(p4.cycles.StallRatio(), p1.cycles.StallRatio());
+  EXPECT_LT(p4.cycles.StallRatio(), 0.85);
+  EXPECT_GT(p4.cycles.StallFrac(p4.cycles.dcache), 0.6);
+}
+
+TEST_F(ShapeTest, TyperProjectionSaturatesBandwidthFromDegreeTwo) {
+  const ProfileResult p2 =
+      Run([&](Workers& w) { typer_->Projection(w, 2); });
+  // Paper Fig. 5: near the 12 GB/s single-core ceiling from degree 2 on.
+  EXPECT_GT(p2.bandwidth_gbps, 9.0);
+}
+
+TEST_F(ShapeTest, TectorwiseProjectionFlatterAndLowerBandwidth) {
+  const ProfileResult ty =
+      Run([&](Workers& w) { typer_->Projection(w, 4); });
+  const ProfileResult tw = Run([&](Workers& w) { tw_->Projection(w, 4); });
+  // Materialization throttles Tectorwise's memory pressure (Section 3).
+  EXPECT_LT(tw.bandwidth_gbps, ty.bandwidth_gbps);
+  EXPECT_GT(tw.cycles.StallRatio(), 0.35);
+  // Execution stalls visible for Tectorwise (paper: Dcache + Execution).
+  EXPECT_GT(tw.cycles.StallFrac(tw.cycles.execution), 0.10);
+}
+
+// --- Section 4: selection --------------------------------------------------
+
+TEST_F(ShapeTest, BranchMispredictionPeaksAtMidSelectivity) {
+  auto branch_frac = [&](double s) {
+    const auto params = engine::MakeSelectionParams(*db_, s);
+    const ProfileResult r =
+        Run([&](Workers& w) { typer_->Selection(w, params); });
+    return r.cycles.Frac(r.cycles.branch_misp);
+  };
+  const double at10 = branch_frac(0.1);
+  const double at50 = branch_frac(0.5);
+  const double at90 = branch_frac(0.9);
+  EXPECT_GT(at50, at10);
+  EXPECT_GT(at50, at90);
+}
+
+TEST_F(ShapeTest, CompiledEngineSeesCombinedSelectivity) {
+  // At 10% per-predicate selectivity the compiled engine's single branch
+  // fires at 0.1%: almost no mispredictions. The vectorized engine's
+  // per-predicate branches mispredict much more (Section 4).
+  const auto params = engine::MakeSelectionParams(*db_, 0.1);
+  const ProfileResult ty =
+      Run([&](Workers& w) { typer_->Selection(w, params); });
+  const ProfileResult tw =
+      Run([&](Workers& w) { tw_->Selection(w, params); });
+  EXPECT_LT(static_cast<double>(ty.counters.branch_mispredicts),
+            static_cast<double>(tw.counters.branch_mispredicts));
+}
+
+// --- Section 5: join --------------------------------------------------------
+
+TEST_F(ShapeTest, JoinDcacheShareGrowsWithSize) {
+  // The paper's size trend is carried by the Dcache component: bigger
+  // build tables -> deeper misses. (The *total* stall ratio comparison
+  // needs sf >= 1 so the large table exceeds the L3; the bench asserts
+  // that; here we check the scale-robust monotonicity.)
+  const ProfileResult medium =
+      Run([&](Workers& w) { typer_->Join(w, JoinSize::kMedium); });
+  const ProfileResult large =
+      Run([&](Workers& w) { typer_->Join(w, JoinSize::kLarge); });
+  EXPECT_LT(medium.cycles.StallFrac(medium.cycles.dcache),
+            large.cycles.StallFrac(large.cycles.dcache));
+  // Large join: Dcache-dominated (random probes). (The small join is
+  // excluded here: at test scale it runs for microseconds and cold-start
+  // misses dominate its profile.)
+  EXPECT_GT(large.cycles.StallFrac(large.cycles.dcache), 0.5);
+}
+
+TEST_F(ShapeTest, SmallJoinHasSignificantExecutionStalls) {
+  const ProfileResult small =
+      Run([&](Workers& w) { typer_->Join(w, JoinSize::kSmall); });
+  // "Costly hash computations" (paper Fig. 13).
+  EXPECT_GT(small.cycles.StallFrac(small.cycles.execution), 0.10);
+  // ... and barely any Dcache (table is cache-resident).
+  EXPECT_LT(small.cycles.StallFrac(small.cycles.dcache), 0.4);
+}
+
+TEST_F(ShapeTest, LargeJoinBandwidthWellBelowRandomCeiling) {
+  const ProfileResult large =
+      Run([&](Workers& w) { typer_->Join(w, JoinSize::kLarge); });
+  EXPECT_LT(large.bandwidth_gbps,
+            MachineConfig::Broadwell().bandwidth.per_core_seq_gbps);
+}
+
+// --- Section 6: TPC-H -------------------------------------------------------
+
+TEST_F(ShapeTest, Q1IsExecutionBound) {
+  const ProfileResult q1 = Run([&](Workers& w) { typer_->Q1(w); });
+  // Paper: ~40% stalls, Execution-dominated (cache-resident group table).
+  EXPECT_GT(q1.cycles.StallRatio(), 0.25);
+  EXPECT_GT(q1.cycles.StallFrac(q1.cycles.execution), 0.5);
+  EXPECT_LT(q1.cycles.StallFrac(q1.cycles.dcache), 0.3);
+}
+
+TEST_F(ShapeTest, Q6DcacheBoundOnTyperBranchHeavyOnTectorwise) {
+  const auto params = engine::MakeQ6Params();
+  const ProfileResult ty = Run([&](Workers& w) { typer_->Q6(w, params); });
+  const ProfileResult tw = Run([&](Workers& w) { tw_->Q6(w, params); });
+  EXPECT_GT(ty.cycles.StallFrac(ty.cycles.dcache),
+            ty.cycles.StallFrac(ty.cycles.branch_misp));
+  // Tectorwise evaluates each predicate individually: branch-heavy.
+  EXPECT_GT(tw.cycles.StallFrac(tw.cycles.branch_misp), 0.25);
+}
+
+TEST_F(ShapeTest, Q9IsTheStallHeaviestQuery) {
+  const ProfileResult q9 = Run([&](Workers& w) { typer_->Q9(w); });
+  EXPECT_GT(q9.cycles.StallRatio(), 0.7);
+  EXPECT_GT(q9.cycles.StallFrac(q9.cycles.dcache), 0.5);
+}
+
+TEST_F(ShapeTest, Q18LikeQ9WithFewerDcacheMoreBranchAndExecution) {
+  const ProfileResult q9 = Run([&](Workers& w) { typer_->Q9(w); });
+  const ProfileResult q18 = Run([&](Workers& w) { typer_->Q18(w); });
+  EXPECT_LT(q18.cycles.StallFrac(q18.cycles.dcache),
+            q9.cycles.StallFrac(q9.cycles.dcache));
+  EXPECT_GT(q18.cycles.StallFrac(q18.cycles.branch_misp) +
+                q18.cycles.StallFrac(q18.cycles.execution),
+            0.3);
+}
+
+// --- Section 7: predication --------------------------------------------------
+
+TEST_F(ShapeTest, PredicationEliminatesBranchStalls) {
+  const auto branched = engine::MakeSelectionParams(*db_, 0.5, false);
+  const auto predicated = engine::MakeSelectionParams(*db_, 0.5, true);
+  const ProfileResult br =
+      Run([&](Workers& w) { typer_->Selection(w, branched); });
+  const ProfileResult free =
+      Run([&](Workers& w) { typer_->Selection(w, predicated); });
+  EXPECT_GT(br.cycles.Frac(br.cycles.branch_misp), 0.08);
+  EXPECT_LT(free.cycles.Frac(free.cycles.branch_misp), 0.01);
+  // Paper: predication pays off at 50% selectivity...
+  EXPECT_LT(free.total_cycles, br.total_cycles);
+}
+
+TEST_F(ShapeTest, PredicationHurtsTyperAtLowSelectivity) {
+  // ...but not at 10% for the compiled engine (it computes the projection
+  // for every tuple).
+  const auto branched = engine::MakeSelectionParams(*db_, 0.1, false);
+  const auto predicated = engine::MakeSelectionParams(*db_, 0.1, true);
+  const ProfileResult br =
+      Run([&](Workers& w) { typer_->Selection(w, branched); });
+  const ProfileResult free =
+      Run([&](Workers& w) { typer_->Selection(w, predicated); });
+  EXPECT_GT(free.total_cycles, br.total_cycles * 0.95);
+}
+
+TEST_F(ShapeTest, PredicationAlwaysHelpsTectorwise) {
+  for (double s : {0.1, 0.5, 0.9}) {
+    const auto branched = engine::MakeSelectionParams(*db_, s, false);
+    const auto predicated = engine::MakeSelectionParams(*db_, s, true);
+    const ProfileResult br =
+        Run([&](Workers& w) { tw_->Selection(w, branched); });
+    const ProfileResult free =
+        Run([&](Workers& w) { tw_->Selection(w, predicated); });
+    EXPECT_LT(free.total_cycles, br.total_cycles) << "selectivity " << s;
+  }
+}
+
+TEST_F(ShapeTest, PredicationRaisesBandwidth) {
+  const auto branched = engine::MakeSelectionParams(*db_, 0.5, false);
+  const auto predicated = engine::MakeSelectionParams(*db_, 0.5, true);
+  const ProfileResult br =
+      Run([&](Workers& w) { typer_->Selection(w, branched); });
+  const ProfileResult free =
+      Run([&](Workers& w) { typer_->Selection(w, predicated); });
+  EXPECT_GT(free.bandwidth_gbps, br.bandwidth_gbps);
+}
+
+// --- Section 8: SIMD ----------------------------------------------------------
+
+TEST_F(ShapeTest, SimdReducesResponseAndRetiring) {
+  tectorwise::TectorwiseEngine scalar(*db_, false);
+  tectorwise::TectorwiseEngine simd(*db_, true);
+  const MachineConfig skx = MachineConfig::Skylake();
+  const ProfileResult without =
+      Run([&](Workers& w) { scalar.Projection(w, 4); }, skx);
+  const ProfileResult with =
+      Run([&](Workers& w) { simd.Projection(w, 4); }, skx);
+  // Paper: -22% response, -70..87% retiring time for projection.
+  EXPECT_LT(with.total_cycles, without.total_cycles * 0.95);
+  EXPECT_LT(with.cycles.retiring, without.cycles.retiring * 0.5);
+  EXPECT_GT(with.bandwidth_gbps, without.bandwidth_gbps);
+}
+
+TEST_F(ShapeTest, SimdAcceleratesJoinProbes) {
+  tectorwise::TectorwiseEngine scalar(*db_, false);
+  tectorwise::TectorwiseEngine simd(*db_, true);
+  const MachineConfig skx = MachineConfig::Skylake();
+  const ProfileResult without =
+      Run([&](Workers& w) { scalar.LargeJoinProbeOnly(w); }, skx);
+  const ProfileResult with =
+      Run([&](Workers& w) { simd.LargeJoinProbeOnly(w); }, skx);
+  EXPECT_LT(with.total_cycles, without.total_cycles);
+  EXPECT_GT(with.bandwidth_gbps, without.bandwidth_gbps);
+}
+
+// --- Section 9: prefetchers -----------------------------------------------------
+
+TEST_F(ShapeTest, DisablingPrefetchersMultipliesScanTime) {
+  MachineConfig off = MachineConfig::Broadwell();
+  off.prefetchers = core::PrefetcherConfig::AllDisabled();
+  const ProfileResult with_pf =
+      Run([&](Workers& w) { typer_->Projection(w, 4); });
+  const ProfileResult without_pf =
+      Run([&](Workers& w) { typer_->Projection(w, 4); }, off);
+  // Paper: prefetchers cut response ~73% (i.e. ~3.7x slower without).
+  const double slowdown = without_pf.total_cycles / with_pf.total_cycles;
+  EXPECT_GT(slowdown, 2.2);
+  EXPECT_LT(slowdown, 6.0);
+  // ... by cutting Dcache stalls (paper: ~85%).
+  EXPECT_LT(with_pf.cycles.dcache, without_pf.cycles.dcache * 0.45);
+}
+
+TEST_F(ShapeTest, L2StreamerAloneIsAlmostAsGoodAsAll) {
+  MachineConfig l2str = MachineConfig::Broadwell();
+  l2str.prefetchers = core::PrefetcherConfig::Only(true, false, false, false);
+  const ProfileResult all =
+      Run([&](Workers& w) { typer_->Projection(w, 4); });
+  const ProfileResult only_l2str =
+      Run([&](Workers& w) { typer_->Projection(w, 4); }, l2str);
+  EXPECT_LT(only_l2str.total_cycles, all.total_cycles * 1.15);
+}
+
+TEST_F(ShapeTest, PrefetchersHelpTheJoinLessThanTheScan) {
+  // Paper: ~73% response reduction for the projection but only ~20% for
+  // the large join (random probes are unprefetchable). The scale-robust
+  // statement is relative: the join benefits strictly less.
+  MachineConfig off = MachineConfig::Broadwell();
+  off.prefetchers = core::PrefetcherConfig::AllDisabled();
+  const double join_slowdown =
+      Run([&](Workers& w) { typer_->Join(w, JoinSize::kLarge); }, off)
+          .total_cycles /
+      Run([&](Workers& w) { typer_->Join(w, JoinSize::kLarge); })
+          .total_cycles;
+  const double scan_slowdown =
+      Run([&](Workers& w) { typer_->Projection(w, 4); }, off).total_cycles /
+      Run([&](Workers& w) { typer_->Projection(w, 4); }).total_cycles;
+  EXPECT_LT(join_slowdown, scan_slowdown * 0.85);
+}
+
+// --- Section 10: multi-core -------------------------------------------------------
+
+TEST_F(ShapeTest, ProjectionSaturatesSocketBetween4And8Cores) {
+  auto socket_bw = [&](int n) {
+    Machine machine(MachineConfig::Broadwell(), static_cast<uint32_t>(n));
+    std::vector<core::Core*> cores;
+    for (int i = 0; i < n; ++i) cores.push_back(&machine.core(i));
+    Workers w(cores);
+    typer_->Projection(w, 4);
+    machine.FinalizeAll();
+    return machine.AnalyzeAll();
+  };
+  const auto at4 = socket_bw(4);
+  const auto at8 = socket_bw(8);
+  const auto at14 = socket_bw(14);
+  EXPECT_FALSE(at4.socket_saturated);
+  EXPECT_TRUE(at8.socket_saturated);
+  // No more bandwidth beyond saturation: extra cores are wasted.
+  EXPECT_NEAR(at14.socket_bandwidth_gbps, at8.socket_bandwidth_gbps, 4.0);
+}
+
+// --- extensions: the paper's cited opportunities -------------------------------
+
+TEST_F(ShapeTest, InterleavedProbesBeatScalarProbes) {
+  // The coroutine/interleaving opportunity ([13, 21, 22]): same answer,
+  // less time, more of the random bandwidth actually used.
+  const ProfileResult plain =
+      Run([&](Workers& w) { typer_->Join(w, JoinSize::kLarge); });
+  const ProfileResult inter =
+      Run([&](Workers& w) { typer_->JoinLargeInterleaved(w); });
+  EXPECT_LT(inter.total_cycles, plain.total_cycles);
+  EXPECT_GE(inter.bandwidth_gbps, plain.bandwidth_gbps * 0.95);
+}
+
+TEST_F(ShapeTest, RadixJoinShiftsDcacheTowardCompute) {
+  // Manegold et al. [20]: partitioning converts random DRAM probes into
+  // sequential passes + cache-resident joins.
+  const ProfileResult plain =
+      Run([&](Workers& w) { typer_->Join(w, JoinSize::kLarge); });
+  const ProfileResult radix =
+      Run([&](Workers& w) { typer_->JoinLargeRadix(w); });
+  EXPECT_LT(radix.cycles.Frac(radix.cycles.dcache),
+            plain.cycles.Frac(plain.cycles.dcache));
+}
+
+TEST_F(ShapeTest, GroupByTransitionsFromExecutionToDcacheBound) {
+  // The paper's omitted group-by micro-benchmark: low cardinality behaves
+  // like Q1 (execution-bound), high cardinality like the join/Q18
+  // (Dcache-bound).
+  const ProfileResult low = Run([&](Workers& w) { typer_->GroupBy(w, 4); });
+  const ProfileResult high = Run([&](Workers& w) {
+    typer_->GroupBy(w, static_cast<int64_t>(db_->orders.size()));
+  });
+  EXPECT_GT(low.cycles.StallFrac(low.cycles.execution), 0.5);
+  EXPECT_GT(high.cycles.StallFrac(high.cycles.dcache),
+            low.cycles.StallFrac(low.cycles.dcache));
+  EXPECT_GT(high.cycles.StallRatio(), low.cycles.StallRatio());
+}
+
+TEST_F(ShapeTest, HugePagesReduceJoinTlbTime) {
+  MachineConfig huge = MachineConfig::Broadwell();
+  huge.page_bytes = 2ull * 1024 * 1024;
+  const ProfileResult p4k =
+      Run([&](Workers& w) { typer_->Join(w, JoinSize::kLarge); });
+  const ProfileResult thp =
+      Run([&](Workers& w) { typer_->Join(w, JoinSize::kLarge); }, huge);
+  EXPECT_LT(thp.counters.mem.tlb_cycles, p4k.counters.mem.tlb_cycles);
+  EXPECT_LE(thp.total_cycles, p4k.total_cycles);
+}
+
+// --- commercial systems ------------------------------------------------------------
+
+TEST_F(ShapeTest, CommercialSystemsOrdersOfMagnitudeSlowerOnProjection) {
+  rowstore::RowstoreEngine dbms_r(*db_);
+  colstore::ColstoreEngine dbms_c(*db_);
+  const ProfileResult ty =
+      Run([&](Workers& w) { typer_->Projection(w, 4); });
+  const ProfileResult r = Run([&](Workers& w) { dbms_r.Projection(w, 4); });
+  const ProfileResult c = Run([&](Workers& w) { dbms_c.Projection(w, 4); });
+  const double r_slow = r.total_cycles / ty.total_cycles;
+  const double c_slow = c.total_cycles / ty.total_cycles;
+  // Paper: DBMS R ~2 orders of magnitude, DBMS C ~1 order.
+  EXPECT_GT(r_slow, 50);
+  EXPECT_LT(r_slow, 500);
+  EXPECT_GT(c_slow, 5);
+  EXPECT_LT(c_slow, 30);
+  // Retiring ratios: DBMS R ~half, DBMS C ~90%.
+  EXPECT_GT(r.cycles.Frac(r.cycles.retiring), 0.35);
+  EXPECT_GT(c.cycles.Frac(c.cycles.retiring), 0.70);
+  // Neither suffers from Icache stalls (the paper's OLTP contrast).
+  EXPECT_LT(r.cycles.Frac(r.cycles.icache), 0.10);
+  EXPECT_LT(c.cycles.Frac(c.cycles.icache), 0.10);
+}
+
+}  // namespace
+}  // namespace uolap

@@ -1,0 +1,73 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace uolap {
+namespace {
+
+FlagSet ParseAll(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& a : storage) argv.push_back(a.data());
+  FlagSet flags;
+  EXPECT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  return flags;
+}
+
+TEST(FlagSetTest, ParsesKeyValue) {
+  FlagSet f = ParseAll({"--sf=0.5", "--name=broadwell"});
+  EXPECT_TRUE(f.Has("sf"));
+  EXPECT_DOUBLE_EQ(f.GetDouble("sf", 1.0), 0.5);
+  EXPECT_EQ(f.GetString("name", ""), "broadwell");
+}
+
+TEST(FlagSetTest, BareFlagIsBooleanTrue) {
+  FlagSet f = ParseAll({"--quick"});
+  EXPECT_TRUE(f.GetBool("quick", false));
+}
+
+TEST(FlagSetTest, MissingFlagsFallBackToDefaults) {
+  FlagSet f = ParseAll({});
+  EXPECT_FALSE(f.Has("sf"));
+  EXPECT_DOUBLE_EQ(f.GetDouble("sf", 1.0), 1.0);
+  EXPECT_EQ(f.GetInt("threads", 14), 14);
+  EXPECT_FALSE(f.GetBool("quick", false));
+  EXPECT_TRUE(f.GetBool("enabled", true));
+}
+
+TEST(FlagSetTest, BooleanSpellings) {
+  FlagSet f = ParseAll({"--a=1", "--b=true", "--c=yes", "--d=on", "--e=0",
+                        "--f=false"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_TRUE(f.GetBool("b", false));
+  EXPECT_TRUE(f.GetBool("c", false));
+  EXPECT_TRUE(f.GetBool("d", false));
+  EXPECT_FALSE(f.GetBool("e", true));
+  EXPECT_FALSE(f.GetBool("f", true));
+}
+
+TEST(FlagSetTest, CollectsPositional) {
+  FlagSet f = ParseAll({"--sf=2", "run", "this"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "run");
+  EXPECT_EQ(f.positional()[1], "this");
+}
+
+TEST(FlagSetTest, IntegersParse) {
+  FlagSet f = ParseAll({"--threads=8", "--neg=-3"});
+  EXPECT_EQ(f.GetInt("threads", 0), 8);
+  EXPECT_EQ(f.GetInt("neg", 0), -3);
+}
+
+TEST(FlagSetTest, RejectsEmptyFlagName) {
+  const char* argv[] = {"prog", "--=x"};
+  FlagSet flags;
+  Status s = flags.Parse(2, const_cast<char**>(argv));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace uolap

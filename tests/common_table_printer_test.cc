@@ -1,0 +1,48 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace uolap {
+namespace {
+
+TEST(TablePrinterTest, AsciiContainsTitleHeaderAndCells) {
+  TablePrinter t("Figure X: demo");
+  t.SetHeader({"system", "stall", "retiring"});
+  t.AddRow({"Typer", "75.0%", "25.0%"});
+  t.AddRow({"Tectorwise", "60.0%", "40.0%"});
+  const std::string out = t.ToAscii();
+  EXPECT_NE(out.find("Figure X: demo"), std::string::npos);
+  EXPECT_NE(out.find("system"), std::string::npos);
+  EXPECT_NE(out.find("Typer"), std::string::npos);
+  EXPECT_NE(out.find("75.0%"), std::string::npos);
+  EXPECT_NE(out.find("Tectorwise"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvRoundsTrips) {
+  TablePrinter t("t");
+  t.SetHeader({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, FmtAndPct) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(10.0, 0), "10");
+  EXPECT_EQ(TablePrinter::Pct(0.756, 1), "75.6%");
+}
+
+TEST(TablePrinterTest, CountsRows) {
+  TablePrinter t("t");
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"x"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TablePrinterDeathTest, MismatchedRowWidthAborts) {
+  TablePrinter t("t");
+  t.SetHeader({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "row width");
+}
+
+}  // namespace
+}  // namespace uolap

@@ -1,0 +1,136 @@
+#include "core/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace uolap::core {
+namespace {
+
+TEST(SetAssociativeCacheTest, MissThenHit) {
+  SetAssociativeCache c(4, 2);
+  EXPECT_FALSE(c.Access(10, false));
+  c.Insert(10, false);
+  EXPECT_TRUE(c.Access(10, false));
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(SetAssociativeCacheTest, LruEvictsOldest) {
+  // One set, two ways: keys 0, 4, 8 all map to set 0 (4 sets).
+  SetAssociativeCache c(4, 2);
+  c.Insert(0, false);
+  c.Insert(4, false);
+  // Touch 0 so 4 becomes LRU.
+  EXPECT_TRUE(c.Access(0, false));
+  CacheAccessResult r = c.Insert(8, false);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.evicted_key, 4u);
+  EXPECT_TRUE(c.Contains(0));
+  EXPECT_TRUE(c.Contains(8));
+  EXPECT_FALSE(c.Contains(4));
+}
+
+TEST(SetAssociativeCacheTest, DirtyEvictionReported) {
+  SetAssociativeCache c(1, 1);
+  c.Insert(1, /*dirty=*/true);
+  CacheAccessResult r = c.Insert(2, false);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_TRUE(r.evicted_dirty);
+  EXPECT_EQ(r.evicted_key, 1u);
+}
+
+TEST(SetAssociativeCacheTest, StoreAccessMarksDirty) {
+  SetAssociativeCache c(1, 1);
+  c.Insert(1, false);
+  EXPECT_TRUE(c.Access(1, /*is_store=*/true));
+  CacheAccessResult r = c.Insert(2, false);
+  EXPECT_TRUE(r.evicted_dirty);
+}
+
+TEST(SetAssociativeCacheTest, InsertExistingPromotesAndMergesDirty) {
+  SetAssociativeCache c(1, 2);
+  c.Insert(1, false);
+  c.Insert(2, false);
+  // Re-insert 1 dirty: becomes MRU and dirty; inserting 3 evicts 2.
+  CacheAccessResult again = c.Insert(1, true);
+  EXPECT_TRUE(again.hit);
+  CacheAccessResult r = c.Insert(3, false);
+  EXPECT_EQ(r.evicted_key, 2u);
+  // Evicting 1 now must report dirty.
+  c.Access(3, false);
+  CacheAccessResult r2 = c.Insert(4, false);
+  EXPECT_EQ(r2.evicted_key, 1u);
+  EXPECT_TRUE(r2.evicted_dirty);
+}
+
+TEST(SetAssociativeCacheTest, MarkDirtyOnlyWhenResident) {
+  SetAssociativeCache c(2, 1);
+  EXPECT_FALSE(c.MarkDirty(5));
+  c.Insert(5, false);
+  EXPECT_TRUE(c.MarkDirty(5));
+}
+
+TEST(SetAssociativeCacheTest, InvalidateRemovesLine) {
+  SetAssociativeCache c(2, 1);
+  c.Insert(5, true);
+  bool dirty = false;
+  EXPECT_TRUE(c.Invalidate(5, &dirty));
+  EXPECT_TRUE(dirty);
+  EXPECT_FALSE(c.Contains(5));
+  EXPECT_FALSE(c.Invalidate(5, &dirty));
+}
+
+TEST(SetAssociativeCacheTest, ClearDropsEverything) {
+  SetAssociativeCache c(4, 4);
+  for (uint64_t k = 0; k < 16; ++k) c.Insert(k, false);
+  c.Clear();
+  for (uint64_t k = 0; k < 16; ++k) EXPECT_FALSE(c.Contains(k));
+}
+
+TEST(SetAssociativeCacheTest, DistinctSetsDoNotInterfere) {
+  SetAssociativeCache c(2, 1);
+  c.Insert(0, false);  // set 0
+  c.Insert(1, false);  // set 1
+  EXPECT_TRUE(c.Contains(0));
+  EXPECT_TRUE(c.Contains(1));
+}
+
+TEST(SetAssociativeCacheTest, WorkingSetLargerThanCacheThrashes) {
+  // 8 lines capacity; cyclic walk over 16 keys with LRU never hits.
+  SetAssociativeCache c(1, 8);
+  int hits = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (uint64_t k = 0; k < 16; ++k) {
+      if (c.Access(k, false)) ++hits;
+      c.Insert(k, false);
+    }
+  }
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(SetAssociativeCacheTest, WorkingSetWithinCacheAlwaysHitsAfterWarmup) {
+  SetAssociativeCache c(4, 4);  // 16 lines
+  for (uint64_t k = 0; k < 16; ++k) c.Insert(k, false);
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t k = 0; k < 16; ++k) {
+      EXPECT_TRUE(c.Access(k, false));
+    }
+  }
+}
+
+TEST(SetAssociativeCacheTest, NonPowerOfTwoSetsWork) {
+  // Broadwell's 35 MB L3 has 28672 sets; exercise the modulo path.
+  SetAssociativeCache c(3, 2);
+  c.Insert(0, false);
+  c.Insert(1, false);
+  c.Insert(2, false);
+  EXPECT_TRUE(c.Contains(0));
+  EXPECT_TRUE(c.Contains(1));
+  EXPECT_TRUE(c.Contains(2));
+  // Keys 0 and 3 share set 0; with 2 ways both fit.
+  c.Insert(3, false);
+  EXPECT_TRUE(c.Contains(0));
+  EXPECT_TRUE(c.Contains(3));
+}
+
+}  // namespace
+}  // namespace uolap::core

@@ -1,0 +1,82 @@
+#include "core/roofline.h"
+
+#include <gtest/gtest.h>
+
+namespace uolap::core {
+namespace {
+
+ProfileResult MakeResult(uint64_t instructions, double dram_bytes,
+                         double total_cycles) {
+  ProfileResult r;
+  r.instructions = instructions;
+  r.dram_bytes = dram_bytes;
+  r.total_cycles = total_cycles;
+  r.ipc = total_cycles > 0 ? static_cast<double>(instructions) / total_cycles
+                           : 0.0;
+  return r;
+}
+
+TEST(RooflineTest, RidgeAtIssueWidthOverBandwidth) {
+  const MachineConfig cfg = MachineConfig::Broadwell();
+  // 4-wide at 5 bytes/cycle: ridge at 0.8 instr/byte.
+  const RooflinePoint p =
+      ComputeRoofline(MakeResult(1000, 1000, 1000), cfg);
+  EXPECT_NEAR(p.ridge_intensity, 0.8, 1e-9);
+}
+
+TEST(RooflineTest, LowIntensityIsMemoryBound) {
+  const MachineConfig cfg = MachineConfig::Broadwell();
+  // 0.25 instr/byte << ridge: the memory roof applies.
+  const RooflinePoint p =
+      ComputeRoofline(MakeResult(250, 1000, 1000), cfg);
+  EXPECT_TRUE(p.memory_bound);
+  EXPECT_NEAR(p.roof_ipc, 0.25 * 5.0, 1e-9);  // intensity x bytes/cycle
+}
+
+TEST(RooflineTest, HighIntensityIsComputeBound) {
+  const MachineConfig cfg = MachineConfig::Broadwell();
+  const RooflinePoint p =
+      ComputeRoofline(MakeResult(100000, 1000, 30000), cfg);
+  EXPECT_FALSE(p.memory_bound);
+  EXPECT_NEAR(p.roof_ipc, 4.0, 1e-9);  // the issue-width roof
+}
+
+TEST(RooflineTest, PerfectScanSitsOnTheMemoryRoof) {
+  const MachineConfig cfg = MachineConfig::Broadwell();
+  // A scan moving 5 bytes/cycle while retiring 1 instr/cycle:
+  // intensity 0.2, roof = 1.0 IPC, achieved 1.0 -> fraction 1.
+  const RooflinePoint p =
+      ComputeRoofline(MakeResult(1000, 5000, 1000), cfg);
+  EXPECT_TRUE(p.memory_bound);
+  EXPECT_NEAR(p.roof_fraction, 1.0, 1e-9);
+}
+
+TEST(RooflineTest, LatencyBoundWorkloadFallsBelowRoof) {
+  const MachineConfig cfg = MachineConfig::Broadwell();
+  // Join-like: low intensity AND low achieved IPC because latency (not
+  // bandwidth) limits it: fraction well below 1.
+  const RooflinePoint p =
+      ComputeRoofline(MakeResult(500, 2000, 4000), cfg);
+  EXPECT_LT(p.roof_fraction, 0.5);
+}
+
+TEST(RooflineTest, NoDramTrafficIsPureCompute) {
+  const MachineConfig cfg = MachineConfig::Broadwell();
+  const RooflinePoint p = ComputeRoofline(MakeResult(4000, 0, 1000), cfg);
+  EXPECT_FALSE(p.memory_bound);
+  EXPECT_NEAR(p.achieved_ipc, 4.0, 1e-9);
+  EXPECT_NEAR(p.roof_fraction, 1.0, 1e-9);
+}
+
+TEST(RooflineTest, VerdictMentionsRoofKind) {
+  const MachineConfig cfg = MachineConfig::Broadwell();
+  const RooflinePoint mem =
+      ComputeRoofline(MakeResult(250, 1000, 1000), cfg);
+  EXPECT_NE(RooflineVerdict(mem).find("memory"), std::string::npos);
+  const RooflinePoint comp =
+      ComputeRoofline(MakeResult(100000, 1000, 30000), cfg);
+  EXPECT_NE(RooflineVerdict(comp).find("compute"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uolap::core

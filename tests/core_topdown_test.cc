@@ -1,0 +1,210 @@
+#include "core/topdown.h"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "core/calibration.h"
+#include "core/config.h"
+#include "core/core.h"
+
+namespace uolap::core {
+namespace {
+
+CoreCounters PureCompute(uint64_t instr) {
+  CoreCounters c;
+  c.mix.alu = instr;
+  return c;
+}
+
+TEST(TopDownTest, PureComputeIsRetiringPlusPortPressure) {
+  TopDownModel model(MachineConfig::Broadwell());
+  ProfileResult r = model.Analyze(PureCompute(4000));
+  // 4000 ALU ops on a 4-wide machine with 4 ALU ports: 1000 cycles of
+  // retiring, no stalls of any kind.
+  EXPECT_DOUBLE_EQ(r.cycles.retiring, 1000.0);
+  EXPECT_NEAR(r.cycles.StallCycles(), 0.0, 1e-9);
+  EXPECT_NEAR(r.ipc, 4.0, 1e-9);
+}
+
+TEST(TopDownTest, ComponentsSumToTotal) {
+  CoreCounters c;
+  c.mix.alu = 1000;
+  c.mix.mul = 100;
+  c.mix.complex = 50;
+  c.branch_mispredicts = 10;
+  c.mem.rand_dcache_cycles = 123.0;
+  c.mem.exec_chase_cycles = 7.0;
+  c.mem.l1i_l2_hits = 20;
+  TopDownModel model(MachineConfig::Broadwell());
+  ProfileResult r = model.Analyze(c);
+  EXPECT_NEAR(r.cycles.Total(), r.total_cycles, 1e-9);
+  EXPECT_NEAR(r.cycles.retiring + r.cycles.StallCycles(), r.total_cycles,
+              1e-9);
+}
+
+TEST(TopDownTest, BranchMispredictionsCostPenaltyEach) {
+  MachineConfig cfg = MachineConfig::Broadwell();
+  TopDownModel model(cfg);
+  CoreCounters c = PureCompute(4000);
+  c.branch_mispredicts = 100;
+  ProfileResult r = model.Analyze(c);
+  EXPECT_DOUBLE_EQ(r.cycles.branch_misp, 100.0 * cfg.exec.branch_misp_penalty);
+}
+
+TEST(TopDownTest, ChainDominatedLoopIsExecutionBound) {
+  // A scalar accumulator: 1 cycle per iteration of serial dependency with
+  // little instruction-level work: execution stalls must appear. Exec
+  // stalls are accumulated per phase by the Core and passed through.
+  CoreCounters c;
+  c.mix.alu = 2000;
+  c.exec_stall_cycles = 1500;  // max(chain 2000, ports 500) - retiring 500
+  TopDownModel model(MachineConfig::Broadwell());
+  ProfileResult r = model.Analyze(c);
+  EXPECT_NEAR(r.cycles.execution, 1500.0, 1e-9);
+}
+
+TEST(TopDownTest, StorePortPressureCreatesExecutionStalls) {
+  // Drive the Core: 1000 stores (single store port) + 1000 ALU ops as one
+  // phase. Port time 1000 vs retiring 500 -> 500 stall cycles.
+  core::Core core(MachineConfig::Broadwell());
+  std::vector<int64_t> sink(1000);
+  for (auto& v : sink) core.Store(&v, sizeof(v));
+  InstrMix m;
+  m.alu = 1000;
+  core.Retire(m);
+  core.Finalize();
+  TopDownModel model(MachineConfig::Broadwell());
+  ProfileResult r = model.Analyze(core.counters());
+  EXPECT_NEAR(r.cycles.execution, 1000.0 - 500.0, 1e-9);
+}
+
+TEST(TopDownTest, PhaseGranularPressureIsNotHiddenByOtherPhases) {
+  // Phase 1: store-bound (1000 stores only). Phase 2: ALU-rich slack.
+  // With per-phase accounting the store pressure survives; a global model
+  // would have hidden it behind phase 2's headroom.
+  core::Core core(MachineConfig::Broadwell());
+  std::vector<int64_t> sink(1000);
+  for (auto& v : sink) core.Store(&v, sizeof(v));
+  core.Retire(InstrMix{});  // close store phase: 1000 port vs 250 retiring
+  InstrMix slack;
+  slack.alu = 100000;
+  core.Retire(slack);  // pure-ALU phase: no stall
+  core.Finalize();
+  TopDownModel model(MachineConfig::Broadwell());
+  ProfileResult r = model.Analyze(core.counters());
+  EXPECT_NEAR(r.cycles.execution, 1000.0 - 250.0, 1e-9);
+}
+
+TEST(TopDownTest, ComplexInstructionsCreateDecodingStalls) {
+  CoreCounters c;
+  c.mix.complex = 1000;
+  c.mix.alu = 1000;
+  TopDownModel model(MachineConfig::Broadwell());
+  ProfileResult r = model.Analyze(c);
+  // decode = 1000/4 + 1000*1 = 1250; retiring = 500 -> decoding 750.
+  EXPECT_NEAR(r.cycles.decoding, 750.0, 1e-9);
+}
+
+TEST(TopDownTest, IcacheMissesBecomeIcacheStalls) {
+  MachineConfig cfg = MachineConfig::Broadwell();
+  CoreCounters c = PureCompute(400);
+  c.mem.l1i_l2_hits = 100;
+  TopDownModel model(cfg);
+  ProfileResult r = model.Analyze(c);
+  EXPECT_NEAR(r.cycles.icache,
+              100.0 * cfg.L2HitCycles() * (1.0 - kIcacheOverlap), 1e-9);
+}
+
+TEST(TopDownTest, RandomMissesBecomeDcacheStalls) {
+  CoreCounters c = PureCompute(400);
+  c.mem.rand_dcache_cycles = 5000.0;
+  TopDownModel model(MachineConfig::Broadwell());
+  ProfileResult r = model.Analyze(c);
+  EXPECT_GE(r.cycles.dcache, 5000.0);
+}
+
+TEST(TopDownTest, RandomBandwidthCeilingQueues) {
+  // Enough random bytes that the 7 GB/s ceiling binds harder than latency.
+  MachineConfig cfg = MachineConfig::Broadwell();
+  CoreCounters c = PureCompute(400);
+  c.mem.dram_demand_bytes_rand = 100ull << 20;  // 100 MB
+  c.mem.rand_dcache_cycles = 1.0;               // negligible latency term
+  TopDownModel model(cfg);
+  ProfileResult r = model.Analyze(c);
+  const double expected = (100.0 * (1 << 20)) / cfg.RandBytesPerCycle();
+  EXPECT_NEAR(r.cycles.dcache, expected, expected * 0.01);
+}
+
+TEST(TopDownTest, StreamerServicedBytesBoundByBandwidth) {
+  MachineConfig cfg = MachineConfig::Broadwell();
+  CoreCounters c = PureCompute(400);  // tiny compute
+  c.mem.dram_seq_l2_streamer = 1u << 20;
+  c.mem.dram_demand_bytes_seq = (1ull << 20) * 64;
+  TopDownModel model(cfg);
+  ProfileResult r = model.Analyze(c);
+  // With negligible compute, total time ~= bytes / per-core seq bandwidth
+  // => measured bandwidth ~= the 12 GB/s ceiling.
+  EXPECT_NEAR(r.bandwidth_gbps, cfg.bandwidth.per_core_seq_gbps,
+              cfg.bandwidth.per_core_seq_gbps * 0.05);
+}
+
+TEST(TopDownTest, ComputeRichScanHidesMemoryTime) {
+  // When compute dominates, the sequential service time must overlap and
+  // the Dcache component stays small.
+  MachineConfig cfg = MachineConfig::Broadwell();
+  CoreCounters c = PureCompute(10u << 20);  // lots of compute
+  c.mem.dram_seq_l2_streamer = 1000;
+  c.mem.dram_demand_bytes_seq = 1000 * 64;
+  TopDownModel model(cfg);
+  ProfileResult r = model.Analyze(c);
+  EXPECT_LT(r.cycles.dcache / r.total_cycles, 0.01);
+}
+
+TEST(TopDownTest, BandwidthScaleInflatesMemoryTime) {
+  MachineConfig cfg = MachineConfig::Broadwell();
+  CoreCounters c = PureCompute(400);
+  c.mem.dram_seq_l2_streamer = 1u << 20;
+  c.mem.dram_demand_bytes_seq = (1ull << 20) * 64;
+  TopDownModel model(cfg);
+  ProfileResult full = model.Analyze(c, 1.0);
+  ProfileResult half = model.Analyze(c, 0.5);
+  EXPECT_NEAR(half.total_cycles / full.total_cycles, 2.0, 0.1);
+}
+
+TEST(TopDownTest, Avx512FusesSimdPorts) {
+  // The same SIMD-heavy phase stalls more on Skylake (512-bit ops fuse
+  // both vector ports into one).
+  auto exec_stall = [](const MachineConfig& cfg) {
+    core::Core core(cfg);
+    InstrMix m;
+    m.simd = 1000;
+    m.alu = 100;
+    core.Retire(m);
+    core.Finalize();
+    return TopDownModel(cfg).Analyze(core.counters()).cycles.execution;
+  };
+  EXPECT_GT(exec_stall(MachineConfig::Skylake()),
+            exec_stall(MachineConfig::Broadwell()));
+}
+
+TEST(TopDownTest, TimeAndBandwidthUnits) {
+  MachineConfig cfg = MachineConfig::Broadwell();
+  CoreCounters c = PureCompute(4 * 2400000);  // 2.4M cycles = 1 ms
+  TopDownModel model(cfg);
+  ProfileResult r = model.Analyze(c);
+  EXPECT_NEAR(r.time_ms, 1.0, 1e-9);
+}
+
+TEST(TopDownTest, StallRatioHelpers) {
+  CycleBreakdown b;
+  b.retiring = 25;
+  b.dcache = 50;
+  b.execution = 25;
+  EXPECT_DOUBLE_EQ(b.Total(), 100.0);
+  EXPECT_DOUBLE_EQ(b.StallRatio(), 0.75);
+  EXPECT_DOUBLE_EQ(b.StallFrac(b.dcache), 50.0 / 75.0);
+  EXPECT_DOUBLE_EQ(b.Frac(b.retiring), 0.25);
+}
+
+}  // namespace
+}  // namespace uolap::core

@@ -1,0 +1,97 @@
+#include "engine/query.h"
+
+#include <gtest/gtest.h>
+
+#include "tpch/dbgen.h"
+
+namespace uolap::engine {
+namespace {
+
+TEST(PartitionRangeTest, CoversExactlyOnce) {
+  const size_t n = 1003;
+  for (size_t parts : {1u, 2u, 3u, 7u, 14u}) {
+    size_t covered = 0;
+    size_t prev_end = 0;
+    for (size_t p = 0; p < parts; ++p) {
+      RowRange r = PartitionRange(n, p, parts);
+      EXPECT_EQ(r.begin, prev_end);
+      covered += r.size();
+      prev_end = r.end;
+    }
+    EXPECT_EQ(covered, n);
+    EXPECT_EQ(prev_end, n);
+  }
+}
+
+TEST(PartitionRangeTest, BalancedWithinOne) {
+  for (size_t p = 0; p < 14; ++p) {
+    RowRange r = PartitionRange(100, p, 14);
+    EXPECT_GE(r.size(), 100u / 14);
+    EXPECT_LE(r.size(), 100u / 14 + 1);
+  }
+}
+
+TEST(PartitionRangeTest, EmptyInput) {
+  RowRange r = PartitionRange(0, 0, 4);
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(JoinSizeNameTest, Names) {
+  EXPECT_EQ(JoinSizeName(JoinSize::kSmall), "Small");
+  EXPECT_EQ(JoinSizeName(JoinSize::kMedium), "Medium");
+  EXPECT_EQ(JoinSizeName(JoinSize::kLarge), "Large");
+}
+
+class SelectionParamsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tpch::DbGen gen(42);
+    db_ = new tpch::Database(std::move(gen.Generate(0.01)).value());
+  }
+  static tpch::Database* db_;
+};
+tpch::Database* SelectionParamsTest::db_ = nullptr;
+
+TEST_F(SelectionParamsTest, CutoffsHitRequestedSelectivity) {
+  for (double s : {0.1, 0.5, 0.9}) {
+    SelectionParams p = MakeSelectionParams(*db_, s);
+    for (const auto* col :
+         {&db_->lineitem.shipdate, &db_->lineitem.commitdate,
+          &db_->lineitem.receiptdate}) {
+      const tpch::Date cut = col == &db_->lineitem.shipdate ? p.ship_cut
+                             : col == &db_->lineitem.commitdate
+                                 ? p.commit_cut
+                                 : p.receipt_cut;
+      size_t pass = 0;
+      for (tpch::Date d : *col) {
+        if (d < cut) ++pass;
+      }
+      EXPECT_NEAR(static_cast<double>(pass) /
+                      static_cast<double>(col->size()),
+                  s, 0.02);
+    }
+  }
+}
+
+TEST_F(SelectionParamsTest, PredicatedFlagPreserved) {
+  SelectionParams p = MakeSelectionParams(*db_, 0.5, /*predicated=*/true);
+  EXPECT_TRUE(p.predicated);
+  EXPECT_DOUBLE_EQ(p.selectivity, 0.5);
+}
+
+TEST(Q6ParamsTest, StandardValues) {
+  Q6Params p = MakeQ6Params();
+  EXPECT_EQ(p.date_lo, tpch::MakeDate(1994, 1, 1));
+  EXPECT_EQ(p.date_hi, tpch::MakeDate(1995, 1, 1));
+  EXPECT_EQ(p.discount_lo, 5);
+  EXPECT_EQ(p.discount_hi, 7);
+  EXPECT_EQ(p.quantity_lim, 24);
+  EXPECT_FALSE(p.predicated);
+}
+
+TEST(Q1ParamsTest, ShipdateCutIs90DaysBeforeDec1998) {
+  EXPECT_EQ(Q1ShipdateCut(), tpch::MakeDate(1998, 12, 1) - 90);
+}
+
+}  // namespace
+}  // namespace uolap::engine

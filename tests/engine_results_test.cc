@@ -1,0 +1,79 @@
+#include "engine/results.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+
+namespace uolap::engine {
+namespace {
+
+TEST(ResultsTest, Q1RowEquality) {
+  Q1Row a;
+  a.returnflag = 'A';
+  a.linestatus = 'F';
+  a.sum_qty = 10;
+  Q1Row b = a;
+  EXPECT_EQ(a, b);
+  b.sum_qty = 11;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ResultsTest, Q1ResultComparesRowVectors) {
+  Q1Result a, b;
+  a.rows.push_back({'A', 'F', 1, 2, 3, 4, 5});
+  b.rows.push_back({'A', 'F', 1, 2, 3, 4, 5});
+  EXPECT_EQ(a, b);
+  b.rows.push_back({'N', 'O', 0, 0, 0, 0, 0});
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ResultsTest, Q9RowComparesNationStrings) {
+  Q9Row a{"FRANCE", 1995, 100};
+  Q9Row b{"FRANCE", 1995, 100};
+  EXPECT_EQ(a, b);
+  b.nation = "GERMANY";
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ResultsTest, Q18RowFullFieldComparison) {
+  Q18Row a{"Customer#000000001", 1, 2, 3, 4, 5};
+  Q18Row b = a;
+  EXPECT_EQ(a, b);
+  b.orderdate = 99;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(GroupByHelpersTest, GroupKeyInRange) {
+  for (int64_t key : {1, 7, 1000000, 123456789}) {
+    for (int64_t groups : {1, 2, 1024, 1000000}) {
+      const int64_t g = groupby::GroupKey(key, groups);
+      EXPECT_GE(g, 0);
+      EXPECT_LT(g, groups);
+    }
+  }
+}
+
+TEST(GroupByHelpersTest, GroupKeyDeterministic) {
+  EXPECT_EQ(groupby::GroupKey(42, 1024), groupby::GroupKey(42, 1024));
+}
+
+TEST(GroupByHelpersTest, ChecksumOrderIndependent) {
+  int64_t a = 0;
+  a = groupby::Combine(a, 1, 100);
+  a = groupby::Combine(a, 2, 200);
+  int64_t b = 0;
+  b = groupby::Combine(b, 2, 200);
+  b = groupby::Combine(b, 1, 100);
+  EXPECT_EQ(a, b);
+}
+
+TEST(GroupByHelpersTest, ChecksumSensitiveToContent) {
+  int64_t a = groupby::Combine(0, 1, 100);
+  int64_t b = groupby::Combine(0, 1, 101);
+  int64_t c = groupby::Combine(0, 2, 100);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace uolap::engine

@@ -1,0 +1,541 @@
+// Differential correctness: all four engines must produce bit-identical
+// answers for every workload, and those answers must match a plain
+// reference implementation computed directly over the generated data.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/machine.h"
+#include "engines/colstore/colstore_engine.h"
+#include "engines/rowstore/rowstore_engine.h"
+#include "engines/tectorwise/tw_engine.h"
+#include "engines/typer/typer_engine.h"
+#include "tpch/dbgen.h"
+
+namespace uolap {
+namespace {
+
+using core::Machine;
+using core::MachineConfig;
+using engine::JoinSize;
+using engine::Workers;
+using tpch::Money;
+
+// ---------------------------------------------------------------------------
+// Reference (golden) implementations: straightforward loops, no engines.
+// ---------------------------------------------------------------------------
+
+Money RefProjection(const tpch::Database& db, int degree) {
+  Money acc = 0;
+  const auto& l = db.lineitem;
+  for (size_t i = 0; i < l.size(); ++i) {
+    acc += l.extendedprice[i];
+    if (degree >= 2) acc += l.discount[i];
+    if (degree >= 3) acc += l.tax[i];
+    if (degree >= 4) acc += l.quantity[i];
+  }
+  return acc;
+}
+
+Money RefSelection(const tpch::Database& db,
+                   const engine::SelectionParams& p) {
+  Money acc = 0;
+  const auto& l = db.lineitem;
+  for (size_t i = 0; i < l.size(); ++i) {
+    if (l.shipdate[i] < p.ship_cut && l.commitdate[i] < p.commit_cut &&
+        l.receiptdate[i] < p.receipt_cut) {
+      acc += l.extendedprice[i] + l.discount[i] + l.tax[i] + l.quantity[i];
+    }
+  }
+  return acc;
+}
+
+Money RefJoin(const tpch::Database& db, JoinSize size) {
+  Money acc = 0;
+  switch (size) {
+    case JoinSize::kSmall:
+      // Every supplier's nationkey exists in nation.
+      for (size_t i = 0; i < db.supplier.size(); ++i) {
+        acc += db.supplier.acctbal[i] + db.supplier.suppkey[i];
+      }
+      return acc;
+    case JoinSize::kMedium:
+      for (size_t i = 0; i < db.partsupp.size(); ++i) {
+        acc += db.partsupp.availqty[i] + db.partsupp.supplycost[i];
+      }
+      return acc;
+    case JoinSize::kLarge:
+      return RefProjection(db, 4);
+  }
+  return 0;
+}
+
+engine::Q1Result RefQ1(const tpch::Database& db) {
+  std::map<int64_t, engine::Q1Row> groups;
+  const tpch::Date cut = engine::Q1ShipdateCut();
+  const auto& l = db.lineitem;
+  for (size_t i = 0; i < l.size(); ++i) {
+    if (l.shipdate[i] > cut) continue;
+    const int64_t key = (static_cast<int64_t>(l.returnflag[i]) << 8) |
+                        static_cast<int64_t>(l.linestatus[i]);
+    engine::Q1Row& row = groups[key];
+    row.returnflag = l.returnflag[i];
+    row.linestatus = l.linestatus[i];
+    row.sum_qty += l.quantity[i];
+    row.sum_base_price += l.extendedprice[i];
+    const Money dp = tpch::DiscountedPrice(l.extendedprice[i], l.discount[i]);
+    row.sum_disc_price += dp;
+    row.sum_charge += dp * (100 + l.tax[i]) / 100;
+    row.count += 1;
+  }
+  engine::Q1Result result;
+  for (auto& [k, row] : groups) result.rows.push_back(row);
+  return result;
+}
+
+Money RefQ6(const tpch::Database& db, const engine::Q6Params& p) {
+  Money acc = 0;
+  const auto& l = db.lineitem;
+  for (size_t i = 0; i < l.size(); ++i) {
+    if (l.shipdate[i] >= p.date_lo && l.shipdate[i] < p.date_hi &&
+        l.discount[i] >= p.discount_lo && l.discount[i] <= p.discount_hi &&
+        l.quantity[i] < p.quantity_lim) {
+      acc += l.extendedprice[i] * l.discount[i];
+    }
+  }
+  return acc;
+}
+
+engine::Q9Result RefQ9(const tpch::Database& db) {
+  const int64_t num_supp = static_cast<int64_t>(db.supplier.size());
+  std::vector<bool> green(db.part.size() + 1, false);
+  for (size_t i = 0; i < db.part.size(); ++i) {
+    green[i + 1] =
+        db.part.name.Get(i).find("green") != std::string_view::npos;
+  }
+  std::map<int64_t, Money> ps_cost;
+  for (size_t i = 0; i < db.partsupp.size(); ++i) {
+    ps_cost[db.partsupp.partkey[i] * (num_supp + 1) +
+            db.partsupp.suppkey[i]] = db.partsupp.supplycost[i];
+  }
+  std::map<std::pair<std::string, int>, Money> groups;
+  const auto& l = db.lineitem;
+  for (size_t i = 0; i < l.size(); ++i) {
+    if (!green[static_cast<size_t>(l.partkey[i])]) continue;
+    const Money cost =
+        ps_cost.at(l.partkey[i] * (num_supp + 1) + l.suppkey[i]);
+    const int year = tpch::DateYear(
+        db.orders.orderdate[static_cast<size_t>(l.orderkey[i]) - 1]);
+    const int64_t nation =
+        db.supplier.nationkey[static_cast<size_t>(l.suppkey[i]) - 1];
+    const Money amount =
+        tpch::DiscountedPrice(l.extendedprice[i], l.discount[i]) -
+        cost * l.quantity[i];
+    groups[{std::string(db.nation.name.Get(static_cast<size_t>(nation))),
+            year}] += amount;
+  }
+  engine::Q9Result result;
+  for (const auto& [key, profit] : groups) {
+    result.rows.push_back({key.first, key.second, profit});
+  }
+  std::sort(result.rows.begin(), result.rows.end(),
+            [](const engine::Q9Row& a, const engine::Q9Row& b) {
+              if (a.nation != b.nation) return a.nation < b.nation;
+              return a.year > b.year;
+            });
+  return result;
+}
+
+engine::Q18Result RefQ18(const tpch::Database& db) {
+  std::map<int64_t, int64_t> qty_by_order;
+  const auto& l = db.lineitem;
+  for (size_t i = 0; i < l.size(); ++i) {
+    qty_by_order[l.orderkey[i]] += l.quantity[i];
+  }
+  std::vector<engine::Q18Row> rows;
+  for (const auto& [okey, qty] : qty_by_order) {
+    if (qty <= engine::kQ18QuantityThreshold) continue;
+    const size_t o = static_cast<size_t>(okey) - 1;
+    engine::Q18Row row;
+    row.orderkey = okey;
+    row.custkey = db.orders.custkey[o];
+    row.orderdate = db.orders.orderdate[o];
+    row.totalprice = db.orders.totalprice[o];
+    row.sum_qty = qty;
+    row.cust_name = std::string(
+        db.customer.name.Get(static_cast<size_t>(row.custkey) - 1));
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const engine::Q18Row& a, const engine::Q18Row& b) {
+              if (a.totalprice != b.totalprice) {
+                return a.totalprice > b.totalprice;
+              }
+              if (a.orderdate != b.orderdate) return a.orderdate < b.orderdate;
+              return a.orderkey < b.orderkey;
+            });
+  if (rows.size() > engine::kQ18Limit) rows.resize(engine::kQ18Limit);
+  engine::Q18Result result;
+  result.rows = std::move(rows);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Fixture: one shared small database + the four engines.
+// ---------------------------------------------------------------------------
+
+class DifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tpch::DbGen gen(42);
+    db_ = new tpch::Database(std::move(gen.Generate(0.01)).value());
+    typer_ = new typer::TyperEngine(*db_);
+    tw_ = new tectorwise::TectorwiseEngine(*db_);
+    tw_simd_ = new tectorwise::TectorwiseEngine(*db_, /*simd=*/true);
+    rowstore_ = new rowstore::RowstoreEngine(*db_);
+    colstore_ = new colstore::ColstoreEngine(*db_);
+  }
+
+  /// Runs `fn(engine, workers)` on a fresh single-core machine.
+  template <typename Fn>
+  auto Run(const engine::OlapEngine& eng, Fn&& fn) {
+    Machine machine(MachineConfig::Broadwell(), 1);
+    Workers w(machine.core(0));
+    return fn(eng, w);
+  }
+
+  /// Runs with `n` simulated cores.
+  template <typename Fn>
+  auto RunMulti(const engine::OlapEngine& eng, size_t n, Fn&& fn) {
+    Machine machine(MachineConfig::Broadwell(),
+                    static_cast<uint32_t>(n));
+    std::vector<core::Core*> cores;
+    for (size_t i = 0; i < n; ++i) cores.push_back(&machine.core(i));
+    Workers w(cores);
+    return fn(eng, w);
+  }
+
+  static tpch::Database* db_;
+  static typer::TyperEngine* typer_;
+  static tectorwise::TectorwiseEngine* tw_;
+  static tectorwise::TectorwiseEngine* tw_simd_;
+  static rowstore::RowstoreEngine* rowstore_;
+  static colstore::ColstoreEngine* colstore_;
+};
+
+tpch::Database* DifferentialTest::db_ = nullptr;
+typer::TyperEngine* DifferentialTest::typer_ = nullptr;
+tectorwise::TectorwiseEngine* DifferentialTest::tw_ = nullptr;
+tectorwise::TectorwiseEngine* DifferentialTest::tw_simd_ = nullptr;
+rowstore::RowstoreEngine* DifferentialTest::rowstore_ = nullptr;
+colstore::ColstoreEngine* DifferentialTest::colstore_ = nullptr;
+
+// --- projection -----------------------------------------------------------
+
+class ProjectionDegreeTest : public DifferentialTest,
+                             public ::testing::WithParamInterface<int> {};
+
+TEST_P(ProjectionDegreeTest, AllEnginesMatchReference) {
+  const int degree = GetParam();
+  const Money expected = RefProjection(*db_, degree);
+  auto run = [&](const engine::OlapEngine& e) {
+    return Run(e, [degree](const engine::OlapEngine& eng, Workers& w) {
+      return eng.Projection(w, degree);
+    });
+  };
+  EXPECT_EQ(run(*typer_), expected);
+  EXPECT_EQ(run(*tw_), expected);
+  EXPECT_EQ(run(*tw_simd_), expected);
+  EXPECT_EQ(run(*rowstore_), expected);
+  EXPECT_EQ(run(*colstore_), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, ProjectionDegreeTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+// --- selection --------------------------------------------------------------
+
+class SelectionSelectivityTest
+    : public DifferentialTest,
+      public ::testing::WithParamInterface<double> {};
+
+TEST_P(SelectionSelectivityTest, AllEnginesMatchReference) {
+  const auto params = engine::MakeSelectionParams(*db_, GetParam());
+  const Money expected = RefSelection(*db_, params);
+  auto run = [&](const engine::OlapEngine& e) {
+    return Run(e, [&params](const engine::OlapEngine& eng, Workers& w) {
+      return eng.Selection(w, params);
+    });
+  };
+  EXPECT_EQ(run(*typer_), expected);
+  EXPECT_EQ(run(*tw_), expected);
+  EXPECT_EQ(run(*rowstore_), expected);
+  EXPECT_EQ(run(*colstore_), expected);
+}
+
+TEST_P(SelectionSelectivityTest, PredicatedEqualsBranched) {
+  auto params = engine::MakeSelectionParams(*db_, GetParam());
+  const Money expected = RefSelection(*db_, params);
+  params.predicated = true;
+  auto run = [&](const engine::OlapEngine& e) {
+    return Run(e, [&params](const engine::OlapEngine& eng, Workers& w) {
+      return eng.Selection(w, params);
+    });
+  };
+  EXPECT_EQ(run(*typer_), expected);
+  EXPECT_EQ(run(*tw_), expected);
+  EXPECT_EQ(run(*tw_simd_), expected);
+}
+
+TEST_P(SelectionSelectivityTest, MeasuredSelectivityIsRequested) {
+  const auto params = engine::MakeSelectionParams(*db_, GetParam());
+  const auto& l = db_->lineitem;
+  size_t pass = 0;
+  for (size_t i = 0; i < l.size(); ++i) {
+    if (l.shipdate[i] < params.ship_cut) ++pass;
+  }
+  EXPECT_NEAR(static_cast<double>(pass) / static_cast<double>(l.size()),
+              GetParam(), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Selectivities, SelectionSelectivityTest,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           0.99));
+
+// --- joins ------------------------------------------------------------------
+
+class JoinSizeTest : public DifferentialTest,
+                     public ::testing::WithParamInterface<JoinSize> {};
+
+TEST_P(JoinSizeTest, AllEnginesMatchReference) {
+  const JoinSize size = GetParam();
+  const Money expected = RefJoin(*db_, size);
+  auto run = [&](const engine::OlapEngine& e) {
+    return Run(e, [size](const engine::OlapEngine& eng, Workers& w) {
+      return eng.Join(w, size);
+    });
+  };
+  EXPECT_EQ(run(*typer_), expected);
+  EXPECT_EQ(run(*tw_), expected);
+  EXPECT_EQ(run(*tw_simd_), expected);
+  EXPECT_EQ(run(*rowstore_), expected);
+  EXPECT_EQ(run(*colstore_), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JoinSizeTest,
+                         ::testing::Values(JoinSize::kSmall,
+                                           JoinSize::kMedium,
+                                           JoinSize::kLarge));
+
+// --- group-by micro-benchmark -------------------------------------------------
+
+int64_t RefGroupBy(const tpch::Database& db, int64_t num_groups) {
+  std::map<int64_t, int64_t> groups;
+  const auto& l = db.lineitem;
+  for (size_t i = 0; i < l.size(); ++i) {
+    groups[engine::groupby::GroupKey(l.orderkey[i], num_groups)] +=
+        l.extendedprice[i];
+  }
+  int64_t checksum = 0;
+  for (const auto& [key, sum] : groups) {
+    checksum = engine::groupby::Combine(checksum, key, sum);
+  }
+  return checksum;
+}
+
+class GroupByCardinalityTest : public DifferentialTest,
+                               public ::testing::WithParamInterface<int64_t> {
+};
+
+TEST_P(GroupByCardinalityTest, AllEnginesMatchReference) {
+  const int64_t groups = GetParam();
+  const int64_t expected = RefGroupBy(*db_, groups);
+  auto run = [&](const engine::OlapEngine& e) {
+    return Run(e, [groups](const engine::OlapEngine& eng, Workers& w) {
+      return eng.GroupBy(w, groups);
+    });
+  };
+  EXPECT_EQ(run(*typer_), expected);
+  EXPECT_EQ(run(*tw_), expected);
+  EXPECT_EQ(run(*tw_simd_), expected);
+  EXPECT_EQ(run(*rowstore_), expected);
+  EXPECT_EQ(run(*colstore_), expected);
+}
+
+TEST_P(GroupByCardinalityTest, MultiCoreMatches) {
+  const int64_t groups = GetParam();
+  const int64_t expected = RefGroupBy(*db_, groups);
+  EXPECT_EQ(RunMulti(*typer_, 4,
+                     [groups](const engine::OlapEngine& eng, Workers& w) {
+                       return eng.GroupBy(w, groups);
+                     }),
+            expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, GroupByCardinalityTest,
+                         ::testing::Values(1, 4, 1024, 1000000));
+
+TEST_F(DifferentialTest, RadixJoinMatchesPlainJoin) {
+  const Money expected = RefJoin(*db_, JoinSize::kLarge);
+  for (uint32_t bits : {1u, 4u, 8u}) {
+    auto radix = Run(*typer_, [bits](const engine::OlapEngine& eng,
+                                     Workers& w) {
+      return static_cast<const typer::TyperEngine&>(eng).JoinLargeRadix(
+          w, bits);
+    });
+    EXPECT_EQ(radix, expected) << "radix bits " << bits;
+  }
+  auto radix_multi =
+      RunMulti(*typer_, 3, [](const engine::OlapEngine& eng, Workers& w) {
+        return static_cast<const typer::TyperEngine&>(eng).JoinLargeRadix(w);
+      });
+  EXPECT_EQ(radix_multi, expected);
+}
+
+TEST_F(DifferentialTest, InterleavedJoinMatchesPlainJoin) {
+  const Money expected = RefJoin(*db_, JoinSize::kLarge);
+  auto inter = Run(*typer_, [](const engine::OlapEngine& eng, Workers& w) {
+    return static_cast<const typer::TyperEngine&>(eng).JoinLargeInterleaved(
+        w);
+  });
+  EXPECT_EQ(inter, expected);
+  auto inter_multi =
+      RunMulti(*typer_, 3, [](const engine::OlapEngine& eng, Workers& w) {
+        return static_cast<const typer::TyperEngine&>(eng)
+            .JoinLargeInterleaved(w);
+      });
+  EXPECT_EQ(inter_multi, expected);
+}
+
+// --- TPC-H ------------------------------------------------------------------
+
+TEST_F(DifferentialTest, Q1AllEnginesMatchReference) {
+  const engine::Q1Result expected = RefQ1(*db_);
+  auto run = [&](const engine::OlapEngine& e) {
+    return Run(e, [](const engine::OlapEngine& eng, Workers& w) {
+      return eng.Q1(w);
+    });
+  };
+  EXPECT_EQ(run(*typer_), expected);
+  EXPECT_EQ(run(*tw_), expected);
+  EXPECT_EQ(run(*tw_simd_), expected);
+  EXPECT_EQ(run(*rowstore_), expected);
+  EXPECT_EQ(run(*colstore_), expected);
+  EXPECT_EQ(expected.rows.size(), 4u);
+}
+
+TEST_F(DifferentialTest, Q6AllEnginesMatchReference) {
+  const auto params = engine::MakeQ6Params();
+  const Money expected = RefQ6(*db_, params);
+  auto run = [&](const engine::OlapEngine& e) {
+    return Run(e, [&params](const engine::OlapEngine& eng, Workers& w) {
+      return eng.Q6(w, params);
+    });
+  };
+  EXPECT_EQ(run(*typer_), expected);
+  EXPECT_EQ(run(*tw_), expected);
+  EXPECT_EQ(run(*tw_simd_), expected);
+  EXPECT_EQ(run(*rowstore_), expected);
+  EXPECT_EQ(run(*colstore_), expected);
+}
+
+TEST_F(DifferentialTest, Q6PredicatedEqualsBranched) {
+  auto params = engine::MakeQ6Params(/*predicated=*/true);
+  const Money expected = RefQ6(*db_, params);
+  auto run = [&](const engine::OlapEngine& e) {
+    return Run(e, [&params](const engine::OlapEngine& eng, Workers& w) {
+      return eng.Q6(w, params);
+    });
+  };
+  EXPECT_EQ(run(*typer_), expected);
+  EXPECT_EQ(run(*tw_), expected);
+}
+
+TEST_F(DifferentialTest, Q9HighPerformanceEnginesMatchReference) {
+  const engine::Q9Result expected = RefQ9(*db_);
+  auto run = [&](const engine::OlapEngine& e) {
+    return Run(e, [](const engine::OlapEngine& eng, Workers& w) {
+      return eng.Q9(w);
+    });
+  };
+  EXPECT_EQ(run(*typer_), expected);
+  EXPECT_EQ(run(*tw_), expected);
+  EXPECT_EQ(run(*tw_simd_), expected);
+  EXPECT_GT(expected.rows.size(), 25u);  // 25 nations x several years
+}
+
+TEST_F(DifferentialTest, Q18HighPerformanceEnginesMatchReference) {
+  const engine::Q18Result expected = RefQ18(*db_);
+  auto run = [&](const engine::OlapEngine& e) {
+    return Run(e, [](const engine::OlapEngine& eng, Workers& w) {
+      return eng.Q18(w);
+    });
+  };
+  EXPECT_EQ(run(*typer_), expected);
+  EXPECT_EQ(run(*tw_), expected);
+  EXPECT_EQ(run(*tw_simd_), expected);
+}
+
+// --- multi-core equivalence --------------------------------------------------
+
+TEST_F(DifferentialTest, MultiCoreResultsEqualSingleCore) {
+  for (size_t threads : {2u, 4u, 7u}) {
+    auto proj = RunMulti(*typer_, threads,
+                         [](const engine::OlapEngine& eng, Workers& w) {
+                           return eng.Projection(w, 4);
+                         });
+    EXPECT_EQ(proj, RefProjection(*db_, 4)) << threads << " threads";
+
+    auto join = RunMulti(*tw_, threads,
+                         [](const engine::OlapEngine& eng, Workers& w) {
+                           return eng.Join(w, JoinSize::kLarge);
+                         });
+    EXPECT_EQ(join, RefJoin(*db_, JoinSize::kLarge)) << threads;
+
+    auto q18 = RunMulti(*typer_, threads,
+                        [](const engine::OlapEngine& eng, Workers& w) {
+                          return eng.Q18(w);
+                        });
+    EXPECT_EQ(q18, RefQ18(*db_)) << threads;
+
+    auto q9 = RunMulti(*tw_, threads,
+                       [](const engine::OlapEngine& eng, Workers& w) {
+                         return eng.Q9(w);
+                       });
+    EXPECT_EQ(q9, RefQ9(*db_)) << threads;
+  }
+}
+
+TEST_F(DifferentialTest, ResultsStableAcrossScaleFactors) {
+  // The engines and reference must agree at other scales too (guards the
+  // generator's scaling logic and any size-dependent engine paths).
+  for (double sf : {0.002, 0.03}) {
+    tpch::DbGen gen(7);
+    const tpch::Database db = std::move(gen.Generate(sf)).value();
+    typer::TyperEngine ty(db);
+    tectorwise::TectorwiseEngine tw(db);
+    Machine machine(MachineConfig::Broadwell(), 1);
+    Workers w(machine.core(0));
+    EXPECT_EQ(ty.Projection(w, 4), RefProjection(db, 4)) << sf;
+    EXPECT_EQ(tw.Join(w, JoinSize::kLarge), RefJoin(db, JoinSize::kLarge))
+        << sf;
+    EXPECT_EQ(ty.Q9(w), RefQ9(db)) << sf;
+    EXPECT_EQ(tw.Q18(w), RefQ18(db)) << sf;
+    const auto params = engine::MakeSelectionParams(db, 0.5);
+    EXPECT_EQ(ty.Selection(w, params), RefSelection(db, params)) << sf;
+  }
+}
+
+TEST_F(DifferentialTest, TwSimdProbeOnlyMatchesReference) {
+  auto probe = Run(*tw_simd_, [](const engine::OlapEngine& eng, Workers& w) {
+    return static_cast<const tectorwise::TectorwiseEngine&>(eng)
+        .LargeJoinProbeOnly(w);
+  });
+  EXPECT_EQ(probe, RefJoin(*db_, JoinSize::kLarge));
+}
+
+}  // namespace
+}  // namespace uolap

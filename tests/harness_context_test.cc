@@ -1,0 +1,94 @@
+#include "harness/context.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace uolap::harness {
+namespace {
+
+/// Builds argv for BenchContext from string flags.
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    argv_.push_back(const_cast<char*>("bench"));
+    for (auto& a : storage_) argv_.push_back(a.data());
+  }
+  int argc() const { return static_cast<int>(argv_.size()); }
+  char** argv() { return argv_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> argv_;
+};
+
+TEST(BenchContextTest, DefaultScaleFactorApplies) {
+  ArgvBuilder args({});
+  BenchContext ctx(args.argc(), args.argv(), /*default_sf=*/0.01);
+  EXPECT_DOUBLE_EQ(ctx.scale_factor(), 0.01);
+  EXPECT_EQ(ctx.db().orders.size(), 15000u);
+  EXPECT_EQ(ctx.machine().name, "broadwell");
+}
+
+TEST(BenchContextTest, SfFlagOverrides) {
+  ArgvBuilder args({"--sf=0.005"});
+  BenchContext ctx(args.argc(), args.argv(), 0.01);
+  EXPECT_DOUBLE_EQ(ctx.scale_factor(), 0.005);
+}
+
+TEST(BenchContextTest, QuickModeShrinks) {
+  ArgvBuilder args({"--quick"});
+  BenchContext ctx(args.argc(), args.argv(), 1.0);
+  EXPECT_TRUE(ctx.quick());
+  EXPECT_DOUBLE_EQ(ctx.scale_factor(), 0.05);
+}
+
+TEST(BenchContextTest, SkylakeSelectable) {
+  ArgvBuilder args({"--machine=skylake", "--sf=0.005"});
+  BenchContext ctx(args.argc(), args.argv(), 0.01);
+  EXPECT_EQ(ctx.machine().name, "skylake");
+  EXPECT_EQ(ctx.machine().exec.simd_width_bits, 512u);
+}
+
+TEST(BenchContextTest, EnginesAreCachedSingletons) {
+  ArgvBuilder args({"--sf=0.005"});
+  BenchContext ctx(args.argc(), args.argv(), 0.01);
+  EXPECT_EQ(&ctx.typer(), &ctx.typer());
+  EXPECT_EQ(&ctx.tectorwise(), &ctx.tectorwise());
+  EXPECT_NE(static_cast<void*>(&ctx.tectorwise()),
+            static_cast<void*>(&ctx.tectorwise_simd()));
+  EXPECT_TRUE(ctx.tectorwise_simd().simd());
+}
+
+TEST(BenchContextTest, CsvFlagAppendsTables) {
+  const std::string path = ::testing::TempDir() + "/uolap_ctx_test.csv";
+  std::remove(path.c_str());
+  ArgvBuilder args({"--sf=0.005", "--csv=" + path});
+  BenchContext ctx(args.argc(), args.argv(), 0.01);
+  TablePrinter t("Figure X");
+  t.SetHeader({"a", "b"});
+  t.AddRow({"1", "2"});
+  ctx.Emit(t);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("Figure X"), std::string::npos);
+  EXPECT_NE(content.find("1,2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BenchContextTest, SeedChangesData) {
+  ArgvBuilder a1({"--sf=0.005", "--seed=1"});
+  ArgvBuilder a2({"--sf=0.005", "--seed=2"});
+  BenchContext c1(a1.argc(), a1.argv(), 0.01);
+  BenchContext c2(a2.argc(), a2.argv(), 0.01);
+  EXPECT_NE(c1.db().lineitem.extendedprice, c2.db().lineitem.extendedprice);
+}
+
+}  // namespace
+}  // namespace uolap::harness

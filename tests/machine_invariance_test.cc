@@ -1,0 +1,121 @@
+// Property: query RESULTS never depend on the simulated machine. The
+// simulator is an observer — changing the machine config, prefetcher
+// settings, SIMD mode or thread count must change only the profile,
+// never the answer.
+
+#include <gtest/gtest.h>
+
+#include "core/machine.h"
+#include "engines/tectorwise/tw_engine.h"
+#include "engines/typer/typer_engine.h"
+#include "tpch/dbgen.h"
+
+namespace uolap {
+namespace {
+
+using core::Machine;
+using core::MachineConfig;
+using engine::Workers;
+
+class InvarianceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tpch::DbGen gen(42);
+    db_ = new tpch::Database(std::move(gen.Generate(0.01)).value());
+    typer_ = new typer::TyperEngine(*db_);
+    tw_ = new tectorwise::TectorwiseEngine(*db_);
+  }
+
+  template <typename Fn>
+  static auto Run(const MachineConfig& cfg, int threads, Fn&& fn) {
+    Machine machine(cfg, static_cast<uint32_t>(threads));
+    std::vector<core::Core*> cores;
+    for (int i = 0; i < threads; ++i) cores.push_back(&machine.core(i));
+    Workers w(cores);
+    return fn(w);
+  }
+
+  static std::vector<MachineConfig> Configs() {
+    MachineConfig no_pf = MachineConfig::Broadwell();
+    no_pf.prefetchers = core::PrefetcherConfig::AllDisabled();
+    MachineConfig tiny = MachineConfig::Broadwell();
+    tiny.l1d.size_bytes = 4 * 1024;
+    tiny.l2.size_bytes = 32 * 1024;
+    tiny.l3.size_bytes = 256 * 1024;
+    return {MachineConfig::Broadwell(), MachineConfig::Skylake(), no_pf,
+            tiny};
+  }
+
+  static tpch::Database* db_;
+  static typer::TyperEngine* typer_;
+  static tectorwise::TectorwiseEngine* tw_;
+};
+tpch::Database* InvarianceTest::db_ = nullptr;
+typer::TyperEngine* InvarianceTest::typer_ = nullptr;
+tectorwise::TectorwiseEngine* InvarianceTest::tw_ = nullptr;
+
+TEST_F(InvarianceTest, ProjectionInvariantAcrossMachines) {
+  const auto base = Run(MachineConfig::Broadwell(), 1, [&](Workers& w) {
+    return typer_->Projection(w, 4);
+  });
+  for (const auto& cfg : Configs()) {
+    for (int threads : {1, 3}) {
+      EXPECT_EQ(Run(cfg, threads,
+                    [&](Workers& w) { return typer_->Projection(w, 4); }),
+                base)
+          << cfg.name << " x" << threads;
+    }
+  }
+}
+
+TEST_F(InvarianceTest, Q9InvariantAcrossMachines) {
+  const auto base = Run(MachineConfig::Broadwell(), 1,
+                        [&](Workers& w) { return typer_->Q9(w); });
+  for (const auto& cfg : Configs()) {
+    EXPECT_EQ(Run(cfg, 1, [&](Workers& w) { return typer_->Q9(w); }), base)
+        << cfg.name;
+  }
+}
+
+TEST_F(InvarianceTest, TectorwiseInvariantAcrossSimdAndMachines) {
+  tectorwise::TectorwiseEngine simd(*db_, /*simd=*/true);
+  const auto params = engine::MakeSelectionParams(*db_, 0.5, true);
+  const auto base = Run(MachineConfig::Broadwell(), 1, [&](Workers& w) {
+    return tw_->Selection(w, params);
+  });
+  for (const auto& cfg : Configs()) {
+    EXPECT_EQ(Run(cfg, 1,
+                  [&](Workers& w) { return simd.Selection(w, params); }),
+              base)
+        << cfg.name;
+  }
+}
+
+TEST_F(InvarianceTest, Q18InvariantAcrossThreadCounts) {
+  const auto base = Run(MachineConfig::Broadwell(), 1,
+                        [&](Workers& w) { return typer_->Q18(w); });
+  for (int threads : {2, 5, 14}) {
+    EXPECT_EQ(Run(MachineConfig::Broadwell(), threads,
+                  [&](Workers& w) { return typer_->Q18(w); }),
+              base)
+        << threads << " threads";
+  }
+}
+
+TEST_F(InvarianceTest, ProfilesDifferEvenThoughResultsMatch) {
+  // Sanity: the machine DOES change the profile (otherwise the invariance
+  // test would be vacuous).
+  auto cycles = [&](const MachineConfig& cfg) {
+    Machine machine(cfg, 1);
+    Workers w(machine.core(0));
+    typer_->Projection(w, 4);
+    machine.FinalizeAll();
+    return machine.AnalyzeCore(0).total_cycles;
+  };
+  MachineConfig no_pf = MachineConfig::Broadwell();
+  no_pf.prefetchers = core::PrefetcherConfig::AllDisabled();
+  EXPECT_GT(cycles(no_pf), cycles(MachineConfig::Broadwell()) * 1.5);
+}
+
+}  // namespace
+}  // namespace uolap

@@ -1,0 +1,123 @@
+// Property-based tests of the Top-Down model: for randomized counter
+// sets, the accounting identities and physical bounds must always hold.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/topdown.h"
+
+namespace uolap::core {
+namespace {
+
+CoreCounters RandomCounters(Rng& rng) {
+  CoreCounters c;
+  c.mix.alu = rng.Next() % 1000000;
+  c.mix.mul = rng.Next() % 10000;
+  c.mix.div = rng.Next() % 100;
+  c.mix.load = rng.Next() % 500000;
+  c.mix.store = rng.Next() % 200000;
+  c.mix.branch = rng.Next() % 100000;
+  c.mix.simd = rng.Next() % 100000;
+  c.mix.complex = rng.Next() % 10000;
+  c.mix.other = rng.Next() % 100000;
+  c.branch_events = c.mix.branch;
+  c.branch_mispredicts = c.branch_events > 0
+                             ? rng.Next() % (c.branch_events / 2 + 1)
+                             : 0;
+  c.exec_stall_cycles = static_cast<double>(rng.Next() % 100000);
+  c.mem.rand_dcache_cycles = static_cast<double>(rng.Next() % 1000000);
+  c.mem.exec_chase_cycles = static_cast<double>(rng.Next() % 10000);
+  c.mem.seq_residual_cycles = static_cast<double>(rng.Next() % 10000);
+  c.mem.stream_startup_cycles = static_cast<double>(rng.Next() % 1000);
+  c.mem.tlb_cycles = static_cast<double>(rng.Next() % 1000);
+  c.mem.l1i_l2_hits = rng.Next() % 1000;
+  c.mem.l1i_l3_hits = rng.Next() % 100;
+  c.mem.l1i_dram = rng.Next() % 10;
+  c.mem.dram_seq_l2_streamer = rng.Next() % 100000;
+  c.mem.dram_demand_bytes_seq = c.mem.dram_seq_l2_streamer * 64;
+  c.mem.dram_rand = rng.Next() % 100000;
+  c.mem.dram_demand_bytes_rand = c.mem.dram_rand * 64;
+  c.mem.dram_prefetch_waste_bytes = (rng.Next() % 10000) * 64;
+  c.mem.dram_writeback_bytes = (rng.Next() % 10000) * 64;
+  return c;
+}
+
+class TopDownPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopDownPropertyTest, InvariantsHoldForRandomCounters) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  const MachineConfig cfg = GetParam() % 2 == 0
+                                ? MachineConfig::Broadwell()
+                                : MachineConfig::Skylake();
+  TopDownModel model(cfg);
+  for (int i = 0; i < 50; ++i) {
+    const CoreCounters c = RandomCounters(rng);
+    const ProfileResult r = model.Analyze(c);
+    const CycleBreakdown& b = r.cycles;
+
+    // Non-negativity of every component.
+    EXPECT_GE(b.retiring, 0.0);
+    EXPECT_GE(b.branch_misp, 0.0);
+    EXPECT_GE(b.icache, 0.0);
+    EXPECT_GE(b.decoding, 0.0);
+    EXPECT_GE(b.dcache, 0.0);
+    EXPECT_GE(b.execution, 0.0);
+
+    // Accounting identity: components sum to the total.
+    EXPECT_NEAR(b.Total(), r.total_cycles, 1e-6 * (1 + r.total_cycles));
+    EXPECT_NEAR(b.retiring + b.StallCycles(), r.total_cycles,
+                1e-6 * (1 + r.total_cycles));
+
+    // Ratios in [0, 1].
+    EXPECT_GE(b.StallRatio(), 0.0);
+    EXPECT_LE(b.StallRatio(), 1.0);
+
+    // Retiring is exactly instructions / issue width.
+    EXPECT_NEAR(b.retiring,
+                static_cast<double>(c.mix.TotalInstructions()) /
+                    cfg.exec.issue_width,
+                1e-9);
+
+    // IPC can never exceed the issue width.
+    EXPECT_LE(r.ipc, cfg.exec.issue_width + 1e-9);
+
+    // Time consistency.
+    EXPECT_NEAR(r.time_ms, r.total_cycles / (cfg.freq_ghz * 1e6), 1e-12);
+
+    // The memory pipeline cannot beat the blended ceiling by more than
+    // rounding: check against the most permissive (sequential) limit.
+    if (r.total_cycles > 0 && r.dram_bytes > 0) {
+      EXPECT_LE(r.bandwidth_gbps,
+                cfg.bandwidth.per_core_seq_gbps * 1.5 + 1.0);
+    }
+
+    // Scaling bandwidth down can only slow things down.
+    const ProfileResult half = model.Analyze(c, 0.5);
+    EXPECT_GE(half.total_cycles, r.total_cycles - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopDownPropertyTest,
+                         ::testing::Range(0, 8));
+
+TEST(TopDownEdgeCases, ZeroCountersProduceZeroCycles) {
+  TopDownModel model(MachineConfig::Broadwell());
+  const ProfileResult r = model.Analyze(CoreCounters{});
+  EXPECT_DOUBLE_EQ(r.total_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(r.bandwidth_gbps, 0.0);
+  EXPECT_DOUBLE_EQ(r.ipc, 0.0);
+}
+
+TEST(TopDownEdgeCases, PureMemoryNoInstructions) {
+  CoreCounters c;
+  c.mem.dram_seq_l2_streamer = 1000;
+  c.mem.dram_demand_bytes_seq = 64000;
+  TopDownModel model(MachineConfig::Broadwell());
+  const ProfileResult r = model.Analyze(c);
+  EXPECT_GT(r.total_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(r.cycles.retiring, 0.0);
+  EXPECT_DOUBLE_EQ(r.cycles.StallRatio(), 1.0);
+}
+
+}  // namespace
+}  // namespace uolap::core

@@ -1,0 +1,113 @@
+// Golden-value regression tests: exact query answers for the canonical
+// (seed 42, sf 0.01) database, pinned as literals. These catch any drift
+// in the generator or the engines' SQL semantics that the differential
+// tests (which compare engines against a reference computed from the same
+// data) cannot see.
+
+#include <gtest/gtest.h>
+
+#include "core/machine.h"
+#include "engines/typer/typer_engine.h"
+#include "tpch/dbgen.h"
+
+namespace uolap {
+namespace {
+
+using engine::JoinSize;
+using engine::Workers;
+
+class GoldenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tpch::DbGen gen(42);
+    db_ = new tpch::Database(std::move(gen.Generate(0.01)).value());
+    typer_ = new typer::TyperEngine(*db_);
+  }
+
+  template <typename Fn>
+  static auto Run(Fn&& fn) {
+    core::Machine machine(core::MachineConfig::Broadwell(), 1);
+    Workers w(machine.core(0));
+    return fn(w);
+  }
+
+  static tpch::Database* db_;
+  static typer::TyperEngine* typer_;
+};
+tpch::Database* GoldenTest::db_ = nullptr;
+typer::TyperEngine* GoldenTest::typer_ = nullptr;
+
+TEST_F(GoldenTest, DatabaseCardinality) {
+  EXPECT_EQ(db_->lineitem.size(), 59853u);
+  EXPECT_EQ(db_->orders.size(), 15000u);
+}
+
+TEST_F(GoldenTest, ProjectionSums) {
+  EXPECT_EQ(Run([&](Workers& w) { return typer_->Projection(w, 1); }),
+            213834133838);
+  EXPECT_EQ(Run([&](Workers& w) { return typer_->Projection(w, 2); }),
+            213834433584);
+  EXPECT_EQ(Run([&](Workers& w) { return typer_->Projection(w, 3); }),
+            213834673228);
+  EXPECT_EQ(Run([&](Workers& w) { return typer_->Projection(w, 4); }),
+            213836198330);
+}
+
+TEST_F(GoldenTest, Q6Revenue) {
+  EXPECT_EQ(Run([&](Workers& w) {
+              return typer_->Q6(w, engine::MakeQ6Params());
+            }),
+            11708151209);
+}
+
+TEST_F(GoldenTest, Q1Groups) {
+  const auto q1 = Run([&](Workers& w) { return typer_->Q1(w); });
+  ASSERT_EQ(q1.rows.size(), 4u);
+  // A/F group.
+  EXPECT_EQ(q1.rows[0].returnflag, 'A');
+  EXPECT_EQ(q1.rows[0].linestatus, 'F');
+  EXPECT_EQ(q1.rows[0].sum_qty, 401684);
+  EXPECT_EQ(q1.rows[0].sum_base_price, 56290598939);
+  EXPECT_EQ(q1.rows[0].sum_disc_price, 53478181951);
+  EXPECT_EQ(q1.rows[0].sum_charge, 55611501398);
+  EXPECT_EQ(q1.rows[0].count, 15770);
+  // N/O group (the largest: lineitems after the Q1 cutoff stay 'N'/'O').
+  EXPECT_EQ(q1.rows[2].returnflag, 'N');
+  EXPECT_EQ(q1.rows[2].linestatus, 'O');
+  EXPECT_EQ(q1.rows[2].sum_qty, 714648);
+  EXPECT_EQ(q1.rows[2].count, 27965);
+}
+
+TEST_F(GoldenTest, Q9FirstGroup) {
+  const auto q9 = Run([&](Workers& w) { return typer_->Q9(w); });
+  ASSERT_EQ(q9.rows.size(), 172u);
+  EXPECT_EQ(q9.rows[0].nation, "ALGERIA");
+  EXPECT_EQ(q9.rows[0].year, 1998);
+  EXPECT_EQ(q9.rows[0].profit, 11940492);
+}
+
+TEST_F(GoldenTest, Q18EmptyAtTinyScale) {
+  // At sf 0.01 no order accumulates > 300 quantity; the pipeline must
+  // handle the empty qualifying set cleanly.
+  const auto q18 = Run([&](Workers& w) { return typer_->Q18(w); });
+  EXPECT_TRUE(q18.rows.empty());
+}
+
+TEST_F(GoldenTest, JoinSums) {
+  EXPECT_EQ(Run([&](Workers& w) { return typer_->Join(w, JoinSize::kSmall); }),
+            44932432);
+  EXPECT_EQ(
+      Run([&](Workers& w) { return typer_->Join(w, JoinSize::kMedium); }),
+      437749255);
+  EXPECT_EQ(
+      Run([&](Workers& w) { return typer_->Join(w, JoinSize::kLarge); }),
+      213836198330);
+}
+
+TEST_F(GoldenTest, GroupByChecksum) {
+  EXPECT_EQ(Run([&](Workers& w) { return typer_->GroupBy(w, 1024); }),
+            -6400746617373934290);
+}
+
+}  // namespace
+}  // namespace uolap
