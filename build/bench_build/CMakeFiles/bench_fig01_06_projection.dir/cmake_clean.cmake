@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_06_projection"
+  "../bench/bench_fig01_06_projection.pdb"
+  "CMakeFiles/bench_fig01_06_projection.dir/bench_fig01_06_projection.cc.o"
+  "CMakeFiles/bench_fig01_06_projection.dir/bench_fig01_06_projection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_06_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

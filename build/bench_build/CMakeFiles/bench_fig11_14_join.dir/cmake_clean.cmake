@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_14_join"
+  "../bench/bench_fig11_14_join.pdb"
+  "CMakeFiles/bench_fig11_14_join.dir/bench_fig11_14_join.cc.o"
+  "CMakeFiles/bench_fig11_14_join.dir/bench_fig11_14_join.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_14_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_16_tpch"
+  "../bench/bench_fig15_16_tpch.pdb"
+  "CMakeFiles/bench_fig15_16_tpch.dir/bench_fig15_16_tpch.cc.o"
+  "CMakeFiles/bench_fig15_16_tpch.dir/bench_fig15_16_tpch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_16_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_21_predication"
+  "../bench/bench_fig17_21_predication.pdb"
+  "CMakeFiles/bench_fig17_21_predication.dir/bench_fig17_21_predication.cc.o"
+  "CMakeFiles/bench_fig17_21_predication.dir/bench_fig17_21_predication.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_21_predication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

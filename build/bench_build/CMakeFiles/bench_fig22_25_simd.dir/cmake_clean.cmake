@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig22_25_simd"
+  "../bench/bench_fig22_25_simd.pdb"
+  "CMakeFiles/bench_fig22_25_simd.dir/bench_fig22_25_simd.cc.o"
+  "CMakeFiles/bench_fig22_25_simd.dir/bench_fig22_25_simd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_25_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

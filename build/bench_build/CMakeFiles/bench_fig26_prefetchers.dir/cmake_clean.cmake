@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig26_prefetchers"
+  "../bench/bench_fig26_prefetchers.pdb"
+  "CMakeFiles/bench_fig26_prefetchers.dir/bench_fig26_prefetchers.cc.o"
+  "CMakeFiles/bench_fig26_prefetchers.dir/bench_fig26_prefetchers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig26_prefetchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

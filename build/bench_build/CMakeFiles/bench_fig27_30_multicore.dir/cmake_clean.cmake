@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig27_30_multicore"
+  "../bench/bench_fig27_30_multicore.pdb"
+  "CMakeFiles/bench_fig27_30_multicore.dir/bench_fig27_30_multicore.cc.o"
+  "CMakeFiles/bench_fig27_30_multicore.dir/bench_fig27_30_multicore.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig27_30_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

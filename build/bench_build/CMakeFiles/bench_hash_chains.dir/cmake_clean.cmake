@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hash_chains"
+  "../bench/bench_hash_chains.pdb"
+  "CMakeFiles/bench_hash_chains.dir/bench_hash_chains.cc.o"
+  "CMakeFiles/bench_hash_chains.dir/bench_hash_chains.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hash_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

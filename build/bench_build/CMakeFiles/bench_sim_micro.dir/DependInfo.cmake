@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sim_micro.cc" "bench_build/CMakeFiles/bench_sim_micro.dir/bench_sim_micro.cc.o" "gcc" "bench_build/CMakeFiles/bench_sim_micro.dir/bench_sim_micro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/uolap_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/typer/CMakeFiles/uolap_typer.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/tectorwise/CMakeFiles/uolap_tectorwise.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/rowstore/CMakeFiles/uolap_rowstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/colstore/CMakeFiles/uolap_colstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/uolap_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/uolap_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/uolap_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/uolap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uolap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

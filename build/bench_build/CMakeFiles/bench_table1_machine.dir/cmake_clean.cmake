@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_machine"
+  "../bench/bench_table1_machine.pdb"
+  "CMakeFiles/bench_table1_machine.dir/bench_table1_machine.cc.o"
+  "CMakeFiles/bench_table1_machine.dir/bench_table1_machine.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

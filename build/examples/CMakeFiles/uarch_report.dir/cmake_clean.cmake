@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_report.dir/uarch_report.cpp.o"
+  "CMakeFiles/uarch_report.dir/uarch_report.cpp.o.d"
+  "uarch_report"
+  "uarch_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

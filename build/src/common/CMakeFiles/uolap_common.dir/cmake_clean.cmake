@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uolap_common.dir/flags.cc.o"
+  "CMakeFiles/uolap_common.dir/flags.cc.o.d"
+  "CMakeFiles/uolap_common.dir/status.cc.o"
+  "CMakeFiles/uolap_common.dir/status.cc.o.d"
+  "CMakeFiles/uolap_common.dir/table_printer.cc.o"
+  "CMakeFiles/uolap_common.dir/table_printer.cc.o.d"
+  "libuolap_common.a"
+  "libuolap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uolap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

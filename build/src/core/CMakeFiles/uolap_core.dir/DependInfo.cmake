@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/branch_predictor.cc" "src/core/CMakeFiles/uolap_core.dir/branch_predictor.cc.o" "gcc" "src/core/CMakeFiles/uolap_core.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/core/cache.cc" "src/core/CMakeFiles/uolap_core.dir/cache.cc.o" "gcc" "src/core/CMakeFiles/uolap_core.dir/cache.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/uolap_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/uolap_core.dir/config.cc.o.d"
+  "/root/repo/src/core/core.cc" "src/core/CMakeFiles/uolap_core.dir/core.cc.o" "gcc" "src/core/CMakeFiles/uolap_core.dir/core.cc.o.d"
+  "/root/repo/src/core/counters.cc" "src/core/CMakeFiles/uolap_core.dir/counters.cc.o" "gcc" "src/core/CMakeFiles/uolap_core.dir/counters.cc.o.d"
+  "/root/repo/src/core/memory_system.cc" "src/core/CMakeFiles/uolap_core.dir/memory_system.cc.o" "gcc" "src/core/CMakeFiles/uolap_core.dir/memory_system.cc.o.d"
+  "/root/repo/src/core/multicore.cc" "src/core/CMakeFiles/uolap_core.dir/multicore.cc.o" "gcc" "src/core/CMakeFiles/uolap_core.dir/multicore.cc.o.d"
+  "/root/repo/src/core/roofline.cc" "src/core/CMakeFiles/uolap_core.dir/roofline.cc.o" "gcc" "src/core/CMakeFiles/uolap_core.dir/roofline.cc.o.d"
+  "/root/repo/src/core/topdown.cc" "src/core/CMakeFiles/uolap_core.dir/topdown.cc.o" "gcc" "src/core/CMakeFiles/uolap_core.dir/topdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/uolap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

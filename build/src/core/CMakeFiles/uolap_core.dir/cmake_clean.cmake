@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uolap_core.dir/branch_predictor.cc.o"
+  "CMakeFiles/uolap_core.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/uolap_core.dir/cache.cc.o"
+  "CMakeFiles/uolap_core.dir/cache.cc.o.d"
+  "CMakeFiles/uolap_core.dir/config.cc.o"
+  "CMakeFiles/uolap_core.dir/config.cc.o.d"
+  "CMakeFiles/uolap_core.dir/core.cc.o"
+  "CMakeFiles/uolap_core.dir/core.cc.o.d"
+  "CMakeFiles/uolap_core.dir/counters.cc.o"
+  "CMakeFiles/uolap_core.dir/counters.cc.o.d"
+  "CMakeFiles/uolap_core.dir/memory_system.cc.o"
+  "CMakeFiles/uolap_core.dir/memory_system.cc.o.d"
+  "CMakeFiles/uolap_core.dir/multicore.cc.o"
+  "CMakeFiles/uolap_core.dir/multicore.cc.o.d"
+  "CMakeFiles/uolap_core.dir/roofline.cc.o"
+  "CMakeFiles/uolap_core.dir/roofline.cc.o.d"
+  "CMakeFiles/uolap_core.dir/topdown.cc.o"
+  "CMakeFiles/uolap_core.dir/topdown.cc.o.d"
+  "libuolap_core.a"
+  "libuolap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uolap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uolap_engine.dir/engine.cc.o"
+  "CMakeFiles/uolap_engine.dir/engine.cc.o.d"
+  "CMakeFiles/uolap_engine.dir/query.cc.o"
+  "CMakeFiles/uolap_engine.dir/query.cc.o.d"
+  "libuolap_engine.a"
+  "libuolap_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uolap_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuolap_engine.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uolap_colstore.dir/colstore_engine.cc.o"
+  "CMakeFiles/uolap_colstore.dir/colstore_engine.cc.o.d"
+  "libuolap_colstore.a"
+  "libuolap_colstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uolap_colstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uolap_rowstore.dir/expr.cc.o"
+  "CMakeFiles/uolap_rowstore.dir/expr.cc.o.d"
+  "CMakeFiles/uolap_rowstore.dir/rowstore_engine.cc.o"
+  "CMakeFiles/uolap_rowstore.dir/rowstore_engine.cc.o.d"
+  "libuolap_rowstore.a"
+  "libuolap_rowstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uolap_rowstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uolap_tectorwise.dir/tw_join.cc.o"
+  "CMakeFiles/uolap_tectorwise.dir/tw_join.cc.o.d"
+  "CMakeFiles/uolap_tectorwise.dir/tw_q18.cc.o"
+  "CMakeFiles/uolap_tectorwise.dir/tw_q18.cc.o.d"
+  "CMakeFiles/uolap_tectorwise.dir/tw_q1q6.cc.o"
+  "CMakeFiles/uolap_tectorwise.dir/tw_q1q6.cc.o.d"
+  "CMakeFiles/uolap_tectorwise.dir/tw_q9.cc.o"
+  "CMakeFiles/uolap_tectorwise.dir/tw_q9.cc.o.d"
+  "CMakeFiles/uolap_tectorwise.dir/tw_scan.cc.o"
+  "CMakeFiles/uolap_tectorwise.dir/tw_scan.cc.o.d"
+  "libuolap_tectorwise.a"
+  "libuolap_tectorwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uolap_tectorwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for uolap_tectorwise.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uolap_typer.dir/typer_join.cc.o"
+  "CMakeFiles/uolap_typer.dir/typer_join.cc.o.d"
+  "CMakeFiles/uolap_typer.dir/typer_q18.cc.o"
+  "CMakeFiles/uolap_typer.dir/typer_q18.cc.o.d"
+  "CMakeFiles/uolap_typer.dir/typer_q1q6.cc.o"
+  "CMakeFiles/uolap_typer.dir/typer_q1q6.cc.o.d"
+  "CMakeFiles/uolap_typer.dir/typer_q9.cc.o"
+  "CMakeFiles/uolap_typer.dir/typer_q9.cc.o.d"
+  "CMakeFiles/uolap_typer.dir/typer_radix_join.cc.o"
+  "CMakeFiles/uolap_typer.dir/typer_radix_join.cc.o.d"
+  "CMakeFiles/uolap_typer.dir/typer_scan.cc.o"
+  "CMakeFiles/uolap_typer.dir/typer_scan.cc.o.d"
+  "libuolap_typer.a"
+  "libuolap_typer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uolap_typer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uolap_harness.dir/context.cc.o"
+  "CMakeFiles/uolap_harness.dir/context.cc.o.d"
+  "CMakeFiles/uolap_harness.dir/profile.cc.o"
+  "CMakeFiles/uolap_harness.dir/profile.cc.o.d"
+  "libuolap_harness.a"
+  "libuolap_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uolap_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uolap_storage.dir/row_store.cc.o"
+  "CMakeFiles/uolap_storage.dir/row_store.cc.o.d"
+  "libuolap_storage.a"
+  "libuolap_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uolap_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uolap_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/uolap_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/uolap_tpch.dir/types.cc.o"
+  "CMakeFiles/uolap_tpch.dir/types.cc.o.d"
+  "libuolap_tpch.a"
+  "libuolap_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uolap_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_shapes_test.dir/calibration_shapes_test.cc.o"
+  "CMakeFiles/calibration_shapes_test.dir/calibration_shapes_test.cc.o.d"
+  "calibration_shapes_test"
+  "calibration_shapes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_multicore_test.dir/core_multicore_test.cc.o"
+  "CMakeFiles/core_multicore_test.dir/core_multicore_test.cc.o.d"
+  "core_multicore_test"
+  "core_multicore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_multicore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

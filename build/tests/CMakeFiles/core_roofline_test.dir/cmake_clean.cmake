@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_roofline_test.dir/core_roofline_test.cc.o"
+  "CMakeFiles/core_roofline_test.dir/core_roofline_test.cc.o.d"
+  "core_roofline_test"
+  "core_roofline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_roofline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

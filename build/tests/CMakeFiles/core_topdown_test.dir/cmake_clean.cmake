@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_topdown_test.dir/core_topdown_test.cc.o"
+  "CMakeFiles/core_topdown_test.dir/core_topdown_test.cc.o.d"
+  "core_topdown_test"
+  "core_topdown_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_topdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

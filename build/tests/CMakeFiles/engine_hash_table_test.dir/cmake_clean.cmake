@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_hash_table_test.dir/engine_hash_table_test.cc.o"
+  "CMakeFiles/engine_hash_table_test.dir/engine_hash_table_test.cc.o.d"
+  "engine_hash_table_test"
+  "engine_hash_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_hash_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

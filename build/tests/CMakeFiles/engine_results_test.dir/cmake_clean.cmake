@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_results_test.dir/engine_results_test.cc.o"
+  "CMakeFiles/engine_results_test.dir/engine_results_test.cc.o.d"
+  "engine_results_test"
+  "engine_results_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_results_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_context_test.dir/harness_context_test.cc.o"
+  "CMakeFiles/harness_context_test.dir/harness_context_test.cc.o.d"
+  "harness_context_test"
+  "harness_context_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_profile_test.dir/harness_profile_test.cc.o"
+  "CMakeFiles/harness_profile_test.dir/harness_profile_test.cc.o.d"
+  "harness_profile_test"
+  "harness_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

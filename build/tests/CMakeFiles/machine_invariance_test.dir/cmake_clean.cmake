@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_invariance_test.dir/machine_invariance_test.cc.o"
+  "CMakeFiles/machine_invariance_test.dir/machine_invariance_test.cc.o.d"
+  "machine_invariance_test"
+  "machine_invariance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_invariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

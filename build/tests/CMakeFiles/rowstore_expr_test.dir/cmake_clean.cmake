@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rowstore_expr_test.dir/rowstore_expr_test.cc.o"
+  "CMakeFiles/rowstore_expr_test.dir/rowstore_expr_test.cc.o.d"
+  "rowstore_expr_test"
+  "rowstore_expr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rowstore_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

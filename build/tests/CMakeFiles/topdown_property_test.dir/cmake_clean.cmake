@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topdown_property_test.dir/topdown_property_test.cc.o"
+  "CMakeFiles/topdown_property_test.dir/topdown_property_test.cc.o.d"
+  "topdown_property_test"
+  "topdown_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topdown_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

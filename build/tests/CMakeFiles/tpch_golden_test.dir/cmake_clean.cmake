@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_golden_test.dir/tpch_golden_test.cc.o"
+  "CMakeFiles/tpch_golden_test.dir/tpch_golden_test.cc.o.d"
+  "tpch_golden_test"
+  "tpch_golden_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

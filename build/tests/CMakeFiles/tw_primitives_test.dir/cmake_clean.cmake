@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tw_primitives_test.dir/tw_primitives_test.cc.o"
+  "CMakeFiles/tw_primitives_test.dir/tw_primitives_test.cc.o.d"
+  "tw_primitives_test"
+  "tw_primitives_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tw_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
