@@ -16,6 +16,7 @@
 #include "common/table_printer.h"
 #include "harness/context.h"
 #include "harness/profile.h"
+#include "harness/sweep.h"
 
 namespace {
 
@@ -47,17 +48,25 @@ int main(int argc, char** argv) {
     std::string label;
     ProfileResult r;
   };
+  // Sweep points are independent simulations, so they run concurrently
+  // (harness::RunSweep); results come back in submission order. The
+  // engines are constructed lazily, so touch them before fanning out.
   auto profile_all = [&](std::vector<OlapEngine*> engines) {
-    std::vector<Cell> cells;
+    struct Job {
+      OlapEngine* engine;
+      int degree;
+    };
+    std::vector<Job> jobs;
     for (OlapEngine* e : engines) {
-      for (int d = 1; d <= 4; ++d) {
-        std::printf("# running %s p%d...\n", e->name().c_str(), d);
-        std::fflush(stdout);
-        cells.push_back({e->name() + " p" + std::to_string(d),
-                         RunProjection(ctx, *e, d)});
-      }
+      for (int d = 1; d <= 4; ++d) jobs.push_back({e, d});
     }
-    return cells;
+    std::printf("# running %zu projection configurations...\n", jobs.size());
+    std::fflush(stdout);
+    return uolap::harness::RunSweep(jobs.size(), [&](size_t i) {
+      const Job& j = jobs[i];
+      return Cell{j.engine->name() + " p" + std::to_string(j.degree),
+                  RunProjection(ctx, *j.engine, j.degree)};
+    });
   };
 
   const std::vector<Cell> comm = profile_all(commercial);

@@ -16,6 +16,7 @@
 #include "engine/query.h"
 #include "harness/context.h"
 #include "harness/profile.h"
+#include "harness/sweep.h"
 
 namespace {
 
@@ -38,22 +39,28 @@ int main(int argc, char** argv) {
     std::string label;
     ProfileResult r;
   };
+  // Sweep points are independent simulations, so they run concurrently
+  // (harness::RunSweep); results come back in submission order. The
+  // engines are constructed lazily, so touch them before fanning out.
   auto profile_all = [&](std::vector<OlapEngine*> engines) {
-    std::vector<Cell> cells;
+    struct Job {
+      OlapEngine* engine;
+      double sel;
+    };
+    std::vector<Job> jobs;
     for (OlapEngine* e : engines) {
-      for (double s : selectivities) {
-        std::printf("# running %s sel=%.0f%%...\n", e->name().c_str(),
-                    s * 100);
-        std::fflush(stdout);
-        const auto params = uolap::engine::MakeSelectionParams(ctx.db(), s);
-        cells.push_back(
-            {e->name() + " " + TablePrinter::Pct(s, 0),
-             ProfileSingle(ctx.machine(), [&](Workers& w) {
-               e->Selection(w, params);
-             })});
-      }
+      for (double s : selectivities) jobs.push_back({e, s});
     }
-    return cells;
+    std::printf("# running %zu selection configurations...\n", jobs.size());
+    std::fflush(stdout);
+    return uolap::harness::RunSweep(jobs.size(), [&](size_t i) {
+      const Job& j = jobs[i];
+      const auto params = uolap::engine::MakeSelectionParams(ctx.db(), j.sel);
+      return Cell{j.engine->name() + " " + TablePrinter::Pct(j.sel, 0),
+                  ProfileSingle(ctx.machine(), [&](Workers& w) {
+                    j.engine->Selection(w, params);
+                  })};
+    });
   };
 
   const std::vector<Cell> comm =

@@ -22,6 +22,7 @@
 #include "engine/query.h"
 #include "harness/context.h"
 #include "harness/profile.h"
+#include "harness/sweep.h"
 
 namespace {
 
@@ -55,19 +56,32 @@ int main(int argc, char** argv) {
     std::string label;
     MultiCoreResult r;
   };
-  std::vector<Cell> tpch_cells;
+  // Each (engine, query) profile is an independent simulation; fan them
+  // out with harness::RunSweep (results come back in submission order).
+  // ProfileMulti's own worker fan-out nests inside the sweep items and
+  // falls back to inline execution there, keeping results deterministic.
+  struct TpchJob {
+    OlapEngine* engine;
+    const std::string* name;
+    const QueryFn* fn;
+  };
+  std::vector<TpchJob> tpch_jobs;
   for (OlapEngine* e :
        std::vector<OlapEngine*>{&ctx.typer(), &ctx.tectorwise()}) {
     for (const auto& [name, fn] : queries) {
-      std::printf("# running %s %s at %d threads...\n", e->name().c_str(),
-                  name.c_str(), max_threads);
-      std::fflush(stdout);
-      tpch_cells.push_back(
-          {e->name() + " " + name,
-           ProfileMulti(ctx.machine(), max_threads,
-                        [&](Workers& w) { fn(*e, w); })});
+      tpch_jobs.push_back({e, &name, &fn});
     }
   }
+  std::printf("# running %zu TPC-H profiles at %d threads...\n",
+              tpch_jobs.size(), max_threads);
+  std::fflush(stdout);
+  const std::vector<Cell> tpch_cells =
+      uolap::harness::RunSweep(tpch_jobs.size(), [&](size_t i) {
+        const TpchJob& j = tpch_jobs[i];
+        return Cell{j.engine->name() + " " + *j.name,
+                    ProfileMulti(ctx.machine(), max_threads,
+                                 [&](Workers& w) { (*j.fn)(*j.engine, w); })};
+      });
 
   {
     TablePrinter t(
@@ -94,18 +108,30 @@ int main(int argc, char** argv) {
   const std::vector<int> thread_counts = {1, 4, 8, 12, 14};
   auto sweep = [&](const std::string& title, const std::string& max_note,
                    auto&& fn) {
+    std::printf("# sweeping %zu thread counts...\n", thread_counts.size());
+    std::fflush(stdout);
+    // Both engines at every thread count, all points concurrent.
+    struct Point {
+      MultiCoreResult typer, tectorwise;
+    };
+    const std::vector<Point> points =
+        uolap::harness::RunSweep(thread_counts.size(), [&](size_t i) {
+          const int n = thread_counts[i];
+          Point pt;
+          pt.typer = ProfileMulti(ctx.machine(), n,
+                                  [&](Workers& w) { fn(ctx.typer(), w); });
+          pt.tectorwise = ProfileMulti(
+              ctx.machine(), n, [&](Workers& w) { fn(ctx.tectorwise(), w); });
+          return pt;
+        });
     TablePrinter t(title);
     t.SetHeader({"threads", "Typer (GB/s)", "Tectorwise (GB/s)", max_note});
-    for (int n : thread_counts) {
-      std::printf("# sweeping %d threads...\n", n);
-      std::fflush(stdout);
-      const MultiCoreResult ty = ProfileMulti(
-          ctx.machine(), n, [&](Workers& w) { fn(ctx.typer(), w); });
-      const MultiCoreResult tw = ProfileMulti(
-          ctx.machine(), n, [&](Workers& w) { fn(ctx.tectorwise(), w); });
+    for (size_t i = 0; i < thread_counts.size(); ++i) {
+      const int n = thread_counts[i];
       t.AddRow({std::to_string(n),
-                TablePrinter::Fmt(ty.socket_bandwidth_gbps, 1),
-                TablePrinter::Fmt(tw.socket_bandwidth_gbps, 1),
+                TablePrinter::Fmt(points[i].typer.socket_bandwidth_gbps, 1),
+                TablePrinter::Fmt(
+                    points[i].tectorwise.socket_bandwidth_gbps, 1),
                 n == thread_counts.front()
                     ? TablePrinter::Fmt(
                           ctx.machine().bandwidth.per_socket_seq_gbps, 0)
@@ -135,14 +161,16 @@ int main(int argc, char** argv) {
     std::printf("# running SIMD join what-if at %d threads...\n",
                 max_threads);
     std::fflush(stdout);
-    const MultiCoreResult scalar_join =
-        ProfileMulti(ctx.machine(), max_threads, [&](Workers& w) {
-          ctx.tectorwise().Join(w, uolap::engine::JoinSize::kLarge);
+    ctx.tectorwise_simd();  // force lazy construction before the sweep
+    const std::vector<MultiCoreResult> whatif =
+        uolap::harness::RunSweep(2, [&](size_t i) {
+          return ProfileMulti(ctx.machine(), max_threads, [&](Workers& w) {
+            (i == 0 ? ctx.tectorwise() : ctx.tectorwise_simd())
+                .Join(w, uolap::engine::JoinSize::kLarge);
+          });
         });
-    const MultiCoreResult simd_join =
-        ProfileMulti(ctx.machine(), max_threads, [&](Workers& w) {
-          ctx.tectorwise_simd().Join(w, uolap::engine::JoinSize::kLarge);
-        });
+    const MultiCoreResult& scalar_join = whatif[0];
+    const MultiCoreResult& simd_join = whatif[1];
     TablePrinter t(
         "Section 10 (text): what-ifs (paper: SIMD raises Tectorwise's "
         "join bandwidth 21 -> 31.5 GB/s; hyper-threading adds ~1.3x)");

@@ -1,9 +1,17 @@
 // google-benchmark performance suite for the simulator itself: these are
 // wall-clock benchmarks of the instrument (how fast the model simulates),
 // used to keep the simulator fast enough for SF >= 1 experiments.
+//
+// After the google-benchmark suite, the binary measures end-to-end
+// simulated tuples/sec for three representative workloads (sequential
+// scan, hash-probe join, multi-core scan) and writes them to
+// BENCH_sim.json in the working directory, so throughput regressions of
+// the instrument are machine-diffable across commits.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <vector>
 
 #include "common/rng.h"
@@ -12,6 +20,8 @@
 #include "core/core.h"
 #include "core/machine.h"
 #include "engine/hash_table.h"
+#include "engines/typer/typer_engine.h"
+#include "harness/profile.h"
 #include "tpch/dbgen.h"
 
 namespace {
@@ -99,6 +109,75 @@ void BM_DbGenLineitemsPerSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_DbGenLineitemsPerSecond);
 
+/// Wall-clock seconds of one invocation of `fn`.
+template <typename Fn>
+double TimeIt(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Simulated-throughput section: drives the real Typer engine through the
+/// harness on a small generated database and reports tuples simulated per
+/// wall-clock second for the three hot-path shapes the runtime optimizes.
+void WriteSimThroughputJson(const char* path) {
+  using uolap::engine::Workers;
+  constexpr double kSf = 0.05;
+  uolap::tpch::DbGen gen(42);
+  const auto db = gen.Generate(kSf);
+  const uolap::core::MachineConfig cfg =
+      uolap::core::MachineConfig::Broadwell();
+  uolap::typer::TyperEngine typer(db.value());
+  const double n = static_cast<double>(db.value().lineitem.size());
+  constexpr int kThreads = 4;
+
+  const double scan_s = TimeIt([&] {
+    uolap::harness::ProfileSingle(
+        cfg, [&](Workers& w) { typer.Projection(w, 4); });
+  });
+  const double probe_s = TimeIt([&] {
+    uolap::harness::ProfileSingle(cfg, [&](Workers& w) {
+      typer.Join(w, uolap::engine::JoinSize::kLarge);
+    });
+  });
+  const double multi_s = TimeIt([&] {
+    uolap::harness::ProfileMulti(
+        cfg, kThreads, [&](Workers& w) { typer.Projection(w, 4); });
+  });
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"scale_factor\": %.2f,\n"
+               "  \"lineitem_tuples\": %.0f,\n"
+               "  \"scan\": {\"wall_s\": %.4f, \"sim_tuples_per_sec\": "
+               "%.0f},\n"
+               "  \"probe\": {\"wall_s\": %.4f, \"sim_tuples_per_sec\": "
+               "%.0f},\n"
+               "  \"multicore\": {\"threads\": %d, \"wall_s\": %.4f, "
+               "\"sim_tuples_per_sec\": %.0f}\n"
+               "}\n",
+               kSf, n, scan_s, n / scan_s, probe_s, n / probe_s, kThreads,
+               multi_s, n * kThreads / multi_s);
+  std::fclose(f);
+  std::printf("wrote %s (scan %.2fM, probe %.2fM, multicore %.2fM "
+              "tuples/s)\n",
+              path, n / scan_s / 1e6, n / probe_s / 1e6,
+              n * kThreads / multi_s / 1e6);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteSimThroughputJson("BENCH_sim.json");
+  return 0;
+}

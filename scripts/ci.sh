@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: builds and tests the tree twice —
+#   1. the normal optimized build (the configuration every figure runs in);
+#   2. a ThreadSanitizer build that runs the test suite through the
+#      parallel runtime (ThreadPool, RunSweep, threaded ProfileMulti), so
+#      data races in engine ForEach bodies fail CI instead of silently
+#      breaking the bit-determinism contract.
+#
+# Usage: scripts/ci.sh [jobs]   (default: nproc)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "=== release build ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "=== thread-sanitizer build ==="
+cmake -B build-tsan -S . -DUOLAP_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS"
+# TSan slows the simulator ~10x; run the suite with a generous timeout.
+(cd build-tsan && ctest --output-on-failure -j "$JOBS" --timeout 1200)
+
+echo "=== ci passed ==="

@@ -1,5 +1,8 @@
 #include "core/cache.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace uolap::core {
 
 namespace {
@@ -13,108 +16,96 @@ SetAssociativeCache::SetAssociativeCache(uint64_t num_sets, uint32_t ways)
       set_mask_(num_sets - 1) {
   UOLAP_CHECK_MSG(num_sets >= 1, "num_sets must be positive");
   UOLAP_CHECK(ways >= 1);
-  lines_.resize(num_sets_ * ways_);
-}
-
-SetAssociativeCache::Line* SetAssociativeCache::Find(uint64_t key) {
-  Line* set = &lines_[SetIndex(key) * ways_];
-  for (uint32_t w = 0; w < ways_; ++w) {
-    if (set[w].valid && set[w].key == key) return &set[w];
+  if (!pow2_sets_) {
+    uint32_t shift = 0;
+    while (((num_sets_ >> shift) & 1) == 0) ++shift;
+    odd_shift_ = shift;
+    odd_ = num_sets_ >> shift;
+    low_mask_ = (1ull << shift) - 1;
+    // floor(2^64 / odd) + 1; exact quotient via MulHi for every
+    // q < 2^64 / e where e = magic * odd - 2^64 (Granlund–Montgomery).
+    // Keys are line addresses (< 2^58) or page numbers, so requiring the
+    // bound to cover 2^58 is sufficient; fall back to a divide otherwise.
+    odd_magic_ = ~0ull / odd_ + 1;
+    const unsigned __int128 e =
+        static_cast<unsigned __int128>(odd_magic_) * odd_ -
+        (static_cast<unsigned __int128>(1) << 64);
+    odd_fast_ =
+        e != 0 && ((static_cast<unsigned __int128>(1) << 64) / e) >=
+                      (static_cast<unsigned __int128>(1) << 58);
   }
-  return nullptr;
+  const uint64_t n = num_sets_ * ways_;
+  tags_ = CallocArray<uint64_t>(n);
+  ts_ = CallocArray<uint64_t>(n);
+  dirty_ = CallocArray<uint8_t>(n);
 }
 
-const SetAssociativeCache::Line* SetAssociativeCache::Find(
-    uint64_t key) const {
-  const Line* set = &lines_[SetIndex(key) * ways_];
-  for (uint32_t w = 0; w < ways_; ++w) {
-    if (set[w].valid && set[w].key == key) return &set[w];
-  }
-  return nullptr;
-}
-
-void SetAssociativeCache::Touch(uint64_t set_index, Line* line,
-                                uint32_t old_rank) {
-  // Age every line younger than `old_rank` by one; make `line` MRU.
-  // For fresh insertions callers pass old_rank == ways_ so that every
-  // resident line ages.
-  Line* set = &lines_[set_index * ways_];
-  for (uint32_t w = 0; w < ways_; ++w) {
-    if (set[w].valid && set[w].lru < old_rank) ++set[w].lru;
-  }
-  line->lru = 0;
-}
-
-bool SetAssociativeCache::Access(uint64_t key, bool is_store) {
-  Line* line = Find(key);
-  if (line == nullptr) {
-    ++misses_;
-    return false;
-  }
-  ++hits_;
-  if (is_store) line->dirty = true;
-  Touch(SetIndex(key), line, line->lru);
-  return true;
-}
-
-CacheAccessResult SetAssociativeCache::Insert(uint64_t key, bool dirty) {
+CacheAccessResult SetAssociativeCache::InsertAt(uint64_t base, uint64_t key,
+                                                bool dirty) {
   CacheAccessResult result;
-  const uint64_t set_index = SetIndex(key);
-  Line* set = &lines_[set_index * ways_];
-
-  if (Line* existing = Find(key); existing != nullptr) {
-    result.hit = true;
-    existing->dirty = existing->dirty || dirty;
-    Touch(set_index, existing, existing->lru);
-    return result;
-  }
-
-  // Pick an invalid way, else the LRU way.
-  Line* victim = nullptr;
-  for (uint32_t w = 0; w < ways_; ++w) {
-    if (!set[w].valid) {
-      victim = &set[w];
-      break;
+  // The victim is the way with the minimum timestamp, first-wins on ties:
+  // invalid ways carry stamp 0 and so are picked (in way order) before any
+  // valid way; otherwise this is true-LRU.
+  uint64_t victim = base;
+  uint64_t victim_ts = ts_[base];
+  for (uint32_t w = 1; w < ways_; ++w) {
+    if (ts_[base + w] < victim_ts) {
+      victim = base + w;
+      victim_ts = ts_[base + w];
     }
-    if (victim == nullptr || set[w].lru > victim->lru) victim = &set[w];
   }
-  if (victim->valid) {
+  if (tags_[victim] != 0) {
     result.evicted = true;
-    result.evicted_dirty = victim->dirty;
-    result.evicted_key = victim->key;
+    result.evicted_dirty = dirty_[victim] != 0;
+    result.evicted_key = tags_[victim] - 1;
   }
-  victim->key = key;
-  victim->valid = true;
-  victim->dirty = dirty;
-  Touch(set_index, victim, ways_);
+  tags_[victim] = key + 1;
+  dirty_[victim] = dirty ? 1 : 0;
+  ts_[victim] = ++clock_;
   return result;
 }
 
-bool SetAssociativeCache::Contains(uint64_t key) const {
-  return Find(key) != nullptr;
+CacheAccessResult SetAssociativeCache::Insert(uint64_t key, bool dirty) {
+  const uint64_t base = SetIndex(key) * ways_;
+  const uint64_t tag = key + 1;
+  for (uint32_t w = 0; w < ways_; ++w) {
+    if (tags_[base + w] == tag) {
+      CacheAccessResult result;
+      result.hit = true;
+      if (dirty) dirty_[base + w] = 1;
+      ts_[base + w] = ++clock_;
+      return result;
+    }
+  }
+  return InsertAt(base, key, dirty);
 }
 
-bool SetAssociativeCache::MarkDirty(uint64_t key) {
-  Line* line = Find(key);
-  if (line == nullptr) return false;
-  line->dirty = true;
-  return true;
+CacheAccessResult SetAssociativeCache::InsertAbsent(uint64_t key,
+                                                    bool dirty) {
+  UOLAP_DCHECK(Find(key) < 0);
+  return InsertAt(SetIndex(key) * ways_, key, dirty);
 }
 
 bool SetAssociativeCache::Invalidate(uint64_t key, bool* was_dirty) {
-  Line* line = Find(key);
-  if (line == nullptr) {
+  const int64_t i = Find(key);
+  if (i < 0) {
     if (was_dirty != nullptr) *was_dirty = false;
     return false;
   }
-  if (was_dirty != nullptr) *was_dirty = line->dirty;
-  line->valid = false;
-  line->dirty = false;
+  const uint64_t u = static_cast<uint64_t>(i);
+  if (was_dirty != nullptr) *was_dirty = dirty_[u] != 0;
+  tags_[u] = 0;
+  ts_[u] = 0;
+  dirty_[u] = 0;
   return true;
 }
 
 void SetAssociativeCache::Clear() {
-  for (Line& line : lines_) line = Line{};
+  const uint64_t n = num_sets_ * ways_;
+  std::memset(tags_.get(), 0, n * sizeof(uint64_t));
+  std::memset(ts_.get(), 0, n * sizeof(uint64_t));
+  std::memset(dirty_.get(), 0, n * sizeof(uint8_t));
+  clock_ = 0;
 }
 
 }  // namespace uolap::core

@@ -1,9 +1,10 @@
 #ifndef UOLAP_CORE_CACHE_H_
 #define UOLAP_CORE_CACHE_H_
 
+#include <bit>
 #include <cstdint>
-#include <string>
-#include <vector>
+#include <cstdlib>
+#include <memory>
 
 #include "common/macros.h"
 
@@ -27,27 +28,54 @@ struct CacheAccessResult {
 /// are split so the memory system can walk the hierarchy, decide where the
 /// line came from, and then fill the upper levels (modelling demand fills
 /// and writeback propagation explicitly).
+///
+/// This sits on the simulator's hottest path (one tag scan per simulated
+/// line access, several per miss), so the state is laid out
+/// structure-of-arrays — tag scans touch one dense array — and backed by
+/// calloc, whose zero pages the OS maps lazily: constructing a multi-MB L3
+/// image costs nothing until its sets are actually touched.
 class SetAssociativeCache {
  public:
   /// `num_sets` and `ways` define the geometry; both must be >= 1.
   /// Power-of-two set counts index with a mask; others (sliced LLCs) use
-  /// modulo.
+  /// an exact multiply-shift reduction (see SetIndex).
   SetAssociativeCache(uint64_t num_sets, uint32_t ways);
 
   /// Looks up `key`. On a hit, promotes the line to MRU and (for stores)
   /// marks it dirty.
-  bool Access(uint64_t key, bool is_store);
+  bool Access(uint64_t key, bool is_store) {
+    const int64_t i = Find(key);
+    if (i < 0) {
+      ++misses_;
+      return false;
+    }
+    ++hits_;
+    if (is_store) dirty_[static_cast<uint64_t>(i)] = 1;
+    ts_[static_cast<uint64_t>(i)] = ++clock_;
+    return true;
+  }
 
   /// Inserts `key` as MRU. Returns eviction information so the caller can
   /// propagate dirty writebacks down the hierarchy. Inserting a key that is
   /// already present just promotes it.
   CacheAccessResult Insert(uint64_t key, bool dirty);
 
+  /// Insert for a key the caller has just proven absent (a failed Access,
+  /// MarkDirty, or Contains on this cache with no intervening inserts):
+  /// skips Insert's residency re-check but is otherwise exactly
+  /// Insert(key, dirty).
+  CacheAccessResult InsertAbsent(uint64_t key, bool dirty);
+
   /// True if `key` is currently resident (no LRU update; used by tests).
-  bool Contains(uint64_t key) const;
+  bool Contains(uint64_t key) const { return Find(key) >= 0; }
 
   /// Marks `key` dirty if resident. Returns whether it was resident.
-  bool MarkDirty(uint64_t key);
+  bool MarkDirty(uint64_t key) {
+    const int64_t i = Find(key);
+    if (i < 0) return false;
+    dirty_[static_cast<uint64_t>(i)] = 1;
+    return true;
+  }
 
   /// Invalidates `key` if resident; returns whether the line was dirty.
   bool Invalidate(uint64_t key, bool* was_dirty);
@@ -62,27 +90,77 @@ class SetAssociativeCache {
   void ResetStats() { hits_ = misses_ = 0; }
 
  private:
-  struct Line {
-    uint64_t key = 0;
-    bool valid = false;
-    bool dirty = false;
-    uint32_t lru = 0;  // 0 == MRU; higher == older
+  // State is three parallel arrays indexed set-major (set * ways + way):
+  //  - tags_ stores key + 1, with 0 meaning "invalid way" (keys are line
+  //    or page numbers, so key + 1 never wraps);
+  //  - ts_ stores the last-touch tick of the monotonic per-cache clock
+  //    (0 == never touched). True LRU: every touch stamps a fresh tick and
+  //    the victim is the minimum stamp in the set — invalid ways carry
+  //    stamp 0 and therefore win victim selection automatically, with the
+  //    same first-wins tie-break as an explicit invalid-way scan;
+  //  - dirty_ carries the per-line dirty bit.
+  struct FreeDeleter {
+    void operator()(void* p) const { std::free(p); }
   };
+  template <typename T>
+  using Array = std::unique_ptr<T[], FreeDeleter>;
 
-  uint64_t SetIndex(uint64_t key) const {
-    // Power-of-two geometries (L1/L2/TLBs) use the fast mask; sliced LLCs
-    // like Broadwell's 35 MB L3 (28672 sets) fall back to modulo.
-    return pow2_sets_ ? (key & set_mask_) : (key % num_sets_);
+  template <typename T>
+  static Array<T> CallocArray(uint64_t n) {
+    void* p = std::calloc(n, sizeof(T));
+    UOLAP_CHECK_MSG(p != nullptr, "cache tag array allocation failed");
+    return Array<T>(static_cast<T*>(p));
   }
-  Line* Find(uint64_t key);
-  const Line* Find(uint64_t key) const;
-  void Touch(uint64_t set_index, Line* line, uint32_t old_rank);
+
+  static uint64_t MulHi(uint64_t a, uint64_t b) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(a) * b) >> 64);
+  }
+
+  /// Set index of `key`. Power-of-two geometries (L1/L2/TLBs) use the fast
+  /// mask; sliced LLCs like Broadwell's 35 MB L3 (28672 sets) reduce
+  /// modulo num_sets without a hardware divide: with num_sets = odd << s,
+  ///   key % num_sets == ((key >> s) % odd) << s | (key & (2^s - 1)),
+  /// and the odd-part modulo uses a Granlund–Montgomery multiply-shift
+  /// reciprocal, exact for every key the simulator can produce (verified
+  /// against the error bound at construction, with a divide fallback).
+  uint64_t SetIndex(uint64_t key) const {
+    if (pow2_sets_) return key & set_mask_;
+    const uint64_t q = key >> odd_shift_;
+    const uint64_t quot = odd_fast_ ? MulHi(q, odd_magic_) : q / odd_;
+    return ((q - quot * odd_) << odd_shift_) | (key & low_mask_);
+  }
+
+  /// Line index of `key` if resident, else -1. An early-exit scan over
+  /// the set's dense tag array; this is the single hottest loop in the
+  /// simulator (measured faster than a fixed-trip bitmask scan here —
+  /// the not-taken compare branches predict essentially perfectly).
+  int64_t Find(uint64_t key) const {
+    const uint64_t base = SetIndex(key) * ways_;
+    const uint64_t tag = key + 1;
+    for (uint32_t w = 0; w < ways_; ++w) {
+      if (tags_[base + w] == tag) return static_cast<int64_t>(base + w);
+    }
+    return -1;
+  }
+
+  CacheAccessResult InsertAt(uint64_t base, uint64_t key, bool dirty);
 
   uint64_t num_sets_;
   uint32_t ways_;
   bool pow2_sets_;
   uint64_t set_mask_;
-  std::vector<Line> lines_;  // num_sets_ * ways_, set-major
+  // Non-power-of-two reduction state: num_sets_ == odd_ << odd_shift_.
+  uint64_t odd_ = 1;
+  uint64_t odd_magic_ = 0;
+  uint64_t low_mask_ = 0;
+  uint32_t odd_shift_ = 0;
+  bool odd_fast_ = false;
+
+  Array<uint64_t> tags_;
+  Array<uint64_t> ts_;
+  Array<uint8_t> dirty_;
+  uint64_t clock_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

@@ -22,9 +22,29 @@ struct CodeRegion {
   uint64_t footprint_bytes = 2048;
 };
 
+/// Caller-held state for the batched range-access fast path
+/// (`Core::LoadRange`/`StoreRange`): remembers the cache line the stream
+/// touched last so consecutive ranges over the same array coalesce into
+/// one simulated line walk per line. Keep one cursor per (array, scan)
+/// stream — a ColumnView owns one per view; vectorized primitives keep one
+/// per input array.
+struct SeqCursor {
+  static constexpr uint64_t kNoLine = ~0ull;
+  uint64_t line = kNoLine;
+  bool dirty = false;
+
+  void Reset() {
+    line = kNoLine;
+    dirty = false;
+  }
+};
+
 /// Per-thread execution façade the engines drive. Contract:
 ///  - `Load`/`Store` for every data access (they auto-count the memory
 ///    instructions and drive the cache/TLB/prefetcher model);
+///  - `LoadSeq`/`StoreSeq` (or the cursor-based `LoadRange`/`StoreRange`)
+///    for *sequential element runs* — counter-equivalent to the per-element
+///    calls but walking the simulated hierarchy once per cache line;
 ///  - `Branch` for every *data-dependent* branch (predicates, hash-chain
 ///    checks) — it drives the gshare predictor;
 ///  - `Retire` for everything else (ALU work, loop overhead, perfectly
@@ -57,6 +77,41 @@ class Core {
     AccessFiltered(reinterpret_cast<uint64_t>(p), bytes, /*is_store=*/true);
   }
 
+  /// --- batched sequential access (hot-path fast lane) ------------------
+  /// `LoadSeq(p, esz, count)` is counter-equivalent to
+  ///   `for (i in [0, count)) Load(p + i * esz, esz)`
+  /// — same instruction mix, same filter-state transitions, same per-line
+  /// hierarchy walks — but the per-element filter checks of a run of
+  /// same-line elements collapse into one check plus a bulk counter add.
+  /// The equivalence is exact whenever no other access interleaves inside
+  /// the call (which is what "one call" means); core_batched_access_test
+  /// asserts it bit-for-bit, straddles and page crossings included.
+  void LoadSeq(const void* p, uint32_t elem_bytes, uint64_t count) {
+    AccessSeq(reinterpret_cast<uint64_t>(p), elem_bytes, count,
+              /*is_store=*/false);
+  }
+  void StoreSeq(void* p, uint32_t elem_bytes, uint64_t count) {
+    AccessSeq(reinterpret_cast<uint64_t>(p), elem_bytes, count,
+              /*is_store=*/true);
+  }
+
+  /// Cursor-based variant for scan loops that interleave several arrays:
+  /// the caller-held `SeqCursor` replaces the shared 16-slot filter as the
+  /// "recently touched line" memo for this one stream, so the batched path
+  /// is immune to two interleaved arrays aliasing onto the same filter
+  /// slot (an artifact of the small filter, not of real caches). Identical
+  /// counters to the per-element path whenever no such aliasing occurs.
+  void LoadRange(SeqCursor& cur, const void* p, uint32_t elem_bytes,
+                 uint64_t count) {
+    AccessRange(cur, reinterpret_cast<uint64_t>(p), elem_bytes, count,
+                /*is_store=*/false);
+  }
+  void StoreRange(SeqCursor& cur, void* p, uint32_t elem_bytes,
+                  uint64_t count) {
+    AccessRange(cur, reinterpret_cast<uint64_t>(p), elem_bytes, count,
+                /*is_store=*/true);
+  }
+
   /// --- branch side -----------------------------------------------------
   /// Returns true if the simulated predictor mispredicted.
   bool Branch(uint32_t site_id, bool taken) {
@@ -75,7 +130,10 @@ class Core {
     Retire(per_iter.Scaled(n));
   }
 
-  void SetCodeRegion(const CodeRegion& region) { region_ = region; }
+  void SetCodeRegion(const CodeRegion& region) {
+    region_ = region;
+    RecomputeIfetchFractions();
+  }
   const CodeRegion& code_region() const { return region_; }
 
   void SetMlpHint(double mlp) { memory_.SetMlpHint(mlp); }
@@ -123,6 +181,17 @@ class Core {
     memory_.AccessDataLine(line, is_store);
   }
 
+  void AccessSeq(uint64_t addr, uint32_t elem_bytes, uint64_t count,
+                 bool is_store);
+  void AccessRange(SeqCursor& cur, uint64_t addr, uint32_t elem_bytes,
+                   uint64_t count, bool is_store);
+  /// Shared by the constructor and Reset(): an empty filter.
+  void ResetFilter();
+  /// Re-derives the per-level I-fetch fractions for the current code
+  /// region (they change only on SetCodeRegion, so Retire need not
+  /// redo the divides; hoisting them is bit-exact).
+  void RecomputeIfetchFractions();
+
   const MachineConfig config_;
   MemorySystem memory_;
   BranchPredictor predictor_;
@@ -138,7 +207,22 @@ class Core {
   uint64_t branch_mispredicts_ = 0;
   double exec_stall_cycles_ = 0;
 
+  // Exact reciprocals of power-of-two port counts (0.0 = not a power of
+  // two, divide instead); see RecipIfPow2 in core.cc.
+  double inv_alu_ = 0;
+  double inv_mul_ = 0;
+  double inv_load_ = 0;
+  double inv_store_ = 0;
+  double inv_agu_ = 0;
+  double inv_simd_ = 0;
+  double inv_issue_ = 0;
+
   CodeRegion region_{"default", 2048};
+  // Per-level I-fetch line fractions of region_ (RecomputeIfetchFractions).
+  double ifrac_l1_ = 0;
+  double ifrac_l2_ = 0;
+  double ifrac_l3_ = 0;
+  double ifrac_dram_ = 0;
   // Analytic I-fetch accumulators (flushed in Finalize()).
   double ifetch_l1_ = 0;
   double ifetch_l2_ = 0;

@@ -1,6 +1,7 @@
 #include "core/memory_system.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/macros.h"
 
@@ -27,6 +28,30 @@ MemorySystem::MemorySystem(const MachineConfig& config)
       stlb_(config.stlb_entries / config.stlb_ways, config.stlb_ways),
       page_shift_(Log2Exact(config.page_bytes)) {
   UOLAP_CHECK(page_shift_ > kLineShift);
+  // The seq-access residuals divide by compile-time MLP constants, which
+  // IEEE forbids the compiler from strength-reducing itself — precompute
+  // them (bit-exact: identical operands, identical quotient bits).
+  const double dram_lat = config_.DramCycles();
+  l2_seq_cov_cost_ =
+      kCoveredUpperLevelResidual * config_.L2HitCycles() / kSeqResidualMlp;
+  l2_seq_unc_cost_ = 1.0 * config_.L2HitCycles() / kSeqResidualMlp;
+  l3_seq_cov_cost_ =
+      kCoveredUpperLevelResidual * config_.L3HitCycles() / kSeqResidualMlp;
+  l3_seq_unc_cost_ = 1.0 * config_.L3HitCycles() / kSeqResidualMlp;
+  dram_l1s_cost_ = (1.0 - kL1StreamerHideFraction) * dram_lat / kSeqResidualMlp;
+  dram_nl_cost_ = (1.0 - kNextLineHideFraction) * dram_lat / kSeqNoPfMlp;
+  dram_unc_cost_ = dram_lat / kSeqNoPfMlp;
+  stream_startup_cost_ = dram_lat / kStreamStartupMlp;
+  RecomputeMlpCosts();
+}
+
+void MemorySystem::RecomputeMlpCosts() {
+  stlb_cost_ = config_.stlb_hit_cycles / mlp_hint_;
+  page_walk_cost_ = config_.page_walk_cycles / mlp_hint_;
+  chase_cost_ = kL1ChaseCycles / mlp_hint_;
+  l2_rand_cost_ = config_.L2HitCycles() / mlp_hint_;
+  l3_rand_cost_ = config_.L3HitCycles() / mlp_hint_;
+  dram_rand_cost_ = config_.DramCycles() / mlp_hint_;
 }
 
 void MemorySystem::Reset() {
@@ -36,104 +61,119 @@ void MemorySystem::Reset() {
   l3_.Clear();
   dtlb_.Clear();
   stlb_.Clear();
-  for (auto& s : streams_) s = StreamEntry{};
+  stream_next_fwd_.fill(0);
+  stream_next_bwd_.fill(0);
+  stream_ts_.fill(0);
+  stream_run_.fill(0);
+  stream_dir_.fill(0);
+  stream_valid_.fill(0);
+  stream_last_fill_dram_.fill(0);
+  stream_clock_ = 0;
+  matched_stream_ = -1;
   counters_ = MemCounters{};
   mlp_hint_ = kMlpDefault;
+  RecomputeMlpCosts();
 }
 
-void MemorySystem::TouchStream(int index, uint32_t old_rank) {
-  for (auto& s : streams_) {
-    if (s.valid && s.lru < old_rank) ++s.lru;
-  }
-  streams_[static_cast<size_t>(index)].lru = 0;
-}
-
-void MemorySystem::KillStream(StreamEntry* entry) {
-  if (entry->valid && entry->Established() && entry->last_fill_dram &&
-      config_.prefetchers.AnyStreamer()) {
+void MemorySystem::KillStream(int index) {
+  const size_t u = static_cast<size_t>(index);
+  if (stream_valid_[u] && StreamEstablished(index) &&
+      stream_last_fill_dram_[u] && config_.prefetchers.AnyStreamer()) {
     // The streamer had run ahead of the dying stream; those prefetched
     // lines are never consumed. This is the "unnecessary memory traffic"
     // of the paper's Fig. 21/24 discussion.
-    const uint64_t waste =
-        std::min<uint64_t>(entry->run, static_cast<uint64_t>(kStreamerWasteLines));
+    const uint64_t waste = std::min<uint64_t>(
+        stream_run_[u], static_cast<uint64_t>(kStreamerWasteLines));
     counters_.dram_prefetch_waste_bytes += waste * 64;
     ++counters_.streams_killed;
   }
-  *entry = StreamEntry{};
+  stream_next_fwd_[u] = 0;
+  stream_next_bwd_[u] = 0;
+  stream_ts_[u] = 0;  // ts 0 == free slot; see victim scan in UpdateStreams
+  stream_run_[u] = 0;
+  stream_dir_[u] = 0;
+  stream_valid_[u] = 0;
+  stream_last_fill_dram_[u] = 0;
 }
 
 bool MemorySystem::UpdateStreams(uint64_t line, bool* is_reaccess) {
   *is_reaccess = false;
-  StreamEntry* invalid_victim = nullptr;
-  StreamEntry* lru_victim = nullptr;
+  constexpr uint64_t kTol = static_cast<uint64_t>(kStreamSkipTolerance);
+  // First-match scan in table order; the subtractions deliberately wrap:
+  // line - next_fwd <= tol  <=>  next_fwd <= line <= next_fwd + tol.
   int matched = -1;
   for (int i = 0; i < kStreamTableEntries; ++i) {
-    StreamEntry& s = streams_[static_cast<size_t>(i)];
-    if (!s.valid) {
-      if (invalid_victim == nullptr) invalid_victim = &s;
-      continue;
-    }
-    if (line + 1 == s.next_fwd) {
-      // Re-access of the stream's current line (e.g. several elements of
-      // the same cache line arriving at line granularity, or a hot
-      // aggregation line being hammered). Not an advance.
-      *is_reaccess = true;
+    const size_t u = static_cast<size_t>(i);
+    if (!stream_valid_[u]) continue;
+    const int8_t dir = stream_dir_[u];
+    const bool re = line + 1 == stream_next_fwd_[u];
+    const bool fwd = dir >= 0 && line - stream_next_fwd_[u] <= kTol;
+    const bool bwd = dir <= 0 && stream_next_bwd_[u] - line <= kTol;
+    if (re || fwd || bwd) {
       matched = i;
       break;
-    }
-    // Hardware streamers track both ascending and descending sequences;
-    // the direction is locked in by the second matching access. Small
-    // skips are tolerated; skipped lines were prefetched but never
-    // consumed (wasted bandwidth — the paper's "most confusing"
-    // mid-selectivity traffic).
-    const bool fwd_match = s.dir >= 0 && line >= s.next_fwd &&
-                           line <= s.next_fwd + kStreamSkipTolerance;
-    const bool bwd_match = s.dir <= 0 && line <= s.next_bwd &&
-                           line + kStreamSkipTolerance >= s.next_bwd;
-    if (fwd_match || bwd_match) {
-      const uint64_t skipped =
-          fwd_match ? line - s.next_fwd : s.next_bwd - line;
-      if (skipped > 0 && s.Established() && s.last_fill_dram &&
-          config_.prefetchers.AnyStreamer()) {
-        counters_.dram_prefetch_waste_bytes += skipped * 64;
-      }
-      s.dir = fwd_match ? 1 : -1;
-      s.next_fwd = line + 1;
-      s.next_bwd = line - 1;
-      const bool was_established = s.Established();
-      ++s.run;
-      if (!was_established && s.Established()) {
-        ++counters_.streams_established;
-        newly_established_ = true;
-      }
-      matched = i;
-      break;
-    }
-    if (lru_victim == nullptr || s.lru > lru_victim->lru) {
-      lru_victim = &s;
     }
   }
 
   if (matched >= 0) {
-    TouchStream(matched, streams_[static_cast<size_t>(matched)].lru);
+    const size_t u = static_cast<size_t>(matched);
+    if (line + 1 == stream_next_fwd_[u]) {
+      // Re-access of the stream's current line (e.g. several elements of
+      // the same cache line arriving at line granularity, or a hot
+      // aggregation line being hammered). Not an advance.
+      *is_reaccess = true;
+    } else {
+      // Hardware streamers track both ascending and descending sequences;
+      // the direction is locked in by the second matching access. Small
+      // skips are tolerated; skipped lines were prefetched but never
+      // consumed (wasted bandwidth — the paper's "most confusing"
+      // mid-selectivity traffic).
+      const bool fwd_match =
+          stream_dir_[u] >= 0 && line - stream_next_fwd_[u] <= kTol;
+      const uint64_t skipped =
+          fwd_match ? line - stream_next_fwd_[u] : stream_next_bwd_[u] - line;
+      if (skipped > 0 && StreamEstablished(matched) &&
+          stream_last_fill_dram_[u] && config_.prefetchers.AnyStreamer()) {
+        counters_.dram_prefetch_waste_bytes += skipped * 64;
+      }
+      stream_dir_[u] = fwd_match ? 1 : -1;
+      stream_next_fwd_[u] = line + 1;
+      stream_next_bwd_[u] = line - 1;
+      const bool was_established = StreamEstablished(matched);
+      ++stream_run_[u];
+      if (!was_established && StreamEstablished(matched)) {
+        ++counters_.streams_established;
+        newly_established_ = true;
+      }
+    }
+    TouchStream(matched);
     matched_stream_ = matched;
-    return streams_[static_cast<size_t>(matched)].Established();
+    return StreamEstablished(matched);
   }
 
   // No stream matched: allocate a fresh detector entry, preferring an
-  // invalid slot over evicting a live stream.
-  StreamEntry* victim =
-      invalid_victim != nullptr ? invalid_victim : lru_victim;
-  UOLAP_DCHECK(victim != nullptr);
+  // invalid slot over evicting a live stream. Free slots carry stamp 0
+  // (the clock starts at 1), so the minimum-stamp scan with first-wins
+  // ties picks the first invalid slot when one exists and the true LRU
+  // stream otherwise.
+  int victim = 0;
+  uint64_t victim_ts = stream_ts_[0];
+  for (int i = 1; i < kStreamTableEntries; ++i) {
+    if (stream_ts_[static_cast<size_t>(i)] < victim_ts) {
+      victim = i;
+      victim_ts = stream_ts_[static_cast<size_t>(i)];
+    }
+  }
   KillStream(victim);
-  victim->valid = true;
-  victim->next_fwd = line + 1;
-  victim->next_bwd = line - 1;
-  victim->dir = 0;
-  victim->run = 1;
-  victim->last_fill_dram = false;
-  matched_stream_ = static_cast<int>(victim - streams_.data());
-  TouchStream(matched_stream_, static_cast<uint32_t>(kStreamTableEntries));
+  const size_t v = static_cast<size_t>(victim);
+  stream_valid_[v] = 1;
+  stream_next_fwd_[v] = line + 1;
+  stream_next_bwd_[v] = line - 1;
+  stream_dir_[v] = 0;
+  stream_run_[v] = 1;
+  stream_last_fill_dram_[v] = 0;
+  matched_stream_ = victim;
+  TouchStream(matched_stream_);
   return false;
 }
 
@@ -154,30 +194,35 @@ int MemorySystem::WalkData(uint64_t line, bool is_store) {
 void MemorySystem::FillUpperLevels(uint64_t line, bool is_store,
                                    int from_level) {
   // Fill order is outside-in so that evictions cascade naturally.
+  // Every fill below is for a key just proven absent — a failed Access on
+  // that level, or a failed MarkDirty in a writeback chain — so the
+  // residency re-check inside Insert is skipped via InsertAbsent.
   if (from_level >= 4) {
-    CacheAccessResult ev3 = l3_.Insert(line, /*dirty=*/false);
+    CacheAccessResult ev3 = l3_.InsertAbsent(line, /*dirty=*/false);
     if (ev3.evicted && ev3.evicted_dirty) {
       counters_.dram_writeback_bytes += 64;
     }
   }
   if (from_level >= 3) {
-    CacheAccessResult ev2 = l2_.Insert(line, /*dirty=*/false);
+    CacheAccessResult ev2 = l2_.InsertAbsent(line, /*dirty=*/false);
     if (ev2.evicted && ev2.evicted_dirty) {
       if (!l3_.MarkDirty(ev2.evicted_key)) {
-        CacheAccessResult ev3 = l3_.Insert(ev2.evicted_key, /*dirty=*/true);
+        CacheAccessResult ev3 =
+            l3_.InsertAbsent(ev2.evicted_key, /*dirty=*/true);
         if (ev3.evicted && ev3.evicted_dirty) {
           counters_.dram_writeback_bytes += 64;
         }
       }
     }
   }
-  CacheAccessResult ev1 = l1d_.Insert(line, /*dirty=*/is_store);
+  CacheAccessResult ev1 = l1d_.InsertAbsent(line, /*dirty=*/is_store);
   if (ev1.evicted && ev1.evicted_dirty) {
     if (!l2_.MarkDirty(ev1.evicted_key)) {
-      CacheAccessResult ev2 = l2_.Insert(ev1.evicted_key, /*dirty=*/true);
+      CacheAccessResult ev2 = l2_.InsertAbsent(ev1.evicted_key, /*dirty=*/true);
       if (ev2.evicted && ev2.evicted_dirty) {
         if (!l3_.MarkDirty(ev2.evicted_key)) {
-          CacheAccessResult ev3 = l3_.Insert(ev2.evicted_key, /*dirty=*/true);
+          CacheAccessResult ev3 =
+              l3_.InsertAbsent(ev2.evicted_key, /*dirty=*/true);
           if (ev3.evicted && ev3.evicted_dirty) {
             counters_.dram_writeback_bytes += 64;
           }
@@ -196,13 +241,13 @@ void MemorySystem::AccessDataLine(uint64_t line, bool is_store) {
     ++counters_.dtlb_hits;
   } else if (stlb_.Access(page, /*is_store=*/false)) {
     ++counters_.stlb_hits;
-    counters_.tlb_cycles += config_.stlb_hit_cycles / mlp_hint_;
-    dtlb_.Insert(page, /*dirty=*/false);
+    counters_.tlb_cycles += stlb_cost_;
+    dtlb_.InsertAbsent(page, /*dirty=*/false);
   } else {
     ++counters_.page_walks;
-    counters_.tlb_cycles += config_.page_walk_cycles / mlp_hint_;
-    stlb_.Insert(page, /*dirty=*/false);
-    dtlb_.Insert(page, /*dirty=*/false);
+    counters_.tlb_cycles += page_walk_cost_;
+    stlb_.InsertAbsent(page, /*dirty=*/false);
+    dtlb_.InsertAbsent(page, /*dirty=*/false);
   }
 
   // --- stream detection (prefetcher training happens on the demand
@@ -214,13 +259,13 @@ void MemorySystem::AccessDataLine(uint64_t line, bool is_store) {
   // --- hierarchy walk ---
   const int level = WalkData(line, is_store);
   if (matched_stream_ >= 0) {
-    streams_[static_cast<size_t>(matched_stream_)].last_fill_dram =
-        (level == 4);
+    stream_last_fill_dram_[static_cast<size_t>(matched_stream_)] =
+        (level == 4) ? 1 : 0;
   }
 
-  // --- access costing ---
+  // --- access costing --- (all quotients precomputed; see
+  //     RecomputeMlpCosts for why that is bit-exact)
   const PrefetcherConfig& pf = config_.prefetchers;
-  const double dram_lat = config_.DramCycles();
   switch (level) {
     case 1:
       ++counters_.l1d_hits;
@@ -228,39 +273,33 @@ void MemorySystem::AccessDataLine(uint64_t line, bool is_store) {
         // Random-access L1 hits model dependent pointer chases (hash
         // bucket -> entry). VTune attributes these to core-bound
         // (Execution), not memory-bound.
-        counters_.exec_chase_cycles += kL1ChaseCycles / mlp_hint_;
+        counters_.exec_chase_cycles += chase_cost_;
       }
       break;
-    case 2: {
+    case 2:
       ++counters_.l2_hits;
-      const double lat = config_.L2HitCycles();
       if (is_seq) {
         ++counters_.l2_hits_seq;
         const bool covered = pf.l1_streamer || pf.l1_next_line;
         counters_.seq_residual_cycles +=
-            (covered ? kCoveredUpperLevelResidual : 1.0) * lat /
-            kSeqResidualMlp;
+            covered ? l2_seq_cov_cost_ : l2_seq_unc_cost_;
       } else {
         ++counters_.l2_hits_rand;
-        counters_.rand_dcache_cycles += lat / mlp_hint_;
+        counters_.rand_dcache_cycles += l2_rand_cost_;
       }
       break;
-    }
-    case 3: {
+    case 3:
       ++counters_.l3_hits;
-      const double lat = config_.L3HitCycles();
       if (is_seq) {
         ++counters_.l3_hits_seq;
         const bool covered = pf.l2_streamer || pf.l2_next_line || pf.l1_streamer;
         counters_.seq_residual_cycles +=
-            (covered ? kCoveredUpperLevelResidual : 1.0) * lat /
-            kSeqResidualMlp;
+            covered ? l3_seq_cov_cost_ : l3_seq_unc_cost_;
       } else {
         ++counters_.l3_hits_rand;
-        counters_.rand_dcache_cycles += lat / mlp_hint_;
+        counters_.rand_dcache_cycles += l3_rand_cost_;
       }
       break;
-    }
     case 4:
       ++counters_.dram_lines;
       if (is_seq) {
@@ -271,20 +310,18 @@ void MemorySystem::AccessDataLine(uint64_t line, bool is_store) {
           ++counters_.dram_seq_l2_streamer;
         } else if (pf.l1_streamer) {
           ++counters_.dram_seq_l1_streamer;
-          counters_.seq_residual_cycles +=
-              (1.0 - kL1StreamerHideFraction) * dram_lat / kSeqResidualMlp;
+          counters_.seq_residual_cycles += dram_l1s_cost_;
         } else if (pf.AnyNextLine()) {
           ++counters_.dram_seq_next_line;
-          counters_.seq_residual_cycles +=
-              (1.0 - kNextLineHideFraction) * dram_lat / kSeqNoPfMlp;
+          counters_.seq_residual_cycles += dram_nl_cost_;
         } else {
           ++counters_.dram_seq_uncovered;
-          counters_.seq_residual_cycles += dram_lat / kSeqNoPfMlp;
+          counters_.seq_residual_cycles += dram_unc_cost_;
         }
       } else {
         ++counters_.dram_rand;
         counters_.dram_demand_bytes_rand += 64;
-        counters_.rand_dcache_cycles += dram_lat / mlp_hint_;
+        counters_.rand_dcache_cycles += dram_rand_cost_;
       }
       break;
     default:
@@ -294,24 +331,24 @@ void MemorySystem::AccessDataLine(uint64_t line, bool is_store) {
   if (newly_established_ && level == 4) {
     // A fresh stream pays (mostly unoverlapped) DRAM latency until the
     // streamer catches up.
-    counters_.stream_startup_cycles += dram_lat / kStreamStartupMlp;
+    counters_.stream_startup_cycles += stream_startup_cost_;
   }
 }
 
 int MemorySystem::WalkCode(uint64_t line) {
   if (l1i_.Access(line, /*is_store=*/false)) return 1;
   if (l2_.Access(line, /*is_store=*/false)) {
-    l1i_.Insert(line, /*dirty=*/false);
+    l1i_.InsertAbsent(line, /*dirty=*/false);
     return 2;
   }
   if (l3_.Access(line, /*is_store=*/false)) {
-    l2_.Insert(line, /*dirty=*/false);
-    l1i_.Insert(line, /*dirty=*/false);
+    l2_.InsertAbsent(line, /*dirty=*/false);
+    l1i_.InsertAbsent(line, /*dirty=*/false);
     return 3;
   }
-  l3_.Insert(line, /*dirty=*/false);
-  l2_.Insert(line, /*dirty=*/false);
-  l1i_.Insert(line, /*dirty=*/false);
+  l3_.InsertAbsent(line, /*dirty=*/false);
+  l2_.InsertAbsent(line, /*dirty=*/false);
+  l1i_.InsertAbsent(line, /*dirty=*/false);
   return 4;
 }
 
@@ -335,8 +372,8 @@ void MemorySystem::FetchCode(uint64_t line) {
 }
 
 void MemorySystem::Finalize() {
-  for (auto& s : streams_) {
-    if (s.valid) KillStream(&s);
+  for (int i = 0; i < kStreamTableEntries; ++i) {
+    if (stream_valid_[static_cast<size_t>(i)]) KillStream(i);
   }
 }
 

@@ -48,7 +48,10 @@ class MemorySystem {
   /// Sets the memory-level-parallelism hint used to cost random accesses
   /// from now on. Engines set this per phase (scalar probe loop vs
   /// vectorized gather etc.; see calibration.h).
-  void SetMlpHint(double mlp) { mlp_hint_ = mlp; }
+  void SetMlpHint(double mlp) {
+    mlp_hint_ = mlp;
+    RecomputeMlpCosts();
+  }
   double mlp_hint() const { return mlp_hint_; }
 
   /// Flushes live established streams (accounts their trailing prefetch
@@ -65,25 +68,28 @@ class MemorySystem {
  private:
   static constexpr int kLineShift = 6;  // 64-byte lines
 
-  struct StreamEntry {
-    uint64_t next_fwd = 0;  ///< next line if the stream runs forward
-    uint64_t next_bwd = 0;  ///< next line if the stream runs backward
-    int8_t dir = 0;         ///< +1 forward, -1 backward, 0 undecided
-    uint32_t run = 0;       ///< consecutive matches so far
-    uint32_t lru = 0;       ///< 0 == most recently used
-    bool last_fill_dram = false;
-    bool valid = false;
-
-    bool Established() const {
-      return run >= static_cast<uint32_t>(kStreamEstablishLength);
-    }
-  };
+  /// The detector table is structure-of-arrays: every data access scans it
+  /// (all of it, for random accesses), so the per-entry hot fields live in
+  /// dense parallel arrays instead of a 40-byte struct stride.
+  ///   next_fwd/next_bwd: expected next line in each direction
+  ///   ts:   last-touch tick (larger == younger)
+  ///   run:  consecutive matches so far
+  ///   dir:  +1 forward, -1 backward, 0 undecided
+  bool StreamEstablished(int i) const {
+    return stream_run_[static_cast<size_t>(i)] >=
+           static_cast<uint32_t>(kStreamEstablishLength);
+  }
 
   /// Updates the stream detector with `line`; returns whether the access
   /// belongs to an established sequential stream.
   bool UpdateStreams(uint64_t line, bool* is_reaccess);
-  void TouchStream(int index, uint32_t old_rank);
-  void KillStream(StreamEntry* entry);
+  /// Timestamp true-LRU, like SetAssociativeCache: a touch is one stamp,
+  /// the victim is the minimum stamp (identical replacement order to the
+  /// rank-based scheme, O(1) per touch instead of O(entries)).
+  void TouchStream(int index) {
+    stream_ts_[static_cast<size_t>(index)] = ++stream_clock_;
+  }
+  void KillStream(int index);
 
   /// Walks L1D -> L2 -> L3 -> DRAM and performs fills; returns 1/2/3/4 for
   /// the level that serviced the access (4 == DRAM).
@@ -93,6 +99,12 @@ class MemorySystem {
 
   void FillUpperLevels(uint64_t line, bool is_store, int from_level);
 
+  /// Re-derives the per-event cycle costs that divide by the MLP hint.
+  /// IEEE division of the same two operands always produces the same
+  /// bits, so hoisting these quotients out of the access path (computed
+  /// once per SetMlpHint instead of once per line) is bit-exact.
+  void RecomputeMlpCosts();
+
   const MachineConfig config_;
   SetAssociativeCache l1i_;
   SetAssociativeCache l1d_;
@@ -101,10 +113,33 @@ class MemorySystem {
   SetAssociativeCache dtlb_;
   SetAssociativeCache stlb_;
 
-  std::array<StreamEntry, kStreamTableEntries> streams_;
+  std::array<uint64_t, kStreamTableEntries> stream_next_fwd_{};
+  std::array<uint64_t, kStreamTableEntries> stream_next_bwd_{};
+  std::array<uint64_t, kStreamTableEntries> stream_ts_{};
+  std::array<uint32_t, kStreamTableEntries> stream_run_{};
+  std::array<int8_t, kStreamTableEntries> stream_dir_{};
+  std::array<uint8_t, kStreamTableEntries> stream_valid_{};
+  std::array<uint8_t, kStreamTableEntries> stream_last_fill_dram_{};
+  uint64_t stream_clock_ = 0;
   int matched_stream_ = -1;      ///< detector entry used by the last access
   bool newly_established_ = false;
   double mlp_hint_ = kMlpDefault;
+  // Quotients of RecomputeMlpCosts (functions of mlp_hint_):
+  double stlb_cost_ = 0;
+  double page_walk_cost_ = 0;
+  double chase_cost_ = 0;
+  double l2_rand_cost_ = 0;
+  double l3_rand_cost_ = 0;
+  double dram_rand_cost_ = 0;
+  // Fixed-divisor quotients, computed once in the constructor:
+  double l2_seq_cov_cost_ = 0;
+  double l2_seq_unc_cost_ = 0;
+  double l3_seq_cov_cost_ = 0;
+  double l3_seq_unc_cost_ = 0;
+  double dram_l1s_cost_ = 0;
+  double dram_nl_cost_ = 0;
+  double dram_unc_cost_ = 0;
+  double stream_startup_cost_ = 0;
   uint64_t page_shift_;
   MemCounters counters_;
 };

@@ -1,6 +1,8 @@
 #ifndef UOLAP_ENGINE_ENGINE_H_
 #define UOLAP_ENGINE_ENGINE_H_
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -12,6 +14,17 @@
 
 namespace uolap::engine {
 
+/// Runs `n` independent work items, possibly concurrently. Implemented by
+/// the harness thread pool; the engine layer only sees this interface so
+/// it stays free of threading dependencies. `Run` must invoke
+/// `body(0) .. body(n-1)` exactly once each and return only after all have
+/// completed; any assignment of items to OS threads is allowed.
+class ParallelExecutor {
+ public:
+  virtual ~ParallelExecutor() = default;
+  virtual void Run(size_t n, const std::function<void(size_t)>& body) = 0;
+};
+
 /// The cores participating in one query execution. Single-core runs pass
 /// one core; multi-core runs pass one per simulated thread. Engines
 /// partition the work morsel-style internally: scans and probe sides split
@@ -21,10 +34,33 @@ namespace uolap::engine {
 /// table is clustered on the group key or the group count is tiny).
 struct Workers {
   std::vector<core::Core*> cores;
+  /// When set, `ForEach` runs the worker bodies concurrently (one OS
+  /// thread per simulated core). Null means serial execution; results and
+  /// counters are bit-identical either way.
+  ParallelExecutor* executor = nullptr;
 
   explicit Workers(core::Core& single) : cores{&single} {}
   explicit Workers(std::vector<core::Core*> many) : cores(std::move(many)) {}
   size_t count() const { return cores.size(); }
+
+  /// Runs `body(t)` for every worker `t` in [0, count()). Parallel when an
+  /// executor is attached and there is more than one worker, serial
+  /// otherwise. Bodies must confine all mutable state to `cores[t]` plus
+  /// worker-private data prepared *before* the call: shared structures may
+  /// only be read, and nothing whose address feeds the simulated model may
+  /// be allocated inside a body (heap layout must not depend on thread
+  /// interleaving). Under that contract the per-core simulated state is
+  /// untouched by scheduling, which is what makes threaded runs
+  /// bit-deterministic.
+  template <typename Body>
+  void ForEach(Body&& body) const {
+    const size_t n = count();
+    if (executor != nullptr && n > 1) {
+      executor->Run(n, [&body](size_t t) { body(t); });
+    } else {
+      for (size_t t = 0; t < n; ++t) body(t);
+    }
+  }
 };
 
 /// Common interface of the four profiled systems. Every method executes

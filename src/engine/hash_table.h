@@ -222,12 +222,17 @@ class AggHashTable {
     int64_t aggs[NAGG];
   };
 
-  explicit AggHashTable(size_t expected_groups) {
+  /// `reserve_entries` pre-sizes the entry pool beyond `expected_groups`
+  /// (which alone sizes the bucket array, so chain behaviour is
+  /// unaffected). Pass a worst-case group count when the table must not
+  /// reallocate mid-run — e.g. inside a parallel worker body, where a
+  /// realloc would move simulated entry addresses nondeterministically.
+  explicit AggHashTable(size_t expected_groups, size_t reserve_entries = 0) {
     const uint64_t buckets =
         internal::NextPow2(std::max<uint64_t>(16, expected_groups * 2));
     heads_.assign(buckets, -1);
     mask_ = buckets - 1;
-    entries_.reserve(expected_groups);
+    entries_.reserve(std::max(expected_groups, reserve_entries));
   }
 
   /// Finds the group entry for `key`, creating it (zero-initialized

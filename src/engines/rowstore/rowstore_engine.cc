@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <memory>
+#include <vector>
 
 #include "common/macros.h"
 #include "common/rng.h"
@@ -210,14 +212,19 @@ Money RowstoreEngine::Projection(Workers& w, int degree) const {
     return e;
   };
 
-  Money total = 0;
   const size_t n = lineitem_->num_tuples();
-  for (size_t t = 0; t < w.count(); ++t) {
+  // Per-worker expression trees, allocated serially up front: EvalExpr
+  // loads the nodes through the simulated core, so their addresses must
+  // not depend on thread scheduling.
+  std::vector<std::unique_ptr<Expr>> exprs;
+  for (size_t t = 0; t < w.count(); ++t) exprs.push_back(make_expr());
+  std::vector<Money> partial(w.count(), 0);
+  w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({"dbmsr/projection", kRowstoreCodeFootprint});
     core.SetMlpHint(core::kMlpDefault);
-    const auto expr = make_expr();
+    const Expr& expr = *exprs[t];
     uint64_t cursor = 0x1234 + t;
     Money acc = 0;
     for (size_t i = r.begin; i < r.end; ++i) {
@@ -226,11 +233,13 @@ Money RowstoreEngine::Projection(Workers& w, int degree) const {
       core.Retire(ScanOverheadMix());
       TouchState(core, state_arena_, &cursor);
       const uint8_t* tuple = lineitem_->TupleForScan(i, &core);
-      acc += EvalExpr(core, *expr, *lineitem_, tuple);
+      acc += EvalExpr(core, expr, *lineitem_, tuple);
       core.RetireN(ColumnAccessMix(), static_cast<uint64_t>(degree));
     }
-    total += acc;
-  }
+    partial[t] = acc;
+  });
+  Money total = 0;
+  for (Money a : partial) total += a;
   return total;
 }
 
@@ -238,21 +247,26 @@ Money RowstoreEngine::Selection(Workers& w,
                                 const engine::SelectionParams& p) const {
   UOLAP_CHECK_MSG(!p.predicated,
                   "DBMS R has no user-controllable predication mode");
-  Money total = 0;
   const size_t n = lineitem_->num_tuples();
+  // Sum expression (interpreted); predicates go through the SARG fast
+  // path, as a commercial optimizer would plan `col < const`. One tree
+  // per worker, allocated serially up front (EvalExpr loads the nodes).
+  std::vector<std::unique_ptr<Expr>> exprs;
   for (size_t t = 0; t < w.count(); ++t) {
-    core::Core& core = *w.cores[t];
-    const RowRange r = PartitionRange(n, t, w.count());
-    core.SetCodeRegion({"dbmsr/selection", kRowstoreCodeFootprint});
-    core.SetMlpHint(core::kMlpDefault);
-    // Sum expression (interpreted); predicates go through the SARG fast
-    // path, as a commercial optimizer would plan `col < const`.
-    auto expr = Expr::Binary(
+    exprs.push_back(Expr::Binary(
         Expr::Op::kAdd,
         Expr::Binary(Expr::Op::kAdd, Expr::ColI64(lf_.extendedprice),
                      Expr::ColI64(lf_.discount)),
         Expr::Binary(Expr::Op::kAdd, Expr::ColI64(lf_.tax),
-                     Expr::ColI64(lf_.quantity)));
+                     Expr::ColI64(lf_.quantity))));
+  }
+  std::vector<Money> partial(w.count(), 0);
+  w.ForEach([&](size_t t) {
+    core::Core& core = *w.cores[t];
+    const RowRange r = PartitionRange(n, t, w.count());
+    core.SetCodeRegion({"dbmsr/selection", kRowstoreCodeFootprint});
+    core.SetMlpHint(core::kMlpDefault);
+    const Expr& expr = *exprs[t];
     uint64_t cursor = 0x9876 + t;
     Money acc = 0;
     for (size_t i = r.begin; i < r.end; ++i) {
@@ -271,12 +285,14 @@ Money RowstoreEngine::Selection(Workers& w,
       core.RetireN(SargMix(), 3);
       core.Branch(engine::branch_site::kRowstoreExpr, pass);
       if (pass) {
-        acc += EvalExpr(core, *expr, *lineitem_, tuple);
+        acc += EvalExpr(core, expr, *lineitem_, tuple);
         core.RetireN(ColumnAccessMix(), 4);
       }
     }
-    total += acc;
-  }
+    partial[t] = acc;
+  });
+  Money total = 0;
+  for (Money a : partial) total += a;
   return total;
 }
 
@@ -334,9 +350,10 @@ Money RowstoreEngine::Join(Workers& w, engine::JoinSize size) const {
     }
   }
 
-  Money total = 0;
   const size_t n = side.probe->num_tuples();
-  for (size_t t = 0; t < w.count(); ++t) {
+  // The probe fans out; the sum expression tree is shared read-only.
+  std::vector<Money> partial(w.count(), 0);
+  w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({"dbmsr/join-probe", kRowstoreCodeFootprint});
@@ -356,22 +373,32 @@ Money RowstoreEngine::Join(Workers& w, engine::JoinSize size) const {
         acc += EvalExpr(core, *side.sum_expr, *side.probe, tuple);
       }
     }
-    total += acc;
-  }
+    partial[t] = acc;
+  });
+  Money total = 0;
+  for (Money a : partial) total += a;
   return total;
 }
 
 int64_t RowstoreEngine::GroupBy(Workers& w, int64_t num_groups) const {
   UOLAP_CHECK(num_groups >= 1);
   const size_t n = lineitem_->num_tuples();
-  std::map<int64_t, int64_t> merged;
+  // Per-worker aggregation tables, allocated serially up front; a
+  // worker's key space is bounded by num_groups, so no realloc happens
+  // inside the parallel bodies.
+  std::vector<std::unique_ptr<engine::AggHashTable<1>>> aggs;
   for (size_t t = 0; t < w.count(); ++t) {
+    const RowRange r = PartitionRange(n, t, w.count());
+    aggs.push_back(std::make_unique<engine::AggHashTable<1>>(
+        static_cast<size_t>(std::min<int64_t>(
+            num_groups, static_cast<int64_t>(r.size())) + 1)));
+  }
+  w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({"dbmsr/groupby", 24 * 1024});
     core.SetMlpHint(core::kMlpScalarProbe);
-    engine::AggHashTable<1> agg(static_cast<size_t>(
-        std::min<int64_t>(num_groups, static_cast<int64_t>(r.size())) + 1));
+    engine::AggHashTable<1>& agg = *aggs[t];
     uint64_t cursor = 0x6B + t;
     for (size_t i = r.begin; i < r.end; ++i) {
       core.Retire(IterNextMix());  // Agg::Next
@@ -387,7 +414,10 @@ int64_t RowstoreEngine::GroupBy(Workers& w, int64_t num_groups) const {
           core, engine::branch_site::kGroupByChain, key);
       agg.Add(core, entry, 0, ep);
     }
-    for (const auto& e : agg.entries()) merged[e.key] += e.aggs[0];
+  });
+  std::map<int64_t, int64_t> merged;
+  for (size_t t = 0; t < w.count(); ++t) {
+    for (const auto& e : aggs[t]->entries()) merged[e.key] += e.aggs[0];
   }
   int64_t checksum = 0;
   for (const auto& [key, sum] : merged) {
@@ -399,13 +429,17 @@ int64_t RowstoreEngine::GroupBy(Workers& w, int64_t num_groups) const {
 engine::Q1Result RowstoreEngine::Q1(Workers& w) const {
   const size_t n = lineitem_->num_tuples();
   const tpch::Date cut = engine::Q1ShipdateCut();
-  std::map<int64_t, engine::Q1Row> merged;
+  // Per-worker aggregation tables, allocated serially up front.
+  std::vector<std::unique_ptr<engine::AggHashTable<5>>> aggs;
   for (size_t t = 0; t < w.count(); ++t) {
+    aggs.push_back(std::make_unique<engine::AggHashTable<5>>(8));
+  }
+  w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({"dbmsr/q1", kRowstoreCodeFootprint + 8192});
     core.SetMlpHint(core::kMlpDefault);
-    engine::AggHashTable<5> agg(8);
+    engine::AggHashTable<5>& agg = *aggs[t];
     uint64_t cursor = 0x31 + t;
     for (size_t i = r.begin; i < r.end; ++i) {
       core.Retire(IterNextMix());
@@ -438,7 +472,10 @@ engine::Q1Result RowstoreEngine::Q1(Workers& w) const {
       arith.mul = 4;
       core.Retire(arith);
     }
-    for (const auto& e : agg.entries()) {
+  });
+  std::map<int64_t, engine::Q1Row> merged;
+  for (size_t t = 0; t < w.count(); ++t) {
+    for (const auto& e : aggs[t]->entries()) {
       engine::Q1Row& row = merged[e.key];
       row.returnflag = static_cast<int8_t>(e.key >> 8);
       row.linestatus = static_cast<int8_t>(e.key & 0xFF);
@@ -463,8 +500,8 @@ Money RowstoreEngine::Q6(Workers& w, const engine::Q6Params& p) const {
   UOLAP_CHECK_MSG(!p.predicated,
                   "DBMS R has no user-controllable predication mode");
   const size_t n = lineitem_->num_tuples();
-  Money total = 0;
-  for (size_t t = 0; t < w.count(); ++t) {
+  std::vector<Money> partial(w.count(), 0);
+  w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({"dbmsr/q6", kRowstoreCodeFootprint});
@@ -495,8 +532,10 @@ Money RowstoreEngine::Q6(Workers& w, const engine::Q6Params& p) const {
         acc += ep * d;
       }
     }
-    total += acc;
-  }
+    partial[t] = acc;
+  });
+  Money total = 0;
+  for (Money a : partial) total += a;
   return total;
 }
 

@@ -95,6 +95,54 @@ inline void StoreElem(VecCtx ctx, T* p, T v) {
   *p = v;
 }
 
+/// Batched sequential-run charges: a full-vector sequential load/store is
+/// driven through Core::LoadSeq/StoreSeq in scalar mode (one simulated
+/// line walk per cache line; counter-equivalent to the per-element loop),
+/// after which the kernel reads/writes the array raw. SIMD mode keeps its
+/// per-element AccessData issue (the wide ops in ChargeSimdLoop carry the
+/// instruction cost and the access-per-element stream shape is part of the
+/// gather/scatter model).
+template <typename T>
+inline void TouchVecLoad(VecCtx ctx, const T* p, size_t n) {
+  if (n == 0) return;
+  if (ctx.simd) {
+    for (size_t i = 0; i < n; ++i) {
+      ctx.core->memory().AccessData(reinterpret_cast<uint64_t>(p + i),
+                                    sizeof(T), /*is_store=*/false);
+    }
+  } else {
+    ctx.core->LoadSeq(p, sizeof(T), n);
+  }
+}
+
+template <typename T>
+inline void TouchVecStore(VecCtx ctx, T* p, size_t n) {
+  if (n == 0) return;
+  if (ctx.simd) {
+    for (size_t i = 0; i < n; ++i) {
+      ctx.core->memory().AccessData(reinterpret_cast<uint64_t>(p + i),
+                                    sizeof(T), /*is_store=*/true);
+    }
+  } else {
+    ctx.core->StoreSeq(p, sizeof(T), n);
+  }
+}
+
+/// Store into a compacted output stream (selection vectors, match lists):
+/// the write position only ever advances, so a caller-held SeqCursor
+/// batches the stream line-by-line in scalar mode regardless of what other
+/// accesses interleave.
+template <typename T>
+inline void StoreCompact(VecCtx ctx, core::SeqCursor& cur, T* p, T v) {
+  if (ctx.simd) {
+    ctx.core->memory().AccessData(reinterpret_cast<uint64_t>(p), sizeof(T),
+                                  /*is_store=*/true);
+  } else {
+    ctx.core->StoreRange(cur, p, sizeof(T), 1);
+  }
+  *p = v;
+}
+
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -105,11 +153,12 @@ inline void StoreElem(VecCtx ctx, T* p, T v) {
 template <typename TA, typename TB>
 void MapAdd(VecCtx ctx, int64_t* out, const TA* a, const TB* b, size_t n) {
   detail::ChargeCallOverhead(ctx);
+  detail::TouchVecLoad(ctx, a, n);
+  detail::TouchVecLoad(ctx, b, n);
   for (size_t i = 0; i < n; ++i) {
-    const int64_t v = static_cast<int64_t>(detail::LoadElem(ctx, &a[i])) +
-                      static_cast<int64_t>(detail::LoadElem(ctx, &b[i]));
-    detail::StoreElem(ctx, &out[i], v);
+    out[i] = static_cast<int64_t>(a[i]) + static_cast<int64_t>(b[i]);
   }
+  detail::TouchVecStore(ctx, out, n);
   if (ctx.simd) {
     detail::ChargeSimdLoop(ctx, n, /*simd_per_group=*/4);  // 2 ld, add, st
   } else {
@@ -121,9 +170,10 @@ void MapAdd(VecCtx ctx, int64_t* out, const TA* a, const TB* b, size_t n) {
 template <typename T>
 int64_t SumColumn(VecCtx ctx, const T* a, size_t n) {
   detail::ChargeCallOverhead(ctx);
+  detail::TouchVecLoad(ctx, a, n);
   int64_t acc = 0;
   for (size_t i = 0; i < n; ++i) {
-    acc += static_cast<int64_t>(detail::LoadElem(ctx, &a[i]));
+    acc += static_cast<int64_t>(a[i]);
   }
   if (ctx.simd) {
     // Wide load + vector accumulate; the chain is per vector accumulator.
@@ -146,12 +196,15 @@ template <typename T>
 size_t SelLess(VecCtx ctx, uint32_t branch_site, const T* col, T cut,
                uint32_t* sel_out, size_t n) {
   detail::ChargeCallOverhead(ctx);
+  detail::TouchVecLoad(ctx, col, n);
+  core::SeqCursor out_cur;
   size_t m = 0;
   for (size_t i = 0; i < n; ++i) {
-    const bool pass = detail::LoadElem(ctx, &col[i]) < cut;
+    const bool pass = col[i] < cut;
     ctx.core->Branch(branch_site, pass);
     if (pass) {
-      detail::StoreElem(ctx, &sel_out[m], static_cast<uint32_t>(i));
+      detail::StoreCompact(ctx, out_cur, &sel_out[m],
+                           static_cast<uint32_t>(i));
       ++m;
     }
   }
@@ -164,13 +217,15 @@ template <typename T>
 size_t SelLessOnSel(VecCtx ctx, uint32_t branch_site, const T* col, T cut,
                     const uint32_t* sel_in, size_t m_in, uint32_t* sel_out) {
   detail::ChargeCallOverhead(ctx);
+  detail::TouchVecLoad(ctx, sel_in, m_in);
+  core::SeqCursor out_cur;
   size_t m = 0;
   for (size_t k = 0; k < m_in; ++k) {
-    const uint32_t i = detail::LoadElem(ctx, &sel_in[k]);
+    const uint32_t i = sel_in[k];
     const bool pass = detail::LoadElem(ctx, &col[i]) < cut;
     ctx.core->Branch(branch_site, pass);
     if (pass) {
-      detail::StoreElem(ctx, &sel_out[m], i);
+      detail::StoreCompact(ctx, out_cur, &sel_out[m], i);
       ++m;
     }
   }
@@ -184,10 +239,12 @@ template <typename T>
 size_t SelLessPredicated(VecCtx ctx, const T* col, T cut, uint32_t* sel_out,
                          size_t n) {
   detail::ChargeCallOverhead(ctx);
+  detail::TouchVecLoad(ctx, col, n);
+  core::SeqCursor out_cur;
   size_t m = 0;
   for (size_t i = 0; i < n; ++i) {
-    const bool pass = detail::LoadElem(ctx, &col[i]) < cut;
-    detail::StoreElem(ctx, &sel_out[m], static_cast<uint32_t>(i));
+    const bool pass = col[i] < cut;
+    detail::StoreCompact(ctx, out_cur, &sel_out[m], static_cast<uint32_t>(i));
     m += static_cast<size_t>(pass);
   }
   if (ctx.simd) {
@@ -204,11 +261,13 @@ size_t SelLessPredicatedOnSel(VecCtx ctx, const T* col, T cut,
                               const uint32_t* sel_in, size_t m_in,
                               uint32_t* sel_out) {
   detail::ChargeCallOverhead(ctx);
+  detail::TouchVecLoad(ctx, sel_in, m_in);
+  core::SeqCursor out_cur;
   size_t m = 0;
   for (size_t k = 0; k < m_in; ++k) {
-    const uint32_t i = detail::LoadElem(ctx, &sel_in[k]);
+    const uint32_t i = sel_in[k];
     const bool pass = detail::LoadElem(ctx, &col[i]) < cut;
-    detail::StoreElem(ctx, &sel_out[m], i);
+    detail::StoreCompact(ctx, out_cur, &sel_out[m], i);
     m += static_cast<size_t>(pass);
   }
   if (ctx.simd) {
@@ -225,13 +284,15 @@ size_t SelPred(VecCtx ctx, uint32_t branch_site, const T* col,
                const uint32_t* sel_in, size_t m_in, uint32_t* sel_out,
                Pred pred, uint64_t alu_per_elem = 1) {
   detail::ChargeCallOverhead(ctx);
+  detail::TouchVecLoad(ctx, sel_in, m_in);
+  core::SeqCursor out_cur;
   size_t m = 0;
   for (size_t k = 0; k < m_in; ++k) {
-    const uint32_t i = detail::LoadElem(ctx, &sel_in[k]);
+    const uint32_t i = sel_in[k];
     const bool pass = pred(detail::LoadElem(ctx, &col[i]));
     ctx.core->Branch(branch_site, pass);
     if (pass) {
-      detail::StoreElem(ctx, &sel_out[m], i);
+      detail::StoreCompact(ctx, out_cur, &sel_out[m], i);
       ++m;
     }
   }
@@ -244,12 +305,15 @@ template <typename T, typename Pred>
 size_t SelPredFull(VecCtx ctx, uint32_t branch_site, const T* col, size_t n,
                    uint32_t* sel_out, Pred pred, uint64_t alu_per_elem = 1) {
   detail::ChargeCallOverhead(ctx);
+  detail::TouchVecLoad(ctx, col, n);
+  core::SeqCursor out_cur;
   size_t m = 0;
   for (size_t i = 0; i < n; ++i) {
-    const bool pass = pred(detail::LoadElem(ctx, &col[i]));
+    const bool pass = pred(col[i]);
     ctx.core->Branch(branch_site, pass);
     if (pass) {
-      detail::StoreElem(ctx, &sel_out[m], static_cast<uint32_t>(i));
+      detail::StoreCompact(ctx, out_cur, &sel_out[m],
+                           static_cast<uint32_t>(i));
       ++m;
     }
   }
@@ -263,11 +327,13 @@ size_t SelPredPredicated(VecCtx ctx, const T* col, const uint32_t* sel_in,
                          size_t m_in, uint32_t* sel_out, Pred pred,
                          uint64_t alu_per_elem = 2) {
   detail::ChargeCallOverhead(ctx);
+  detail::TouchVecLoad(ctx, sel_in, m_in);
+  core::SeqCursor out_cur;
   size_t m = 0;
   for (size_t k = 0; k < m_in; ++k) {
-    const uint32_t i = detail::LoadElem(ctx, &sel_in[k]);
+    const uint32_t i = sel_in[k];
     const bool pass = pred(detail::LoadElem(ctx, &col[i]));
-    detail::StoreElem(ctx, &sel_out[m], i);
+    detail::StoreCompact(ctx, out_cur, &sel_out[m], i);
     m += static_cast<size_t>(pass);
   }
   if (ctx.simd) {
@@ -283,10 +349,12 @@ size_t SelPredPredicatedFull(VecCtx ctx, const T* col, size_t n,
                              uint32_t* sel_out, Pred pred,
                              uint64_t alu_per_elem = 2) {
   detail::ChargeCallOverhead(ctx);
+  detail::TouchVecLoad(ctx, col, n);
+  core::SeqCursor out_cur;
   size_t m = 0;
   for (size_t i = 0; i < n; ++i) {
-    const bool pass = pred(detail::LoadElem(ctx, &col[i]));
-    detail::StoreElem(ctx, &sel_out[m], static_cast<uint32_t>(i));
+    const bool pass = pred(col[i]);
+    detail::StoreCompact(ctx, out_cur, &sel_out[m], static_cast<uint32_t>(i));
     m += static_cast<size_t>(pass);
   }
   if (ctx.simd) {
@@ -308,11 +376,13 @@ template <typename TA, typename TB>
 void MapAddSel(VecCtx ctx, int64_t* out, const TA* a, const TB* b,
                const uint32_t* sel, size_t m) {
   detail::ChargeCallOverhead(ctx);
+  detail::TouchVecLoad(ctx, sel, m);
+  core::SeqCursor out_cur;
   for (size_t k = 0; k < m; ++k) {
-    const uint32_t i = detail::LoadElem(ctx, &sel[k]);
+    const uint32_t i = sel[k];
     const int64_t v = static_cast<int64_t>(detail::LoadElem(ctx, &a[i])) +
                       static_cast<int64_t>(detail::LoadElem(ctx, &b[i]));
-    detail::StoreElem(ctx, &out[k], v);
+    detail::StoreCompact(ctx, out_cur, &out[k], v);
   }
   if (ctx.simd) {
     detail::ChargeSimdLoop(ctx, m, /*simd_per_group=*/5);  // 2 gathers
@@ -326,11 +396,14 @@ template <typename T>
 void MapAddDenseGather(VecCtx ctx, int64_t* out, const int64_t* dense,
                        const T* col, const uint32_t* sel, size_t m) {
   detail::ChargeCallOverhead(ctx);
+  detail::TouchVecLoad(ctx, sel, m);
+  detail::TouchVecLoad(ctx, dense, m);
+  core::SeqCursor out_cur;
   for (size_t k = 0; k < m; ++k) {
-    const uint32_t i = detail::LoadElem(ctx, &sel[k]);
-    const int64_t v = detail::LoadElem(ctx, &dense[k]) +
-                      static_cast<int64_t>(detail::LoadElem(ctx, &col[i]));
-    detail::StoreElem(ctx, &out[k], v);
+    const uint32_t i = sel[k];
+    const int64_t v =
+        dense[k] + static_cast<int64_t>(detail::LoadElem(ctx, &col[i]));
+    detail::StoreCompact(ctx, out_cur, &out[k], v);
   }
   if (ctx.simd) {
     detail::ChargeSimdLoop(ctx, m, /*simd_per_group=*/4);
@@ -358,13 +431,21 @@ size_t HtProbeSel(VecCtx ctx, uint32_t branch_site,
                                 : core::kMlpVectorProbe);
   const auto& heads = ht.heads();
   const auto& entries = ht.entries();
+  // Sequential inputs batch; gathered key reads stay per element.
+  if (sel_in != nullptr) {
+    detail::TouchVecLoad(ctx, sel_in, m_in);
+  } else {
+    detail::TouchVecLoad(ctx, keys + k0, m_in);
+  }
+  core::SeqCursor sel_cur, pay_cur;
   size_t m = 0;
   for (size_t k = 0; k < m_in; ++k) {
-    const uint32_t i = sel_in != nullptr
-                           ? detail::LoadElem(ctx, &sel_in[k])
-                           : static_cast<uint32_t>(k0 + k);
+    const uint32_t i = sel_in != nullptr ? sel_in[k]
+                                         : static_cast<uint32_t>(k0 + k);
     const int64_t key =
-        static_cast<int64_t>(detail::LoadElem(ctx, &keys[i]));
+        sel_in != nullptr
+            ? static_cast<int64_t>(detail::LoadElem(ctx, &keys[i]))
+            : static_cast<int64_t>(keys[i]);
     const uint64_t b = ht.BucketOf(key);
     const int32_t* head = &heads[b];
     if (ctx.simd) {
@@ -401,9 +482,9 @@ size_t HtProbeSel(VecCtx ctx, uint32_t branch_site,
       e = entry.next;
     }
     if (matched) {
-      detail::StoreElem(ctx, &sel_out[m], i);
+      detail::StoreCompact(ctx, sel_cur, &sel_out[m], i);
       if (payload_out != nullptr) {
-        detail::StoreElem(ctx, &payload_out[m], payload);
+        detail::StoreCompact(ctx, pay_cur, &payload_out[m], payload);
       }
       ++m;
     }

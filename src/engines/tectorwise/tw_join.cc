@@ -44,20 +44,31 @@ void SharedBuild(Workers& w, bool simd, JoinHashTable* ht,
 
 /// Probe phase of the large join (lineitem |x| orders), vectorized: probe
 /// primitive producing a match selection vector, then the four-column
-/// selected projection.
+/// selected projection. Per-worker scratch is allocated serially before
+/// the ForEach so simulated addresses stay schedule-independent.
 Money LargeJoinProbe(const tpch::Database& db, Workers& w, bool simd,
                      const JoinHashTable& ht) {
   const auto& l = db.lineitem;
-  Money total = 0;
-  for (size_t t = 0; t < w.count(); ++t) {
+  struct Scratch {
+    std::vector<uint32_t> match_sel;
+    std::vector<int64_t> payloads, v1, v2, v3;
+    Scratch()
+        : match_sel(kVecSize), payloads(kVecSize), v1(kVecSize),
+          v2(kVecSize), v3(kVecSize) {}
+  };
+  std::vector<Scratch> scratch(w.count());
+  std::vector<Money> partial(w.count(), 0);
+  w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(l.size(), t, w.count());
     core.SetCodeRegion({"tw/join-probe-large", 4096});
     VecCtx ctx{&core, simd};
 
-    std::vector<uint32_t> match_sel(kVecSize);
-    std::vector<int64_t> payloads(kVecSize);
-    std::vector<int64_t> v1(kVecSize), v2(kVecSize), v3(kVecSize);
+    std::vector<uint32_t>& match_sel = scratch[t].match_sel;
+    std::vector<int64_t>& payloads = scratch[t].payloads;
+    std::vector<int64_t>& v1 = scratch[t].v1;
+    std::vector<int64_t>& v2 = scratch[t].v2;
+    std::vector<int64_t>& v3 = scratch[t].v3;
 
     Money acc = 0;
     for (size_t base = r.begin; base < r.end; base += kVecSize) {
@@ -75,8 +86,10 @@ Money LargeJoinProbe(const tpch::Database& db, Workers& w, bool simd,
                         match_sel.data(), matches);
       acc += SumColumn(ctx, v3.data(), matches);
     }
-    total += acc;
-  }
+    partial[t] = acc;
+  });
+  Money total = 0;
+  for (Money a : partial) total += a;
   return total;
 }
 
@@ -89,14 +102,20 @@ Money TectorwiseEngine::Join(Workers& w, JoinSize size) const {
       SharedBuild(w, simd_, &ht, db_.nation.nationkey, db_.nation.regionkey,
                   "tw/join-build-small");
       const auto& s = db_.supplier;
-      Money total = 0;
+      std::vector<std::vector<uint32_t>> sel_scr(w.count());
+      std::vector<std::vector<int64_t>> v1_scr(w.count());
       for (size_t t = 0; t < w.count(); ++t) {
+        sel_scr[t].resize(kVecSize);
+        v1_scr[t].resize(kVecSize);
+      }
+      std::vector<Money> partial(w.count(), 0);
+      w.ForEach([&](size_t t) {
         core::Core& core = *w.cores[t];
         const RowRange r = PartitionRange(s.size(), t, w.count());
         core.SetCodeRegion({"tw/join-probe-small", 3072});
         VecCtx ctx{&core, simd_};
-        std::vector<uint32_t> match_sel(kVecSize);
-        std::vector<int64_t> v1(kVecSize);
+        std::vector<uint32_t>& match_sel = sel_scr[t];
+        std::vector<int64_t>& v1 = v1_scr[t];
         Money acc = 0;
         for (size_t base = r.begin; base < r.end; base += kVecSize) {
           const size_t m = std::min(kVecSize, r.end - base);
@@ -109,8 +128,10 @@ Money TectorwiseEngine::Join(Workers& w, JoinSize size) const {
                     s.suppkey.data() + base, match_sel.data(), matches);
           acc += SumColumn(ctx, v1.data(), matches);
         }
-        total += acc;
-      }
+        partial[t] = acc;
+      });
+      Money total = 0;
+      for (Money a : partial) total += a;
       return total;
     }
     case JoinSize::kMedium: {
@@ -118,14 +139,20 @@ Money TectorwiseEngine::Join(Workers& w, JoinSize size) const {
       SharedBuild(w, simd_, &ht, db_.supplier.suppkey,
                   db_.supplier.nationkey, "tw/join-build-medium");
       const auto& ps = db_.partsupp;
-      Money total = 0;
+      std::vector<std::vector<uint32_t>> sel_scr(w.count());
+      std::vector<std::vector<int64_t>> v1_scr(w.count());
       for (size_t t = 0; t < w.count(); ++t) {
+        sel_scr[t].resize(kVecSize);
+        v1_scr[t].resize(kVecSize);
+      }
+      std::vector<Money> partial(w.count(), 0);
+      w.ForEach([&](size_t t) {
         core::Core& core = *w.cores[t];
         const RowRange r = PartitionRange(ps.size(), t, w.count());
         core.SetCodeRegion({"tw/join-probe-medium", 3072});
         VecCtx ctx{&core, simd_};
-        std::vector<uint32_t> match_sel(kVecSize);
-        std::vector<int64_t> v1(kVecSize);
+        std::vector<uint32_t>& match_sel = sel_scr[t];
+        std::vector<int64_t>& v1 = v1_scr[t];
         Money acc = 0;
         for (size_t base = r.begin; base < r.end; base += kVecSize) {
           const size_t m = std::min(kVecSize, r.end - base);
@@ -138,8 +165,10 @@ Money TectorwiseEngine::Join(Workers& w, JoinSize size) const {
                     ps.supplycost.data() + base, match_sel.data(), matches);
           acc += SumColumn(ctx, v1.data(), matches);
         }
-        total += acc;
-      }
+        partial[t] = acc;
+      });
+      Money total = 0;
+      for (Money a : partial) total += a;
       return total;
     }
     case JoinSize::kLarge: {

@@ -1,6 +1,7 @@
 // Tectorwise TPC-H Q18: vectorized high-cardinality aggregation.
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "common/macros.h"
@@ -25,31 +26,54 @@ Q18Result TectorwiseEngine::Q18(Workers& w) const {
   const auto& ord = db_.orders;
 
   // --- phase 1+2: qty-by-orderkey aggregation per worker, then HAVING.
-  std::vector<std::pair<int64_t, int64_t>> qualifying;
+  // lineitem is clustered on orderkey, so worker-local tables hold
+  // disjoint key sets. Tables and scratch are allocated serially up front
+  // with a worst-case entry reservation (every row its own group), so no
+  // realloc happens inside the parallel bodies.
+  struct AggScratch {
+    AggHashTable<1> agg;
+    std::vector<int64_t> keys, qtys;
+    AggScratch(size_t groups, size_t reserve)
+        : agg(groups, reserve), keys(kVecSize), qtys(kVecSize) {}
+  };
+  std::vector<std::unique_ptr<AggScratch>> scratch;
   for (size_t t = 0; t < w.count(); ++t) {
+    const RowRange r = PartitionRange(l.size(), t, w.count());
+    scratch.push_back(
+        std::make_unique<AggScratch>(r.size() / 4 + 16, r.size() + 1));
+  }
+  // (orderkey, sumqty) per worker, concatenated in worker order below.
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> qual_parts(w.count());
+  w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(l.size(), t, w.count());
     core.SetCodeRegion({"tw/q18-agg", 5120});
     VecCtx ctx{&core, simd_};
     core.SetMlpHint(simd_ ? core::kMlpSimdGather : core::kMlpVectorProbe);
 
-    AggHashTable<1> agg(r.size() / 4 + 16);
-    std::vector<int64_t> keys(kVecSize), qtys(kVecSize);
+    AggHashTable<1>& agg = scratch[t]->agg;
+    std::vector<int64_t>& keys = scratch[t]->keys;
+    std::vector<int64_t>& qtys = scratch[t]->qtys;
     for (size_t base = r.begin; base < r.end; base += kVecSize) {
       const size_t m = std::min(kVecSize, r.end - base);
       // Vectorized key/qty load primitives, then the grouped update loop.
+      // Inputs and outputs are all dense sequential runs — fully batched.
       detail::ChargeCallOverhead(ctx);
+      detail::TouchVecLoad(ctx, l.orderkey.data() + base, m);
+      detail::TouchVecLoad(ctx, l.quantity.data() + base, m);
       for (size_t k = 0; k < m; ++k) {
-        detail::StoreElem(ctx, &keys[k],
-                          detail::LoadElem(ctx, &l.orderkey[base + k]));
-        detail::StoreElem(ctx, &qtys[k],
-                          detail::LoadElem(ctx, &l.quantity[base + k]));
+        keys[k] = l.orderkey[base + k];
+        qtys[k] = l.quantity[base + k];
       }
+      detail::TouchVecStore(ctx, keys.data(), m);
+      detail::TouchVecStore(ctx, qtys.data(), m);
       if (ctx.simd) {
         detail::ChargeSimdLoop(ctx, m, 4);
       } else {
         detail::ChargeScalarLoop(ctx, m, 1);
       }
+      detail::TouchVecLoad(ctx, keys.data(), m);
+      detail::TouchVecLoad(ctx, qtys.data(), m);
       for (size_t k = 0; k < m; ++k) {
         auto* entry = agg.FindOrCreate(
             core, engine::branch_site::kQ18AggChain, keys[k]);
@@ -58,17 +82,27 @@ Q18Result TectorwiseEngine::Q18(Workers& w) const {
       detail::ChargeScalarLoop(ctx, m, 1);
     }
 
+    // Filter scan over the group entries (sequential, batched).
     core.SetCodeRegion({"tw/q18-having", 1024});
-    for (const auto& e : agg.entries()) {
-      core.Load(&e, sizeof(e));
+    const auto& entries = agg.entries();
+    if (!entries.empty()) {
+      core.LoadSeq(entries.data(), sizeof(entries[0]), entries.size());
+    }
+    for (const auto& e : entries) {
       const bool pass = e.aggs[0] > engine::kQ18QuantityThreshold;
       core.Branch(engine::branch_site::kQ18Filter, pass);
-      if (pass) qualifying.emplace_back(e.key, e.aggs[0]);
+      if (pass) qual_parts[t].emplace_back(e.key, e.aggs[0]);
     }
     core::InstrMix per_group;
     per_group.alu = 2;
     core.RetireN(per_group, agg.num_groups());
     core.SetMlpHint(core::kMlpDefault);
+  });
+
+  std::vector<std::pair<int64_t, int64_t>> qualifying;
+  for (size_t t = 0; t < w.count(); ++t) {
+    qualifying.insert(qualifying.end(), qual_parts[t].begin(),
+                      qual_parts[t].end());
   }
 
   // --- phase 3: probe orders against the qualifying set, vectorized.
@@ -81,23 +115,30 @@ Q18Result TectorwiseEngine::Q18(Workers& w) const {
     }
   }
 
-  std::vector<Q18Row> rows;
-  for (size_t t = 0; t < w.count(); ++t) {
+  struct ProbeScratch {
+    std::vector<uint32_t> match_sel;
+    std::vector<int64_t> sumqtys;
+    ProbeScratch() : match_sel(kVecSize), sumqtys(kVecSize) {}
+  };
+  std::vector<ProbeScratch> probe_scratch(w.count());
+  std::vector<std::vector<Q18Row>> row_parts(w.count());
+  w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(ord.size(), t, w.count());
     core.SetCodeRegion({"tw/q18-probe", 3072});
     VecCtx ctx{&core, simd_};
 
-    std::vector<uint32_t> match_sel(kVecSize);
-    std::vector<int64_t> sumqtys(kVecSize);
+    std::vector<uint32_t>& match_sel = probe_scratch[t].match_sel;
+    std::vector<int64_t>& sumqtys = probe_scratch[t].sumqtys;
     for (size_t base = r.begin; base < r.end; base += kVecSize) {
       const size_t m = std::min(kVecSize, r.end - base);
       const size_t matches = HtProbeSel(
           ctx, engine::branch_site::kQ18Chain, qual,
           ord.orderkey.data() + base, 0, nullptr, m, match_sel.data(),
           sumqtys.data());
+      detail::TouchVecLoad(ctx, match_sel.data(), matches);
       for (size_t k = 0; k < matches; ++k) {
-        const uint32_t i = detail::LoadElem(ctx, &match_sel[k]);
+        const uint32_t i = match_sel[k];
         Q18Row row;
         row.orderkey = ord.orderkey[base + i];
         row.custkey = detail::LoadElem(ctx, &ord.custkey[base + i]);
@@ -106,9 +147,14 @@ Q18Result TectorwiseEngine::Q18(Workers& w) const {
         row.sum_qty = sumqtys[k];
         row.cust_name = std::string(
             db_.customer.name.Get(static_cast<size_t>(row.custkey - 1)));
-        rows.push_back(std::move(row));
+        row_parts[t].push_back(std::move(row));
       }
     }
+  });
+
+  std::vector<Q18Row> rows;
+  for (size_t t = 0; t < w.count(); ++t) {
+    for (Q18Row& row : row_parts[t]) rows.push_back(std::move(row));
   }
 
   std::sort(rows.begin(), rows.end(), [](const Q18Row& a, const Q18Row& b) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "common/macros.h"
@@ -23,17 +24,31 @@ Q1Result TectorwiseEngine::Q1(Workers& w) const {
   const size_t n = l.size();
   const tpch::Date cut = engine::Q1ShipdateCut();
 
-  std::map<int64_t, Q1Row> merged;
+  // Per-worker scratch and aggregation tables, allocated serially up
+  // front (simulated addresses must not depend on thread scheduling).
+  struct Scratch {
+    std::vector<uint32_t> sel;
+    std::vector<int64_t> keys, disc_price, charge;
+    AggHashTable<5> agg;
+    Scratch()
+        : sel(kVecSize), keys(kVecSize), disc_price(kVecSize),
+          charge(kVecSize), agg(8) {}
+  };
+  std::vector<std::unique_ptr<Scratch>> scratch;
   for (size_t t = 0; t < w.count(); ++t) {
+    scratch.push_back(std::make_unique<Scratch>());
+  }
+  w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({"tw/q1", 6144});
     VecCtx ctx{&core, simd_};
 
-    std::vector<uint32_t> sel(kVecSize);
-    std::vector<int64_t> keys(kVecSize), disc_price(kVecSize),
-        charge(kVecSize);
-    AggHashTable<5> agg(8);
+    std::vector<uint32_t>& sel = scratch[t]->sel;
+    std::vector<int64_t>& keys = scratch[t]->keys;
+    std::vector<int64_t>& disc_price = scratch[t]->disc_price;
+    std::vector<int64_t>& charge = scratch[t]->charge;
+    AggHashTable<5>& agg = scratch[t]->agg;
 
     for (size_t base = r.begin; base < r.end; base += kVecSize) {
       const size_t m = std::min(kVecSize, r.end - base);
@@ -42,15 +57,19 @@ Q1Result TectorwiseEngine::Q1(Workers& w) const {
           ctx, engine::branch_site::kSelectionP1, l.shipdate.data() + base,
           m, sel.data(), [cut](tpch::Date d) { return d <= cut; });
 
-      // Key and arithmetic primitives over the selection vector.
+      // Key and arithmetic primitives over the selection vector. The
+      // selection vector and the dense outputs are sequential (batched);
+      // the column reads under the selection are gathers (per element).
       detail::ChargeCallOverhead(ctx);
+      detail::TouchVecLoad(ctx, sel.data(), ms);
       for (size_t k = 0; k < ms; ++k) {
-        const uint32_t i = detail::LoadElem(ctx, &sel[k]);
+        const uint32_t i = sel[k];
         const int64_t flag = detail::LoadElem(ctx, &l.returnflag[base + i]);
         const int64_t status =
             detail::LoadElem(ctx, &l.linestatus[base + i]);
-        detail::StoreElem(ctx, &keys[k], (flag << 8) | status);
+        keys[k] = (flag << 8) | status;
       }
+      detail::TouchVecStore(ctx, keys.data(), ms);
       if (ctx.simd) {
         detail::ChargeSimdLoop(ctx, ms, 5);
       } else {
@@ -58,15 +77,18 @@ Q1Result TectorwiseEngine::Q1(Workers& w) const {
       }
 
       detail::ChargeCallOverhead(ctx);
+      detail::TouchVecLoad(ctx, sel.data(), ms);
       for (size_t k = 0; k < ms; ++k) {
-        const uint32_t i = detail::LoadElem(ctx, &sel[k]);
+        const uint32_t i = sel[k];
         const Money ep = detail::LoadElem(ctx, &l.extendedprice[base + i]);
         const int64_t d = detail::LoadElem(ctx, &l.discount[base + i]);
         const int64_t tax = detail::LoadElem(ctx, &l.tax[base + i]);
         const Money dp = tpch::DiscountedPrice(ep, d);
-        detail::StoreElem(ctx, &disc_price[k], dp);
-        detail::StoreElem(ctx, &charge[k], dp * (100 + tax) / 100);
+        disc_price[k] = dp;
+        charge[k] = dp * (100 + tax) / 100;
       }
+      detail::TouchVecStore(ctx, disc_price.data(), ms);
+      detail::TouchVecStore(ctx, charge.data(), ms);
       if (ctx.simd) {
         detail::ChargeSimdLoop(ctx, ms, 8);
       } else {
@@ -77,6 +99,8 @@ Q1Result TectorwiseEngine::Q1(Workers& w) const {
       }
 
       // Aggregation: hash the key vector, then update the group slots.
+      detail::TouchVecLoad(ctx, disc_price.data(), ms);
+      detail::TouchVecLoad(ctx, charge.data(), ms);
       for (size_t k = 0; k < ms; ++k) {
         const uint32_t i = sel[k];
         auto* entry = agg.FindOrCreate(
@@ -84,14 +108,17 @@ Q1Result TectorwiseEngine::Q1(Workers& w) const {
         agg.Add(core, entry, 0, detail::LoadElem(ctx, &l.quantity[base + i]));
         agg.Add(core, entry, 1,
                 detail::LoadElem(ctx, &l.extendedprice[base + i]));
-        agg.Add(core, entry, 2, detail::LoadElem(ctx, &disc_price[k]));
-        agg.Add(core, entry, 3, detail::LoadElem(ctx, &charge[k]));
+        agg.Add(core, entry, 2, disc_price[k]);
+        agg.Add(core, entry, 3, charge[k]);
         agg.Add(core, entry, 4, 1);
       }
       detail::ChargeScalarLoop(ctx, ms, 2);
     }
+  });
 
-    for (const auto& e : agg.entries()) {
+  std::map<int64_t, Q1Row> merged;
+  for (size_t t = 0; t < w.count(); ++t) {
+    for (const auto& e : scratch[t]->agg.entries()) {
       Q1Row& row = merged[e.key];
       row.returnflag = static_cast<int8_t>(e.key >> 8);
       row.linestatus = static_cast<int8_t>(e.key & 0xFF);
@@ -118,29 +145,41 @@ int64_t TectorwiseEngine::GroupBy(Workers& w, int64_t num_groups) const {
   const auto& l = db_.lineitem;
   const size_t n = l.size();
 
-  std::map<int64_t, int64_t> merged;
+  struct Scratch {
+    AggHashTable<1> agg;
+    std::vector<int64_t> keys, vals;
+    explicit Scratch(size_t groups)
+        : agg(groups), keys(kVecSize), vals(kVecSize) {}
+  };
+  std::vector<std::unique_ptr<Scratch>> scratch;
   for (size_t t = 0; t < w.count(); ++t) {
+    const engine::RowRange r = PartitionRange(n, t, w.count());
+    scratch.push_back(std::make_unique<Scratch>(static_cast<size_t>(
+        std::min<int64_t>(num_groups, static_cast<int64_t>(r.size())) + 1)));
+  }
+  w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const engine::RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({"tw/groupby", 4096});
     VecCtx ctx{&core, simd_};
     core.SetMlpHint(simd_ ? core::kMlpSimdGather : core::kMlpVectorProbe);
 
-    AggHashTable<1> agg(static_cast<size_t>(
-        std::min<int64_t>(num_groups, static_cast<int64_t>(r.size())) + 1));
-    std::vector<int64_t> keys(kVecSize), vals(kVecSize);
+    AggHashTable<1>& agg = scratch[t]->agg;
+    std::vector<int64_t>& keys = scratch[t]->keys;
+    std::vector<int64_t>& vals = scratch[t]->vals;
     for (size_t base = r.begin; base < r.end; base += kVecSize) {
       const size_t m = std::min(kVecSize, r.end - base);
-      // Hash primitive: key vector from l_orderkey.
+      // Hash primitive: key vector from l_orderkey. Inputs and outputs
+      // are all dense sequential runs — fully batched.
       detail::ChargeCallOverhead(ctx);
+      detail::TouchVecLoad(ctx, l.orderkey.data() + base, m);
+      detail::TouchVecLoad(ctx, l.extendedprice.data() + base, m);
       for (size_t k = 0; k < m; ++k) {
-        detail::StoreElem(
-            ctx, &keys[k],
-            engine::groupby::GroupKey(
-                detail::LoadElem(ctx, &l.orderkey[base + k]), num_groups));
-        detail::StoreElem(ctx, &vals[k],
-                          detail::LoadElem(ctx, &l.extendedprice[base + k]));
+        keys[k] = engine::groupby::GroupKey(l.orderkey[base + k], num_groups);
+        vals[k] = l.extendedprice[base + k];
       }
+      detail::TouchVecStore(ctx, keys.data(), m);
+      detail::TouchVecStore(ctx, vals.data(), m);
       if (ctx.simd) {
         detail::ChargeSimdLoop(ctx, m, 7);
       } else {
@@ -150,6 +189,8 @@ int64_t TectorwiseEngine::GroupBy(Workers& w, int64_t num_groups) const {
         core.RetireN(per, m);
       }
       // Grouped update loop.
+      detail::TouchVecLoad(ctx, keys.data(), m);
+      detail::TouchVecLoad(ctx, vals.data(), m);
       for (size_t k = 0; k < m; ++k) {
         auto* entry = agg.FindOrCreate(
             core, engine::branch_site::kGroupByChain, keys[k]);
@@ -158,7 +199,11 @@ int64_t TectorwiseEngine::GroupBy(Workers& w, int64_t num_groups) const {
       detail::ChargeScalarLoop(ctx, m, 1);
     }
     core.SetMlpHint(core::kMlpDefault);
-    for (const auto& e : agg.entries()) merged[e.key] += e.aggs[0];
+  });
+
+  std::map<int64_t, int64_t> merged;
+  for (size_t t = 0; t < w.count(); ++t) {
+    for (const auto& e : scratch[t]->agg.entries()) merged[e.key] += e.aggs[0];
   }
 
   int64_t checksum = 0;
@@ -172,14 +217,21 @@ Money TectorwiseEngine::Q6(Workers& w, const engine::Q6Params& p) const {
   const auto& l = db_.lineitem;
   const size_t n = l.size();
 
-  Money total = 0;
-  for (size_t t = 0; t < w.count(); ++t) {
+  struct Scratch {
+    std::vector<uint32_t> sel1, sel2, sel3;
+    Scratch() : sel1(kVecSize), sel2(kVecSize), sel3(kVecSize) {}
+  };
+  std::vector<Scratch> scratch(w.count());
+  std::vector<Money> partial(w.count(), 0);
+  w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({p.predicated ? "tw/q6-predicated" : "tw/q6", 5120});
     VecCtx ctx{&core, simd_};
 
-    std::vector<uint32_t> sel1(kVecSize), sel2(kVecSize), sel3(kVecSize);
+    std::vector<uint32_t>& sel1 = scratch[t].sel1;
+    std::vector<uint32_t>& sel2 = scratch[t].sel2;
+    std::vector<uint32_t>& sel3 = scratch[t].sel3;
 
     Money acc = 0;
     for (size_t base = r.begin; base < r.end; base += kVecSize) {
@@ -215,8 +267,9 @@ Money TectorwiseEngine::Q6(Workers& w, const engine::Q6Params& p) const {
       if (m3 == 0) continue;
       // sum(extendedprice * discount) over the final selection vector.
       detail::ChargeCallOverhead(ctx);
+      detail::TouchVecLoad(ctx, sel3.data(), m3);
       for (size_t k = 0; k < m3; ++k) {
-        const uint32_t i = detail::LoadElem(ctx, &sel3[k]);
+        const uint32_t i = sel3[k];
         acc += detail::LoadElem(ctx, &l.extendedprice[base + i]) *
                detail::LoadElem(ctx, &l.discount[base + i]);
       }
@@ -230,8 +283,10 @@ Money TectorwiseEngine::Q6(Workers& w, const engine::Q6Params& p) const {
         core.RetireN(per, m3);
       }
     }
-    total += acc;
-  }
+    partial[t] = acc;
+  });
+  Money total = 0;
+  for (Money a : partial) total += a;
   return total;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "common/macros.h"
@@ -94,17 +95,37 @@ Q9Result TectorwiseEngine::Q9(Workers& w) const {
   }
 
   // --- vectorized probe pipeline ---
-  std::map<std::pair<int64_t, int>, Money> merged;
+  // Per-worker scratch and aggregation tables, allocated serially up front
+  // (simulated addresses must not depend on thread scheduling). The
+  // (nation, year) group count stays far below the 256 reserved entries,
+  // so the tables never reallocate inside the parallel bodies.
+  struct Scratch {
+    std::vector<uint32_t> sel_green, sel_dummy;
+    std::vector<int64_t> comp_keys, costs, odates, nations, amounts;
+    AggHashTable<1> agg;
+    Scratch()
+        : sel_green(kVecSize), sel_dummy(kVecSize), comp_keys(kVecSize),
+          costs(kVecSize), odates(kVecSize), nations(kVecSize),
+          amounts(kVecSize), agg(256) {}
+  };
+  std::vector<std::unique_ptr<Scratch>> scratch;
   for (size_t t = 0; t < w.count(); ++t) {
+    scratch.push_back(std::make_unique<Scratch>());
+  }
+  w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(l.size(), t, w.count());
     core.SetCodeRegion({"tw/q9-probe", 8192});
     VecCtx ctx{&core, simd_};
 
-    std::vector<uint32_t> sel_green(kVecSize), sel_dummy(kVecSize);
-    std::vector<int64_t> comp_keys(kVecSize), costs(kVecSize),
-        odates(kVecSize), nations(kVecSize), amounts(kVecSize);
-    AggHashTable<1> agg(256);
+    std::vector<uint32_t>& sel_green = scratch[t]->sel_green;
+    std::vector<uint32_t>& sel_dummy = scratch[t]->sel_dummy;
+    std::vector<int64_t>& comp_keys = scratch[t]->comp_keys;
+    std::vector<int64_t>& costs = scratch[t]->costs;
+    std::vector<int64_t>& odates = scratch[t]->odates;
+    std::vector<int64_t>& nations = scratch[t]->nations;
+    std::vector<int64_t>& amounts = scratch[t]->amounts;
+    AggHashTable<1>& agg = scratch[t]->agg;
 
     for (size_t base = r.begin; base < r.end; base += kVecSize) {
       const size_t m = std::min(kVecSize, r.end - base);
@@ -114,15 +135,19 @@ Q9Result TectorwiseEngine::Q9(Workers& w) const {
                                    nullptr, m, sel_green.data(), nullptr);
       if (mg == 0) continue;
 
-      // Stage 2: composite (partkey, suppkey) keys.
+      // Stage 2: composite (partkey, suppkey) keys. The selection vector
+      // and dense output are sequential (batched); the column reads under
+      // the selection are gathers (per element).
       detail::ChargeCallOverhead(ctx);
+      detail::TouchVecLoad(ctx, sel_green.data(), mg);
       for (size_t k = 0; k < mg; ++k) {
-        const uint32_t i = detail::LoadElem(ctx, &sel_green[k]);
+        const uint32_t i = sel_green[k];
         const int64_t key =
             detail::LoadElem(ctx, &l.partkey[base + i]) * (num_supp + 1) +
             detail::LoadElem(ctx, &l.suppkey[base + i]);
-        detail::StoreElem(ctx, &comp_keys[k], key);
+        comp_keys[k] = key;
       }
+      detail::TouchVecStore(ctx, comp_keys.data(), mg);
       if (ctx.simd) {
         detail::ChargeSimdLoop(ctx, mg, 5);
       } else {
@@ -139,8 +164,9 @@ Q9Result TectorwiseEngine::Q9(Workers& w) const {
                      costs.data());
       UOLAP_CHECK_MSG(mc == mg, "partsupp FK probe must always match");
       detail::ChargeCallOverhead(ctx);
+      detail::TouchVecLoad(ctx, sel_green.data(), mg);
       for (size_t k = 0; k < mg; ++k) {
-        const uint32_t i = detail::LoadElem(ctx, &sel_green[k]);
+        const uint32_t i = sel_green[k];
         int64_t od = 0, nk = 0;
         order_date.ProbeFirst(core, engine::branch_site::kQ9Chain3,
                               detail::LoadElem(ctx, &l.orderkey[base + i]),
@@ -148,22 +174,26 @@ Q9Result TectorwiseEngine::Q9(Workers& w) const {
         supp_nation.ProbeFirst(core, engine::branch_site::kQ9Chain4,
                                detail::LoadElem(ctx, &l.suppkey[base + i]),
                                &nk);
-        detail::StoreElem(ctx, &odates[k], od);
-        detail::StoreElem(ctx, &nations[k], nk);
+        odates[k] = od;
+        nations[k] = nk;
       }
+      detail::TouchVecStore(ctx, odates.data(), mg);
+      detail::TouchVecStore(ctx, nations.data(), mg);
 
       // Stage 4: profit arithmetic.
       detail::ChargeCallOverhead(ctx);
+      detail::TouchVecLoad(ctx, sel_green.data(), mg);
+      detail::TouchVecLoad(ctx, costs.data(), mg);
       for (size_t k = 0; k < mg; ++k) {
-        const uint32_t i = detail::LoadElem(ctx, &sel_green[k]);
+        const uint32_t i = sel_green[k];
         const Money amount =
             tpch::DiscountedPrice(
                 detail::LoadElem(ctx, &l.extendedprice[base + i]),
                 detail::LoadElem(ctx, &l.discount[base + i])) -
-            detail::LoadElem(ctx, &costs[k]) *
-                detail::LoadElem(ctx, &l.quantity[base + i]);
-        detail::StoreElem(ctx, &amounts[k], amount);
+            costs[k] * detail::LoadElem(ctx, &l.quantity[base + i]);
+        amounts[k] = amount;
       }
+      detail::TouchVecStore(ctx, amounts.data(), mg);
       if (ctx.simd) {
         detail::ChargeSimdLoop(ctx, mg, 7);
       } else {
@@ -183,8 +213,11 @@ Q9Result TectorwiseEngine::Q9(Workers& w) const {
       }
       detail::ChargeScalarLoop(ctx, mg, 8);
     }
+  });
 
-    for (const auto& e : agg.entries()) {
+  std::map<std::pair<int64_t, int>, Money> merged;
+  for (size_t t = 0; t < w.count(); ++t) {
+    for (const auto& e : scratch[t]->agg.entries()) {
       merged[{e.key / 4096, static_cast<int>(e.key % 4096)}] += e.aggs[0];
     }
   }

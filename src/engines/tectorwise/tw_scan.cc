@@ -19,16 +19,25 @@ Money TectorwiseEngine::Projection(Workers& w, int degree) const {
   const auto& l = db_.lineitem;
   const size_t n = l.size();
 
-  Money total = 0;
-  for (size_t t = 0; t < w.count(); ++t) {
+  // Reused intermediate vectors: the materialization that throttles
+  // Tectorwise's memory pressure (Section 3). Allocated serially per
+  // worker up front — simulated scratch addresses must not depend on
+  // thread scheduling.
+  struct Scratch {
+    std::vector<int64_t> v1, v2, v3;
+    Scratch() : v1(kVecSize), v2(kVecSize), v3(kVecSize) {}
+  };
+  std::vector<Scratch> scratch(w.count());
+  std::vector<Money> partial(w.count(), 0);
+  w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({"tw/projection", 4096});
     VecCtx ctx{&core, simd_};
 
-    // Reused intermediate vectors: the materialization that throttles
-    // Tectorwise's memory pressure (Section 3).
-    std::vector<int64_t> v1(kVecSize), v2(kVecSize), v3(kVecSize);
+    std::vector<int64_t>& v1 = scratch[t].v1;
+    std::vector<int64_t>& v2 = scratch[t].v2;
+    std::vector<int64_t>& v3 = scratch[t].v3;
 
     Money acc = 0;
     for (size_t base = r.begin; base < r.end; base += kVecSize) {
@@ -59,8 +68,10 @@ Money TectorwiseEngine::Projection(Workers& w, int degree) const {
           UOLAP_CHECK(false);
       }
     }
-    total += acc;
-  }
+    partial[t] = acc;
+  });
+  Money total = 0;
+  for (Money a : partial) total += a;
   return total;
 }
 
@@ -69,8 +80,16 @@ Money TectorwiseEngine::Selection(Workers& w,
   const auto& l = db_.lineitem;
   const size_t n = l.size();
 
-  Money total = 0;
-  for (size_t t = 0; t < w.count(); ++t) {
+  struct Scratch {
+    std::vector<uint32_t> sel1, sel2, sel3;
+    std::vector<int64_t> v1, v2, v3;
+    Scratch()
+        : sel1(kVecSize), sel2(kVecSize), sel3(kVecSize), v1(kVecSize),
+          v2(kVecSize), v3(kVecSize) {}
+  };
+  std::vector<Scratch> scratch(w.count());
+  std::vector<Money> partial(w.count(), 0);
+  w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({p.predicated ? "tw/selection-predicated"
@@ -78,8 +97,12 @@ Money TectorwiseEngine::Selection(Workers& w,
                         5120});
     VecCtx ctx{&core, simd_};
 
-    std::vector<uint32_t> sel1(kVecSize), sel2(kVecSize), sel3(kVecSize);
-    std::vector<int64_t> v1(kVecSize), v2(kVecSize), v3(kVecSize);
+    std::vector<uint32_t>& sel1 = scratch[t].sel1;
+    std::vector<uint32_t>& sel2 = scratch[t].sel2;
+    std::vector<uint32_t>& sel3 = scratch[t].sel3;
+    std::vector<int64_t>& v1 = scratch[t].v1;
+    std::vector<int64_t>& v2 = scratch[t].v2;
+    std::vector<int64_t>& v3 = scratch[t].v3;
 
     Money acc = 0;
     for (size_t base = r.begin; base < r.end; base += kVecSize) {
@@ -115,8 +138,10 @@ Money TectorwiseEngine::Selection(Workers& w,
                         sel3.data(), m3);
       acc += SumColumn(ctx, v3.data(), m3);
     }
-    total += acc;
-  }
+    partial[t] = acc;
+  });
+  Money total = 0;
+  for (Money a : partial) total += a;
   return total;
 }
 

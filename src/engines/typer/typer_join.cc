@@ -1,6 +1,7 @@
 // Typer's hash-join micro-benchmarks (small / medium / large).
 
 #include <algorithm>
+#include <vector>
 
 #include "common/macros.h"
 #include "core/calibration.h"
@@ -21,9 +22,13 @@ using tpch::Money;
 
 namespace {
 
+constexpr size_t kBlock = 1024;  // batched-charge block, see typer_scan.cc
+
 /// Builds `ht` from key/payload columns, the build side partitioned across
 /// the workers (modelling a shared parallel build: each worker's slice is
-/// driven through its own core against the one shared table).
+/// driven through its own core against the one shared table). The table is
+/// shared mutable state, so this phase always runs serially — only probe
+/// phases fan out via ForEach.
 void SharedBuild(Workers& w, JoinHashTable* ht,
                  const std::vector<int64_t>& keys,
                  const std::vector<int64_t>& payloads,
@@ -56,8 +61,8 @@ Money TyperEngine::Join(Workers& w, JoinSize size) const {
       SharedBuild(w, &ht, db_.nation.nationkey, db_.nation.regionkey,
                   "typer/join-build-small");
       const auto& s = db_.supplier;
-      Money total = 0;
-      for (size_t t = 0; t < w.count(); ++t) {
+      std::vector<Money> partial(w.count(), 0);
+      w.ForEach([&](size_t t) {
         core::Core& core = *w.cores[t];
         const RowRange r = PartitionRange(s.size(), t, w.count());
         core.SetCodeRegion({"typer/join-probe-small", 1024});
@@ -67,10 +72,14 @@ Money TyperEngine::Join(Workers& w, JoinSize size) const {
         ColumnView<int64_t> sk(s.suppkey, &core);
         Money acc = 0;
         int64_t payload;
-        for (size_t i = r.begin; i < r.end; ++i) {
-          if (ht.ProbeFirst(core, engine::branch_site::kJoinChain, nk.Get(i),
-                            &payload)) {
-            acc += bal.Get(i) + sk.Get(i);
+        for (size_t b = r.begin; b < r.end; b += kBlock) {
+          const size_t e = std::min(r.end, b + kBlock);
+          nk.Touch(b, e - b);  // the probe-key column is read every tuple
+          for (size_t i = b; i < e; ++i) {
+            if (ht.ProbeFirst(core, engine::branch_site::kJoinChain,
+                              nk.GetRaw(i), &payload)) {
+              acc += bal.Get(i) + sk.Get(i);
+            }
           }
         }
         InstrMix per_tuple;
@@ -78,8 +87,10 @@ Money TyperEngine::Join(Workers& w, JoinSize size) const {
         per_tuple.branch = 1;
         per_tuple.chain_cycles = 1;
         core.RetireN(per_tuple, r.size());
-        total += acc;
-      }
+        partial[t] = acc;
+      });
+      Money total = 0;
+      for (Money a : partial) total += a;
       return total;
     }
     case JoinSize::kMedium: {
@@ -88,8 +99,8 @@ Money TyperEngine::Join(Workers& w, JoinSize size) const {
       SharedBuild(w, &ht, db_.supplier.suppkey, db_.supplier.nationkey,
                   "typer/join-build-medium");
       const auto& ps = db_.partsupp;
-      Money total = 0;
-      for (size_t t = 0; t < w.count(); ++t) {
+      std::vector<Money> partial(w.count(), 0);
+      w.ForEach([&](size_t t) {
         core::Core& core = *w.cores[t];
         const RowRange r = PartitionRange(ps.size(), t, w.count());
         core.SetCodeRegion({"typer/join-probe-medium", 1024});
@@ -99,10 +110,14 @@ Money TyperEngine::Join(Workers& w, JoinSize size) const {
         ColumnView<Money> cost(ps.supplycost, &core);
         Money acc = 0;
         int64_t payload;
-        for (size_t i = r.begin; i < r.end; ++i) {
-          if (ht.ProbeFirst(core, engine::branch_site::kJoinChain, sk.Get(i),
-                            &payload)) {
-            acc += avail.Get(i) + cost.Get(i);
+        for (size_t b = r.begin; b < r.end; b += kBlock) {
+          const size_t e = std::min(r.end, b + kBlock);
+          sk.Touch(b, e - b);
+          for (size_t i = b; i < e; ++i) {
+            if (ht.ProbeFirst(core, engine::branch_site::kJoinChain,
+                              sk.GetRaw(i), &payload)) {
+              acc += avail.Get(i) + cost.Get(i);
+            }
           }
         }
         InstrMix per_tuple;
@@ -110,8 +125,10 @@ Money TyperEngine::Join(Workers& w, JoinSize size) const {
         per_tuple.branch = 1;
         per_tuple.chain_cycles = 1;
         core.RetireN(per_tuple, r.size());
-        total += acc;
-      }
+        partial[t] = acc;
+      });
+      Money total = 0;
+      for (Money a : partial) total += a;
       return total;
     }
     case JoinSize::kLarge: {
@@ -121,8 +138,8 @@ Money TyperEngine::Join(Workers& w, JoinSize size) const {
       SharedBuild(w, &ht, db_.orders.orderkey, db_.orders.custkey,
                   "typer/join-build-large");
       const auto& l = db_.lineitem;
-      Money total = 0;
-      for (size_t t = 0; t < w.count(); ++t) {
+      std::vector<Money> partial(w.count(), 0);
+      w.ForEach([&](size_t t) {
         core::Core& core = *w.cores[t];
         const RowRange r = PartitionRange(l.size(), t, w.count());
         core.SetCodeRegion({"typer/join-probe-large", 1280});
@@ -134,10 +151,14 @@ Money TyperEngine::Join(Workers& w, JoinSize size) const {
         ColumnView<int64_t> qty(l.quantity, &core);
         Money acc = 0;
         int64_t payload;
-        for (size_t i = r.begin; i < r.end; ++i) {
-          if (ht.ProbeFirst(core, engine::branch_site::kJoinChain, ok.Get(i),
-                            &payload)) {
-            acc += ep.Get(i) + disc.Get(i) + tax.Get(i) + qty.Get(i);
+        for (size_t b = r.begin; b < r.end; b += kBlock) {
+          const size_t e = std::min(r.end, b + kBlock);
+          ok.Touch(b, e - b);
+          for (size_t i = b; i < e; ++i) {
+            if (ht.ProbeFirst(core, engine::branch_site::kJoinChain,
+                              ok.GetRaw(i), &payload)) {
+              acc += ep.Get(i) + disc.Get(i) + tax.Get(i) + qty.Get(i);
+            }
           }
         }
         InstrMix per_tuple;
@@ -148,8 +169,10 @@ Money TyperEngine::Join(Workers& w, JoinSize size) const {
         InstrMix per_match;  // the 4-column sum
         per_match.alu = 4;
         core.RetireN(per_match, r.size());  // FK join: every probe matches
-        total += acc;
-      }
+        partial[t] = acc;
+      });
+      Money total = 0;
+      for (Money a : partial) total += a;
       return total;
     }
   }
@@ -170,9 +193,9 @@ Money TyperEngine::JoinLargeInterleaved(Workers& w) const {
   SharedBuild(w, &ht, db_.orders.orderkey, db_.orders.custkey,
               "typer/join-build-large");
   const auto& l = db_.lineitem;
-  Money total = 0;
   constexpr size_t kGroup = 8;
-  for (size_t t = 0; t < w.count(); ++t) {
+  std::vector<Money> partial(w.count(), 0);
+  w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(l.size(), t, w.count());
     core.SetCodeRegion({"typer/join-probe-interleaved", 2048});
@@ -186,10 +209,11 @@ Money TyperEngine::JoinLargeInterleaved(Workers& w) const {
     int64_t payload;
     for (size_t base = r.begin; base < r.end; base += kGroup) {
       const size_t m = std::min(kGroup, r.end - base);
+      ok.Touch(base, m);  // the group's keys are gathered up front
       for (size_t k = 0; k < m; ++k) {
         const size_t i = base + k;
-        if (ht.ProbeFirst(core, engine::branch_site::kJoinChain, ok.Get(i),
-                          &payload)) {
+        if (ht.ProbeFirst(core, engine::branch_site::kJoinChain,
+                          ok.GetRaw(i), &payload)) {
           acc += ep.Get(i) + disc.Get(i) + tax.Get(i) + qty.Get(i);
         }
       }
@@ -206,8 +230,10 @@ Money TyperEngine::JoinLargeInterleaved(Workers& w) const {
     per_match.alu = 4;
     core.RetireN(per_match, r.size());
     core.SetMlpHint(core::kMlpDefault);
-    total += acc;
-  }
+    partial[t] = acc;
+  });
+  Money total = 0;
+  for (Money a : partial) total += a;
   return total;
 }
 

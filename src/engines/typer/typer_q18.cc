@@ -4,6 +4,8 @@
 // qualifying orderkeys back to orders/customer and emits the top 100.
 
 #include <algorithm>
+#include <memory>
+#include <vector>
 
 #include "common/macros.h"
 #include "core/calibration.h"
@@ -27,12 +29,24 @@ using tpch::Money;
 Q18Result TyperEngine::Q18(Workers& w) const {
   const auto& l = db_.lineitem;
   const auto& ord = db_.orders;
+  constexpr size_t kBlock = 1024;  // batched-charge block, see typer_scan.cc
 
   // --- phase 1+2: per-worker qty-by-orderkey aggregation, then filter.
   // lineitem is clustered on orderkey, so worker-local tables hold
-  // disjoint key sets and the merge is pure concatenation.
-  std::vector<std::pair<int64_t, int64_t>> qualifying;  // (orderkey, sumqty)
+  // disjoint key sets and the merge is pure concatenation. Tables are
+  // allocated serially up front with a worst-case entry reservation
+  // (every row its own group), so no realloc happens inside the parallel
+  // bodies; the bucket count stays sized by the expected group count.
+  std::vector<std::unique_ptr<AggHashTable<1>>> aggs;
   for (size_t t = 0; t < w.count(); ++t) {
+    const RowRange r = PartitionRange(l.size(), t, w.count());
+    aggs.push_back(
+        std::make_unique<AggHashTable<1>>(r.size() / 4 + 16, r.size() + 1));
+  }
+  // (orderkey, sumqty) per worker, concatenated in worker order below.
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> qual_parts(w.count());
+
+  w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(l.size(), t, w.count());
     core.SetCodeRegion({"typer/q18-agg", 1536});
@@ -41,11 +55,16 @@ Q18Result TyperEngine::Q18(Workers& w) const {
     ColumnView<int64_t> ok(l.orderkey, &core);
     ColumnView<int64_t> qty(l.quantity, &core);
 
-    AggHashTable<1> agg(r.size() / 4 + 16);
-    for (size_t i = r.begin; i < r.end; ++i) {
-      auto* entry = agg.FindOrCreate(
-          core, engine::branch_site::kQ18AggChain, ok.Get(i));
-      agg.Add(core, entry, 0, qty.Get(i));
+    AggHashTable<1>& agg = *aggs[t];
+    for (size_t b = r.begin; b < r.end; b += kBlock) {
+      const size_t e = std::min(r.end, b + kBlock);
+      ok.Touch(b, e - b);
+      qty.Touch(b, e - b);
+      for (size_t i = b; i < e; ++i) {
+        auto* entry = agg.FindOrCreate(
+            core, engine::branch_site::kQ18AggChain, ok.GetRaw(i));
+        agg.Add(core, entry, 0, qty.GetRaw(i));
+      }
     }
     InstrMix per_tuple;
     per_tuple.alu = 2;
@@ -53,17 +72,26 @@ Q18Result TyperEngine::Q18(Workers& w) const {
     per_tuple.chain_cycles = 1;
     core.RetireN(per_tuple, r.size());
 
-    // Filter scan over the group entries (sequential).
+    // Filter scan over the group entries (sequential, batched).
     core.SetCodeRegion({"typer/q18-having", 512});
-    for (const auto& e : agg.entries()) {
-      core.Load(&e, sizeof(e));
+    const auto& entries = agg.entries();
+    if (!entries.empty()) {
+      core.LoadSeq(entries.data(), sizeof(entries[0]), entries.size());
+    }
+    for (const auto& e : entries) {
       const bool pass = e.aggs[0] > engine::kQ18QuantityThreshold;
       core.Branch(engine::branch_site::kQ18Filter, pass);
-      if (pass) qualifying.emplace_back(e.key, e.aggs[0]);
+      if (pass) qual_parts[t].emplace_back(e.key, e.aggs[0]);
     }
     InstrMix per_group;
     per_group.alu = 2;
     core.RetireN(per_group, agg.num_groups());
+  });
+
+  std::vector<std::pair<int64_t, int64_t>> qualifying;
+  for (size_t t = 0; t < w.count(); ++t) {
+    qualifying.insert(qualifying.end(), qual_parts[t].begin(),
+                      qual_parts[t].end());
   }
 
   // --- phase 3: join qualifying orderkeys with orders (and customer for
@@ -77,8 +105,8 @@ Q18Result TyperEngine::Q18(Workers& w) const {
     }
   }
 
-  std::vector<Q18Row> rows;
-  for (size_t t = 0; t < w.count(); ++t) {
+  std::vector<std::vector<Q18Row>> row_parts(w.count());
+  w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(ord.size(), t, w.count());
     core.SetCodeRegion({"typer/q18-probe", 1024});
@@ -89,26 +117,35 @@ Q18Result TyperEngine::Q18(Workers& w) const {
     ColumnView<tpch::Date> od(ord.orderdate, &core);
     ColumnView<Money> tp(ord.totalprice, &core);
 
-    for (size_t i = r.begin; i < r.end; ++i) {
-      int64_t sumqty = -1;
-      if (!qual.ProbeFirst(core, engine::branch_site::kQ18Chain, ok.Get(i),
-                           &sumqty)) {
-        continue;
+    for (size_t b = r.begin; b < r.end; b += kBlock) {
+      const size_t e = std::min(r.end, b + kBlock);
+      ok.Touch(b, e - b);
+      for (size_t i = b; i < e; ++i) {
+        int64_t sumqty = -1;
+        if (!qual.ProbeFirst(core, engine::branch_site::kQ18Chain,
+                             ok.GetRaw(i), &sumqty)) {
+          continue;
+        }
+        Q18Row row;
+        row.orderkey = ok.GetRaw(i);
+        row.custkey = ck.Get(i);
+        row.orderdate = od.Get(i);
+        row.totalprice = tp.Get(i);
+        row.sum_qty = sumqty;
+        row.cust_name = std::string(
+            db_.customer.name.Get(static_cast<size_t>(row.custkey - 1)));
+        row_parts[t].push_back(std::move(row));
       }
-      Q18Row row;
-      row.orderkey = ok.GetRaw(i);
-      row.custkey = ck.Get(i);
-      row.orderdate = od.Get(i);
-      row.totalprice = tp.Get(i);
-      row.sum_qty = sumqty;
-      row.cust_name = std::string(
-          db_.customer.name.Get(static_cast<size_t>(row.custkey - 1)));
-      rows.push_back(std::move(row));
     }
     InstrMix per_tuple;
     per_tuple.alu = 2;
     per_tuple.branch = 1;
     core.RetireN(per_tuple, r.size());
+  });
+
+  std::vector<Q18Row> rows;
+  for (size_t t = 0; t < w.count(); ++t) {
+    for (Q18Row& row : row_parts[t]) rows.push_back(std::move(row));
   }
 
   std::sort(rows.begin(), rows.end(), [](const Q18Row& a, const Q18Row& b) {

@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <memory>
+#include <vector>
 
 #include "common/macros.h"
 #include "core/calibration.h"
@@ -119,8 +121,15 @@ Q9Result TyperEngine::Q9(Workers& w) const {
   }
 
   // --- probe pipeline over lineitem, (nationkey, year) aggregation ---
-  std::map<std::pair<int64_t, int>, Money> merged;
+  // Per-worker aggregation tables, allocated serially up front (their
+  // simulated addresses must not depend on thread scheduling). The
+  // (nation, year) group count is far below the 256 reserved entries, so
+  // the tables never reallocate inside the parallel bodies.
+  std::vector<std::unique_ptr<AggHashTable<1>>> aggs;
   for (size_t t = 0; t < w.count(); ++t) {
+    aggs.push_back(std::make_unique<AggHashTable<1>>(256));
+  }
+  w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(l.size(), t, w.count());
     core.SetCodeRegion({"typer/q9-probe", 2048});
@@ -133,34 +142,38 @@ Q9Result TyperEngine::Q9(Workers& w) const {
     ColumnView<int64_t> disc(l.discount, &core);
     ColumnView<int64_t> qty(l.quantity, &core);
 
-    AggHashTable<1> agg(256);
+    AggHashTable<1>& agg = *aggs[t];
     uint64_t green_hits = 0;
-    for (size_t i = r.begin; i < r.end; ++i) {
-      int64_t unused;
-      const bool is_green = green_parts.ProbeFirst(
-          core, engine::branch_site::kQ9Chain1, pk.Get(i), &unused);
-      if (!is_green) continue;
-      ++green_hits;
+    constexpr size_t kBlock = 1024;
+    for (size_t blk = r.begin; blk < r.end; blk += kBlock) {
+      const size_t blk_end = std::min(r.end, blk + kBlock);
+      pk.Touch(blk, blk_end - blk);  // probe key, read for every tuple
+      for (size_t i = blk; i < blk_end; ++i) {
+        int64_t unused;
+        const bool is_green = green_parts.ProbeFirst(
+            core, engine::branch_site::kQ9Chain1, pk.GetRaw(i), &unused);
+        if (!is_green) continue;
+        ++green_hits;
 
-      const int64_t ps_key = pk.GetRaw(i) * (num_supp + 1) + sk.Get(i);
-      int64_t supplycost = 0;
-      ps_cost.ProbeFirst(core, engine::branch_site::kQ9Chain2, ps_key,
-                         &supplycost);
-      int64_t odate64 = 0;
-      order_date.ProbeFirst(core, engine::branch_site::kQ9Chain3, ok.Get(i),
-                            &odate64);
-      const tpch::Date odate = static_cast<tpch::Date>(odate64);
-      int64_t nationkey = 0;
-      supp_nation.ProbeFirst(core, engine::branch_site::kQ9Chain4,
-                             sk.GetRaw(i), &nationkey);
+        const int64_t ps_key = pk.GetRaw(i) * (num_supp + 1) + sk.Get(i);
+        int64_t supplycost = 0;
+        ps_cost.ProbeFirst(core, engine::branch_site::kQ9Chain2, ps_key,
+                           &supplycost);
+        int64_t odate64 = 0;
+        order_date.ProbeFirst(core, engine::branch_site::kQ9Chain3,
+                              ok.Get(i), &odate64);
+        const tpch::Date odate = static_cast<tpch::Date>(odate64);
+        int64_t nationkey = 0;
+        supp_nation.ProbeFirst(core, engine::branch_site::kQ9Chain4,
+                               sk.GetRaw(i), &nationkey);
 
-      const int year = tpch::DateYear(odate);
-      const Money amount =
-          tpch::DiscountedPrice(ep.Get(i), disc.Get(i)) -
-          supplycost * qty.Get(i);
-      auto* entry = agg.FindOrCreate(core, engine::branch_site::kQ9AggChain,
-                                     nationkey * 4096 + year);
-      agg.Add(core, entry, 0, amount);
+        const int year = tpch::DateYear(odate);
+        const Money amount = tpch::DiscountedPrice(ep.Get(i), disc.Get(i)) -
+                             supplycost * qty.Get(i);
+        auto* entry = agg.FindOrCreate(
+            core, engine::branch_site::kQ9AggChain, nationkey * 4096 + year);
+        agg.Add(core, entry, 0, amount);
+      }
     }
     InstrMix per_tuple;
     per_tuple.alu = 2;
@@ -171,8 +184,11 @@ Q9Result TyperEngine::Q9(Workers& w) const {
     per_hit.mul = 4;
     per_hit.chain_cycles = 2;
     core.RetireN(per_hit, green_hits);
+  });
 
-    for (const auto& e : agg.entries()) {
+  std::map<std::pair<int64_t, int>, Money> merged;
+  for (size_t t = 0; t < w.count(); ++t) {
+    for (const auto& e : aggs[t]->entries()) {
       merged[{e.key / 4096, static_cast<int>(e.key % 4096)}] += e.aggs[0];
     }
   }

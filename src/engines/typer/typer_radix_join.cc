@@ -72,11 +72,20 @@ Money TyperEngine::JoinLargeRadix(Workers& w, uint32_t radix_bits) const {
     {
       ColumnView<int64_t> ok(ord.orderkey, &core);
       for (auto& p : build_parts) p.reserve(ord.size() / parts + 8);
-      for (size_t i = 0; i < ord.size(); ++i) {
-        const int64_t key = ok.Get(i);
-        auto& out = build_parts[PartitionOf(key, radix_bits)];
-        out.push_back({key});
-        core.Store(&out.back(), sizeof(BuildTuple));
+      // One write cursor per partition: each partition's output is its own
+      // sequential store stream, batched line-by-line.
+      std::vector<core::SeqCursor> wcur(parts);
+      constexpr size_t kBlock = 1024;
+      for (size_t b = 0; b < ord.size(); b += kBlock) {
+        const size_t e = std::min(ord.size(), b + kBlock);
+        ok.Touch(b, e - b);
+        for (size_t i = b; i < e; ++i) {
+          const int64_t key = ok.GetRaw(i);
+          const uint32_t part = PartitionOf(key, radix_bits);
+          auto& out = build_parts[part];
+          out.push_back({key});
+          core.StoreRange(wcur[part], &out.back(), sizeof(BuildTuple), 1);
+        }
       }
       InstrMix per;  // hash + partition index + buffer bookkeeping
       per.mul = 3;
@@ -96,13 +105,24 @@ Money TyperEngine::JoinLargeRadix(Workers& w, uint32_t radix_bits) const {
       ColumnView<int64_t> tax(l.tax, &core);
       ColumnView<int64_t> qty(l.quantity, &core);
       for (auto& p : probe_parts) p.reserve(pr.size() / parts + 8);
-      for (size_t i = pr.begin; i < pr.end; ++i) {
-        const int64_t key = ok.Get(i);
-        const Money sum =
-            ep.Get(i) + disc.Get(i) + tax.Get(i) + qty.Get(i);
-        auto& out = probe_parts[PartitionOf(key, radix_bits)];
-        out.push_back({key, sum});
-        core.Store(&out.back(), sizeof(ProbeTuple));
+      std::vector<core::SeqCursor> wcur(parts);
+      constexpr size_t kBlock = 1024;
+      for (size_t b = pr.begin; b < pr.end; b += kBlock) {
+        const size_t e = std::min(pr.end, b + kBlock);
+        ok.Touch(b, e - b);
+        ep.Touch(b, e - b);
+        disc.Touch(b, e - b);
+        tax.Touch(b, e - b);
+        qty.Touch(b, e - b);
+        for (size_t i = b; i < e; ++i) {
+          const int64_t key = ok.GetRaw(i);
+          const Money sum = ep.GetRaw(i) + disc.GetRaw(i) + tax.GetRaw(i) +
+                            qty.GetRaw(i);
+          const uint32_t part = PartitionOf(key, radix_bits);
+          auto& out = probe_parts[part];
+          out.push_back({key, sum});
+          core.StoreRange(wcur[part], &out.back(), sizeof(ProbeTuple), 1);
+        }
       }
       InstrMix per;
       per.mul = 3;
@@ -121,12 +141,16 @@ Money TyperEngine::JoinLargeRadix(Workers& w, uint32_t radix_bits) const {
       const auto& pp = probe_parts[p];
       if (pp.empty()) continue;
       JoinHashTable ht(bp.size() + 1, radix_bits);
+      // The partition inputs are their own sequential read streams; a
+      // cursor per stream batches them line-by-line while the hash-table
+      // accesses interleave per element.
+      core::SeqCursor bcur, pcur;
       for (const BuildTuple& b : bp) {
-        core.Load(&b, sizeof(BuildTuple));
+        core.LoadRange(bcur, &b, sizeof(BuildTuple), 1);
         ht.Insert(core, b.key, 1);
       }
       for (const ProbeTuple& q : pp) {
-        core.Load(&q, sizeof(ProbeTuple));
+        core.LoadRange(pcur, &q, sizeof(ProbeTuple), 1);
         if (ht.ProbeFirst(core, engine::branch_site::kJoinChain, q.key,
                           &payload)) {
           acc += q.payload_sum;

@@ -7,6 +7,7 @@
 #include "common/table_printer.h"
 #include "core/machine.h"
 #include "engine/engine.h"
+#include "harness/thread_pool.h"
 
 namespace uolap::harness {
 
@@ -24,17 +25,33 @@ core::ProfileResult ProfileSingle(const core::MachineConfig& cfg, Fn&& fn) {
 
 /// Runs `fn(Workers&)` across `threads` fresh cores and returns the
 /// socket-contention analysis — the Section 10 measurement.
+///
+/// By default the global ThreadPool is attached as the Workers executor,
+/// so engine `ForEach` bodies (one per simulated worker core) run on their
+/// own OS threads. Simulation state is strictly per-core under the ForEach
+/// contract, so the result is bit-identical to a serial run — pass
+/// `executor = nullptr` to force serial execution (the determinism test
+/// asserts the equivalence).
 template <typename Fn>
 core::MultiCoreResult ProfileMulti(const core::MachineConfig& cfg,
-                                   int threads, Fn&& fn) {
+                                   int threads, Fn&& fn,
+                                   engine::ParallelExecutor* executor) {
   core::Machine machine(cfg, static_cast<uint32_t>(threads));
   std::vector<core::Core*> cores;
   cores.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; ++i) cores.push_back(&machine.core(i));
   engine::Workers w(cores);
+  w.executor = executor;
   fn(w);
   machine.FinalizeAll();
   return machine.AnalyzeAll();
+}
+
+template <typename Fn>
+core::MultiCoreResult ProfileMulti(const core::MachineConfig& cfg,
+                                   int threads, Fn&& fn) {
+  return ProfileMulti(cfg, threads, std::forward<Fn>(fn),
+                      &ThreadPool::Global());
 }
 
 // --- standard row formats shared by the figure tables ---------------------

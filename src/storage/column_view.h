@@ -14,6 +14,13 @@ namespace uolap::storage {
 /// touching base data: `view.Get(i)` performs the real read (so results
 /// are real) *and* the simulated cache/TLB/prefetcher access (so counters
 /// are real too).
+///
+/// Sequential scans should use the batched range API instead of per-element
+/// `Get`: `Touch(i, count)` charges a run of elements through
+/// `Core::LoadRange` (one simulated line walk per cache line, bulk L1 hits
+/// for the element repeats — counter-equivalent to the per-element path),
+/// after which the values are read with `GetRaw`. `ForRange`/`Sum` bundle
+/// the two steps for the common cases.
 template <typename T>
 class ColumnView {
  public:
@@ -28,10 +35,35 @@ class ColumnView {
     return data_[i];
   }
 
-  /// Raw (unsimulated) read, for setup/verification code paths only.
+  /// Raw (unsimulated) read, for setup/verification code paths only —
+  /// or for values already charged via `Touch`/`ForRange`.
   T GetRaw(size_t i) const {
     UOLAP_DCHECK(i < size_);
     return data_[i];
+  }
+
+  /// Charges the sequential element run [i, i + count) in one batched
+  /// range access. Each view keeps its own `SeqCursor`, so interleaving
+  /// several views' runs in one scan loop stays exact per column.
+  void Touch(size_t i, size_t count) const {
+    UOLAP_DCHECK(i + count <= size_);
+    core_->LoadRange(cursor_, &data_[i], sizeof(T), count);
+  }
+
+  /// Batched `fn(element)` over [begin, end).
+  template <typename Fn>
+  void ForRange(size_t begin, size_t end, Fn&& fn) const {
+    UOLAP_DCHECK(begin <= end && end <= size_);
+    if (begin >= end) return;
+    core_->LoadRange(cursor_, &data_[begin], sizeof(T), end - begin);
+    for (size_t i = begin; i < end; ++i) fn(data_[i]);
+  }
+
+  /// Batched sum over [begin, end), accumulated in int64.
+  int64_t Sum(size_t begin, size_t end) const {
+    int64_t acc = 0;
+    ForRange(begin, end, [&acc](T v) { acc += static_cast<int64_t>(v); });
+    return acc;
   }
 
   const T* data() const { return data_; }
@@ -41,6 +73,7 @@ class ColumnView {
   const T* data_;
   size_t size_;
   core::Core* core_;
+  mutable core::SeqCursor cursor_;
 };
 
 /// A mutable simulated array for intermediates (vectorized engines'
@@ -61,6 +94,18 @@ class SimVector {
     return data_[i];
   }
   T GetRaw(size_t i) const { return data_[i]; }
+  void SetRaw(size_t i, T value) { data_[i] = value; }
+
+  /// Batched sequential charges (see ColumnView::Touch); values are then
+  /// read/written raw.
+  void TouchLoad(size_t i, size_t count) const {
+    UOLAP_DCHECK(i + count <= data_.size());
+    core_->LoadRange(cursor_, &data_[i], sizeof(T), count);
+  }
+  void TouchStore(size_t i, size_t count) {
+    UOLAP_DCHECK(i + count <= data_.size());
+    core_->StoreRange(cursor_, &data_[i], sizeof(T), count);
+  }
 
   size_t size() const { return data_.size(); }
   const T* data() const { return data_.data(); }
@@ -68,6 +113,7 @@ class SimVector {
  private:
   std::vector<T> data_;
   core::Core* core_;
+  mutable core::SeqCursor cursor_;
 };
 
 }  // namespace uolap::storage
