@@ -35,7 +35,6 @@ using uolap::TablePrinter;
 using uolap::core::ProfileResult;
 using uolap::engine::Workers;
 using uolap::harness::BenchContext;
-using uolap::harness::ProfileSingle;
 
 }  // namespace
 
@@ -62,9 +61,10 @@ int main(int argc, char** argv) {
       std::printf("# group-by %s...\n", label.c_str());
       std::fflush(stdout);
       const int64_t g = groups;
-      const ProfileResult r = ProfileSingle(ctx.machine(), [&](Workers& w) {
-        ctx.typer().GroupBy(w, g);
-      });
+      const ProfileResult r =
+          ctx.Profile("group-by " + label, [&](Workers& w) {
+            ctx.typer().GroupBy(w, g);
+          });
       const auto& b = r.cycles;
       cpu.AddRow({label, TablePrinter::Pct(b.StallRatio()),
                   TablePrinter::Pct(b.Frac(b.retiring)),
@@ -79,11 +79,12 @@ int main(int argc, char** argv) {
   {
     std::printf("# large join: baseline vs interleaved probes...\n");
     std::fflush(stdout);
-    const ProfileResult base = ProfileSingle(ctx.machine(), [&](Workers& w) {
-      ctx.typer().Join(w, uolap::engine::JoinSize::kLarge);
-    });
+    const ProfileResult base =
+        ctx.Profile("join scalar probes", [&](Workers& w) {
+          ctx.typer().Join(w, uolap::engine::JoinSize::kLarge);
+        });
     const ProfileResult inter =
-        ProfileSingle(ctx.machine(), [&](Workers& w) {
+        ctx.Profile("join interleaved probes", [&](Workers& w) {
           ctx.typer().JoinLargeInterleaved(w);
         });
     TablePrinter t(
@@ -99,7 +100,7 @@ int main(int argc, char** argv) {
                 TablePrinter::Fmt(r.bandwidth_gbps, 2)});
     };
     const ProfileResult radix =
-        ProfileSingle(ctx.machine(), [&](Workers& w) {
+        ctx.Profile("join radix-partitioned", [&](Workers& w) {
           ctx.typer().JoinLargeRadix(w);
         });
     add("scalar probes", base);
@@ -122,12 +123,14 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     uolap::core::MachineConfig huge_pages = ctx.machine();
     huge_pages.page_bytes = 2ull * 1024 * 1024;
-    const ProfileResult p4k = ProfileSingle(ctx.machine(), [&](Workers& w) {
-      ctx.typer().Join(w, uolap::engine::JoinSize::kLarge);
-    });
-    const ProfileResult thp = ProfileSingle(huge_pages, [&](Workers& w) {
-      ctx.typer().Join(w, uolap::engine::JoinSize::kLarge);
-    });
+    const ProfileResult p4k =
+        ctx.Profile("join 4KB pages", [&](Workers& w) {
+          ctx.typer().Join(w, uolap::engine::JoinSize::kLarge);
+        });
+    const ProfileResult thp =
+        ctx.Profile("join 2MB pages", huge_pages, [&](Workers& w) {
+          ctx.typer().Join(w, uolap::engine::JoinSize::kLarge);
+        });
     TablePrinter t(
         "Ablation (c): page size and the random-access join — an "
         "opportunity the paper leaves on the table: huge pages remove the "
@@ -153,7 +156,7 @@ int main(int argc, char** argv) {
     t.SetHeader({"workload", "intensity (instr/B)", "achieved IPC",
                  "roof IPC", "verdict"});
     auto add = [&](const std::string& name, auto&& fn) {
-      const ProfileResult r = ProfileSingle(ctx.machine(), fn);
+      const ProfileResult r = ctx.Profile("roofline " + name, fn);
       const auto p = uolap::core::ComputeRoofline(r, ctx.machine());
       t.AddRow({name, TablePrinter::Fmt(p.intensity, 2),
                 TablePrinter::Fmt(p.achieved_ipc, 2),

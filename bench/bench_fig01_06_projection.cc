@@ -25,13 +25,11 @@ using uolap::core::ProfileResult;
 using uolap::engine::OlapEngine;
 using uolap::engine::Workers;
 using uolap::harness::BenchContext;
-using uolap::harness::ProfileSingle;
 
 ProfileResult RunProjection(BenchContext& ctx, OlapEngine& engine,
                             int degree) {
-  return ProfileSingle(ctx.machine(), [&](Workers& w) {
-    engine.Projection(w, degree);
-  });
+  return ctx.Profile(engine.name() + " p" + std::to_string(degree),
+                     [&](Workers& w) { engine.Projection(w, degree); });
 }
 
 }  // namespace

@@ -25,7 +25,6 @@ using uolap::core::ProfileResult;
 using uolap::engine::OlapEngine;
 using uolap::engine::Workers;
 using uolap::harness::BenchContext;
-using uolap::harness::ProfileSingle;
 
 }  // namespace
 
@@ -56,8 +55,9 @@ int main(int argc, char** argv) {
     return uolap::harness::RunSweep(jobs.size(), [&](size_t i) {
       const Job& j = jobs[i];
       const auto params = uolap::engine::MakeSelectionParams(ctx.db(), j.sel);
-      return Cell{j.engine->name() + " " + TablePrinter::Pct(j.sel, 0),
-                  ProfileSingle(ctx.machine(), [&](Workers& w) {
+      const std::string label =
+          j.engine->name() + " " + TablePrinter::Pct(j.sel, 0);
+      return Cell{label, ctx.Profile(label, [&](Workers& w) {
                     j.engine->Selection(w, params);
                   })};
     });

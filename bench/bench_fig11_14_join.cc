@@ -16,6 +16,7 @@
 #include "engine/query.h"
 #include "harness/context.h"
 #include "harness/profile.h"
+#include "obs/region_profiler.h"
 
 namespace {
 
@@ -25,7 +26,6 @@ using uolap::engine::JoinSize;
 using uolap::engine::OlapEngine;
 using uolap::engine::Workers;
 using uolap::harness::BenchContext;
-using uolap::harness::ProfileSingle;
 
 }  // namespace
 
@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
   struct Cell {
     std::string label;
     ProfileResult r;
+    uolap::obs::RegionTree regions;
   };
   auto profile_all = [&](std::vector<OlapEngine*> engines) {
     std::vector<Cell> cells;
@@ -47,10 +48,13 @@ int main(int argc, char** argv) {
         std::printf("# running %s %s join...\n", e->name().c_str(),
                     uolap::engine::JoinSizeName(s).c_str());
         std::fflush(stdout);
-        cells.push_back({e->name() + " " + uolap::engine::JoinSizeName(s),
-                         ProfileSingle(ctx.machine(), [&](Workers& w) {
-                           e->Join(w, s);
-                         })});
+        const std::string label =
+            e->name() + " " + uolap::engine::JoinSizeName(s);
+        cells.push_back(
+            {label,
+             ctx.Profile(label, [&](Workers& w) { e->Join(w, s); }),
+             {}});
+        cells.back().regions = ctx.last_run().cores[0].regions;
       }
     }
     return cells;
@@ -118,6 +122,17 @@ int main(int argc, char** argv) {
     add("Typer", fast[2].r);
     add("Tectorwise", fast[5].r);
     ctx.Emit(t);
+  }
+  {
+    // Per-operator Top-Down attribution of the large join (the region
+    // profiler's headline view): build vs probe vs materialize, with the
+    // exclusive cycles summing back to the whole-run total.
+    ctx.Emit(uolap::harness::RegionTable(
+        "Large join, per-operator Top-Down attribution (Typer)",
+        fast[2].regions));
+    ctx.Emit(uolap::harness::RegionTable(
+        "Large join, per-operator Top-Down attribution (Tectorwise)",
+        fast[5].regions));
   }
   return 0;
 }

@@ -24,7 +24,6 @@ using uolap::core::ProfileResult;
 using uolap::engine::OlapEngine;
 using uolap::engine::Workers;
 using uolap::harness::BenchContext;
-using uolap::harness::ProfileSingle;
 
 }  // namespace
 
@@ -51,10 +50,9 @@ int main(int argc, char** argv) {
     for (const auto& [name, fn] : queries) {
       std::printf("# running %s %s...\n", e->name().c_str(), name.c_str());
       std::fflush(stdout);
-      cells.push_back({e->name() + " " + name,
-                       ProfileSingle(ctx.machine(), [&](Workers& w) {
-                         fn(*e, w);
-                       })});
+      const std::string label = e->name() + " " + name;
+      cells.push_back(
+          {label, ctx.Profile(label, [&](Workers& w) { fn(*e, w); })});
     }
   }
 

@@ -24,7 +24,6 @@ using uolap::core::ProfileResult;
 using uolap::engine::OlapEngine;
 using uolap::engine::Workers;
 using uolap::harness::BenchContext;
-using uolap::harness::ProfileSingle;
 
 }  // namespace
 
@@ -47,10 +46,10 @@ int main(int argc, char** argv) {
         std::fflush(stdout);
         const auto params =
             uolap::engine::MakeSelectionParams(ctx.db(), s, predicated);
+        const std::string label =
+            TablePrinter::Pct(s, 0) + (predicated ? " Br.-free" : " Br.");
         cells.push_back(
-            {TablePrinter::Pct(s, 0) +
-                 (predicated ? " Br.-free" : " Br."),
-             ProfileSingle(ctx.machine(), [&](Workers& w) {
+            {label, ctx.Profile(e.name() + " " + label, [&](Workers& w) {
                e.Selection(w, params);
              })});
       }
@@ -112,12 +111,14 @@ int main(int argc, char** argv) {
                  "Branched GB/s", "Predicated GB/s"});
     for (OlapEngine* e :
          std::vector<OlapEngine*>{&ctx.typer(), &ctx.tectorwise()}) {
-      const auto branched = ProfileSingle(ctx.machine(), [&](Workers& w) {
-        e->Q6(w, uolap::engine::MakeQ6Params(false));
-      });
-      const auto predicated = ProfileSingle(ctx.machine(), [&](Workers& w) {
-        e->Q6(w, uolap::engine::MakeQ6Params(true));
-      });
+      const auto branched =
+          ctx.Profile(e->name() + " Q6 branched", [&](Workers& w) {
+            e->Q6(w, uolap::engine::MakeQ6Params(false));
+          });
+      const auto predicated =
+          ctx.Profile(e->name() + " Q6 predicated", [&](Workers& w) {
+            e->Q6(w, uolap::engine::MakeQ6Params(true));
+          });
       const double change =
           (predicated.total_cycles - branched.total_cycles) /
           branched.total_cycles;

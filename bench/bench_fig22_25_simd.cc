@@ -24,7 +24,6 @@ using uolap::TablePrinter;
 using uolap::core::ProfileResult;
 using uolap::engine::Workers;
 using uolap::harness::BenchContext;
-using uolap::harness::ProfileSingle;
 
 }  // namespace
 
@@ -58,9 +57,9 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     Pair p;
     p.label = label;
-    p.without = ProfileSingle(ctx.machine(),
-                              [&](Workers& w) { fn(scalar, w); });
-    p.with = ProfileSingle(ctx.machine(), [&](Workers& w) { fn(simd, w); });
+    p.without =
+        ctx.Profile(label + " scalar", [&](Workers& w) { fn(scalar, w); });
+    p.with = ctx.Profile(label + " simd", [&](Workers& w) { fn(simd, w); });
     pairs.push_back(std::move(p));
   };
 
@@ -127,12 +126,11 @@ int main(int argc, char** argv) {
   {
     std::printf("# running large-join probe (scalar + SIMD)...\n");
     std::fflush(stdout);
-    const auto without = ProfileSingle(ctx.machine(), [&](Workers& w) {
-      scalar.LargeJoinProbeOnly(w);
-    });
-    const auto with = ProfileSingle(ctx.machine(), [&](Workers& w) {
-      simd.LargeJoinProbeOnly(w);
-    });
+    const auto without =
+        ctx.Profile("join-probe scalar",
+                    [&](Workers& w) { scalar.LargeJoinProbeOnly(w); });
+    const auto with = ctx.Profile(
+        "join-probe simd", [&](Workers& w) { simd.LargeJoinProbeOnly(w); });
     const double base = without.total_cycles;
     TablePrinter t(
         "Figure 25: large-join probe phase with and without SIMD "

@@ -24,7 +24,6 @@ using uolap::core::PrefetcherConfig;
 using uolap::core::ProfileResult;
 using uolap::engine::Workers;
 using uolap::harness::BenchContext;
-using uolap::harness::ProfileSingle;
 
 }  // namespace
 
@@ -41,10 +40,11 @@ int main(int argc, char** argv) {
       {"All enabled", PrefetcherConfig::AllEnabled()},
   };
 
-  auto run_with = [&](const PrefetcherConfig& pf, auto&& fn) {
+  auto run_with = [&](const std::string& label, const PrefetcherConfig& pf,
+                      auto&& fn) {
     MachineConfig cfg = ctx.machine();
     cfg.prefetchers = pf;
-    return ProfileSingle(cfg, fn);
+    return ctx.Profile(label, cfg, fn);
   };
 
   std::vector<std::pair<std::string, ProfileResult>> proj_cells;
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
     std::printf("# running Typer projection p4 with prefetchers: %s...\n",
                 name.c_str());
     std::fflush(stdout);
-    proj_cells.emplace_back(name, run_with(pf, [&](Workers& w) {
+    proj_cells.emplace_back(name, run_with(name, pf, [&](Workers& w) {
       ctx.typer().Projection(w, 4);
     }));
   }
@@ -94,9 +94,10 @@ int main(int argc, char** argv) {
     t.SetHeader({"system", "All disabled ms", "All enabled ms",
                  "Reduction"});
     auto add = [&](const std::string& name, auto&& fn) {
-      const ProfileResult off =
-          run_with(PrefetcherConfig::AllDisabled(), fn);
-      const ProfileResult on = run_with(PrefetcherConfig::AllEnabled(), fn);
+      const ProfileResult off = run_with(
+          name + " join, prefetch off", PrefetcherConfig::AllDisabled(), fn);
+      const ProfileResult on = run_with(
+          name + " join, prefetch on", PrefetcherConfig::AllEnabled(), fn);
       t.AddRow({name, TablePrinter::Fmt(off.time_ms, 1),
                 TablePrinter::Fmt(on.time_ms, 1),
                 TablePrinter::Pct(1.0 - on.total_cycles / off.total_cycles,

@@ -31,7 +31,6 @@ using uolap::core::MultiCoreResult;
 using uolap::engine::OlapEngine;
 using uolap::engine::Workers;
 using uolap::harness::BenchContext;
-using uolap::harness::ProfileMulti;
 
 }  // namespace
 
@@ -78,9 +77,11 @@ int main(int argc, char** argv) {
   const std::vector<Cell> tpch_cells =
       uolap::harness::RunSweep(tpch_jobs.size(), [&](size_t i) {
         const TpchJob& j = tpch_jobs[i];
-        return Cell{j.engine->name() + " " + *j.name,
-                    ProfileMulti(ctx.machine(), max_threads,
-                                 [&](Workers& w) { (*j.fn)(*j.engine, w); })};
+        const std::string label = j.engine->name() + " " + *j.name;
+        return Cell{label,
+                    ctx.ProfileMulti(label, max_threads, [&](Workers& w) {
+                      (*j.fn)(*j.engine, w);
+                    })};
       });
 
   {
@@ -107,7 +108,7 @@ int main(int argc, char** argv) {
   // --- Figures 29/30: bandwidth vs thread count ---
   const std::vector<int> thread_counts = {1, 4, 8, 12, 14};
   auto sweep = [&](const std::string& title, const std::string& max_note,
-                   auto&& fn) {
+                   const std::string& workload, auto&& fn) {
     std::printf("# sweeping %zu thread counts...\n", thread_counts.size());
     std::fflush(stdout);
     // Both engines at every thread count, all points concurrent.
@@ -118,10 +119,12 @@ int main(int argc, char** argv) {
         uolap::harness::RunSweep(thread_counts.size(), [&](size_t i) {
           const int n = thread_counts[i];
           Point pt;
-          pt.typer = ProfileMulti(ctx.machine(), n,
-                                  [&](Workers& w) { fn(ctx.typer(), w); });
-          pt.tectorwise = ProfileMulti(
-              ctx.machine(), n, [&](Workers& w) { fn(ctx.tectorwise(), w); });
+          pt.typer = ctx.ProfileMulti("Typer " + workload, n,
+                                      [&](Workers& w) { fn(ctx.typer(), w); });
+          pt.tectorwise =
+              ctx.ProfileMulti("Tectorwise " + workload, n, [&](Workers& w) {
+                fn(ctx.tectorwise(), w);
+              });
           return pt;
         });
     TablePrinter t(title);
@@ -144,13 +147,13 @@ int main(int argc, char** argv) {
       "Figure 29: per-socket bandwidth vs threads, projection degree 4 "
       "(MAX = 66 GB/s sequential; paper: Typer saturates at 8 cores, "
       "Tectorwise at 12)",
-      "MAX seq",
+      "MAX seq", "proj4",
       [](OlapEngine& e, Workers& w) { e.Projection(w, 4); });
   sweep(
       "Figure 30: per-socket bandwidth vs threads, large join "
       "(MAX = 60 GB/s random; paper: both engines far below, ~21 GB/s at "
       "14 threads)",
-      "MAX seq",
+      "MAX seq", "large join",
       [](OlapEngine& e, Workers& w) {
         e.Join(w, uolap::engine::JoinSize::kLarge);
       });
@@ -164,7 +167,9 @@ int main(int argc, char** argv) {
     ctx.tectorwise_simd();  // force lazy construction before the sweep
     const std::vector<MultiCoreResult> whatif =
         uolap::harness::RunSweep(2, [&](size_t i) {
-          return ProfileMulti(ctx.machine(), max_threads, [&](Workers& w) {
+          const std::string label =
+              i == 0 ? "Tectorwise large join 14t" : "Tectorwise SIMD large join 14t";
+          return ctx.ProfileMulti(label, max_threads, [&](Workers& w) {
             (i == 0 ? ctx.tectorwise() : ctx.tectorwise_simd())
                 .Join(w, uolap::engine::JoinSize::kLarge);
           });

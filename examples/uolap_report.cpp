@@ -1,0 +1,310 @@
+// Works with the profile JSONs that every figure bench emits via --json:
+// validate them, summarize one, diff two as a perf-regression gate, or
+// merge several into a mechanical BENCH_sim.json.
+//
+//   uolap_report validate a.json [b.json ...]
+//   uolap_report summary  profile.json [--regions]
+//   uolap_report diff     before.json after.json [--max-regress=0.05]
+//   uolap_report merge    --out=BENCH_sim.json a.json [b.json ...]
+//
+// `validate` accepts both profile JSONs (schema "uolap-profile") and
+// Chrome trace JSONs (object with a "traceEvents" array); everything else
+// wants profile JSONs. `diff` matches runs by (label, threads), prints the
+// per-run modelled-cycle delta, and exits non-zero when any matched run
+// regresses by more than --max-regress (default 5%) — the gate future perf
+// PRs run in CI.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "obs/json.h"
+#include "obs/json_writer.h"
+#include "obs/profile_export.h"
+
+namespace {
+
+using uolap::FlagSet;
+using uolap::TablePrinter;
+using uolap::obs::JsonValue;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: uolap_report <validate|summary|diff|merge> ...\n"
+               "  validate a.json [b.json ...]\n"
+               "  summary  profile.json [--regions]\n"
+               "  diff     before.json after.json [--max-regress=0.05]\n"
+               "  merge    --out=BENCH_sim.json a.json [b.json ...]\n");
+  return 2;
+}
+
+/// Loads `path` and checks it is either a versioned profile JSON or a
+/// Chrome trace JSON. Prints one line per file.
+bool ValidateFile(const std::string& path, JsonValue* out = nullptr) {
+  auto doc = uolap::obs::ReadJsonFile(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 doc.status().ToString().c_str());
+    return false;
+  }
+  const JsonValue& v = doc.value();
+  if (v.is_object() && v.GetString("schema") == uolap::obs::kProfileSchemaName) {
+    const int version = static_cast<int>(v.GetNumber("version", -1));
+    if (version != uolap::obs::kProfileSchemaVersion) {
+      std::fprintf(stderr, "%s: profile schema version %d, expected %d\n",
+                   path.c_str(), version, uolap::obs::kProfileSchemaVersion);
+      return false;
+    }
+    const JsonValue* runs = v.Find("runs");
+    if (runs == nullptr || !runs->is_array()) {
+      std::fprintf(stderr, "%s: profile JSON without a runs array\n",
+                   path.c_str());
+      return false;
+    }
+    std::printf("%s: ok (uolap-profile v%d, bench %s, %zu runs)\n",
+                path.c_str(), version, v.GetString("bench", "?").c_str(),
+                runs->array.size());
+  } else if (v.is_object() && v.Find("traceEvents") != nullptr &&
+             v.Find("traceEvents")->is_array()) {
+    std::printf("%s: ok (Chrome trace, %zu events)\n", path.c_str(),
+                v.Find("traceEvents")->array.size());
+  } else {
+    std::fprintf(stderr,
+                 "%s: parses but is neither a uolap-profile JSON nor a "
+                 "Chrome trace\n",
+                 path.c_str());
+    return false;
+  }
+  if (out != nullptr) *out = std::move(doc).value();
+  return true;
+}
+
+/// Loads a file that must be a profile JSON (not a trace).
+bool LoadProfile(const std::string& path, JsonValue* out) {
+  if (!ValidateFile(path, out)) return false;
+  if (out->GetString("schema") != uolap::obs::kProfileSchemaName) {
+    std::fprintf(stderr, "%s: expected a uolap-profile JSON\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Modelled cost of a run: makespan cycles (equals the single core's total
+/// cycles for threads == 1).
+double RunCycles(const JsonValue& run) {
+  return run.GetNumber("makespan_cycles");
+}
+
+void PrintRegions(const JsonValue& core) {
+  const JsonValue* regions = core.Find("regions");
+  if (regions == nullptr || regions->array.empty()) return;
+  TablePrinter t("    regions (exclusive cycles)");
+  t.SetHeader({"region", "visits", "Mcycles", "instructions"});
+  for (const JsonValue& node : regions->array) {
+    const int depth = static_cast<int>(node.GetNumber("depth"));
+    const JsonValue* excl = node.Find("exclusive");
+    const double cycles = excl != nullptr ? excl->GetNumber("cycles") : 0;
+    const double instr = excl != nullptr ? excl->GetNumber("instructions") : 0;
+    t.AddRow({std::string(static_cast<size_t>(depth) * 2, ' ') +
+                  node.GetString("name"),
+              TablePrinter::Fmt(node.GetNumber("visits"), 0),
+              TablePrinter::Fmt(cycles / 1e6, 2),
+              TablePrinter::Fmt(instr, 0)});
+  }
+  std::printf("%s", t.ToAscii().c_str());
+}
+
+int Summary(const JsonValue& profile, bool show_regions) {
+  std::printf("bench %s | machine %s | sf %g | seed %llu%s | wall %.0f ms\n\n",
+              profile.GetString("bench", "?").c_str(),
+              profile.GetString("machine", "?").c_str(),
+              profile.GetNumber("scale_factor"),
+              static_cast<unsigned long long>(profile.GetNumber("seed")),
+              profile.GetBool("quick") ? " | --quick" : "",
+              profile.GetNumber("wall_ms"));
+  const JsonValue* runs = profile.Find("runs");
+  TablePrinter t("runs");
+  t.SetHeader({"label", "threads", "Mcycles", "time ms", "GB/s", "regions"});
+  for (const JsonValue& run : runs->array) {
+    size_t region_count = 0;
+    const JsonValue* cores = run.Find("cores");
+    if (cores != nullptr) {
+      for (const JsonValue& core : cores->array) {
+        const JsonValue* regions = core.Find("regions");
+        if (regions != nullptr) region_count += regions->array.size();
+      }
+    }
+    t.AddRow({run.GetString("label"),
+              TablePrinter::Fmt(run.GetNumber("threads"), 0),
+              TablePrinter::Fmt(RunCycles(run) / 1e6, 2),
+              TablePrinter::Fmt(run.GetNumber("time_ms"), 2),
+              TablePrinter::Fmt(run.GetNumber("socket_bandwidth_gbps"), 2),
+              TablePrinter::Fmt(static_cast<double>(region_count), 0)});
+  }
+  std::printf("%s", t.ToAscii().c_str());
+  if (show_regions) {
+    for (const JsonValue& run : runs->array) {
+      std::printf("\n%s:\n", run.GetString("label").c_str());
+      const JsonValue* cores = run.Find("cores");
+      if (cores != nullptr && !cores->array.empty()) {
+        PrintRegions(cores->array.front());
+      }
+    }
+  }
+  return 0;
+}
+
+int Diff(const JsonValue& before, const JsonValue& after,
+         double max_regress) {
+  // Index the "after" runs by (label, threads).
+  std::map<std::pair<std::string, int>, const JsonValue*> after_runs;
+  for (const JsonValue& run : after.Find("runs")->array) {
+    after_runs[{run.GetString("label"),
+                static_cast<int>(run.GetNumber("threads"))}] = &run;
+  }
+
+  TablePrinter t("profile diff (modelled cycles, after vs before)");
+  t.SetHeader({"label", "threads", "before Mcyc", "after Mcyc", "delta"});
+  int matched = 0;
+  int regressed = 0;
+  double worst = 0;
+  for (const JsonValue& run : before.Find("runs")->array) {
+    const std::pair<std::string, int> key = {
+        run.GetString("label"), static_cast<int>(run.GetNumber("threads"))};
+    auto it = after_runs.find(key);
+    if (it == after_runs.end()) {
+      t.AddRow({key.first, TablePrinter::Fmt(key.second, 0),
+                TablePrinter::Fmt(RunCycles(run) / 1e6, 2), "(missing)", ""});
+      continue;
+    }
+    ++matched;
+    const double b = RunCycles(run);
+    const double a = RunCycles(*it->second);
+    const double delta = b > 0 ? (a - b) / b : 0;
+    worst = std::max(worst, delta);
+    if (delta > max_regress) ++regressed;
+    t.AddRow({key.first, TablePrinter::Fmt(key.second, 0),
+              TablePrinter::Fmt(b / 1e6, 2), TablePrinter::Fmt(a / 1e6, 2),
+              (delta >= 0 ? "+" : "") + TablePrinter::Pct(delta, 1) +
+                  (delta > max_regress ? "  REGRESSION" : "")});
+    after_runs.erase(it);
+  }
+  for (const auto& [key, run] : after_runs) {
+    t.AddRow({key.first, TablePrinter::Fmt(key.second, 0), "(missing)",
+              TablePrinter::Fmt(RunCycles(*run) / 1e6, 2), "(new)"});
+  }
+  std::printf("%s", t.ToAscii().c_str());
+  std::printf("%d matched runs, worst delta %+0.1f%%, gate %.1f%%: %s\n",
+              matched, worst * 100, max_regress * 100,
+              regressed == 0 ? "PASS" : "FAIL");
+  return regressed == 0 ? 0 : 1;
+}
+
+/// Merges per-bench profile JSONs into one mechanical summary document —
+/// the BENCH_sim.json replacement the scripts/bench.sh helper writes.
+int Merge(const std::vector<JsonValue>& profiles, const std::string& out) {
+  uolap::obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", "uolap-bench-sim");
+  w.KV("version", 1);
+  w.KV("comment",
+       "Generated by scripts/bench.sh via `uolap_report merge` from the "
+       "--json output of each figure bench; diff two generations with "
+       "`uolap_report diff` to gate perf PRs.");
+  w.Key("benches");
+  w.BeginArray();
+  for (const JsonValue& profile : profiles) {
+    w.BeginObject();
+    w.KV("bench", profile.GetString("bench"));
+    w.KV("machine", profile.GetString("machine"));
+    w.KV("scale_factor", profile.GetNumber("scale_factor"));
+    w.KV("quick", profile.GetBool("quick"));
+    w.KV("wall_ms", profile.GetNumber("wall_ms"));
+    w.Key("runs");
+    w.BeginArray();
+    for (const JsonValue& run : profile.Find("runs")->array) {
+      w.BeginObject();
+      w.KV("label", run.GetString("label"));
+      w.KV("threads",
+           static_cast<int64_t>(run.GetNumber("threads", 1)));
+      w.KV("makespan_cycles", RunCycles(run));
+      w.KV("time_ms", run.GetNumber("time_ms"));
+      w.KV("socket_bandwidth_gbps",
+           run.GetNumber("socket_bandwidth_gbps"));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  const auto status = uolap::obs::WriteTextFile(out, w.TakeString() + "\n");
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", out.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu benches)\n", out.c_str(), profiles.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string mode = argv[1];
+
+  // Split the remaining argv into flags (--x=y) and positional paths.
+  std::vector<std::string> paths;
+  std::vector<char*> flag_argv = {argv[0]};
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--", 0) == 0) {
+      flag_argv.push_back(argv[i]);
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  FlagSet flags;
+  const auto parsed =
+      flags.Parse(static_cast<int>(flag_argv.size()), flag_argv.data());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 2;
+  }
+
+  if (mode == "validate") {
+    if (paths.empty()) return Usage();
+    bool ok = true;
+    for (const std::string& path : paths) ok = ValidateFile(path) && ok;
+    return ok ? 0 : 1;
+  }
+  if (mode == "summary") {
+    if (paths.size() != 1) return Usage();
+    JsonValue profile;
+    if (!LoadProfile(paths[0], &profile)) return 1;
+    return Summary(profile, flags.GetBool("regions", false));
+  }
+  if (mode == "diff") {
+    if (paths.size() != 2) return Usage();
+    JsonValue before;
+    JsonValue after;
+    if (!LoadProfile(paths[0], &before)) return 1;
+    if (!LoadProfile(paths[1], &after)) return 1;
+    return Diff(before, after, flags.GetDouble("max-regress", 0.05));
+  }
+  if (mode == "merge") {
+    const std::string out = flags.GetString("out", "");
+    if (paths.empty() || out.empty()) return Usage();
+    std::vector<JsonValue> profiles(paths.size());
+    for (size_t i = 0; i < paths.size(); ++i) {
+      if (!LoadProfile(paths[i], &profiles[i])) return 1;
+    }
+    return Merge(profiles, out);
+  }
+  return Usage();
+}

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_sim.json mechanically: runs every figure bench with
+# --json (the obs profile exporter), then merges the per-bench profiles
+# with `uolap_report merge`. Future before/after comparisons come from
+# `uolap_report diff old.json new.json` on the per-bench profiles instead
+# of hand-edited numbers.
+#
+# Usage: scripts/bench.sh [--full] [out.json]
+#   default: --quick profiles, writes BENCH_sim.json in the repo root.
+#   --full:  paper-scale runs (slow; minutes per bench).
+#
+# Per-bench profile JSONs are kept in bench_profiles/ next to the output
+# so individual runs can be inspected (`uolap_report summary ... --regions`)
+# or diffed later.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK="--quick"
+if [[ "${1:-}" == "--full" ]]; then
+  QUICK=""
+  shift
+fi
+OUT="${1:-BENCH_sim.json}"
+
+BENCHES=(
+  bench_fig01_06_projection
+  bench_fig07_10_selection
+  bench_fig11_14_join
+  bench_fig15_16_tpch
+  bench_fig17_21_predication
+  bench_fig22_25_simd
+  bench_fig26_prefetchers
+  bench_fig27_30_multicore
+  bench_ablations
+)
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" >/dev/null
+
+PROFILE_DIR="bench_profiles"
+mkdir -p "$PROFILE_DIR"
+
+profiles=()
+for bench in "${BENCHES[@]}"; do
+  echo "# $bench ${QUICK:+(quick)}"
+  profile="$PROFILE_DIR/$bench.json"
+  # shellcheck disable=SC2086  # QUICK is intentionally word-split
+  "build/bench/$bench" $QUICK --json="$profile" >/dev/null
+  profiles+=("$profile")
+done
+
+build/examples/uolap_report merge --out="$OUT" "${profiles[@]}"
+build/examples/uolap_report validate "${profiles[@]}" >/dev/null
+echo "# wrote $OUT (profiles kept in $PROFILE_DIR/)"

@@ -18,10 +18,32 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
+# Exporter smoke: run one figure bench with --json/--trace and make sure
+# both outputs parse as what they claim to be (uolap_report validates the
+# profile schema version and the Chrome trace shape).
+exporter_smoke() {
+  local build_dir="$1"
+  local out
+  out="$(mktemp -d)"
+  "$build_dir/bench/bench_fig11_14_join" --quick \
+    --json="$out/profile.json" --trace="$out/trace.json" >/dev/null
+  "$build_dir/examples/uolap_report" validate \
+    "$out/profile.json" "$out/trace.json"
+  "$build_dir/examples/uolap_report" diff \
+    "$out/profile.json" "$out/profile.json" >/dev/null
+  rm -rf "$out"
+}
+
+echo "=== exporter smoke (release) ==="
+exporter_smoke build
+
 echo "=== thread-sanitizer build ==="
 cmake -B build-tsan -S . -DUOLAP_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 # TSan slows the simulator ~10x; run the suite with a generous timeout.
 (cd build-tsan && ctest --output-on-failure -j "$JOBS" --timeout 1200)
+
+echo "=== exporter smoke (tsan) ==="
+exporter_smoke build-tsan
 
 echo "=== ci passed ==="

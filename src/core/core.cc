@@ -105,6 +105,7 @@ void Core::AccessSeq(uint64_t addr, uint32_t elem_bytes, uint64_t count,
     a += k * elem_bytes;
     left -= k;
   }
+  if (UOLAP_UNLIKELY(observer_ != nullptr)) observer_->OnProgress();
 }
 
 void Core::AccessRange(SeqCursor& cur, uint64_t addr, uint32_t elem_bytes,
@@ -149,6 +150,7 @@ void Core::AccessRange(SeqCursor& cur, uint64_t addr, uint32_t elem_bytes,
     a += k * elem_bytes;
     left -= k;
   }
+  if (UOLAP_UNLIKELY(observer_ != nullptr)) observer_->OnProgress();
 }
 
 void Core::Retire(const InstrMix& mix) {
@@ -159,11 +161,13 @@ void Core::Retire(const InstrMix& mix) {
   // current code region are precomputed in RecomputeIfetchFractions.
   const double lines =
       static_cast<double>(mix.TotalInstructions()) * kAvgInstrBytes / 64.0;
-  if (lines <= 0) return;
-  ifetch_l1_ += lines * ifrac_l1_;
-  ifetch_l2_ += lines * ifrac_l2_;
-  ifetch_l3_ += lines * ifrac_l3_;
-  ifetch_dram_ += lines * ifrac_dram_;
+  if (lines > 0) {
+    ifetch_l1_ += lines * ifrac_l1_;
+    ifetch_l2_ += lines * ifrac_l2_;
+    ifetch_l3_ += lines * ifrac_l3_;
+    ifetch_dram_ += lines * ifrac_dram_;
+  }
+  if (UOLAP_UNLIKELY(observer_ != nullptr)) observer_->OnProgress();
 }
 
 void Core::ClosePhase(const InstrMix& retired) {
@@ -205,6 +209,20 @@ void Core::Finalize() {
   mc->l1i_l3_hits += static_cast<uint64_t>(std::llround(ifetch_l3_));
   mc->l1i_dram += static_cast<uint64_t>(std::llround(ifetch_dram_));
   ifetch_l1_ = ifetch_l2_ = ifetch_l3_ = ifetch_dram_ = 0;
+}
+
+CoreCounters Core::SnapshotCounters() const {
+  // Same flush arithmetic as Finalize(), applied to a copy: after
+  // Finalize() has zeroed the accumulators this degenerates to counters().
+  CoreCounters c = counters();
+  MemCounters& mc = c.mem;
+  mc.code_fetches += static_cast<uint64_t>(
+      std::llround(ifetch_l1_ + ifetch_l2_ + ifetch_l3_ + ifetch_dram_));
+  mc.l1i_hits += static_cast<uint64_t>(std::llround(ifetch_l1_));
+  mc.l1i_l2_hits += static_cast<uint64_t>(std::llround(ifetch_l2_));
+  mc.l1i_l3_hits += static_cast<uint64_t>(std::llround(ifetch_l3_));
+  mc.l1i_dram += static_cast<uint64_t>(std::llround(ifetch_dram_));
+  return c;
 }
 
 CoreCounters Core::counters() const {

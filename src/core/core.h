@@ -4,11 +4,13 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "core/branch_predictor.h"
 #include "core/config.h"
 #include "core/counters.h"
 #include "core/memory_system.h"
+#include "core/observer.h"
 
 namespace uolap::core {
 
@@ -138,6 +140,38 @@ class Core {
 
   void SetMlpHint(double mlp) { memory_.SetMlpHint(mlp); }
 
+  /// --- observability ---------------------------------------------------
+  /// Marks the start/end of a named, nestable profiling region (an
+  /// operator phase: "build", "probe", ...). Pure markers: they never
+  /// touch simulated state, so a run's counters are bit-identical with or
+  /// without them, and with no observer attached each is one predictable
+  /// null check. Prefer the RAII `ScopedRegion` over calling these
+  /// directly.
+  void PushRegion(std::string_view name) {
+    if (UOLAP_UNLIKELY(observer_ != nullptr)) observer_->OnRegionPush(name);
+  }
+  void PopRegion() {
+    if (UOLAP_UNLIKELY(observer_ != nullptr)) observer_->OnRegionPop();
+  }
+
+  /// Attaches/detaches the (single) observer. The harness attaches one
+  /// obs::RegionProfiler per core for the lifetime of a profiled run.
+  void SetObserver(CoreObserver* observer) { observer_ = observer; }
+  CoreObserver* observer() const { return observer_; }
+
+  /// Instructions retired so far (including auto-counted memory/branch
+  /// instructions). Observers use it for timeline sampling thresholds.
+  uint64_t instructions_retired() const { return mix_.TotalInstructions(); }
+
+  /// Point-in-time counter snapshot, valid mid-run: `counters()` plus the
+  /// analytic I-fetch accumulators flushed as `Finalize()` would flush
+  /// them. A pure function of core state — snapshotting never perturbs the
+  /// run — so deltas between snapshots telescope: contiguous interval
+  /// deltas sum exactly to the whole-run counters. (Trailing effects that
+  /// only `Finalize()` materializes, e.g. live-stream prefetch-waste
+  /// accounting, appear in the interval that contains the finalize.)
+  CoreCounters SnapshotCounters() const;
+
   /// Flushes stream-detector state and the analytic I-fetch accumulators.
   /// Must be called once before reading `counters()` at the end of a run.
   void Finalize();
@@ -231,6 +265,24 @@ class Core {
 
   uint64_t filter_line_[kFilterSlots];
   bool filter_dirty_[kFilterSlots];
+
+  CoreObserver* observer_ = nullptr;
+};
+
+/// RAII region marker: pushes `name` on construction, pops on destruction.
+///   { ScopedRegion r(core, "probe"); ... probe loop ... }
+class ScopedRegion {
+ public:
+  ScopedRegion(Core& core, std::string_view name) : core_(core) {
+    core_.PushRegion(name);
+  }
+  ~ScopedRegion() { core_.PopRegion(); }
+
+  ScopedRegion(const ScopedRegion&) = delete;
+  ScopedRegion& operator=(const ScopedRegion&) = delete;
+
+ private:
+  Core& core_;
 };
 
 }  // namespace uolap::core

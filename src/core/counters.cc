@@ -45,4 +45,47 @@ MemCounters& MemCounters::operator+=(const MemCounters& o) {
   return *this;
 }
 
+MemCounters& MemCounters::operator-=(const MemCounters& o) {
+  data_accesses -= o.data_accesses;
+  l1d_hits -= o.l1d_hits;
+  l2_hits -= o.l2_hits;
+  l3_hits -= o.l3_hits;
+  dram_lines -= o.dram_lines;
+
+  l2_hits_seq -= o.l2_hits_seq;
+  l2_hits_rand -= o.l2_hits_rand;
+  l3_hits_seq -= o.l3_hits_seq;
+  l3_hits_rand -= o.l3_hits_rand;
+  dram_seq_l2_streamer -= o.dram_seq_l2_streamer;
+  dram_seq_l1_streamer -= o.dram_seq_l1_streamer;
+  dram_seq_next_line -= o.dram_seq_next_line;
+  dram_seq_uncovered -= o.dram_seq_uncovered;
+  dram_rand -= o.dram_rand;
+
+  rand_dcache_cycles -= o.rand_dcache_cycles;
+  exec_chase_cycles -= o.exec_chase_cycles;
+  seq_residual_cycles -= o.seq_residual_cycles;
+  stream_startup_cycles -= o.stream_startup_cycles;
+
+  dram_demand_bytes_seq -= o.dram_demand_bytes_seq;
+  dram_demand_bytes_rand -= o.dram_demand_bytes_rand;
+  dram_prefetch_waste_bytes -= o.dram_prefetch_waste_bytes;
+  dram_writeback_bytes -= o.dram_writeback_bytes;
+
+  dtlb_hits -= o.dtlb_hits;
+  stlb_hits -= o.stlb_hits;
+  page_walks -= o.page_walks;
+  tlb_cycles -= o.tlb_cycles;
+
+  code_fetches -= o.code_fetches;
+  l1i_hits -= o.l1i_hits;
+  l1i_l2_hits -= o.l1i_l2_hits;
+  l1i_l3_hits -= o.l1i_l3_hits;
+  l1i_dram -= o.l1i_dram;
+
+  streams_established -= o.streams_established;
+  streams_killed -= o.streams_killed;
+  return *this;
+}
+
 }  // namespace uolap::core

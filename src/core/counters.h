@@ -45,6 +45,22 @@ struct InstrMix {
     return *this;
   }
 
+  /// Counter delta (later snapshot minus earlier snapshot of the same
+  /// core); every field is monotone over a run, so deltas never underflow.
+  InstrMix& operator-=(const InstrMix& o) {
+    alu -= o.alu;
+    mul -= o.mul;
+    div -= o.div;
+    load -= o.load;
+    store -= o.store;
+    branch -= o.branch;
+    simd -= o.simd;
+    complex -= o.complex;
+    other -= o.other;
+    chain_cycles -= o.chain_cycles;
+    return *this;
+  }
+
   /// The per-iteration mix multiplied by `n` iterations.
   InstrMix Scaled(uint64_t n) const {
     InstrMix m;
@@ -122,6 +138,8 @@ struct MemCounters {
   }
 
   MemCounters& operator+=(const MemCounters& o);
+  /// Snapshot delta; see InstrMix::operator-=.
+  MemCounters& operator-=(const MemCounters& o);
 };
 
 /// Full per-core counter set handed to the Top-Down model.
@@ -145,7 +163,22 @@ struct CoreCounters {
     mem += o.mem;
     return *this;
   }
+
+  /// Snapshot delta; see InstrMix::operator-=.
+  CoreCounters& operator-=(const CoreCounters& o) {
+    mix -= o.mix;
+    branch_events -= o.branch_events;
+    branch_mispredicts -= o.branch_mispredicts;
+    exec_stall_cycles -= o.exec_stall_cycles;
+    mem -= o.mem;
+    return *this;
+  }
 };
+
+inline CoreCounters operator-(CoreCounters a, const CoreCounters& b) {
+  a -= b;
+  return a;
+}
 
 }  // namespace uolap::core
 

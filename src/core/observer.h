@@ -1,0 +1,42 @@
+#ifndef UOLAP_CORE_OBSERVER_H_
+#define UOLAP_CORE_OBSERVER_H_
+
+#include <string_view>
+
+namespace uolap::core {
+
+/// Passive per-core instrumentation hook. A `Core` with no observer
+/// attached behaves exactly as before (every hook site is a single
+/// predictable null check); with one attached, the observer is notified of
+/// region push/pop markers and of batched accounting points, from which it
+/// can snapshot counters. Observers must never mutate simulated state —
+/// everything they are handed is read-only — so attaching one cannot
+/// change any counter a run produces (the obs tests assert this).
+///
+/// Threading: a Core is per-thread state under the `Workers::ForEach`
+/// contract, so an observer attached to one core is only ever invoked from
+/// the thread driving that core. Per-core observers therefore need no
+/// synchronization, and threaded runs record bit-identical data to serial
+/// runs.
+class CoreObserver {
+ public:
+  virtual ~CoreObserver() = default;
+
+  /// A named, nestable region begins / ends on this core (see
+  /// Core::PushRegion). `name` is only guaranteed to live for the duration
+  /// of the call.
+  virtual void OnRegionPush(std::string_view name) = 0;
+  virtual void OnRegionPop() = 0;
+
+  /// Called at batched accounting points — after every `Retire` and every
+  /// sequential-range access (`LoadSeq`/`StoreSeq`/`LoadRange`/
+  /// `StoreRange`). Timeline samplers use it to check whether the
+  /// instruction count crossed their next sampling threshold; per-element
+  /// `Load`/`Store`/`Branch` calls do not hook (sampling granularity is
+  /// therefore one retire/range batch, typically a ~1K-tuple block).
+  virtual void OnProgress() = 0;
+};
+
+}  // namespace uolap::core
+
+#endif  // UOLAP_CORE_OBSERVER_H_

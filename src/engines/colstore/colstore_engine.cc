@@ -110,6 +110,7 @@ Money ColstoreEngine::Projection(Workers& w, int degree) const {
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
+    core::ScopedRegion op_region(core, "project");
     core.SetCodeRegion({"dbmsc/projection", kColOpFootprint});
     core.SetMlpHint(core::kMlpDefault);
     EdgePaths edges(0xC01 + t);
@@ -177,6 +178,7 @@ Money ColstoreEngine::Selection(Workers& w,
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
+    core::ScopedRegion op_region(core, "select");
     core.SetCodeRegion({"dbmsc/selection", kColOpFootprint});
     core.SetMlpHint(core::kMlpDefault);
     EdgePaths edges(0xC02 + t);
@@ -279,6 +281,7 @@ Money ColstoreEngine::Join(Workers& w, engine::JoinSize size) const {
   for (size_t t = 0; t < w.count(); ++t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(build_keys->size(), t, w.count());
+    core::ScopedRegion op_region(core, "build");
     core.SetCodeRegion({"dbmsc/join-build", kColOpFootprint});
     core.SetMlpHint(core::kMlpScalarProbe);
     ColumnView<int64_t> keys(*build_keys, &core);
@@ -294,6 +297,7 @@ Money ColstoreEngine::Join(Workers& w, engine::JoinSize size) const {
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
+    core::ScopedRegion op_region(core, "probe");
     core.SetCodeRegion({"dbmsc/join-probe", kColOpFootprint});
     core.SetMlpHint(core::kMlpScalarProbe);
     EdgePaths edges(0xC03 + t);
@@ -351,6 +355,7 @@ int64_t ColstoreEngine::GroupBy(Workers& w, int64_t num_groups) const {
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
+    core::ScopedRegion op_region(core, "groupby");
     core.SetCodeRegion({"dbmsc/groupby", kColOpFootprint});
     core.SetMlpHint(core::kMlpScalarProbe);
     ColumnView<int64_t> ok(l.orderkey, &core);
@@ -397,6 +402,7 @@ engine::Q1Result ColstoreEngine::Q1(Workers& w) const {
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
+    core::ScopedRegion op_region(core, "agg");
     core.SetCodeRegion({"dbmsc/q1", kColOpFootprint});
     core.SetMlpHint(core::kMlpDefault);
     EdgePaths edges(0xC04 + t);
@@ -471,6 +477,7 @@ Money ColstoreEngine::Q6(Workers& w, const engine::Q6Params& p) const {
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
+    core::ScopedRegion op_region(core, "select");
     core.SetCodeRegion({"dbmsc/q6", kColOpFootprint});
     core.SetMlpHint(core::kMlpDefault);
 

@@ -222,6 +222,7 @@ Money RowstoreEngine::Projection(Workers& w, int degree) const {
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
+    core::ScopedRegion op_region(core, "project");
     core.SetCodeRegion({"dbmsr/projection", kRowstoreCodeFootprint});
     core.SetMlpHint(core::kMlpDefault);
     const Expr& expr = *exprs[t];
@@ -264,6 +265,7 @@ Money RowstoreEngine::Selection(Workers& w,
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
+    core::ScopedRegion op_region(core, "select");
     core.SetCodeRegion({"dbmsr/selection", kRowstoreCodeFootprint});
     core.SetMlpHint(core::kMlpDefault);
     const Expr& expr = *exprs[t];
@@ -341,6 +343,7 @@ Money RowstoreEngine::Join(Workers& w, engine::JoinSize size) const {
     core::Core& core = *w.cores[t];
     const RowRange r =
         PartitionRange(side.build_keys->size(), t, w.count());
+    core::ScopedRegion op_region(core, "build");
     core.SetCodeRegion({"dbmsr/join-build", kRowstoreCodeFootprint});
     core.SetMlpHint(core::kMlpScalarProbe);
     for (size_t i = r.begin; i < r.end; ++i) {
@@ -356,6 +359,7 @@ Money RowstoreEngine::Join(Workers& w, engine::JoinSize size) const {
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
+    core::ScopedRegion op_region(core, "probe");
     core.SetCodeRegion({"dbmsr/join-probe", kRowstoreCodeFootprint});
     core.SetMlpHint(core::kMlpScalarProbe);
     Money acc = 0;
@@ -396,6 +400,7 @@ int64_t RowstoreEngine::GroupBy(Workers& w, int64_t num_groups) const {
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
+    core::ScopedRegion op_region(core, "groupby");
     core.SetCodeRegion({"dbmsr/groupby", 24 * 1024});
     core.SetMlpHint(core::kMlpScalarProbe);
     engine::AggHashTable<1>& agg = *aggs[t];
@@ -437,6 +442,7 @@ engine::Q1Result RowstoreEngine::Q1(Workers& w) const {
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
+    core::ScopedRegion op_region(core, "agg");
     core.SetCodeRegion({"dbmsr/q1", kRowstoreCodeFootprint + 8192});
     core.SetMlpHint(core::kMlpDefault);
     engine::AggHashTable<5>& agg = *aggs[t];
@@ -504,6 +510,7 @@ Money RowstoreEngine::Q6(Workers& w, const engine::Q6Params& p) const {
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(n, t, w.count());
+    core::ScopedRegion op_region(core, "select");
     core.SetCodeRegion({"dbmsr/q6", kRowstoreCodeFootprint});
     core.SetMlpHint(core::kMlpDefault);
     uint64_t cursor = 0x66 + t;

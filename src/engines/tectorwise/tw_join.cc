@@ -26,6 +26,7 @@ void SharedBuild(Workers& w, bool simd, JoinHashTable* ht,
   const size_t n = keys.size();
   for (size_t t = 0; t < w.count(); ++t) {
     core::Core& core = *w.cores[t];
+    core::ScopedRegion build_region(core, "build");
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({region_name, 2048});
     core.SetMlpHint(simd ? core::kMlpSimdGather : core::kMlpVectorProbe);
@@ -73,11 +74,16 @@ Money LargeJoinProbe(const tpch::Database& db, Workers& w, bool simd,
     Money acc = 0;
     for (size_t base = r.begin; base < r.end; base += kVecSize) {
       const size_t m = std::min(kVecSize, r.end - base);
-      const size_t matches = HtProbeSel(
-          ctx, engine::branch_site::kJoinChain, ht,
-          l.orderkey.data() + base, 0, nullptr, m, match_sel.data(),
-          payloads.data());
+      size_t matches;
+      {
+        core::ScopedRegion probe_region(core, "probe");
+        matches = HtProbeSel(
+            ctx, engine::branch_site::kJoinChain, ht,
+            l.orderkey.data() + base, 0, nullptr, m, match_sel.data(),
+            payloads.data());
+      }
       if (matches == 0) continue;
+      core::ScopedRegion mat_region(core, "materialize");
       MapAddSel(ctx, v1.data(), l.extendedprice.data() + base,
                 l.discount.data() + base, match_sel.data(), matches);
       MapAddDenseGather(ctx, v2.data(), v1.data(), l.tax.data() + base,
@@ -111,6 +117,7 @@ Money TectorwiseEngine::Join(Workers& w, JoinSize size) const {
       std::vector<Money> partial(w.count(), 0);
       w.ForEach([&](size_t t) {
         core::Core& core = *w.cores[t];
+        core::ScopedRegion probe_region(core, "probe");
         const RowRange r = PartitionRange(s.size(), t, w.count());
         core.SetCodeRegion({"tw/join-probe-small", 3072});
         VecCtx ctx{&core, simd_};
@@ -148,6 +155,7 @@ Money TectorwiseEngine::Join(Workers& w, JoinSize size) const {
       std::vector<Money> partial(w.count(), 0);
       w.ForEach([&](size_t t) {
         core::Core& core = *w.cores[t];
+        core::ScopedRegion probe_region(core, "probe");
         const RowRange r = PartitionRange(ps.size(), t, w.count());
         core.SetCodeRegion({"tw/join-probe-medium", 3072});
         VecCtx ctx{&core, simd_};

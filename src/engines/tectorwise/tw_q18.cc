@@ -47,6 +47,7 @@ Q18Result TectorwiseEngine::Q18(Workers& w) const {
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(l.size(), t, w.count());
+    core.PushRegion("agg");
     core.SetCodeRegion({"tw/q18-agg", 5120});
     VecCtx ctx{&core, simd_};
     core.SetMlpHint(simd_ ? core::kMlpSimdGather : core::kMlpVectorProbe);
@@ -82,7 +83,9 @@ Q18Result TectorwiseEngine::Q18(Workers& w) const {
       detail::ChargeScalarLoop(ctx, m, 1);
     }
 
+    core.PopRegion();
     // Filter scan over the group entries (sequential, batched).
+    core::ScopedRegion having_region(core, "having");
     core.SetCodeRegion({"tw/q18-having", 1024});
     const auto& entries = agg.entries();
     if (!entries.empty()) {
@@ -109,6 +112,7 @@ Q18Result TectorwiseEngine::Q18(Workers& w) const {
   JoinHashTable qual(qualifying.size() + 8);
   {
     core::Core& core = *w.cores[0];
+    core::ScopedRegion build_region(core, "build");
     core.SetCodeRegion({"tw/q18-build-qual", 1024});
     for (const auto& [okey, sumqty] : qualifying) {
       qual.Insert(core, okey, sumqty);
@@ -124,6 +128,7 @@ Q18Result TectorwiseEngine::Q18(Workers& w) const {
   std::vector<std::vector<Q18Row>> row_parts(w.count());
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
+    core::ScopedRegion probe_region(core, "probe");
     const RowRange r = PartitionRange(ord.size(), t, w.count());
     core.SetCodeRegion({"tw/q18-probe", 3072});
     VecCtx ctx{&core, simd_};

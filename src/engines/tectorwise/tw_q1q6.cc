@@ -40,6 +40,7 @@ Q1Result TectorwiseEngine::Q1(Workers& w) const {
   }
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
+    core::ScopedRegion agg_region(core, "agg");
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({"tw/q1", 6144});
     VecCtx ctx{&core, simd_};
@@ -159,6 +160,7 @@ int64_t TectorwiseEngine::GroupBy(Workers& w, int64_t num_groups) const {
   }
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
+    core::ScopedRegion groupby_region(core, "groupby");
     const engine::RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({"tw/groupby", 4096});
     VecCtx ctx{&core, simd_};
@@ -225,6 +227,7 @@ Money TectorwiseEngine::Q6(Workers& w, const engine::Q6Params& p) const {
   std::vector<Money> partial(w.count(), 0);
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
+    core::ScopedRegion scan_region(core, "select");
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({p.predicated ? "tw/q6-predicated" : "tw/q6", 5120});
     VecCtx ctx{&core, simd_};

@@ -38,6 +38,7 @@ Q9Result TectorwiseEngine::Q9(Workers& w) const {
   JoinHashTable order_date(ord.size());
   for (size_t t = 0; t < w.count(); ++t) {
     core::Core& core = *w.cores[t];
+    core::ScopedRegion build_region(core, "build");
     core.SetCodeRegion({"tw/q9-builds", 4096});
     core.SetMlpHint(core::kMlpVectorProbe);
     {
@@ -114,6 +115,7 @@ Q9Result TectorwiseEngine::Q9(Workers& w) const {
   }
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
+    core::ScopedRegion probe_region(core, "probe");
     const RowRange r = PartitionRange(l.size(), t, w.count());
     core.SetCodeRegion({"tw/q9-probe", 8192});
     VecCtx ctx{&core, simd_};

@@ -31,6 +31,7 @@ Money TectorwiseEngine::Projection(Workers& w, int degree) const {
   std::vector<Money> partial(w.count(), 0);
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
+    core::ScopedRegion scan_region(core, "project");
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({"tw/projection", 4096});
     VecCtx ctx{&core, simd_};
@@ -91,6 +92,7 @@ Money TectorwiseEngine::Selection(Workers& w,
   std::vector<Money> partial(w.count(), 0);
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
+    core::ScopedRegion scan_region(core, "select");
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({p.predicated ? "tw/selection-predicated"
                                      : "tw/selection-branched",

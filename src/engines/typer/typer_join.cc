@@ -36,6 +36,7 @@ void SharedBuild(Workers& w, JoinHashTable* ht,
   const size_t n = keys.size();
   for (size_t t = 0; t < w.count(); ++t) {
     core::Core& core = *w.cores[t];
+    core::ScopedRegion build_region(core, "build");
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({region_name, 768});
     core.SetMlpHint(core::kMlpScalarProbe);
@@ -64,6 +65,7 @@ Money TyperEngine::Join(Workers& w, JoinSize size) const {
       std::vector<Money> partial(w.count(), 0);
       w.ForEach([&](size_t t) {
         core::Core& core = *w.cores[t];
+        core::ScopedRegion probe_region(core, "probe");
         const RowRange r = PartitionRange(s.size(), t, w.count());
         core.SetCodeRegion({"typer/join-probe-small", 1024});
         core.SetMlpHint(core::kMlpScalarProbe);
@@ -102,6 +104,7 @@ Money TyperEngine::Join(Workers& w, JoinSize size) const {
       std::vector<Money> partial(w.count(), 0);
       w.ForEach([&](size_t t) {
         core::Core& core = *w.cores[t];
+        core::ScopedRegion probe_region(core, "probe");
         const RowRange r = PartitionRange(ps.size(), t, w.count());
         core.SetCodeRegion({"typer/join-probe-medium", 1024});
         core.SetMlpHint(core::kMlpScalarProbe);
@@ -151,24 +154,30 @@ Money TyperEngine::Join(Workers& w, JoinSize size) const {
         ColumnView<int64_t> qty(l.quantity, &core);
         Money acc = 0;
         int64_t payload;
-        for (size_t b = r.begin; b < r.end; b += kBlock) {
-          const size_t e = std::min(r.end, b + kBlock);
-          ok.Touch(b, e - b);
-          for (size_t i = b; i < e; ++i) {
-            if (ht.ProbeFirst(core, engine::branch_site::kJoinChain,
-                              ok.GetRaw(i), &payload)) {
-              acc += ep.Get(i) + disc.Get(i) + tax.Get(i) + qty.Get(i);
+        {
+          core::ScopedRegion probe_region(core, "probe");
+          for (size_t b = r.begin; b < r.end; b += kBlock) {
+            const size_t e = std::min(r.end, b + kBlock);
+            ok.Touch(b, e - b);
+            for (size_t i = b; i < e; ++i) {
+              if (ht.ProbeFirst(core, engine::branch_site::kJoinChain,
+                                ok.GetRaw(i), &payload)) {
+                acc += ep.Get(i) + disc.Get(i) + tax.Get(i) + qty.Get(i);
+              }
             }
           }
+          InstrMix per_tuple;
+          per_tuple.alu = 3;
+          per_tuple.branch = 1;
+          per_tuple.chain_cycles = 1;
+          core.RetireN(per_tuple, r.size());
         }
-        InstrMix per_tuple;
-        per_tuple.alu = 3;
-        per_tuple.branch = 1;
-        per_tuple.chain_cycles = 1;
-        core.RetireN(per_tuple, r.size());
-        InstrMix per_match;  // the 4-column sum
-        per_match.alu = 4;
-        core.RetireN(per_match, r.size());  // FK join: every probe matches
+        {
+          core::ScopedRegion mat_region(core, "materialize");
+          InstrMix per_match;  // the 4-column sum
+          per_match.alu = 4;
+          core.RetireN(per_match, r.size());  // FK join: every probe matches
+        }
         partial[t] = acc;
       });
       Money total = 0;
@@ -207,28 +216,34 @@ Money TyperEngine::JoinLargeInterleaved(Workers& w) const {
     ColumnView<int64_t> qty(l.quantity, &core);
     Money acc = 0;
     int64_t payload;
-    for (size_t base = r.begin; base < r.end; base += kGroup) {
-      const size_t m = std::min(kGroup, r.end - base);
-      ok.Touch(base, m);  // the group's keys are gathered up front
-      for (size_t k = 0; k < m; ++k) {
-        const size_t i = base + k;
-        if (ht.ProbeFirst(core, engine::branch_site::kJoinChain,
-                          ok.GetRaw(i), &payload)) {
-          acc += ep.Get(i) + disc.Get(i) + tax.Get(i) + qty.Get(i);
+    {
+      core::ScopedRegion probe_region(core, "probe");
+      for (size_t base = r.begin; base < r.end; base += kGroup) {
+        const size_t m = std::min(kGroup, r.end - base);
+        ok.Touch(base, m);  // the group's keys are gathered up front
+        for (size_t k = 0; k < m; ++k) {
+          const size_t i = base + k;
+          if (ht.ProbeFirst(core, engine::branch_site::kJoinChain,
+                            ok.GetRaw(i), &payload)) {
+            acc += ep.Get(i) + disc.Get(i) + tax.Get(i) + qty.Get(i);
+          }
         }
+        // Group-state management + software prefetch issue per probe; the
+        // serial chase chain of the plain probe is overlapped away, so no
+        // extra chain cycles are charged here.
+        InstrMix per_group;
+        per_group.alu = static_cast<uint64_t>(m) * 5;
+        per_group.other = static_cast<uint64_t>(m) * 3;
+        per_group.branch = static_cast<uint64_t>(m);
+        core.RetireN(per_group, 1);
       }
-      // Group-state management + software prefetch issue per probe; the
-      // serial chase chain of the plain probe is overlapped away, so no
-      // extra chain cycles are charged here.
-      InstrMix per_group;
-      per_group.alu = static_cast<uint64_t>(m) * 5;
-      per_group.other = static_cast<uint64_t>(m) * 3;
-      per_group.branch = static_cast<uint64_t>(m);
-      core.RetireN(per_group, 1);
     }
-    InstrMix per_match;
-    per_match.alu = 4;
-    core.RetireN(per_match, r.size());
+    {
+      core::ScopedRegion mat_region(core, "materialize");
+      InstrMix per_match;
+      per_match.alu = 4;
+      core.RetireN(per_match, r.size());
+    }
     core.SetMlpHint(core::kMlpDefault);
     partial[t] = acc;
   });

@@ -49,32 +49,36 @@ Q18Result TyperEngine::Q18(Workers& w) const {
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(l.size(), t, w.count());
-    core.SetCodeRegion({"typer/q18-agg", 1536});
-    core.SetMlpHint(core::kMlpScalarProbe);
+    {
+      core::ScopedRegion agg_region(core, "agg");
+      core.SetCodeRegion({"typer/q18-agg", 1536});
+      core.SetMlpHint(core::kMlpScalarProbe);
 
-    ColumnView<int64_t> ok(l.orderkey, &core);
-    ColumnView<int64_t> qty(l.quantity, &core);
+      ColumnView<int64_t> ok(l.orderkey, &core);
+      ColumnView<int64_t> qty(l.quantity, &core);
 
-    AggHashTable<1>& agg = *aggs[t];
-    for (size_t b = r.begin; b < r.end; b += kBlock) {
-      const size_t e = std::min(r.end, b + kBlock);
-      ok.Touch(b, e - b);
-      qty.Touch(b, e - b);
-      for (size_t i = b; i < e; ++i) {
-        auto* entry = agg.FindOrCreate(
-            core, engine::branch_site::kQ18AggChain, ok.GetRaw(i));
-        agg.Add(core, entry, 0, qty.GetRaw(i));
+      AggHashTable<1>& agg = *aggs[t];
+      for (size_t b = r.begin; b < r.end; b += kBlock) {
+        const size_t e = std::min(r.end, b + kBlock);
+        ok.Touch(b, e - b);
+        qty.Touch(b, e - b);
+        for (size_t i = b; i < e; ++i) {
+          auto* entry = agg.FindOrCreate(
+              core, engine::branch_site::kQ18AggChain, ok.GetRaw(i));
+          agg.Add(core, entry, 0, qty.GetRaw(i));
+        }
       }
+      InstrMix per_tuple;
+      per_tuple.alu = 2;
+      per_tuple.branch = 1;
+      per_tuple.chain_cycles = 1;
+      core.RetireN(per_tuple, r.size());
     }
-    InstrMix per_tuple;
-    per_tuple.alu = 2;
-    per_tuple.branch = 1;
-    per_tuple.chain_cycles = 1;
-    core.RetireN(per_tuple, r.size());
 
     // Filter scan over the group entries (sequential, batched).
+    core::ScopedRegion having_region(core, "having");
     core.SetCodeRegion({"typer/q18-having", 512});
-    const auto& entries = agg.entries();
+    const auto& entries = aggs[t]->entries();
     if (!entries.empty()) {
       core.LoadSeq(entries.data(), sizeof(entries[0]), entries.size());
     }
@@ -85,7 +89,7 @@ Q18Result TyperEngine::Q18(Workers& w) const {
     }
     InstrMix per_group;
     per_group.alu = 2;
-    core.RetireN(per_group, agg.num_groups());
+    core.RetireN(per_group, aggs[t]->num_groups());
   });
 
   std::vector<std::pair<int64_t, int64_t>> qualifying;
@@ -99,6 +103,7 @@ Q18Result TyperEngine::Q18(Workers& w) const {
   JoinHashTable qual(qualifying.size() + 8);
   {
     core::Core& core = *w.cores[0];
+    core::ScopedRegion build_region(core, "build");
     core.SetCodeRegion({"typer/q18-build-qual", 512});
     for (const auto& [okey, sumqty] : qualifying) {
       qual.Insert(core, okey, sumqty);
@@ -108,6 +113,7 @@ Q18Result TyperEngine::Q18(Workers& w) const {
   std::vector<std::vector<Q18Row>> row_parts(w.count());
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
+    core::ScopedRegion probe_region(core, "probe");
     const RowRange r = PartitionRange(ord.size(), t, w.count());
     core.SetCodeRegion({"typer/q18-probe", 1024});
     core.SetMlpHint(core::kMlpScalarProbe);

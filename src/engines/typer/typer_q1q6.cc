@@ -43,6 +43,7 @@ Q1Result TyperEngine::Q1(Workers& w) const {
 
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
+    core::ScopedRegion agg_region(core, "agg");
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({"typer/q1", 1536});
     core.SetMlpHint(core::kMlpDefault);
@@ -137,6 +138,7 @@ int64_t TyperEngine::GroupBy(Workers& w, int64_t num_groups) const {
 
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
+    core::ScopedRegion groupby_region(core, "groupby");
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({"typer/groupby", 1280});
     core.SetMlpHint(core::kMlpScalarProbe);
@@ -185,6 +187,7 @@ Money TyperEngine::Q6(Workers& w, const engine::Q6Params& p) const {
   std::vector<Money> partial(w.count(), 0);
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
+    core::ScopedRegion scan_region(core, "select");
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({p.predicated ? "typer/q6-predicated" : "typer/q6",
                         1024});

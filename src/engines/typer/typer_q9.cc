@@ -63,6 +63,7 @@ Q9Result TyperEngine::Q9(Workers& w) const {
   JoinHashTable green_parts(part.size() / 16 + 16);
   for (size_t t = 0; t < w.count(); ++t) {
     core::Core& core = *w.cores[t];
+    core::ScopedRegion filter_region(core, "filter");
     const RowRange r = PartitionRange(part.size(), t, w.count());
     core.SetCodeRegion({"typer/q9-part-filter", 1024});
     core.SetMlpHint(core::kMlpDefault);
@@ -86,6 +87,7 @@ Q9Result TyperEngine::Q9(Workers& w) const {
   JoinHashTable order_date(ord.size());
   for (size_t t = 0; t < w.count(); ++t) {
     core::Core& core = *w.cores[t];
+    core::ScopedRegion build_region(core, "build");
     core.SetCodeRegion({"typer/q9-builds", 1024});
     core.SetMlpHint(core::kMlpScalarProbe);
     {
@@ -131,6 +133,7 @@ Q9Result TyperEngine::Q9(Workers& w) const {
   }
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
+    core::ScopedRegion probe_region(core, "probe");
     const RowRange r = PartitionRange(l.size(), t, w.count());
     core.SetCodeRegion({"typer/q9-probe", 2048});
     core.SetMlpHint(core::kMlpScalarProbe);

@@ -70,6 +70,7 @@ Money TyperEngine::JoinLargeRadix(Workers& w, uint32_t radix_bits) const {
     core.SetMlpHint(core::kMlpPartitionWrite);
     std::vector<std::vector<BuildTuple>> build_parts(parts);
     {
+      core::ScopedRegion part_region(core, "partition-build");
       ColumnView<int64_t> ok(ord.orderkey, &core);
       for (auto& p : build_parts) p.reserve(ord.size() / parts + 8);
       // One write cursor per partition: each partition's output is its own
@@ -99,6 +100,7 @@ Money TyperEngine::JoinLargeRadix(Workers& w, uint32_t radix_bits) const {
     core.SetMlpHint(core::kMlpPartitionWrite);
     std::vector<std::vector<ProbeTuple>> probe_parts(parts);
     {
+      core::ScopedRegion part_region(core, "partition-probe");
       ColumnView<int64_t> ok(l.orderkey, &core);
       ColumnView<Money> ep(l.extendedprice, &core);
       ColumnView<int64_t> disc(l.discount, &core);
@@ -134,6 +136,7 @@ Money TyperEngine::JoinLargeRadix(Workers& w, uint32_t radix_bits) const {
     // --- pass 3: per-partition cache-resident build + probe ---
     core.SetCodeRegion({"typer/radix-join", 1536});
     core.SetMlpHint(core::kMlpScalarProbe);
+    core::ScopedRegion join_region(core, "join");
     Money acc = 0;
     int64_t payload;
     for (uint32_t p = 0; p < parts; ++p) {

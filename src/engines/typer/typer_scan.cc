@@ -39,6 +39,7 @@ Money TyperEngine::Projection(Workers& w, int degree) const {
   std::vector<Money> partial(w.count(), 0);
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
+    core::ScopedRegion scan_region(core, "project");
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({"typer/projection", 1024});
     core.SetMlpHint(core::kMlpDefault);
@@ -92,6 +93,7 @@ Money TyperEngine::Selection(Workers& w,
   std::vector<Money> partial(w.count(), 0);
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
+    core::ScopedRegion scan_region(core, "select");
     const RowRange r = PartitionRange(n, t, w.count());
     core.SetCodeRegion({p.predicated ? "typer/selection-predicated"
                                      : "typer/selection-branched",

@@ -1,19 +1,38 @@
 #include "harness/context.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 
 #include "common/macros.h"
+#include "obs/profile_export.h"
 
 namespace uolap::harness {
 
-BenchContext::BenchContext(int argc, char** argv, double default_sf) {
+namespace {
+
+/// Session name fallback: basename of argv[0] until PrintHeader names it.
+std::string Basename(const char* path) {
+  std::string s(path != nullptr ? path : "bench");
+  const size_t slash = s.find_last_of('/');
+  return slash == std::string::npos ? s : s.substr(slash + 1);
+}
+
+}  // namespace
+
+BenchContext::BenchContext(int argc, char** argv, double default_sf)
+    : start_time_(std::chrono::steady_clock::now()) {
   UOLAP_CHECK(flags_.Parse(argc, argv).ok());
   quick_ = flags_.GetBool("quick", false);
   sf_ = flags_.GetDouble("sf", quick_ ? 0.05 : default_sf);
   seed_ = static_cast<uint64_t>(flags_.GetInt("seed", 42));
   csv_path_ = flags_.GetString("csv", "");
+  json_path_ = flags_.GetString("json", "");
+  trace_path_ = flags_.GetString("trace", "");
+  sample_interval_ = static_cast<uint64_t>(flags_.GetInt(
+      "sample-every", exporting() ? 1'000'000 : 0));
+  session_.bench = Basename(argc > 0 ? argv[0] : nullptr);
 
   const std::string machine_name =
       flags_.GetString("machine", "broadwell");
@@ -33,6 +52,55 @@ BenchContext::BenchContext(int argc, char** argv, double default_sf) {
           .count();
   std::printf("# generated TPC-H sf=%.3g (%zu lineitems) in %.1fs\n", sf_,
               db_->lineitem.size(), gen_s);
+
+  session_.machine = machine_.name;
+  session_.freq_ghz = machine_.freq_ghz;
+  session_.scale_factor = sf_;
+  session_.seed = seed_;
+  session_.quick = quick_;
+}
+
+BenchContext::~BenchContext() { FlushOutputs(); }
+
+void BenchContext::RecordRun(obs::RunRecord run) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  last_run_ = run;
+  session_.runs.push_back(std::move(run));
+  flushed_ = false;
+}
+
+void BenchContext::FlushOutputs() {
+  if (!exporting()) return;
+  std::lock_guard<std::mutex> lock(session_mu_);
+  if (flushed_) return;
+  flushed_ = true;
+  session_.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count();
+  // Sweep drivers record concurrently, so insertion order is not
+  // deterministic; sort by (label, threads) for stable export bytes.
+  std::stable_sort(session_.runs.begin(), session_.runs.end(),
+                   [](const obs::RunRecord& a, const obs::RunRecord& b) {
+                     return a.label != b.label ? a.label < b.label
+                                               : a.threads < b.threads;
+                   });
+  if (!json_path_.empty()) {
+    const Status s =
+        obs::WriteTextFile(json_path_, obs::ProfileToJson(session_));
+    UOLAP_CHECK_MSG(s.ok(), s.ToString().c_str());
+    std::printf("# wrote profile JSON (%zu runs) to %s\n",
+                session_.runs.size(), json_path_.c_str());
+  }
+  if (!trace_path_.empty()) {
+    const Status s =
+        obs::WriteTextFile(trace_path_, obs::SessionToChromeTrace(session_));
+    UOLAP_CHECK_MSG(s.ok(), s.ToString().c_str());
+    std::printf("# wrote Chrome trace to %s (open in Perfetto or "
+                "chrome://tracing)\n",
+                trace_path_.c_str());
+  }
+  std::fflush(stdout);
 }
 
 typer::TyperEngine& BenchContext::typer() {
@@ -77,7 +145,9 @@ void BenchContext::Emit(const TablePrinter& table) {
   }
 }
 
-void BenchContext::PrintHeader(const std::string& bench_name) const {
+void BenchContext::PrintHeader(const std::string& bench_name) {
+  // session_.bench stays the argv[0] basename: exports key on the binary
+  // name, not the human-facing banner.
   std::printf(
       "==============================================================\n"
       "%s\n"

@@ -1,8 +1,11 @@
 #ifndef UOLAP_HARNESS_CONTEXT_H_
 #define UOLAP_HARNESS_CONTEXT_H_
 
+#include <chrono>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 
 #include "common/flags.h"
 #include "common/table_printer.h"
@@ -11,6 +14,8 @@
 #include "engines/rowstore/rowstore_engine.h"
 #include "engines/tectorwise/tw_engine.h"
 #include "engines/typer/typer_engine.h"
+#include "harness/profile.h"
+#include "obs/record.h"
 #include "tpch/dbgen.h"
 
 namespace uolap::harness {
@@ -24,11 +29,22 @@ namespace uolap::harness {
 ///   --seed=<int>      generator seed (default 42)
 ///   --machine=<name>  "broadwell" (default) or "skylake"
 ///   --csv=<path>      also append every table as CSV to <path>
+///   --json=<path>     write the versioned profile JSON of every recorded
+///                     run (regions, timelines, Top-Down breakdowns)
+///   --trace=<path>    write a Chrome trace-event file (load in Perfetto
+///                     or chrome://tracing)
+///   --sample-every=<n>  counter-timeline sampling interval in retired
+///                     instructions (default: 1M when --json/--trace is
+///                     given, otherwise off; 0 disables)
 class BenchContext {
  public:
   /// Parses flags and generates the database. `default_sf` is the bench's
   /// documented default scale factor.
   BenchContext(int argc, char** argv, double default_sf);
+
+  /// Writes any pending --json/--trace outputs (idempotent; also called
+  /// here if the bench never calls FlushOutputs itself).
+  ~BenchContext();
 
   const tpch::Database& db() const { return *db_; }
   const core::MachineConfig& machine() const { return machine_; }
@@ -44,16 +60,75 @@ class BenchContext {
   /// Prints the table to stdout (ASCII) and appends CSV if --csv given.
   void Emit(const TablePrinter& table);
 
-  /// Prints the standard bench banner (scale factor, machine, seed).
-  void PrintHeader(const std::string& bench_name) const;
+  /// Prints the standard bench banner (scale factor, machine, seed) and
+  /// names the recorded session after the bench.
+  void PrintHeader(const std::string& bench_name);
+
+  // --- recorded profiling ---------------------------------------------
+  // These wrap harness::ProfileSingleObs/ProfileMultiObs: every run is
+  // recorded into the session (for --json/--trace) and the conventional
+  // analysis result is returned, so call sites read like the plain
+  // ProfileSingle/ProfileMulti they replace. Thread-safe: sweep drivers
+  // may profile concurrently (runs are sorted by label at export).
+
+  /// Single-core profile on the context's machine.
+  template <typename Fn>
+  core::ProfileResult Profile(const std::string& label, Fn&& fn) {
+    return Profile(label, machine_, std::forward<Fn>(fn));
+  }
+
+  /// Single-core profile on an explicit machine config (what-if variants).
+  template <typename Fn>
+  core::ProfileResult Profile(const std::string& label,
+                              const core::MachineConfig& cfg, Fn&& fn) {
+    obs::RunRecord run =
+        ProfileSingleObs(cfg, obs_options(), label, std::forward<Fn>(fn));
+    core::ProfileResult result = run.cores[0].whole;
+    RecordRun(std::move(run));
+    return result;
+  }
+
+  /// Multi-core profile on the context's machine (threaded executor).
+  template <typename Fn>
+  core::MultiCoreResult ProfileMulti(const std::string& label, int threads,
+                                     Fn&& fn) {
+    auto [multi, run] = ProfileMultiObs(machine_, threads, obs_options(),
+                                        label, std::forward<Fn>(fn));
+    RecordRun(std::move(run));
+    return multi;
+  }
+
+  /// The most recently recorded run (regions, timeline, whole-run
+  /// analysis). Valid until the next Profile/ProfileMulti call.
+  const obs::RunRecord& last_run() const { return last_run_; }
+
+  ObsOptions obs_options() const {
+    return ObsOptions{sample_interval_};
+  }
+  /// True when --json or --trace was given.
+  bool exporting() const { return !json_path_.empty() || !trace_path_.empty(); }
+
+  /// Writes the --json/--trace files from the runs recorded so far.
+  /// Idempotent per state; the destructor calls it as a backstop.
+  void FlushOutputs();
 
  private:
+  void RecordRun(obs::RunRecord run);
+
   FlagSet flags_;
   double sf_ = 1.0;
   bool quick_ = false;
   uint64_t seed_ = 42;
   core::MachineConfig machine_;
   std::string csv_path_;
+  std::string json_path_;
+  std::string trace_path_;
+  uint64_t sample_interval_ = 0;
+  std::chrono::steady_clock::time_point start_time_;
+  mutable std::mutex session_mu_;
+  obs::ProfileSession session_;
+  obs::RunRecord last_run_;
+  bool flushed_ = false;
   std::unique_ptr<tpch::Database> db_;
   std::unique_ptr<typer::TyperEngine> typer_;
   std::unique_ptr<tectorwise::TectorwiseEngine> tw_;

@@ -53,6 +53,32 @@ std::vector<std::string> TimeRow(const std::string& key,
           TablePrinter::Fmt(ToMs(b.execution, r), 1)};
 }
 
+TablePrinter RegionTable(const std::string& title,
+                         const obs::RegionTree& tree) {
+  TablePrinter t(title);
+  t.SetHeader({"region", "visits", "Mcycles", "% run", "IPC", "Retiring",
+               "Branch", "Icache", "Decoding", "Dcache", "Execution"});
+  const double run_cycles = tree.root().incl_cycles.Total();
+  for (const obs::RegionNode& n : tree.nodes) {
+    const core::CycleBreakdown& b = n.excl_cycles;
+    const double cycles = b.Total();
+    const double instr =
+        static_cast<double>(n.exclusive.mix.TotalInstructions());
+    t.AddRow({std::string(static_cast<size_t>(n.depth) * 2, ' ') + n.name,
+              std::to_string(n.visits),
+              TablePrinter::Fmt(cycles / 1e6, 2),
+              TablePrinter::Pct(run_cycles > 0 ? cycles / run_cycles : 0.0),
+              TablePrinter::Fmt(cycles > 0 ? instr / cycles : 0.0, 2),
+              TablePrinter::Pct(b.Frac(b.retiring)),
+              TablePrinter::Pct(b.Frac(b.branch_misp)),
+              TablePrinter::Pct(b.Frac(b.icache)),
+              TablePrinter::Pct(b.Frac(b.decoding)),
+              TablePrinter::Pct(b.Frac(b.dcache)),
+              TablePrinter::Pct(b.Frac(b.execution))});
+  }
+  return t;
+}
+
 std::vector<std::string> NormTimeRow(const std::string& key,
                                      const core::ProfileResult& r,
                                      double base_cycles) {

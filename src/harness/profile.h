@@ -1,13 +1,18 @@
 #ifndef UOLAP_HARNESS_PROFILE_H_
 #define UOLAP_HARNESS_PROFILE_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table_printer.h"
 #include "core/machine.h"
 #include "engine/engine.h"
 #include "harness/thread_pool.h"
+#include "obs/attribution.h"
+#include "obs/record.h"
+#include "obs/region_profiler.h"
 
 namespace uolap::harness {
 
@@ -54,6 +59,105 @@ core::MultiCoreResult ProfileMulti(const core::MachineConfig& cfg,
                       &ThreadPool::Global());
 }
 
+// --- observability-enabled variants ---------------------------------------
+
+/// Recording options for the Obs profiling entry points.
+struct ObsOptions {
+  /// Counter-timeline sampling interval in retired instructions
+  /// (0 = timeline off). See RegionProfiler::Options.
+  uint64_t sample_interval_instructions = 0;
+};
+
+/// ProfileSingle with a RegionProfiler attached: returns the whole-run
+/// analysis plus the per-region tree / timeline / events as an
+/// obs::RunRecord (cores[0].whole carries the ProfileResult). Region
+/// breakdowns are already attributed (AnalyzeTree has run).
+template <typename Fn>
+obs::RunRecord ProfileSingleObs(const core::MachineConfig& cfg,
+                                const ObsOptions& opts,
+                                const std::string& label, Fn&& fn) {
+  core::Machine machine(cfg, 1);
+  obs::RegionProfiler profiler(
+      machine.core(0),
+      obs::RegionProfiler::Options{opts.sample_interval_instructions});
+  engine::Workers w(machine.core(0));
+  fn(w);
+  machine.FinalizeAll();
+
+  obs::RunRecord run;
+  run.label = label;
+  run.threads = 1;
+  run.config = cfg;
+  run.bw_scale = 1.0;
+  obs::CoreRecord rec;
+  rec.whole = machine.AnalyzeCore(0);
+  rec.regions = profiler.Finish();
+  obs::AnalyzeTree(cfg, &rec.regions, run.bw_scale);
+  rec.timeline = profiler.timeline();
+  rec.events = profiler.events();
+  rec.begin = profiler.begin_counters();
+  run.makespan_cycles = rec.whole.total_cycles;
+  run.time_ms = rec.whole.time_ms;
+  run.socket_bandwidth_gbps = rec.whole.bandwidth_gbps;
+  run.cores.push_back(std::move(rec));
+  return run;
+}
+
+/// ProfileMulti with one RegionProfiler per simulated core. The profilers
+/// are strictly per-core observers, so the threaded run stays bit-identical
+/// to a serial one (pass `executor = nullptr` to check). Returns the
+/// contention analysis plus the full RunRecord.
+template <typename Fn>
+std::pair<core::MultiCoreResult, obs::RunRecord> ProfileMultiObs(
+    const core::MachineConfig& cfg, int threads, const ObsOptions& opts,
+    const std::string& label, Fn&& fn, engine::ParallelExecutor* executor) {
+  core::Machine machine(cfg, static_cast<uint32_t>(threads));
+  std::vector<core::Core*> cores;
+  std::vector<std::unique_ptr<obs::RegionProfiler>> profilers;
+  cores.reserve(static_cast<size_t>(threads));
+  profilers.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    cores.push_back(&machine.core(i));
+    profilers.push_back(std::make_unique<obs::RegionProfiler>(
+        machine.core(i),
+        obs::RegionProfiler::Options{opts.sample_interval_instructions}));
+  }
+  engine::Workers w(cores);
+  w.executor = executor;
+  fn(w);
+  machine.FinalizeAll();
+  core::MultiCoreResult multi = machine.AnalyzeAll();
+
+  obs::RunRecord run;
+  run.label = label;
+  run.threads = threads;
+  run.config = cfg;
+  run.bw_scale = multi.bandwidth_scale;
+  run.makespan_cycles = multi.makespan_cycles;
+  run.time_ms = multi.time_ms;
+  run.socket_bandwidth_gbps = multi.socket_bandwidth_gbps;
+  run.cores.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    obs::CoreRecord rec;
+    rec.whole = multi.per_core[static_cast<size_t>(i)];
+    rec.regions = profilers[static_cast<size_t>(i)]->Finish();
+    obs::AnalyzeTree(cfg, &rec.regions, run.bw_scale);
+    rec.timeline = profilers[static_cast<size_t>(i)]->timeline();
+    rec.events = profilers[static_cast<size_t>(i)]->events();
+    rec.begin = profilers[static_cast<size_t>(i)]->begin_counters();
+    run.cores.push_back(std::move(rec));
+  }
+  return {std::move(multi), std::move(run)};
+}
+
+template <typename Fn>
+std::pair<core::MultiCoreResult, obs::RunRecord> ProfileMultiObs(
+    const core::MachineConfig& cfg, int threads, const ObsOptions& opts,
+    const std::string& label, Fn&& fn) {
+  return ProfileMultiObs(cfg, threads, opts, label, std::forward<Fn>(fn),
+                         &ThreadPool::Global());
+}
+
 // --- standard row formats shared by the figure tables ---------------------
 
 /// Header/row pair for the paper's "CPU cycles breakdown" bars
@@ -77,6 +181,14 @@ std::vector<std::string> TimeRow(const std::string& key,
 std::vector<std::string> NormTimeRow(const std::string& key,
                                      const core::ProfileResult& r,
                                      double base_cycles);
+
+/// Per-operator Top-Down table for an analyzed region tree: one indented
+/// row per node with its exclusive cycle share, IPC, and the six-component
+/// breakdown (as fractions of the node's exclusive cycles). The exclusive
+/// cycle column sums to the whole-run total — the tentpole invariant that
+/// makes the per-operator view a true decomposition.
+TablePrinter RegionTable(const std::string& title,
+                         const obs::RegionTree& tree);
 
 }  // namespace uolap::harness
 

@@ -1,0 +1,47 @@
+#ifndef UOLAP_OBS_ATTRIBUTION_H_
+#define UOLAP_OBS_ATTRIBUTION_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/counters.h"
+#include "core/topdown.h"
+#include "obs/region_profiler.h"
+
+namespace uolap::obs {
+
+/// Splits the whole-run Top-Down breakdown `Analyze(total, bw_scale)`
+/// across counter deltas `parts` (which must tile `total`, e.g. the
+/// exclusive deltas of a region tree) so the parts sum back to the whole
+/// exactly (up to floating-point addition order, << 1e-9 relative):
+///
+///  - components that the model computes as a sum over events (retiring,
+///    branch mispredictions, icache, execution, and the latency-accumulated
+///    dcache terms) are evaluated directly on each delta — they are linear,
+///    so the shares are the model's own answer for that interval;
+///  - components with a nonlinearity across the whole run (decode
+///    back-pressure `max(0, decode - retiring)`, the random-access
+///    bandwidth clamp `max(latency, bytes/bw)`, and the sequential
+///    throughput residual `max(0, mem_time - overlap * t_other)`) are
+///    distributed proportionally to each delta's standalone demand for
+///    that component — the per-region view VTune-style sampling would give,
+///    while keeping leaf-sum == whole-run refutable.
+///
+/// This is what makes the per-operator breakdowns trustworthy as a
+/// decomposition: nothing is double-counted and nothing is dropped.
+std::vector<core::CycleBreakdown> AttributeCycles(
+    const core::MachineConfig& config, const core::CoreCounters& total,
+    const std::vector<core::CoreCounters>& parts, double bw_scale = 1.0);
+
+/// Fills `excl_cycles`/`incl_cycles` of every node from the raw counters:
+/// exclusive breakdowns via AttributeCycles over all nodes' exclusive
+/// deltas (so they sum to the whole-run breakdown), inclusive breakdowns
+/// as the subtree sums. `bw_scale` must match the scale the run was
+/// analyzed with (1.0 single-core; MultiCoreResult::bandwidth_scale for
+/// contended multi-core runs).
+void AnalyzeTree(const core::MachineConfig& config, RegionTree* tree,
+                 double bw_scale = 1.0);
+
+}  // namespace uolap::obs
+
+#endif  // UOLAP_OBS_ATTRIBUTION_H_

@@ -1,0 +1,53 @@
+#ifndef UOLAP_OBS_JSON_H_
+#define UOLAP_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uolap::obs {
+
+/// Minimal recursive JSON document, the read side of the exporters: the
+/// `uolap_report` CLI loads profile JSONs with it, CI uses it to validate
+/// `--json`/`--trace` outputs, and the golden tests round-trip through it.
+/// Objects preserve member order; numbers are doubles (every value the
+/// exporters emit is exactly representable).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed member accessors with defaults (for tolerant readers).
+  double GetNumber(std::string_view key, double def = 0) const;
+  std::string GetString(std::string_view key,
+                        const std::string& def = {}) const;
+  bool GetBool(std::string_view key, bool def = false) const;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, nothing
+/// else). Returns InvalidArgument with a byte offset on malformed input.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+/// Reads and parses a JSON file.
+StatusOr<JsonValue> ReadJsonFile(const std::string& path);
+
+}  // namespace uolap::obs
+
+#endif  // UOLAP_OBS_JSON_H_

@@ -1,0 +1,166 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/macros.h"
+
+namespace uolap::obs {
+
+void JsonWriter::Prefix() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+    if (indent_ > 0) {
+      out_ += '\n';
+      out_.append(static_cast<size_t>(depth_ * indent_), ' ');
+    }
+  }
+}
+
+void JsonWriter::BeginObject() {
+  Prefix();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  ++depth_;
+}
+
+void JsonWriter::EndObject() {
+  UOLAP_CHECK(!needs_comma_.empty());
+  const bool had_members = needs_comma_.back();
+  needs_comma_.pop_back();
+  --depth_;
+  if (indent_ > 0 && had_members) {
+    out_ += '\n';
+    out_.append(static_cast<size_t>(depth_ * indent_), ' ');
+  }
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  Prefix();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  ++depth_;
+}
+
+void JsonWriter::EndArray() {
+  UOLAP_CHECK(!needs_comma_.empty());
+  const bool had_members = needs_comma_.back();
+  needs_comma_.pop_back();
+  --depth_;
+  if (indent_ > 0 && had_members) {
+    out_ += '\n';
+    out_.append(static_cast<size_t>(depth_ * indent_), ' ');
+  }
+  out_ += ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  Prefix();
+  out_ += Escape(key);
+  out_ += indent_ > 0 ? ": " : ":";
+  after_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  Prefix();
+  out_ += Escape(value);
+}
+
+void JsonWriter::Double(double value) {
+  Prefix();
+  out_ += FormatDouble(value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  Prefix();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out_ += buf;
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  Prefix();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  Prefix();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  Prefix();
+  out_ += "null";
+}
+
+std::string JsonWriter::TakeString() {
+  UOLAP_CHECK_MSG(needs_comma_.empty() && !after_key_,
+                  "JsonWriter finished mid-structure");
+  if (indent_ > 0) out_ += '\n';
+  std::string s = std::move(out_);
+  out_.clear();
+  return s;
+}
+
+std::string JsonWriter::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonWriter::FormatDouble(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no Inf/NaN
+  // Integral values in the exactly-representable range print as integers.
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace uolap::obs

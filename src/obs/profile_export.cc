@@ -1,0 +1,311 @@
+#include "obs/profile_export.h"
+
+#include <fstream>
+
+#include "obs/json_writer.h"
+
+namespace uolap::obs {
+
+namespace {
+
+using core::CoreCounters;
+using core::CycleBreakdown;
+using core::TopDownModel;
+
+void WriteBreakdown(JsonWriter* w, const CycleBreakdown& b) {
+  w->BeginObject();
+  w->KV("retiring", b.retiring);
+  w->KV("branch_misp", b.branch_misp);
+  w->KV("icache", b.icache);
+  w->KV("decoding", b.decoding);
+  w->KV("dcache", b.dcache);
+  w->KV("execution", b.execution);
+  w->EndObject();
+}
+
+void WriteCounterSummary(JsonWriter* w, const CoreCounters& c) {
+  const core::MemCounters& m = c.mem;
+  w->BeginObject();
+  w->KV("data_accesses", m.data_accesses);
+  w->KV("l1d_hits", m.l1d_hits);
+  w->KV("l2_hits", m.l2_hits);
+  w->KV("l3_hits", m.l3_hits);
+  w->KV("dram_lines", m.dram_lines);
+  w->KV("branch_events", c.branch_events);
+  w->KV("branch_mispredicts", c.branch_mispredicts);
+  w->KV("dram_demand_bytes_seq", m.dram_demand_bytes_seq);
+  w->KV("dram_demand_bytes_rand", m.dram_demand_bytes_rand);
+  w->KV("dram_prefetch_waste_bytes", m.dram_prefetch_waste_bytes);
+  w->KV("dram_writeback_bytes", m.dram_writeback_bytes);
+  w->KV("page_walks", m.page_walks);
+  w->EndObject();
+}
+
+/// A region's share, exclusive or inclusive: modelled cycles, instruction
+/// count, DRAM bytes, and the attributed Top-Down breakdown.
+void WriteRegionShare(JsonWriter* w, const CoreCounters& counters,
+                      const CycleBreakdown& cycles) {
+  w->BeginObject();
+  w->KV("cycles", cycles.Total());
+  w->KV("instructions", counters.mix.TotalInstructions());
+  w->KV("dram_bytes", counters.mem.TotalDramBytes());
+  w->Key("breakdown");
+  WriteBreakdown(w, cycles);
+  w->EndObject();
+}
+
+/// Cumulative modelled-cycle position of a snapshot taken on this core
+/// (monotone in the snapshot, so interval deltas are non-negative).
+double SnapshotCycles(const TopDownModel& model, const CoreCounters& snap,
+                      const CoreCounters& begin, double bw_scale) {
+  return model.Analyze(snap - begin, bw_scale).total_cycles;
+}
+
+void WriteTimeline(JsonWriter* w, const RunRecord& run,
+                   const CoreRecord& core) {
+  const TopDownModel model(run.config);
+  w->BeginArray();
+  CoreCounters prev = core.begin;
+  double prev_cycles = 0;
+  uint64_t prev_instr = prev.mix.TotalInstructions();
+  for (const TimelineSample& s : core.timeline) {
+    const double cum_cycles =
+        SnapshotCycles(model, s.counters, core.begin, run.bw_scale);
+    const CoreCounters delta = s.counters - prev;
+    const double cycles = cum_cycles - prev_cycles;
+    const uint64_t instr = s.instructions - prev_instr;
+    const double dram_bytes =
+        static_cast<double>(delta.mem.TotalDramBytes());
+    w->BeginObject();
+    w->KV("instructions", s.instructions);
+    w->KV("cycles", cum_cycles);
+    w->KV("interval_instructions", instr);
+    w->KV("interval_cycles", cycles);
+    w->KV("ipc", cycles > 0 ? static_cast<double>(instr) / cycles : 0.0);
+    w->KV("l1d_miss_rate",
+          delta.mem.data_accesses > 0
+              ? 1.0 - static_cast<double>(delta.mem.l1d_hits) /
+                          static_cast<double>(delta.mem.data_accesses)
+              : 0.0);
+    w->KV("dram_bytes", dram_bytes);
+    w->KV("dram_gbps",
+          cycles > 0 ? dram_bytes * run.config.freq_ghz / cycles : 0.0);
+    w->EndObject();
+    prev = s.counters;
+    prev_cycles = cum_cycles;
+    prev_instr = s.instructions;
+  }
+  w->EndArray();
+}
+
+void WriteCore(JsonWriter* w, const RunRecord& run, size_t core_index) {
+  const CoreRecord& core = run.cores[core_index];
+  w->BeginObject();
+  w->KV("core", static_cast<int64_t>(core_index));
+
+  w->Key("total");
+  w->BeginObject();
+  w->KV("cycles", core.whole.total_cycles);
+  w->KV("instructions", core.whole.instructions);
+  w->KV("ipc", core.whole.ipc);
+  w->KV("time_ms", core.whole.time_ms);
+  w->KV("dram_bytes", core.whole.dram_bytes);
+  w->KV("bandwidth_gbps", core.whole.bandwidth_gbps);
+  w->Key("breakdown");
+  WriteBreakdown(w, core.whole.cycles);
+  w->Key("counters");
+  WriteCounterSummary(w, core.whole.counters);
+  w->EndObject();
+
+  w->Key("regions");
+  w->BeginArray();
+  for (size_t i = 0; i < core.regions.nodes.size(); ++i) {
+    const RegionNode& n = core.regions.nodes[i];
+    w->BeginObject();
+    w->KV("id", static_cast<int64_t>(i));
+    w->KV("name", n.name);
+    w->KV("parent", static_cast<int64_t>(n.parent));
+    w->KV("depth", static_cast<int64_t>(n.depth));
+    w->KV("visits", n.visits);
+    w->Key("exclusive");
+    WriteRegionShare(w, n.exclusive, n.excl_cycles);
+    w->Key("inclusive");
+    WriteRegionShare(w, n.inclusive, n.incl_cycles);
+    w->EndObject();
+  }
+  w->EndArray();
+
+  w->Key("timeline");
+  WriteTimeline(w, run, core);
+
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string ProfileToJson(const ProfileSession& session) {
+  JsonWriter w(/*indent=*/1);
+  w.BeginObject();
+  w.KV("schema", kProfileSchemaName);
+  w.KV("version", static_cast<int64_t>(kProfileSchemaVersion));
+  w.KV("bench", session.bench);
+  w.KV("machine", session.machine);
+  w.KV("freq_ghz", session.freq_ghz);
+  w.KV("scale_factor", session.scale_factor);
+  w.KV("seed", session.seed);
+  w.KV("quick", session.quick);
+  w.KV("wall_ms", session.wall_ms);
+  w.Key("runs");
+  w.BeginArray();
+  for (const RunRecord& run : session.runs) {
+    w.BeginObject();
+    w.KV("label", run.label);
+    w.KV("threads", static_cast<int64_t>(run.threads));
+    w.KV("machine", run.config.name);
+    w.KV("bandwidth_scale", run.bw_scale);
+    w.KV("makespan_cycles", run.makespan_cycles);
+    w.KV("time_ms", run.time_ms);
+    w.KV("socket_bandwidth_gbps", run.socket_bandwidth_gbps);
+    w.Key("cores");
+    w.BeginArray();
+    for (size_t i = 0; i < run.cores.size(); ++i) WriteCore(&w, run, i);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string SessionToChromeTrace(const ProfileSession& session) {
+  JsonWriter w(/*indent=*/0);
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+
+  auto metadata = [&w](const char* name, int64_t pid, int64_t tid,
+                       const std::string& value) {
+    w.BeginObject();
+    w.KV("ph", "M");
+    w.KV("name", name);
+    w.KV("pid", pid);
+    w.KV("tid", tid);
+    w.Key("args");
+    w.BeginObject();
+    w.KV("name", value);
+    w.EndObject();
+    w.EndObject();
+  };
+
+  for (size_t r = 0; r < session.runs.size(); ++r) {
+    const RunRecord& run = session.runs[r];
+    const int64_t pid = static_cast<int64_t>(r) + 1;
+    const TopDownModel model(run.config);
+    // Microseconds per modelled cycle on this run's machine.
+    const double us_per_cycle = 1.0 / (run.config.freq_ghz * 1e3);
+    metadata("process_name", pid, 0, run.label);
+
+    for (size_t t = 0; t < run.cores.size(); ++t) {
+      const CoreRecord& core = run.cores[t];
+      const int64_t tid = static_cast<int64_t>(t);
+      metadata("thread_name", pid, tid, "core " + std::to_string(t));
+
+      // Region duration events: pair the LIFO begin/end event stream.
+      struct Open {
+        int node;
+        double ts_us;
+        uint64_t instr;
+      };
+      std::vector<Open> open;
+      for (const RegionEvent& e : core.events) {
+        const double cycles =
+            SnapshotCycles(model, e.snapshot, core.begin, run.bw_scale);
+        const double ts_us = cycles * us_per_cycle;
+        if (e.begin) {
+          open.push_back(
+              {e.node, ts_us, e.snapshot.mix.TotalInstructions()});
+          continue;
+        }
+        if (open.empty() || open.back().node != e.node) continue;  // defensive
+        const Open b = open.back();
+        open.pop_back();
+        w.BeginObject();
+        w.KV("ph", "X");
+        w.KV("name", core.regions.nodes[static_cast<size_t>(e.node)].name);
+        w.KV("cat", "region");
+        w.KV("pid", pid);
+        w.KV("tid", tid);
+        w.KV("ts", b.ts_us);
+        w.KV("dur", ts_us - b.ts_us);
+        w.Key("args");
+        w.BeginObject();
+        w.KV("instructions", e.snapshot.mix.TotalInstructions() - b.instr);
+        w.EndObject();
+        w.EndObject();
+      }
+
+      // Counter tracks from the sampling timeline.
+      CoreCounters prev = core.begin;
+      double prev_cycles = 0;
+      uint64_t prev_instr = prev.mix.TotalInstructions();
+      for (const TimelineSample& s : core.timeline) {
+        const double cum_cycles =
+            SnapshotCycles(model, s.counters, core.begin, run.bw_scale);
+        const CoreCounters delta = s.counters - prev;
+        const double cycles = cum_cycles - prev_cycles;
+        const uint64_t instr = s.instructions - prev_instr;
+        const double dram_bytes =
+            static_cast<double>(delta.mem.TotalDramBytes());
+        auto counter = [&](const std::string& name, double value) {
+          w.BeginObject();
+          w.KV("ph", "C");
+          w.KV("name", name + " c" + std::to_string(t));
+          w.KV("pid", pid);
+          w.KV("tid", tid);
+          w.KV("ts", cum_cycles * us_per_cycle);
+          w.Key("args");
+          w.BeginObject();
+          w.KV("value", value);
+          w.EndObject();
+          w.EndObject();
+        };
+        counter("IPC",
+                cycles > 0 ? static_cast<double>(instr) / cycles : 0.0);
+        counter("DRAM GB/s",
+                cycles > 0 ? dram_bytes * run.config.freq_ghz / cycles : 0.0);
+        counter("L1D miss %",
+                delta.mem.data_accesses > 0
+                    ? 100.0 * (1.0 - static_cast<double>(delta.mem.l1d_hits) /
+                                         static_cast<double>(
+                                             delta.mem.data_accesses))
+                    : 0.0);
+        prev = s.counters;
+        prev_cycles = cum_cycles;
+        prev_instr = s.instructions;
+      }
+    }
+  }
+
+  w.EndArray();
+  w.KV("displayTimeUnit", "ms");
+  w.Key("otherData");
+  w.BeginObject();
+  w.KV("schema", "uolap-trace");
+  w.KV("version", static_cast<int64_t>(kProfileSchemaVersion));
+  w.KV("bench", session.bench);
+  w.KV("machine", session.machine);
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open '" + path + "' for write");
+  out << content;
+  out.close();
+  if (!out) return Status::Internal("short write to '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace uolap::obs

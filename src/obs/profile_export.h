@@ -1,0 +1,51 @@
+#ifndef UOLAP_OBS_PROFILE_EXPORT_H_
+#define UOLAP_OBS_PROFILE_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/record.h"
+
+namespace uolap::obs {
+
+/// Version of the profile JSON schema emitted by ProfileToJson. Bump on
+/// any breaking change to field names/meanings; the golden exporter test
+/// pins the byte-level layout so accidental drift fails CI.
+inline constexpr int kProfileSchemaVersion = 1;
+inline constexpr char kProfileSchemaName[] = "uolap-profile";
+
+/// Serializes a session to the versioned profile JSON schema:
+///
+///   { "schema": "uolap-profile", "version": 1,
+///     "bench": ..., "machine": ..., "freq_ghz": ..., "scale_factor": ...,
+///     "seed": ..., "quick": ..., "wall_ms": ...,
+///     "runs": [ { "label", "threads", "bandwidth_scale",
+///                 "makespan_cycles", "time_ms", "socket_bandwidth_gbps",
+///                 "cores": [ { "core",
+///                    "total": { cycles/instructions/ipc/time_ms/
+///                               dram_bytes/bandwidth_gbps/breakdown/
+///                               counters },
+///                    "regions": [ { id/name/parent/depth/visits/
+///                                   exclusive{...}/inclusive{...} } ],
+///                    "timeline": [ per-interval instructions/cycles/ipc/
+///                                  l1d_miss_rate/dram_bytes/dram_gbps ]
+///                 } ] } ] }
+///
+/// Region entries are emitted in node-creation order (deterministic), and
+/// every object's keys are emitted in a fixed order, so equal sessions
+/// serialize to equal bytes.
+std::string ProfileToJson(const ProfileSession& session);
+
+/// Serializes a session to Chrome trace-event JSON (load in Perfetto or
+/// chrome://tracing): each run is a process, each simulated core a thread;
+/// regions become "X" duration events placed on the modelled cycle
+/// timeline, and the counter timeline becomes "C" counter tracks (IPC,
+/// DRAM GB/s, L1D miss %).
+std::string SessionToChromeTrace(const ProfileSession& session);
+
+/// Writes `content` to `path` (binary, overwrite).
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace uolap::obs
+
+#endif  // UOLAP_OBS_PROFILE_EXPORT_H_

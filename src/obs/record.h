@@ -1,0 +1,56 @@
+#ifndef UOLAP_OBS_RECORD_H_
+#define UOLAP_OBS_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/counters.h"
+#include "core/topdown.h"
+#include "obs/region_profiler.h"
+
+namespace uolap::obs {
+
+/// Everything recorded for one simulated core of one profiled run.
+struct CoreRecord {
+  core::ProfileResult whole;  ///< whole-run Top-Down analysis
+  RegionTree regions;         ///< analyzed region tree (AnalyzeTree done)
+  std::vector<TimelineSample> timeline;
+  std::vector<RegionEvent> events;
+  core::CoreCounters begin;  ///< profiler attach baseline (usually zero)
+};
+
+/// One profiled run (one ProfileSingle/ProfileMulti invocation).
+struct RunRecord {
+  std::string label;
+  int threads = 1;
+  core::MachineConfig config;
+  /// Bandwidth-contention scale the cores were analyzed with (1.0 for
+  /// single-core runs, MultiCoreResult::bandwidth_scale otherwise).
+  double bw_scale = 1.0;
+  std::vector<CoreRecord> cores;
+
+  // Multi-core summary (mirrors MultiCoreResult; for threads == 1 these
+  // duplicate cores[0].whole).
+  double makespan_cycles = 0;
+  double time_ms = 0;
+  double socket_bandwidth_gbps = 0;
+};
+
+/// A bench invocation's worth of recorded runs plus its metadata; the unit
+/// both exporters consume.
+struct ProfileSession {
+  std::string bench;  ///< bench binary / session name
+  std::string machine;
+  double freq_ghz = 0;
+  double scale_factor = 0;
+  uint64_t seed = 0;
+  bool quick = false;
+  double wall_ms = 0;  ///< host wall-clock of the whole bench run
+  std::vector<RunRecord> runs;
+};
+
+}  // namespace uolap::obs
+
+#endif  // UOLAP_OBS_RECORD_H_

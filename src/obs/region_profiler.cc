@@ -1,0 +1,119 @@
+#include "obs/region_profiler.h"
+
+#include <utility>
+
+namespace uolap::obs {
+
+using core::CoreCounters;
+
+RegionProfiler::RegionProfiler(core::Core& core, Options options)
+    : core_(core), options_(options) {
+  begin_ = core_.SnapshotCounters();
+  RegionNode root;
+  root.name = "<run>";
+  root.parent = -1;
+  root.depth = 0;
+  root.visits = 1;
+  nodes_.push_back(std::move(root));
+  stack_.push_back({0, begin_});
+  if (options_.sample_interval_instructions > 0) {
+    next_sample_ =
+        core_.instructions_retired() + options_.sample_interval_instructions;
+  }
+  core_.SetObserver(this);
+}
+
+RegionProfiler::~RegionProfiler() {
+  if (core_.observer() == this) core_.SetObserver(nullptr);
+}
+
+int RegionProfiler::ChildNamed(int parent, std::string_view name) {
+  for (int c : nodes_[static_cast<size_t>(parent)].children) {
+    if (nodes_[static_cast<size_t>(c)].name == name) return c;
+  }
+  const int id = static_cast<int>(nodes_.size());
+  RegionNode node;
+  node.name = std::string(name);
+  node.parent = parent;
+  node.depth = nodes_[static_cast<size_t>(parent)].depth + 1;
+  nodes_.push_back(std::move(node));
+  nodes_[static_cast<size_t>(parent)].children.push_back(id);
+  return id;
+}
+
+void RegionProfiler::OnRegionPush(std::string_view name) {
+  const CoreCounters snap = core_.SnapshotCounters();
+  const int id = ChildNamed(stack_.back().node, name);
+  stack_.push_back({id, snap});
+  events_.push_back({id, /*begin=*/true, snap});
+}
+
+void RegionProfiler::OnRegionPop() {
+  if (stack_.size() <= 1) {
+    if (status_.ok()) {
+      status_ = Status::FailedPrecondition(
+          "PopRegion on core with no open region (unbalanced pop ignored)");
+    }
+    return;
+  }
+  const CoreCounters snap = core_.SnapshotCounters();
+  const StackEntry top = stack_.back();
+  stack_.pop_back();
+  RegionNode& node = nodes_[static_cast<size_t>(top.node)];
+  node.inclusive += snap - top.entry_snapshot;
+  ++node.visits;
+  events_.push_back({top.node, /*begin=*/false, snap});
+}
+
+void RegionProfiler::OnProgress() {
+  if (next_sample_ == 0) return;
+  const uint64_t n = core_.instructions_retired();
+  if (n < next_sample_) return;
+  timeline_.push_back({n, core_.SnapshotCounters()});
+  const uint64_t interval = options_.sample_interval_instructions;
+  // One sample per crossing, however many thresholds the batch jumped.
+  next_sample_ += interval * ((n - next_sample_) / interval + 1);
+}
+
+RegionTree RegionProfiler::Finish() {
+  UOLAP_CHECK_MSG(!finished_, "RegionProfiler::Finish called twice");
+  finished_ = true;
+  if (core_.observer() == this) core_.SetObserver(nullptr);
+
+  const CoreCounters final_snap = core_.SnapshotCounters();
+  if (stack_.size() > 1 && status_.ok()) {
+    status_ = Status::FailedPrecondition(
+        std::to_string(stack_.size() - 1) +
+        " region(s) still open at Finish (auto-closed): innermost '" +
+        nodes_[static_cast<size_t>(stack_.back().node)].name + "'");
+  }
+  // Close any left-open regions (innermost first) and then the root
+  // against the final snapshot.
+  while (!stack_.empty()) {
+    const StackEntry top = stack_.back();
+    stack_.pop_back();
+    RegionNode& node = nodes_[static_cast<size_t>(top.node)];
+    node.inclusive += final_snap - top.entry_snapshot;
+    if (top.node != 0) {
+      ++node.visits;
+      events_.push_back({top.node, /*begin=*/false, final_snap});
+    }
+  }
+
+  // Exclusive = inclusive minus the children's inclusive share. Children
+  // are created after their parent, so a reverse walk sees every child
+  // after its own subtree is settled — but exclusive only needs direct
+  // children, so a single pass suffices.
+  for (RegionNode& node : nodes_) {
+    node.exclusive = node.inclusive;
+    for (int c : node.children) {
+      node.exclusive -= nodes_[static_cast<size_t>(c)].inclusive;
+    }
+  }
+
+  RegionTree tree;
+  tree.nodes = std::move(nodes_);
+  return tree;
+}
+
+}  // namespace uolap::obs
