@@ -66,6 +66,28 @@ bool ValidateFile(const std::string& path, JsonValue* out = nullptr) {
                    path.c_str());
       return false;
     }
+    // v2: surface recorded model-invariant violations — a profile whose
+    // run carries violations is not a trustworthy measurement.
+    size_t violations = 0;
+    for (const JsonValue& run : runs->array) {
+      const JsonValue* audit = run.Find("audit");
+      const JsonValue* vio =
+          audit != nullptr ? audit->Find("violations") : nullptr;
+      if (vio == nullptr || !vio->is_array()) continue;
+      violations += vio->array.size();
+      for (const JsonValue& entry : vio->array) {
+        std::fprintf(stderr, "%s: run '%s': %s [%s]: %s\n", path.c_str(),
+                     run.GetString("label", "?").c_str(),
+                     entry.GetString("checker", "?").c_str(),
+                     entry.GetString("subject", "?").c_str(),
+                     entry.GetString("message", "?").c_str());
+      }
+    }
+    if (violations > 0) {
+      std::fprintf(stderr, "%s: %zu recorded audit violation(s)\n",
+                   path.c_str(), violations);
+      return false;
+    }
     std::printf("%s: ok (uolap-profile v%d, bench %s, %zu runs)\n",
                 path.c_str(), version, v.GetString("bench", "?").c_str(),
                 runs->array.size());

@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
-# CI entry point: builds and tests the tree twice —
-#   1. the normal optimized build (the configuration every figure runs in);
-#   2. a ThreadSanitizer build that runs the test suite through the
+# CI entry point. Stages, in order:
+#   1. contract lint (scripts/lint_contracts.py) + clang-tidy when installed;
+#   2. the normal optimized build (the configuration every figure runs in)
+#      with its test suite, exporter smoke, and a byte-level determinism
+#      gate (one figure bench run twice must serialize identical profiles);
+#   3. an UOLAP_VALIDATE=ON build: the full test suite plus a figure-bench
+#      sweep with every model-invariant checker armed (a violation aborts);
+#   4. an UndefinedBehaviorSanitizer build running the test suite;
+#   5. a ThreadSanitizer build that runs the test suite through the
 #      parallel runtime (ThreadPool, RunSweep, threaded ProfileMulti), so
 #      data races in engine ForEach bodies fail CI instead of silently
 #      breaking the bit-determinism contract.
@@ -13,6 +19,19 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
+echo "=== contract lint ==="
+python3 scripts/lint_contracts.py
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== clang-tidy ==="
+  cmake -B build-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  # Curated profile in .clang-tidy; WarningsAsErrors makes findings fatal.
+  find src -name '*.cc' -print0 |
+    xargs -0 -P "$JOBS" -n 8 clang-tidy -p build-tidy --quiet
+else
+  echo "=== clang-tidy not installed; skipping ==="
+fi
+
 echo "=== release build ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
@@ -20,7 +39,8 @@ cmake --build build -j "$JOBS"
 
 # Exporter smoke: run one figure bench with --json/--trace and make sure
 # both outputs parse as what they claim to be (uolap_report validates the
-# profile schema version and the Chrome trace shape).
+# profile schema version, the run audit results, and the Chrome trace
+# shape).
 exporter_smoke() {
   local build_dir="$1"
   local out
@@ -36,6 +56,40 @@ exporter_smoke() {
 
 echo "=== exporter smoke (release) ==="
 exporter_smoke build
+
+# Determinism gate: the same bench run twice must produce byte-identical
+# profile JSON. --stable-json zeroes wall_ms (the only host-time field);
+# everything else is simulated state, which the determinism contract pins.
+# The simulator keys caches by real heap addresses, so ASLR must be pinned
+# (setarch -R) for two *processes* to see identical conflict patterns;
+# within one process, threaded vs serial is bit-identical unconditionally
+# (machine_invariance_test).
+echo "=== determinism gate ==="
+if setarch "$(uname -m)" -R true 2>/dev/null; then
+  DET_OUT="$(mktemp -d)"
+  setarch "$(uname -m)" -R build/bench/bench_fig11_14_join --quick \
+    --stable-json --json="$DET_OUT/a.json" >/dev/null
+  setarch "$(uname -m)" -R build/bench/bench_fig11_14_join --quick \
+    --stable-json --json="$DET_OUT/b.json" >/dev/null
+  cmp "$DET_OUT/a.json" "$DET_OUT/b.json"
+  rm -rf "$DET_OUT"
+else
+  echo "setarch cannot pin ASLR here; skipping cross-process byte-diff"
+fi
+
+echo "=== validated build (UOLAP_VALIDATE=ON) ==="
+cmake -B build-validate -S . -DUOLAP_VALIDATE=ON >/dev/null
+cmake --build build-validate -j "$JOBS"
+(cd build-validate && ctest --output-on-failure -j "$JOBS")
+# Figure-bench sweep with every invariant checker armed: any model
+# violation prints a structured diagnostic and aborts the bench.
+build-validate/bench/bench_fig11_14_join --quick --validate >/dev/null
+build-validate/bench/bench_fig07_10_selection --quick --validate >/dev/null
+
+echo "=== undefined-behavior-sanitizer build ==="
+cmake -B build-ubsan -S . -DUOLAP_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j "$JOBS"
+(cd build-ubsan && ctest --output-on-failure -j "$JOBS" --timeout 600)
 
 echo "=== thread-sanitizer build ==="
 cmake -B build-tsan -S . -DUOLAP_SANITIZE=thread >/dev/null

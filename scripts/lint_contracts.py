@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Contract lint for the uolap simulator tree.
+
+Static checks for the simulation contracts that the compiler cannot
+enforce (see DESIGN.md section 5d for the rationale of each rule):
+
+  region-raii          engines/benches must not call Core::PushRegion /
+                       PopRegion directly; only core::ScopedRegion keeps
+                       the push/pop stream LIFO under early returns.
+  no-wall-clock        nothing that feeds simulated state may read host
+                       time (std::chrono & friends); host time in the
+                       model would break bit-determinism.
+  no-ambient-rng       rand()/srand()/std::random_device are forbidden in
+                       simulation code; all randomness flows from the
+                       seeded common/rng.h generators.
+  no-unordered-sim     std::unordered_{map,set} are forbidden in
+                       simulation code: iteration order is
+                       implementation-defined, and simulated state built
+                       by iterating one would differ across stdlibs.
+  storage-discipline   engine code charges memory through the Core /
+                       ColumnView API (Touch*/Load*/Store*); reaching
+                       into core.memory() or mutable_counters() bypasses
+                       the instruction-mix accounting. The sanctioned
+                       vectorized charging sites carry an allow marker.
+  include-guard        headers use #ifndef UOLAP_<PATH>_H_ guards.
+  own-header-first     foo.cc includes its own foo.h first (catches
+                       headers that silently depend on prior includes).
+  no-using-namespace   headers must not have file-scope using-directives.
+  layering             #includes respect the dependency DAG
+                       (common <- core <- audit <- obs, engines never
+                       include harness, etc.).
+
+A finding on a line ending in `// lint:allow(<rule>)` is suppressed.
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Directories scanned (relative to repo root).
+SCAN_DIRS = ["src", "bench", "examples", "tests"]
+
+# Simulation code: files whose behaviour feeds simulated counters.
+SIM_DIRS = ("src/core", "src/audit", "src/engine", "src/engines",
+            "src/storage", "src/tpch", "src/obs")
+
+# Engine code for the storage/region discipline rules.
+ENGINE_DIRS = ("src/engines", "src/storage", "bench", "examples")
+
+# Module layering DAG: module -> allowed include prefixes. A module may
+# always include itself and the C++ standard library.
+LAYERING = {
+    "src/common": [],
+    "src/core": ["common"],
+    "src/audit": ["common", "core"],
+    "src/obs": ["common", "core", "audit"],
+    "src/tpch": ["common"],
+    "src/storage": ["common", "core", "tpch"],
+    "src/engine": ["common", "core", "storage", "tpch"],
+    "src/engines": ["common", "core", "storage", "tpch", "engine",
+                    "engines"],
+    # harness / bench / examples / tests may include anything.
+}
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+RULES = [
+    ("region-raii",
+     re.compile(r"\b(?:PushRegion|PopRegion)\s*\("),
+     ENGINE_DIRS,
+     "call sites must use core::ScopedRegion, not raw Push/PopRegion"),
+    ("no-wall-clock",
+     re.compile(r"std::chrono|steady_clock|system_clock|high_resolution_"
+                r"clock|clock_gettime|gettimeofday|\btime\s*\(\s*(?:NULL|"
+                r"nullptr|0)\s*\)"),
+     SIM_DIRS,
+     "simulation code must not read host time"),
+    ("no-ambient-rng",
+     re.compile(r"\bs?rand\s*\(|std::random_device"),
+     SIM_DIRS,
+     "use the seeded generators in common/rng.h"),
+    ("no-unordered-sim",
+     re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b"),
+     SIM_DIRS,
+     "iteration order is implementation-defined; use a deterministic "
+     "container"),
+    ("storage-discipline",
+     re.compile(r"(?:\.|->)\s*memory\s*\(\s*\)|\bmutable_counters\s*\("),
+     ENGINE_DIRS,
+     "charge through the Core/ColumnView API, not the raw MemorySystem"),
+]
+
+
+def allowed_rules(line):
+    m = ALLOW_RE.search(line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+def is_comment(line):
+    s = line.lstrip()
+    return s.startswith("//") or s.startswith("*") or s.startswith("/*")
+
+
+def rel(path):
+    return os.path.relpath(path, REPO).replace(os.sep, "/")
+
+
+def iter_sources():
+    for d in SCAN_DIRS:
+        root = os.path.join(REPO, d)
+        for dirpath, _, files in os.walk(root):
+            for name in sorted(files):
+                if name.endswith((".h", ".cc", ".cpp")):
+                    yield os.path.join(dirpath, name)
+
+
+def guard_name(relpath):
+    # src/core/cache.h -> UOLAP_CORE_CACHE_H_ ; bench/foo.h ->
+    # UOLAP_BENCH_FOO_H_ (src/ prefix is dropped, others are kept).
+    p = relpath[4:] if relpath.startswith("src/") else relpath
+    return "UOLAP_" + re.sub(r"[/.]", "_", p).upper() + "_"
+
+
+class Linter:
+    def __init__(self):
+        self.findings = []
+
+    def fail(self, path, lineno, rule, message):
+        self.findings.append((rel(path), lineno, rule, message))
+
+    def lint_file(self, path):
+        relpath = rel(path)
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+
+        for rule, pattern, dirs, message in RULES:
+            if not relpath.startswith(dirs):
+                continue
+            for i, line in enumerate(lines, 1):
+                if not pattern.search(line) or is_comment(line):
+                    continue
+                if rule in allowed_rules(line):
+                    continue
+                self.fail(path, i, rule, message)
+
+        if relpath.startswith("src/") and relpath.endswith(".h"):
+            self.lint_header(path, relpath, lines)
+        if relpath.endswith((".cc", ".cpp")):
+            self.lint_own_header_first(path, relpath, lines)
+        self.lint_layering(path, relpath, lines)
+
+    def lint_header(self, path, relpath, lines):
+        want = guard_name(relpath)
+        guards = [l for l in lines if l.startswith("#ifndef ")]
+        if not guards or guards[0].split()[1] != want:
+            got = guards[0].split()[1] if guards else "<none>"
+            self.fail(path, 1, "include-guard",
+                      f"guard is {got}, want {want}")
+        for i, line in enumerate(lines, 1):
+            if (re.match(r"\s*using\s+namespace\b", line)
+                    and "lint:allow(no-using-namespace)" not in line):
+                self.fail(path, i, "no-using-namespace",
+                          "file-scope using-directive in a header")
+
+    def lint_own_header_first(self, path, relpath, lines):
+        own = re.sub(r"\.(cc|cpp)$", ".h", relpath)
+        own_inc = own[4:] if own.startswith("src/") else own
+        if not os.path.exists(os.path.join(REPO, "src", own_inc)):
+            return
+        for i, line in enumerate(lines, 1):
+            m = re.match(r'\s*#include\s+"([^"]+)"', line)
+            if not m:
+                continue
+            if m.group(1) != own_inc:
+                self.fail(path, i, "own-header-first",
+                          f'first project include must be "{own_inc}"')
+            return
+
+    def lint_layering(self, path, relpath, lines):
+        module = next((m for m in LAYERING
+                       if relpath.startswith(m + "/")), None)
+        if module is None:
+            return
+        allowed = LAYERING[module]
+        own_prefix = module[4:]  # strip src/
+        for i, line in enumerate(lines, 1):
+            m = re.match(r'\s*#include\s+"([^"]+)"', line)
+            if not m or "lint:allow(layering)" in line:
+                continue
+            inc = m.group(1)
+            top = inc.split("/")[0]
+            if inc.startswith(own_prefix + "/") or top == own_prefix:
+                continue
+            if top not in allowed:
+                self.fail(path, i, "layering",
+                          f"{module} must not include {inc} "
+                          f"(allowed: {', '.join(allowed) or 'nothing'})")
+
+
+def main():
+    if len(sys.argv) > 1:
+        print(__doc__)
+        return 2
+    linter = Linter()
+    count = 0
+    for path in iter_sources():
+        linter.lint_file(path)
+        count += 1
+    for relpath, lineno, rule, message in linter.findings:
+        print(f"{relpath}:{lineno}: [{rule}] {message}")
+    if linter.findings:
+        print(f"lint_contracts: {len(linter.findings)} finding(s) "
+              f"in {count} files")
+        return 1
+    print(f"lint_contracts: clean ({count} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

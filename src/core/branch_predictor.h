@@ -1,6 +1,7 @@
 #ifndef UOLAP_CORE_BRANCH_PREDICTOR_H_
 #define UOLAP_CORE_BRANCH_PREDICTOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -42,6 +43,16 @@ class BranchPredictor {
 
   uint64_t branches() const { return branches_; }
   uint64_t mispredicts() const { return mispredicts_; }
+
+  // --- introspection (audit layer / tests) ----------------------------
+  size_t table_size() const { return table_.size(); }
+  uint8_t counter_at(size_t i) const { return table_[i]; }
+  uint32_t history() const { return history_; }
+  uint32_t history_mask() const { return history_mask_; }
+
+  /// Test-only corruption hook (audit failure-path tests): writes a raw
+  /// value into one 2-bit counter slot, legal or not.
+  void TestOnlySetCounter(size_t i, uint8_t value) { table_[i] = value; }
   double MispredictRate() const {
     return branches_ == 0
                ? 0.0

@@ -89,6 +89,45 @@ class SetAssociativeCache {
   uint64_t misses() const { return misses_; }
   void ResetStats() { hits_ = misses_ = 0; }
 
+  // --- introspection (audit layer / tests; never on the hot path) -------
+
+  /// Raw state of one way. `valid == false` means the way is empty, in
+  /// which case `key` is meaningless.
+  struct WayState {
+    bool valid = false;
+    bool dirty = false;
+    uint64_t key = 0;
+    uint64_t last_touch = 0;  ///< LRU stamp; 0 == never touched
+  };
+  WayState way_state(uint64_t set, uint32_t way) const {
+    UOLAP_DCHECK(set < num_sets_ && way < ways_);
+    const uint64_t i = set * ways_ + way;
+    WayState s;
+    s.valid = tags_[i] != 0;
+    s.dirty = dirty_[i] != 0;
+    s.key = s.valid ? tags_[i] - 1 : 0;
+    s.last_touch = ts_[i];
+    return s;
+  }
+  /// Current value of the per-cache LRU clock (every touch increments it).
+  uint64_t lru_clock() const { return clock_; }
+  /// The set `key` maps to (exposes SetIndex so the audit layer can verify
+  /// that every resident tag lives in its home set).
+  uint64_t SetOf(uint64_t key) const { return SetIndex(key); }
+
+  /// Test-only corruption hook for the audit failure-path tests: overwrite
+  /// one way's raw state, bypassing every invariant the normal mutators
+  /// maintain. `raw_tag` is stored verbatim (key + 1 encoding, 0 ==
+  /// invalid). Never called outside tests.
+  void TestOnlySetWay(uint64_t set, uint32_t way, uint64_t raw_tag,
+                      uint64_t ts, bool dirty) {
+    UOLAP_CHECK(set < num_sets_ && way < ways_);
+    const uint64_t i = set * ways_ + way;
+    tags_[i] = raw_tag;
+    ts_[i] = ts;
+    dirty_[i] = dirty ? 1 : 0;
+  }
+
  private:
   // State is three parallel arrays indexed set-major (set * ways + way):
   //  - tags_ stores key + 1, with 0 meaning "invalid way" (keys are line

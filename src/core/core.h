@@ -181,6 +181,11 @@ class Core {
 
   const MachineConfig& config() const { return config_; }
   MemorySystem& memory() { return memory_; }
+  const MemorySystem& memory() const { return memory_; }
+  const BranchPredictor& predictor() const { return predictor_; }
+
+  /// Forwards to MemorySystem::SetValidateFills (audit layer).
+  void SetValidateFills(bool on) { memory_.SetValidateFills(on); }
 
   /// Full state reset (caches, predictor, counters).
   void Reset();

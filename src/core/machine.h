@@ -38,6 +38,10 @@ class Machine {
     UOLAP_CHECK(i < cores_.size());
     return *cores_[i];
   }
+  const Core& core(size_t i) const {
+    UOLAP_CHECK(i < cores_.size());
+    return *cores_[i];
+  }
   size_t num_cores() const { return cores_.size(); }
   const MachineConfig& config() const { return config_; }
 

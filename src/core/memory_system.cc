@@ -70,6 +70,7 @@ void MemorySystem::Reset() {
   stream_last_fill_dram_.fill(0);
   stream_clock_ = 0;
   matched_stream_ = -1;
+  fill_containment_violations_ = 0;
   counters_ = MemCounters{};
   mlp_hint_ = kMlpDefault;
   RecomputeMlpCosts();
@@ -258,6 +259,7 @@ void MemorySystem::AccessDataLine(uint64_t line, bool is_store) {
 
   // --- hierarchy walk ---
   const int level = WalkData(line, is_store);
+  if (UOLAP_UNLIKELY(validate_fills_) && level > 1) ValidateFill(line, level);
   if (matched_stream_ >= 0) {
     stream_last_fill_dram_[static_cast<size_t>(matched_stream_)] =
         (level == 4) ? 1 : 0;
@@ -333,6 +335,20 @@ void MemorySystem::AccessDataLine(uint64_t line, bool is_store) {
     // streamer catches up.
     counters_.stream_startup_cycles += stream_startup_cost_;
   }
+}
+
+void MemorySystem::ValidateFill(uint64_t line, int from_level) {
+  // After servicing a miss from `from_level`, FillUpperLevels must have
+  // left the line resident in L1D and, when it came from L3/DRAM, in L2;
+  // when it came from DRAM, in L3 as well (fill-inclusive policy —
+  // evictions may break containment later, fills never may). The freshly
+  // filled line carries the maximum LRU stamp in its set, so the cascading
+  // writeback inserts of the same fill can only displace it from a
+  // single-way set; skip those (degenerate test geometries).
+  bool ok = l1d_.Contains(line);
+  if (from_level >= 3 && l2_.ways() >= 2) ok = ok && l2_.Contains(line);
+  if (from_level >= 4 && l3_.ways() >= 2) ok = ok && l3_.Contains(line);
+  if (!ok) ++fill_containment_violations_;
 }
 
 int MemorySystem::WalkCode(uint64_t line) {

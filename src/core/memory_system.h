@@ -65,6 +65,62 @@ class MemorySystem {
   /// Drops cache/TLB/stream state and counters (for test isolation).
   void Reset();
 
+  // --- validation / introspection (audit layer; off the hot path) -------
+
+  /// When enabled, every miss-path fill is re-checked for containment
+  /// (the filled line must be resident in every level FillUpperLevels just
+  /// inserted it into — the model's fill-inclusive policy). Violations
+  /// only count; the audit layer reads them out. One branch per demand
+  /// miss when enabled, zero cost when not.
+  void SetValidateFills(bool on) { validate_fills_ = on; }
+  bool validate_fills() const { return validate_fills_; }
+  uint64_t fill_containment_violations() const {
+    return fill_containment_violations_;
+  }
+
+  const SetAssociativeCache& l1i() const { return l1i_; }
+  const SetAssociativeCache& l1d() const { return l1d_; }
+  const SetAssociativeCache& l2() const { return l2_; }
+  const SetAssociativeCache& l3() const { return l3_; }
+  const SetAssociativeCache& dtlb() const { return dtlb_; }
+  const SetAssociativeCache& stlb() const { return stlb_; }
+
+  /// Raw state of one stream-detector entry (see the field commentary on
+  /// the parallel arrays below).
+  struct StreamState {
+    bool valid = false;
+    uint32_t run = 0;
+    int8_t dir = 0;
+    uint64_t last_touch = 0;
+  };
+  static constexpr int kNumStreamEntries = kStreamTableEntries;
+  StreamState stream_state(int i) const {
+    const size_t u = static_cast<size_t>(i);
+    StreamState s;
+    s.valid = stream_valid_[u] != 0;
+    s.run = stream_run_[u];
+    s.dir = stream_dir_[u];
+    s.last_touch = stream_ts_[u];
+    return s;
+  }
+  uint64_t stream_clock() const { return stream_clock_; }
+
+  /// Test-only corruption hook (audit failure-path tests): records a fake
+  /// fill-containment violation so the checker's failure path is testable
+  /// (real ones require a model bug by construction).
+  void TestOnlyAddFillViolation() { ++fill_containment_violations_; }
+
+  /// Test-only corruption hook (audit failure-path tests): overwrite one
+  /// stream-detector entry's raw state.
+  void TestOnlySetStream(int i, bool valid, uint32_t run, int8_t dir,
+                         uint64_t ts) {
+    const size_t u = static_cast<size_t>(i);
+    stream_valid_[u] = valid ? 1 : 0;
+    stream_run_[u] = run;
+    stream_dir_[u] = dir;
+    stream_ts_[u] = ts;
+  }
+
  private:
   static constexpr int kLineShift = 6;  // 64-byte lines
 
@@ -98,6 +154,10 @@ class MemorySystem {
   int WalkCode(uint64_t line);
 
   void FillUpperLevels(uint64_t line, bool is_store, int from_level);
+
+  /// Slow-path re-check behind SetValidateFills: after a fill from
+  /// `from_level`, the line must be resident in every level at or above it.
+  void ValidateFill(uint64_t line, int from_level);
 
   /// Re-derives the per-event cycle costs that divide by the MLP hint.
   /// IEEE division of the same two operands always produces the same
@@ -141,6 +201,8 @@ class MemorySystem {
   double dram_unc_cost_ = 0;
   double stream_startup_cost_ = 0;
   uint64_t page_shift_;
+  bool validate_fills_ = false;
+  uint64_t fill_containment_violations_ = 0;
   MemCounters counters_;
 };
 

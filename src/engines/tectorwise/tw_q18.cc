@@ -47,43 +47,45 @@ Q18Result TectorwiseEngine::Q18(Workers& w) const {
   w.ForEach([&](size_t t) {
     core::Core& core = *w.cores[t];
     const RowRange r = PartitionRange(l.size(), t, w.count());
-    core.PushRegion("agg");
     core.SetCodeRegion({"tw/q18-agg", 5120});
     VecCtx ctx{&core, simd_};
     core.SetMlpHint(simd_ ? core::kMlpSimdGather : core::kMlpVectorProbe);
 
     AggHashTable<1>& agg = scratch[t]->agg;
-    std::vector<int64_t>& keys = scratch[t]->keys;
-    std::vector<int64_t>& qtys = scratch[t]->qtys;
-    for (size_t base = r.begin; base < r.end; base += kVecSize) {
-      const size_t m = std::min(kVecSize, r.end - base);
-      // Vectorized key/qty load primitives, then the grouped update loop.
-      // Inputs and outputs are all dense sequential runs — fully batched.
-      detail::ChargeCallOverhead(ctx);
-      detail::TouchVecLoad(ctx, l.orderkey.data() + base, m);
-      detail::TouchVecLoad(ctx, l.quantity.data() + base, m);
-      for (size_t k = 0; k < m; ++k) {
-        keys[k] = l.orderkey[base + k];
-        qtys[k] = l.quantity[base + k];
-      }
-      detail::TouchVecStore(ctx, keys.data(), m);
-      detail::TouchVecStore(ctx, qtys.data(), m);
-      if (ctx.simd) {
-        detail::ChargeSimdLoop(ctx, m, 4);
-      } else {
+    {
+      core::ScopedRegion agg_region(core, "agg");
+      std::vector<int64_t>& keys = scratch[t]->keys;
+      std::vector<int64_t>& qtys = scratch[t]->qtys;
+      for (size_t base = r.begin; base < r.end; base += kVecSize) {
+        const size_t m = std::min(kVecSize, r.end - base);
+        // Vectorized key/qty load primitives, then the grouped update
+        // loop. Inputs and outputs are all dense sequential runs — fully
+        // batched.
+        detail::ChargeCallOverhead(ctx);
+        detail::TouchVecLoad(ctx, l.orderkey.data() + base, m);
+        detail::TouchVecLoad(ctx, l.quantity.data() + base, m);
+        for (size_t k = 0; k < m; ++k) {
+          keys[k] = l.orderkey[base + k];
+          qtys[k] = l.quantity[base + k];
+        }
+        detail::TouchVecStore(ctx, keys.data(), m);
+        detail::TouchVecStore(ctx, qtys.data(), m);
+        if (ctx.simd) {
+          detail::ChargeSimdLoop(ctx, m, 4);
+        } else {
+          detail::ChargeScalarLoop(ctx, m, 1);
+        }
+        detail::TouchVecLoad(ctx, keys.data(), m);
+        detail::TouchVecLoad(ctx, qtys.data(), m);
+        for (size_t k = 0; k < m; ++k) {
+          auto* entry = agg.FindOrCreate(
+              core, engine::branch_site::kQ18AggChain, keys[k]);
+          agg.Add(core, entry, 0, qtys[k]);
+        }
         detail::ChargeScalarLoop(ctx, m, 1);
       }
-      detail::TouchVecLoad(ctx, keys.data(), m);
-      detail::TouchVecLoad(ctx, qtys.data(), m);
-      for (size_t k = 0; k < m; ++k) {
-        auto* entry = agg.FindOrCreate(
-            core, engine::branch_site::kQ18AggChain, keys[k]);
-        agg.Add(core, entry, 0, qtys[k]);
-      }
-      detail::ChargeScalarLoop(ctx, m, 1);
     }
 
-    core.PopRegion();
     // Filter scan over the group entries (sequential, batched).
     core::ScopedRegion having_region(core, "having");
     core.SetCodeRegion({"tw/q18-having", 1024});

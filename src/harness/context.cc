@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "audit/validation.h"
 #include "common/macros.h"
 #include "obs/profile_export.h"
 
@@ -32,6 +33,10 @@ BenchContext::BenchContext(int argc, char** argv, double default_sf)
   trace_path_ = flags_.GetString("trace", "");
   sample_interval_ = static_cast<uint64_t>(flags_.GetInt(
       "sample-every", exporting() ? 1'000'000 : 0));
+  stable_json_ = flags_.GetBool("stable-json", false);
+  if (flags_.GetBool("validate", false)) {
+    audit::SetValidationEnabled(true);
+  }
   session_.bench = Basename(argc > 0 ? argv[0] : nullptr);
 
   const std::string machine_name =
@@ -74,10 +79,13 @@ void BenchContext::FlushOutputs() {
   std::lock_guard<std::mutex> lock(session_mu_);
   if (flushed_) return;
   flushed_ = true;
+  // wall_ms is the only host-time-dependent field in the export;
+  // --stable-json keeps it zero so equal simulations export equal bytes.
   session_.wall_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start_time_)
-          .count();
+      stable_json_ ? 0.0
+                   : std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start_time_)
+                         .count();
   // Sweep drivers record concurrently, so insertion order is not
   // deterministic; sort by (label, threads) for stable export bytes.
   std::stable_sort(session_.runs.begin(), session_.runs.end(),

@@ -36,6 +36,13 @@ namespace uolap::harness {
 ///   --sample-every=<n>  counter-timeline sampling interval in retired
 ///                     instructions (default: 1M when --json/--trace is
 ///                     given, otherwise off; 0 disables)
+///   --validate        run the model-invariant audit after every profiled
+///                     run (see audit/validation.h); violations print to
+///                     stderr, land in the profile JSON, and abort. Also
+///                     on by default when built with -DUOLAP_VALIDATE=ON.
+///   --stable-json     zero the host wall-clock field in the profile JSON
+///                     so two runs of the same bench produce byte-identical
+///                     files (the CI determinism gate byte-diffs them)
 class BenchContext {
  public:
   /// Parses flags and generates the database. `default_sf` is the bench's
@@ -124,6 +131,7 @@ class BenchContext {
   std::string json_path_;
   std::string trace_path_;
   uint64_t sample_interval_ = 0;
+  bool stable_json_ = false;
   std::chrono::steady_clock::time_point start_time_;
   mutable std::mutex session_mu_;
   obs::ProfileSession session_;

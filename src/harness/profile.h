@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "audit/validation.h"
 #include "common/table_printer.h"
 #include "core/machine.h"
 #include "engine/engine.h"
@@ -16,16 +17,38 @@
 
 namespace uolap::harness {
 
+/// Audits a finalized machine plus the per-core Top-Down results (see
+/// audit/invariants.h for the rule catalog). Used by every Profile* entry
+/// point when validation is enabled; the caller reports the outcome.
+inline audit::AuditReport AuditRun(const core::Machine& machine,
+                                   const core::ProfileResult* results,
+                                   size_t num_results,
+                                   const std::string& label) {
+  audit::AuditReport report = audit::AuditMachine(machine, label);
+  for (size_t i = 0; i < num_results; ++i) {
+    audit::CheckBreakdown(results[i], machine.config().freq_ghz,
+                          label + "/core" + std::to_string(i) + "/topdown",
+                          &report);
+  }
+  return report;
+}
+
 /// Runs `fn(Workers&)` on one fresh simulated core and returns the
 /// Top-Down analysis — the standard single-core measurement of every
 /// figure in Sections 3-9.
 template <typename Fn>
 core::ProfileResult ProfileSingle(const core::MachineConfig& cfg, Fn&& fn) {
   core::Machine machine(cfg, 1);
+  if (audit::ValidationEnabled()) audit::ArmMachine(machine);
   engine::Workers w(machine.core(0));
   fn(w);
   machine.FinalizeAll();
-  return machine.AnalyzeCore(0);
+  core::ProfileResult result = machine.AnalyzeCore(0);
+  if (audit::ValidationEnabled()) {
+    audit::ReportViolations(AuditRun(machine, &result, 1, "single"),
+                            "ProfileSingle");
+  }
+  return result;
 }
 
 /// Runs `fn(Workers&)` across `threads` fresh cores and returns the
@@ -42,6 +65,7 @@ core::MultiCoreResult ProfileMulti(const core::MachineConfig& cfg,
                                    int threads, Fn&& fn,
                                    engine::ParallelExecutor* executor) {
   core::Machine machine(cfg, static_cast<uint32_t>(threads));
+  if (audit::ValidationEnabled()) audit::ArmMachine(machine);
   std::vector<core::Core*> cores;
   cores.reserve(static_cast<size_t>(threads));
   for (int i = 0; i < threads; ++i) cores.push_back(&machine.core(i));
@@ -49,7 +73,14 @@ core::MultiCoreResult ProfileMulti(const core::MachineConfig& cfg,
   w.executor = executor;
   fn(w);
   machine.FinalizeAll();
-  return machine.AnalyzeAll();
+  core::MultiCoreResult multi = machine.AnalyzeAll();
+  if (audit::ValidationEnabled()) {
+    audit::ReportViolations(
+        AuditRun(machine, multi.per_core.data(), multi.per_core.size(),
+                 "multi"),
+        "ProfileMulti");
+  }
+  return multi;
 }
 
 template <typename Fn>
@@ -77,6 +108,7 @@ obs::RunRecord ProfileSingleObs(const core::MachineConfig& cfg,
                                 const ObsOptions& opts,
                                 const std::string& label, Fn&& fn) {
   core::Machine machine(cfg, 1);
+  if (audit::ValidationEnabled()) audit::ArmMachine(machine);
   obs::RegionProfiler profiler(
       machine.core(0),
       obs::RegionProfiler::Options{opts.sample_interval_instructions});
@@ -100,6 +132,14 @@ obs::RunRecord ProfileSingleObs(const core::MachineConfig& cfg,
   run.time_ms = rec.whole.time_ms;
   run.socket_bandwidth_gbps = rec.whole.bandwidth_gbps;
   run.cores.push_back(std::move(rec));
+  if (audit::ValidationEnabled()) {
+    audit::AuditReport rep =
+        AuditRun(machine, &run.cores[0].whole, 1, label);
+    run.audited = true;
+    run.audit_checks = rep.checks;
+    run.violations = rep.violations;
+    audit::ReportViolations(rep, label);
+  }
   return run;
 }
 
@@ -112,6 +152,7 @@ std::pair<core::MultiCoreResult, obs::RunRecord> ProfileMultiObs(
     const core::MachineConfig& cfg, int threads, const ObsOptions& opts,
     const std::string& label, Fn&& fn, engine::ParallelExecutor* executor) {
   core::Machine machine(cfg, static_cast<uint32_t>(threads));
+  if (audit::ValidationEnabled()) audit::ArmMachine(machine);
   std::vector<core::Core*> cores;
   std::vector<std::unique_ptr<obs::RegionProfiler>> profilers;
   cores.reserve(static_cast<size_t>(threads));
@@ -146,6 +187,14 @@ std::pair<core::MultiCoreResult, obs::RunRecord> ProfileMultiObs(
     rec.events = profilers[static_cast<size_t>(i)]->events();
     rec.begin = profilers[static_cast<size_t>(i)]->begin_counters();
     run.cores.push_back(std::move(rec));
+  }
+  if (audit::ValidationEnabled()) {
+    audit::AuditReport rep = AuditRun(machine, multi.per_core.data(),
+                                      multi.per_core.size(), label);
+    run.audited = true;
+    run.audit_checks = rep.checks;
+    run.violations = rep.violations;
+    audit::ReportViolations(rep, label);
   }
   return {std::move(multi), std::move(run)};
 }

@@ -166,6 +166,21 @@ std::string ProfileToJson(const ProfileSession& session) {
     w.KV("makespan_cycles", run.makespan_cycles);
     w.KV("time_ms", run.time_ms);
     w.KV("socket_bandwidth_gbps", run.socket_bandwidth_gbps);
+    w.Key("audit");
+    w.BeginObject();
+    w.KV("enabled", run.audited);
+    w.KV("checks", run.audit_checks);
+    w.Key("violations");
+    w.BeginArray();
+    for (const audit::Violation& v : run.violations) {
+      w.BeginObject();
+      w.KV("checker", v.checker);
+      w.KV("subject", v.subject);
+      w.KV("message", v.message);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
     w.Key("cores");
     w.BeginArray();
     for (size_t i = 0; i < run.cores.size(); ++i) WriteCore(&w, run, i);

@@ -11,16 +11,19 @@ namespace uolap::obs {
 /// Version of the profile JSON schema emitted by ProfileToJson. Bump on
 /// any breaking change to field names/meanings; the golden exporter test
 /// pins the byte-level layout so accidental drift fails CI.
-inline constexpr int kProfileSchemaVersion = 1;
+/// v2: per-run "audit" object (model-invariant validation results).
+inline constexpr int kProfileSchemaVersion = 2;
 inline constexpr char kProfileSchemaName[] = "uolap-profile";
 
 /// Serializes a session to the versioned profile JSON schema:
 ///
-///   { "schema": "uolap-profile", "version": 1,
+///   { "schema": "uolap-profile", "version": 2,
 ///     "bench": ..., "machine": ..., "freq_ghz": ..., "scale_factor": ...,
 ///     "seed": ..., "quick": ..., "wall_ms": ...,
 ///     "runs": [ { "label", "threads", "bandwidth_scale",
 ///                 "makespan_cycles", "time_ms", "socket_bandwidth_gbps",
+///                 "audit": { "enabled", "checks",
+///                            "violations": [ {checker/subject/message} ] },
 ///                 "cores": [ { "core",
 ///                    "total": { cycles/instructions/ipc/time_ms/
 ///                               dram_bytes/bandwidth_gbps/breakdown/

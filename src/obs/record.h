@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/invariants.h"
 #include "core/config.h"
 #include "core/counters.h"
 #include "core/topdown.h"
@@ -36,6 +37,12 @@ struct RunRecord {
   double makespan_cycles = 0;
   double time_ms = 0;
   double socket_bandwidth_gbps = 0;
+
+  // Model-invariant validation results for this run (empty violations and
+  // audit_checks == 0 when validation was off; see audit/validation.h).
+  bool audited = false;
+  uint64_t audit_checks = 0;
+  std::vector<audit::Violation> violations;
 };
 
 /// A bench invocation's worth of recorded runs plus its metadata; the unit
