@@ -26,6 +26,7 @@
 #include "common/table_printer.h"
 #include "core/roofline.h"
 #include "engine/query.h"
+#include "engines/typer/typer_engine.h"
 #include "harness/context.h"
 #include "harness/profile.h"
 
@@ -42,6 +43,9 @@ int main(int argc, char** argv) {
   BenchContext ctx(argc, argv, /*default_sf=*/0.5);
   ctx.PrintHeader("Ablations: group-by sweep, interleaving, page size, "
                   "roofline");
+  // The interleaved/radix variants are Typer-specific entry points beyond
+  // the OlapEngine interface, so resolve the concrete type once.
+  auto& typer = static_cast<uolap::typer::TyperEngine&>(ctx.engine("typer"));
 
   // --- (a) group-by cardinality sweep ---
   {
@@ -63,7 +67,7 @@ int main(int argc, char** argv) {
       const int64_t g = groups;
       const ProfileResult r =
           ctx.Profile("group-by " + label, [&](Workers& w) {
-            ctx.typer().GroupBy(w, g);
+            typer.GroupBy(w, g);
           });
       const auto& b = r.cycles;
       cpu.AddRow({label, TablePrinter::Pct(b.StallRatio()),
@@ -81,11 +85,11 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     const ProfileResult base =
         ctx.Profile("join scalar probes", [&](Workers& w) {
-          ctx.typer().Join(w, uolap::engine::JoinSize::kLarge);
+          typer.Join(w, uolap::engine::JoinSize::kLarge);
         });
     const ProfileResult inter =
         ctx.Profile("join interleaved probes", [&](Workers& w) {
-          ctx.typer().JoinLargeInterleaved(w);
+          typer.JoinLargeInterleaved(w);
         });
     TablePrinter t(
         "Ablation (b): interleaved (coroutine-style) probes and the "
@@ -101,7 +105,7 @@ int main(int argc, char** argv) {
     };
     const ProfileResult radix =
         ctx.Profile("join radix-partitioned", [&](Workers& w) {
-          ctx.typer().JoinLargeRadix(w);
+          typer.JoinLargeRadix(w);
         });
     add("scalar probes", base);
     add("interleaved probes (group of 8)", inter);
@@ -125,11 +129,11 @@ int main(int argc, char** argv) {
     huge_pages.page_bytes = 2ull * 1024 * 1024;
     const ProfileResult p4k =
         ctx.Profile("join 4KB pages", [&](Workers& w) {
-          ctx.typer().Join(w, uolap::engine::JoinSize::kLarge);
+          typer.Join(w, uolap::engine::JoinSize::kLarge);
         });
     const ProfileResult thp =
         ctx.Profile("join 2MB pages", huge_pages, [&](Workers& w) {
-          ctx.typer().Join(w, uolap::engine::JoinSize::kLarge);
+          typer.Join(w, uolap::engine::JoinSize::kLarge);
         });
     TablePrinter t(
         "Ablation (c): page size and the random-access join — an "
@@ -164,13 +168,13 @@ int main(int argc, char** argv) {
                 p.memory_bound ? "memory roof" : "compute roof"});
     };
     add("Typer projection p4",
-        [&](Workers& w) { ctx.typer().Projection(w, 4); });
+        [&](Workers& w) { typer.Projection(w, 4); });
     add("Tectorwise projection p4",
-        [&](Workers& w) { ctx.tectorwise().Projection(w, 4); });
+        [&](Workers& w) { ctx.engine("tectorwise").Projection(w, 4); });
     add("Typer large join", [&](Workers& w) {
-      ctx.typer().Join(w, uolap::engine::JoinSize::kLarge);
+      typer.Join(w, uolap::engine::JoinSize::kLarge);
     });
-    add("Typer Q1", [&](Workers& w) { ctx.typer().Q1(w); });
+    add("Typer Q1", [&](Workers& w) { typer.Q1(w); });
     ctx.Emit(t);
   }
   return 0;

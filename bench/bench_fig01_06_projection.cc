@@ -38,8 +38,10 @@ int main(int argc, char** argv) {
   BenchContext ctx(argc, argv, /*default_sf=*/0.5);
   ctx.PrintHeader("Figures 1-6: projection micro-benchmark (Section 3)");
 
-  std::vector<OlapEngine*> commercial = {&ctx.rowstore(), &ctx.colstore()};
-  std::vector<OlapEngine*> hiperf = {&ctx.typer(), &ctx.tectorwise()};
+  std::vector<OlapEngine*> commercial = {&ctx.engine("rowstore"),
+                                         &ctx.engine("colstore")};
+  std::vector<OlapEngine*> hiperf = {&ctx.engine("typer"),
+                                     &ctx.engine("tectorwise")};
 
   // Keep every profile for reuse across the figures.
   struct Cell {

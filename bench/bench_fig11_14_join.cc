@@ -61,9 +61,9 @@ int main(int argc, char** argv) {
   };
 
   const std::vector<Cell> comm =
-      profile_all({&ctx.rowstore(), &ctx.colstore()});
+      profile_all({&ctx.engine("rowstore"), &ctx.engine("colstore")});
   const std::vector<Cell> fast =
-      profile_all({&ctx.typer(), &ctx.tectorwise()});
+      profile_all({&ctx.engine("typer"), &ctx.engine("tectorwise")});
 
   {
     TablePrinter t(

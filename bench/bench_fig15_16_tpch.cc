@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   };
   std::vector<Cell> cells;
   for (OlapEngine* e :
-       std::vector<OlapEngine*>{&ctx.typer(), &ctx.tectorwise()}) {
+       std::vector<OlapEngine*>{&ctx.engine("typer"), &ctx.engine("tectorwise")}) {
     for (const auto& [name, fn] : queries) {
       std::printf("# running %s %s...\n", e->name().c_str(), name.c_str());
       std::fflush(stdout);

@@ -57,8 +57,8 @@ int main(int argc, char** argv) {
     return cells;
   };
 
-  const std::vector<Cell> typer_cells = run_engine(ctx.typer());
-  const std::vector<Cell> tw_cells = run_engine(ctx.tectorwise());
+  const std::vector<Cell> typer_cells = run_engine(ctx.engine("typer"));
+  const std::vector<Cell> tw_cells = run_engine(ctx.engine("tectorwise"));
 
   auto emit_pair = [&](const char* fig_resp, const char* fig_stall,
                        const char* name, const std::vector<Cell>& cells) {
@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
     t.SetHeader({"system", "Branched ms", "Predicated ms", "Change",
                  "Branched GB/s", "Predicated GB/s"});
     for (OlapEngine* e :
-         std::vector<OlapEngine*>{&ctx.typer(), &ctx.tectorwise()}) {
+         std::vector<OlapEngine*>{&ctx.engine("typer"), &ctx.engine("tectorwise")}) {
       const auto branched =
           ctx.Profile(e->name() + " Q6 branched", [&](Workers& w) {
             e->Q6(w, uolap::engine::MakeQ6Params(false));

@@ -15,6 +15,7 @@
 
 #include "common/table_printer.h"
 #include "engine/query.h"
+#include "engines/tectorwise/tw_engine.h"
 #include "harness/context.h"
 #include "harness/profile.h"
 
@@ -42,8 +43,10 @@ int main(int argc, char** argv) {
                    /*default_sf=*/0.5);
   ctx.PrintHeader("Figures 22-25: SIMD (Section 8, Skylake server)");
 
-  auto& scalar = ctx.tectorwise();
-  auto& simd = ctx.tectorwise_simd();
+  auto& scalar = static_cast<uolap::tectorwise::TectorwiseEngine&>(
+      ctx.engine("tectorwise"));
+  auto& simd = static_cast<uolap::tectorwise::TectorwiseEngine&>(
+      ctx.engine("tectorwise+simd"));
 
   struct Pair {
     std::string label;

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
                 name.c_str());
     std::fflush(stdout);
     proj_cells.emplace_back(name, run_with(name, pf, [&](Workers& w) {
-      ctx.typer().Projection(w, 4);
+      ctx.engine("typer").Projection(w, 4);
     }));
   }
 
@@ -104,10 +104,10 @@ int main(int argc, char** argv) {
                                   0)});
     };
     add("Typer", [&](Workers& w) {
-      ctx.typer().Join(w, uolap::engine::JoinSize::kLarge);
+      ctx.engine("typer").Join(w, uolap::engine::JoinSize::kLarge);
     });
     add("Tectorwise", [&](Workers& w) {
-      ctx.tectorwise().Join(w, uolap::engine::JoinSize::kLarge);
+      ctx.engine("tectorwise").Join(w, uolap::engine::JoinSize::kLarge);
     });
     ctx.Emit(t);
   }

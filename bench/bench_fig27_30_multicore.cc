@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   };
   std::vector<TpchJob> tpch_jobs;
   for (OlapEngine* e :
-       std::vector<OlapEngine*>{&ctx.typer(), &ctx.tectorwise()}) {
+       std::vector<OlapEngine*>{&ctx.engine("typer"), &ctx.engine("tectorwise")}) {
     for (const auto& [name, fn] : queries) {
       tpch_jobs.push_back({e, &name, &fn});
     }
@@ -120,10 +120,10 @@ int main(int argc, char** argv) {
           const int n = thread_counts[i];
           Point pt;
           pt.typer = ctx.ProfileMulti("Typer " + workload, n,
-                                      [&](Workers& w) { fn(ctx.typer(), w); });
+                                      [&](Workers& w) { fn(ctx.engine("typer"), w); });
           pt.tectorwise =
               ctx.ProfileMulti("Tectorwise " + workload, n, [&](Workers& w) {
-                fn(ctx.tectorwise(), w);
+                fn(ctx.engine("tectorwise"), w);
               });
           return pt;
         });
@@ -164,13 +164,13 @@ int main(int argc, char** argv) {
     std::printf("# running SIMD join what-if at %d threads...\n",
                 max_threads);
     std::fflush(stdout);
-    ctx.tectorwise_simd();  // force lazy construction before the sweep
+    ctx.engine("tectorwise+simd");  // force lazy construction before the sweep
     const std::vector<MultiCoreResult> whatif =
         uolap::harness::RunSweep(2, [&](size_t i) {
           const std::string label =
               i == 0 ? "Tectorwise large join 14t" : "Tectorwise SIMD large join 14t";
           return ctx.ProfileMulti(label, max_threads, [&](Workers& w) {
-            (i == 0 ? ctx.tectorwise() : ctx.tectorwise_simd())
+            (i == 0 ? ctx.engine("tectorwise") : ctx.engine("tectorwise+simd"))
                 .Join(w, uolap::engine::JoinSize::kLarge);
           });
         });

@@ -2,18 +2,24 @@
 // a commercial row store (DBMS R), its column-store extension (DBMS C),
 // a compiled engine (Typer) and a vectorized engine (Tectorwise).
 //
-// This is the paper's Section 3/5 story in one program: the commercial
-// systems retire orders of magnitude more instructions; the
-// high-performance engines are fast but stall-bound.
+// This is the paper's Section 3/5 story in one program — and the tour of
+// the engine-neutral dispatch API: engines are resolved by key from an
+// engine::EngineRegistry, and every workload is an engine::QuerySpec
+// executed through OlapEngine::Run, so adding an engine or a workload
+// never touches this driver's loop.
 //
 //   ./build/examples/engine_comparison [--sf=0.1]
 
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/table_printer.h"
 #include "core/machine.h"
+#include "engine/query_spec.h"
+#include "engine/registry.h"
 #include "engines/colstore/colstore_engine.h"
 #include "engines/rowstore/rowstore_engine.h"
 #include "engines/tectorwise/tw_engine.h"
@@ -30,29 +36,40 @@ int main(int argc, char** argv) {
   tpch::DbGen generator(42);
   tpch::Database db = std::move(generator.Generate(sf)).value();
 
-  typer::TyperEngine typer(db);
-  tectorwise::TectorwiseEngine tw(db);
-  rowstore::RowstoreEngine dbms_r(db);
-  colstore::ColstoreEngine dbms_c(db);
-  std::vector<engine::OlapEngine*> engines = {&dbms_r, &dbms_c, &typer, &tw};
+  engine::EngineRegistry registry(db);
+  registry.Register("rowstore", [](const tpch::Database& d) {
+    return std::make_unique<rowstore::RowstoreEngine>(d);
+  });
+  registry.Register("colstore", [](const tpch::Database& d) {
+    return std::make_unique<colstore::ColstoreEngine>(d);
+  });
+  registry.Register("typer", [](const tpch::Database& d) {
+    return std::make_unique<typer::TyperEngine>(d);
+  });
+  registry.Register("tectorwise", [](const tpch::Database& d) {
+    return std::make_unique<tectorwise::TectorwiseEngine>(d);
+  });
+  const std::vector<std::string> keys = {"rowstore", "colstore", "typer",
+                                         "tectorwise"};
 
-  auto profile = [&](engine::OlapEngine& e, auto&& query) {
+  auto profile = [&](engine::OlapEngine& e, const engine::QuerySpec& spec) {
     core::Machine machine(core::MachineConfig::Broadwell(), 1);
     engine::Workers w(machine.core(0));
-    query(e, w);
+    e.Run(spec, w);
     machine.FinalizeAll();
     return machine.AnalyzeCore(0);
   };
 
-  auto compare = [&](const char* title, auto&& query) {
+  auto compare = [&](const char* title, const engine::QuerySpec& spec) {
     TablePrinter t(title);
     t.SetHeader({"system", "time (ms)", "instructions", "IPC", "stall %",
                  "GB/s"});
     double base = 0;
-    for (engine::OlapEngine* e : engines) {
-      const core::ProfileResult r = profile(*e, query);
-      if (e == &typer) base = r.time_ms;
-      t.AddRow({e->name(), TablePrinter::Fmt(r.time_ms, 1),
+    for (const std::string& key : keys) {
+      engine::OlapEngine& e = registry.Get(key);
+      const core::ProfileResult r = profile(e, spec);
+      if (key == "typer") base = r.time_ms;
+      t.AddRow({e.name(), TablePrinter::Fmt(r.time_ms, 1),
                 std::to_string(r.instructions),
                 TablePrinter::Fmt(r.ipc, 2),
                 TablePrinter::Pct(r.cycles.StallRatio(), 0),
@@ -63,14 +80,9 @@ int main(int argc, char** argv) {
   };
 
   compare("Projection degree 4 (SUM over four lineitem columns)",
-          [](engine::OlapEngine& e, engine::Workers& w) {
-            e.Projection(w, 4);
-          });
-  compare("TPC-H Q1 (low-cardinality group-by)",
-          [](engine::OlapEngine& e, engine::Workers& w) { e.Q1(w); });
+          engine::QuerySpec::Projection(4));
+  compare("TPC-H Q1 (low-cardinality group-by)", engine::QuerySpec::Q1());
   compare("Large join (lineitem x orders)",
-          [](engine::OlapEngine& e, engine::Workers& w) {
-            e.Join(w, engine::JoinSize::kLarge);
-          });
+          engine::QuerySpec::Join(engine::JoinSize::kLarge));
   return 0;
 }

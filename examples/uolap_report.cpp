@@ -54,9 +54,10 @@ bool ValidateFile(const std::string& path, JsonValue* out = nullptr) {
   }
   const JsonValue& v = doc.value();
   if (v.is_object() && v.GetString("schema") == uolap::obs::kProfileSchemaName) {
+    // v3 added the optional "server" block on top of v2; both parse here.
     const int version = static_cast<int>(v.GetNumber("version", -1));
-    if (version != uolap::obs::kProfileSchemaVersion) {
-      std::fprintf(stderr, "%s: profile schema version %d, expected %d\n",
+    if (version != 2 && version != uolap::obs::kProfileSchemaVersion) {
+      std::fprintf(stderr, "%s: profile schema version %d, expected 2..%d\n",
                    path.c_str(), version, uolap::obs::kProfileSchemaVersion);
       return false;
     }
@@ -141,6 +142,67 @@ void PrintRegions(const JsonValue& core) {
   std::printf("%s", t.ToAscii().c_str());
 }
 
+/// Prints the v3 "server" block (multi-tenant serving runs): per-tenant
+/// latency percentiles, per-engine load, and the solo-vs-co-run class
+/// attribution that shows where shared-bandwidth contention landed.
+void PrintServer(const JsonValue& server) {
+  std::printf(
+      "serving: %d cores | vtime %.1f ms | %g/%g completed | "
+      "%.1f qps | socket %.1f GB/s avg, %.1f GB/s peak%s\n\n",
+      static_cast<int>(server.GetNumber("cores")),
+      server.GetNumber("vtime_ms"), server.GetNumber("completed"),
+      server.GetNumber("submitted"), server.GetNumber("throughput_qps"),
+      server.GetNumber("avg_socket_gbps"),
+      server.GetNumber("peak_socket_gbps"),
+      server.GetBool("saturated") ? " | SATURATED" : "");
+  const JsonValue* tenants = server.Find("tenants");
+  if (tenants != nullptr && !tenants->array.empty()) {
+    TablePrinter t("tenants");
+    t.SetHeader({"tenant", "engine", "done", "mean ms", "p50 ms", "p95 ms",
+                 "p99 ms", "qps"});
+    for (const JsonValue& tenant : tenants->array) {
+      t.AddRow({tenant.GetString("name"), tenant.GetString("engine"),
+                TablePrinter::Fmt(tenant.GetNumber("completed"), 0),
+                TablePrinter::Fmt(tenant.GetNumber("mean_ms"), 2),
+                TablePrinter::Fmt(tenant.GetNumber("p50_ms"), 2),
+                TablePrinter::Fmt(tenant.GetNumber("p95_ms"), 2),
+                TablePrinter::Fmt(tenant.GetNumber("p99_ms"), 2),
+                TablePrinter::Fmt(tenant.GetNumber("throughput_qps"), 1)});
+    }
+    std::printf("%s\n", t.ToAscii().c_str());
+  }
+  const JsonValue* engines = server.Find("engines");
+  if (engines != nullptr && !engines->array.empty()) {
+    TablePrinter t("engine load");
+    t.SetHeader({"engine", "done", "p50 ms", "p95 ms", "p99 ms", "qps"});
+    for (const JsonValue& e : engines->array) {
+      t.AddRow({e.GetString("engine"),
+                TablePrinter::Fmt(e.GetNumber("completed"), 0),
+                TablePrinter::Fmt(e.GetNumber("p50_ms"), 2),
+                TablePrinter::Fmt(e.GetNumber("p95_ms"), 2),
+                TablePrinter::Fmt(e.GetNumber("p99_ms"), 2),
+                TablePrinter::Fmt(e.GetNumber("throughput_qps"), 1)});
+    }
+    std::printf("%s\n", t.ToAscii().c_str());
+  }
+  const JsonValue* classes = server.Find("classes");
+  if (classes != nullptr && !classes->array.empty()) {
+    TablePrinter t("query classes (solo vs co-run)");
+    t.SetHeader({"class", "runs", "solo ms", "corun ms", "bw scale",
+                 "dcache solo", "dcache corun"});
+    for (const JsonValue& c : classes->array) {
+      t.AddRow({c.GetString("label"),
+                TablePrinter::Fmt(c.GetNumber("executions"), 0),
+                TablePrinter::Fmt(c.GetNumber("solo_ms"), 2),
+                TablePrinter::Fmt(c.GetNumber("corun_ms"), 2),
+                TablePrinter::Fmt(c.GetNumber("avg_bw_scale"), 3),
+                TablePrinter::Pct(c.GetNumber("solo_dcache_frac"), 1),
+                TablePrinter::Pct(c.GetNumber("corun_dcache_frac"), 1)});
+    }
+    std::printf("%s\n", t.ToAscii().c_str());
+  }
+}
+
 int Summary(const JsonValue& profile, bool show_regions) {
   std::printf("bench %s | machine %s | sf %g | seed %llu%s | wall %.0f ms\n\n",
               profile.GetString("bench", "?").c_str(),
@@ -149,6 +211,8 @@ int Summary(const JsonValue& profile, bool show_regions) {
               static_cast<unsigned long long>(profile.GetNumber("seed")),
               profile.GetBool("quick") ? " | --quick" : "",
               profile.GetNumber("wall_ms"));
+  const JsonValue* server = profile.Find("server");
+  if (server != nullptr && server->is_object()) PrintServer(*server);
   const JsonValue* runs = profile.Find("runs");
   TablePrinter t("runs");
   t.SetHeader({"label", "threads", "Mcycles", "time ms", "GB/s", "regions"});

@@ -1,0 +1,141 @@
+// Multi-tenant serving demo: a mix of open- and closed-loop tenants over
+// the engine registry, scheduled by the virtual-time serving runtime onto
+// a pool of simulated cores with shared socket bandwidth (DESIGN.md
+// Section 6). The default mix keeps enough sequential scans in flight to
+// saturate the Broadwell socket, so co-running tenants measurably inflate
+// each other's Dcache stall share relative to running alone.
+//
+//   ./build/examples/uolap_serve [--sf=0.05] [--cores=12] [--queries=24]
+//                                [--qps=200] [--zipf=0.8]
+//                                [--json=serve.json] [--stable-json]
+//
+// Everything is virtual time from seeded generators: two runs with the
+// same flags produce byte-identical --json output (the CI smoke stage
+// byte-diffs them).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "engine/query_spec.h"
+#include "harness/context.h"
+#include "server/serving.h"
+
+int main(int argc, char** argv) {
+  using namespace uolap;
+
+  harness::BenchContext ctx(argc, argv, /*default_sf=*/0.05);
+  ctx.PrintHeader("uolap_serve: multi-tenant query serving");
+
+  const int cores = static_cast<int>(ctx.flags().GetInt("cores", 12));
+  const uint64_t queries = static_cast<uint64_t>(
+      ctx.flags().GetInt("queries", ctx.quick() ? 12 : 24));
+  const double qps = ctx.flags().GetDouble("qps", 200.0);
+  const double zipf = ctx.flags().GetDouble("zipf", 0.8);
+
+  server::ServerConfig config;
+  config.machine = ctx.machine();
+  config.cores = cores;
+  config.default_max_queries = queries;
+  config.sample_interval_instructions =
+      ctx.obs_options().sample_interval_instructions;
+  server::Server server(config, ctx.engines());
+
+  // Tenant seeds derive from --seed so reruns with a different seed see
+  // different arrivals/mixes, while equal seeds replay exactly.
+  auto tenant_seed = [&](uint64_t i) { return Mix64(ctx.seed() ^ (i + 1)); };
+
+  // Two closed-loop scan-heavy tenants (compiled vs vectorized engine):
+  // their catalogs are full-table scans, so several in flight together
+  // push the socket past its sequential ceiling.
+  const std::vector<engine::QuerySpec> scans = {
+      engine::QuerySpec::Projection(4),
+      engine::QuerySpec::Q6(engine::MakeQ6Params()),
+  };
+  server.AddTenant({/*name=*/"scans-typer", /*engine=*/"typer",
+                    /*catalog=*/scans, /*zipf_s=*/zipf,
+                    /*arrival_qps=*/0, /*concurrency=*/5,
+                    /*think_ms=*/0.0, /*max_queries=*/0,
+                    /*seed=*/tenant_seed(0)});
+  server.AddTenant({"scans-tw", "tectorwise", scans, zipf,
+                    /*arrival_qps=*/0, /*concurrency=*/5,
+                    /*think_ms=*/0.0, /*max_queries=*/0, tenant_seed(1)});
+
+  // A closed-loop analytics tenant with random-access-heavy queries.
+  const std::vector<engine::QuerySpec> analytics = {
+      engine::QuerySpec::Join(engine::JoinSize::kLarge),
+      engine::QuerySpec::GroupBy(64 * 1024),
+      engine::QuerySpec::Q1(),
+  };
+  server.AddTenant({"joins-typer", "typer", analytics, zipf,
+                    /*arrival_qps=*/0, /*concurrency=*/2,
+                    /*think_ms=*/0.2, /*max_queries=*/0, tenant_seed(2)});
+
+  // An open-loop tuple-at-a-time tenant: Poisson arrivals keep background
+  // pressure on the pool regardless of completions.
+  server.AddTenant({"adhoc-rowstore", "rowstore",
+                    {engine::QuerySpec::Projection(2)}, /*zipf_s=*/0,
+                    /*arrival_qps=*/qps, /*concurrency=*/0,
+                    /*think_ms=*/0, /*max_queries=*/0, tenant_seed(3)});
+
+  server::ServeResult result = server.Run();
+  const obs::ServerRecord& rec = result.record;
+
+  std::printf(
+      "\n# served %llu/%llu queries on %d cores in %.1f virtual ms "
+      "(%.1f qps, socket %.1f GB/s avg / %.1f GB/s peak%s)\n",
+      static_cast<unsigned long long>(rec.completed),
+      static_cast<unsigned long long>(rec.submitted), rec.cores,
+      rec.vtime_ms, rec.throughput_qps, rec.avg_socket_gbps,
+      rec.peak_socket_gbps, rec.saturated ? ", saturated" : "");
+
+  TablePrinter tenants("Per-tenant latency and throughput");
+  tenants.SetHeader({"tenant", "engine", "done", "mean ms", "p50 ms",
+                     "p95 ms", "p99 ms", "qps"});
+  for (const obs::TenantRecord& t : rec.tenants) {
+    tenants.AddRow({t.name, t.engine, std::to_string(t.completed),
+                    TablePrinter::Fmt(t.mean_ms, 2),
+                    TablePrinter::Fmt(t.p50_ms, 2),
+                    TablePrinter::Fmt(t.p95_ms, 2),
+                    TablePrinter::Fmt(t.p99_ms, 2),
+                    TablePrinter::Fmt(t.throughput_qps, 1)});
+  }
+  ctx.Emit(tenants);
+
+  TablePrinter engines("Per-engine load");
+  engines.SetHeader({"engine", "done", "p50 ms", "p95 ms", "p99 ms", "qps"});
+  for (const obs::EngineLoadRecord& e : rec.engines) {
+    engines.AddRow({e.engine, std::to_string(e.completed),
+                    TablePrinter::Fmt(e.p50_ms, 2),
+                    TablePrinter::Fmt(e.p95_ms, 2),
+                    TablePrinter::Fmt(e.p99_ms, 2),
+                    TablePrinter::Fmt(e.throughput_qps, 1)});
+  }
+  ctx.Emit(engines);
+
+  TablePrinter classes("Query classes: solo vs co-run (bandwidth contention "
+                       "lands in Dcache)");
+  classes.SetHeader({"class", "runs", "solo ms", "corun ms", "bw scale",
+                     "dcache solo", "dcache corun"});
+  for (const obs::QueryClassRecord& c : rec.classes) {
+    classes.AddRow({c.label, std::to_string(c.executions),
+                    TablePrinter::Fmt(c.solo_ms, 2),
+                    TablePrinter::Fmt(c.corun_ms, 2),
+                    TablePrinter::Fmt(c.avg_bw_scale, 3),
+                    TablePrinter::Pct(c.solo_dcache_frac, 1),
+                    TablePrinter::Pct(c.corun_dcache_frac, 1)});
+  }
+  ctx.Emit(classes);
+
+  // Record everything into the session so --json/--trace carry the
+  // serving run: the per-class profiles as ordinary runs, the serving
+  // statistics as the schema-v3 "server" block.
+  for (obs::RunRecord& run : result.class_runs) {
+    ctx.RecordRun(std::move(run));
+  }
+  ctx.RecordServer(rec);
+  ctx.FlushOutputs();
+  return 0;
+}

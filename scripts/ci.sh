@@ -2,8 +2,9 @@
 # CI entry point. Stages, in order:
 #   1. contract lint (scripts/lint_contracts.py) + clang-tidy when installed;
 #   2. the normal optimized build (the configuration every figure runs in)
-#      with its test suite, exporter smoke, and a byte-level determinism
-#      gate (one figure bench run twice must serialize identical profiles);
+#      with its test suite, exporter and multi-tenant serving smokes, and
+#      byte-level determinism gates (a figure bench and a uolap_serve run,
+#      each executed twice, must serialize identical profiles);
 #   3. an UOLAP_VALIDATE=ON build: the full test suite plus a figure-bench
 #      sweep with every model-invariant checker armed (a violation aborts);
 #   4. an UndefinedBehaviorSanitizer build running the test suite;
@@ -64,6 +65,34 @@ exporter_smoke build
 # (setarch -R) for two *processes* to see identical conflict patterns;
 # within one process, threaded vs serial is bit-identical unconditionally
 # (machine_invariance_test).
+# Serving smoke: a quick multi-tenant uolap_serve run at small SF with a
+# fixed seed. The serving runtime is pure virtual time from seeded
+# generators, so two runs must serialize byte-identical v3 profile JSON
+# (ASLR pinned: the solo class profiles are execution-driven). The
+# summary must carry the serving block.
+serve_smoke() {
+  local build_dir="$1"
+  local out
+  out="$(mktemp -d)"
+  if setarch "$(uname -m)" -R true 2>/dev/null; then
+    setarch "$(uname -m)" -R "$build_dir/examples/uolap_serve" --quick \
+      --seed=7 --stable-json --json="$out/a.json" >/dev/null
+    setarch "$(uname -m)" -R "$build_dir/examples/uolap_serve" --quick \
+      --seed=7 --stable-json --json="$out/b.json" >/dev/null
+    cmp "$out/a.json" "$out/b.json"
+  else
+    "$build_dir/examples/uolap_serve" --quick --seed=7 \
+      --stable-json --json="$out/a.json" >/dev/null
+  fi
+  "$build_dir/examples/uolap_report" validate "$out/a.json"
+  "$build_dir/examples/uolap_report" summary "$out/a.json" |
+    grep -q "^serving:"
+  rm -rf "$out"
+}
+
+echo "=== serving smoke (release) ==="
+serve_smoke build
+
 echo "=== determinism gate ==="
 if setarch "$(uname -m)" -R true 2>/dev/null; then
   DET_OUT="$(mktemp -d)"
@@ -99,5 +128,8 @@ cmake --build build-tsan -j "$JOBS"
 
 echo "=== exporter smoke (tsan) ==="
 exporter_smoke build-tsan
+
+echo "=== serving smoke (tsan) ==="
+serve_smoke build-tsan
 
 echo "=== ci passed ==="

@@ -45,10 +45,11 @@ SCAN_DIRS = ["src", "bench", "examples", "tests"]
 
 # Simulation code: files whose behaviour feeds simulated counters.
 SIM_DIRS = ("src/core", "src/audit", "src/engine", "src/engines",
-            "src/storage", "src/tpch", "src/obs")
+            "src/storage", "src/tpch", "src/obs", "src/server")
 
 # Engine code for the storage/region discipline rules.
-ENGINE_DIRS = ("src/engines", "src/storage", "bench", "examples")
+ENGINE_DIRS = ("src/engines", "src/storage", "src/server", "bench",
+               "examples")
 
 # Module layering DAG: module -> allowed include prefixes. A module may
 # always include itself and the C++ standard library.
@@ -62,6 +63,10 @@ LAYERING = {
     "src/engine": ["common", "core", "storage", "tpch"],
     "src/engines": ["common", "core", "storage", "tpch", "engine",
                     "engines"],
+    # The serving runtime sits above the engines and observability but
+    # below the harness (it must stay embeddable without the CLI glue).
+    "src/server": ["common", "core", "audit", "obs", "tpch", "storage",
+                   "engine"],
     # harness / bench / examples / tests may include anything.
 }
 

@@ -61,6 +61,10 @@ struct InstrMix {
     return *this;
   }
 
+  /// Bit-exact equality (the dispatch differential test compares full
+  /// counter sets between dispatched and direct query executions).
+  friend bool operator==(const InstrMix&, const InstrMix&) = default;
+
   /// The per-iteration mix multiplied by `n` iterations.
   InstrMix Scaled(uint64_t n) const {
     InstrMix m;
@@ -140,6 +144,9 @@ struct MemCounters {
   MemCounters& operator+=(const MemCounters& o);
   /// Snapshot delta; see InstrMix::operator-=.
   MemCounters& operator-=(const MemCounters& o);
+
+  /// Bit-exact equality; see InstrMix.
+  friend bool operator==(const MemCounters&, const MemCounters&) = default;
 };
 
 /// Full per-core counter set handed to the Top-Down model.
@@ -173,6 +180,9 @@ struct CoreCounters {
     mem -= o.mem;
     return *this;
   }
+
+  /// Bit-exact equality; see InstrMix.
+  friend bool operator==(const CoreCounters&, const CoreCounters&) = default;
 };
 
 inline CoreCounters operator-(CoreCounters a, const CoreCounters& b) {

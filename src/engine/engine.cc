@@ -4,6 +4,43 @@
 
 namespace uolap::engine {
 
+bool OlapEngine::Supports(QueryId id) const {
+  return id != QueryId::kQ9 && id != QueryId::kQ18;
+}
+
+QueryResult OlapEngine::Run(const QuerySpec& spec, Workers& w) const {
+  UOLAP_CHECK_MSG(Supports(spec.id), "engine does not support this query");
+  QueryResult r;
+  r.id = spec.id;
+  switch (spec.id) {
+    case QueryId::kProjection:
+      r.value = Projection(w, spec.projection_degree);
+      break;
+    case QueryId::kSelection:
+      r.value = Selection(w, spec.selection);
+      break;
+    case QueryId::kJoin:
+      r.value = Join(w, spec.join_size);
+      break;
+    case QueryId::kGroupBy:
+      r.value = GroupBy(w, spec.num_groups);
+      break;
+    case QueryId::kQ1:
+      r.value = Q1(w);
+      break;
+    case QueryId::kQ6:
+      r.value = Q6(w, spec.q6);
+      break;
+    case QueryId::kQ9:
+      r.value = Q9(w);
+      break;
+    case QueryId::kQ18:
+      r.value = Q18(w);
+      break;
+  }
+  return r;
+}
+
 Q9Result OlapEngine::Q9(Workers&) const {
   UOLAP_CHECK_MSG(false,
                   "Q9 is only implemented by the high-performance engines");

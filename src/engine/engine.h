@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "core/core.h"
 #include "engine/query.h"
+#include "engine/query_spec.h"
 #include "engine/results.h"
 #include "tpch/schema.h"
 
@@ -80,6 +81,18 @@ class OlapEngine {
   /// True for the high-performance engines that implement the Section 7
   /// predication variants.
   virtual bool SupportsPredication() const { return false; }
+
+  /// Whether this engine implements `id`. The base implementation admits
+  /// everything but the TPC-H queries only the high-performance engines
+  /// carry (Q9/Q18); those engines override.
+  virtual bool Supports(QueryId id) const;
+
+  /// Unified dispatch: executes `spec` by delegating to the matching
+  /// per-query virtual (the virtuals stay the single implementation of the
+  /// engine code, so dispatched and direct calls are bit-identical — the
+  /// engine_dispatch_test differential asserts it). Engine-neutral drivers
+  /// such as the serving runtime only see this entry point.
+  QueryResult Run(const QuerySpec& spec, Workers& w) const;
 
   /// Projection micro-benchmark: SUM over the first `degree` (1..4) of
   /// l_extendedprice, l_discount, l_tax, l_quantity.

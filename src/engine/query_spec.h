@@ -1,0 +1,77 @@
+#ifndef UOLAP_ENGINE_QUERY_SPEC_H_
+#define UOLAP_ENGINE_QUERY_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "engine/query.h"
+#include "engine/results.h"
+#include "tpch/schema.h"
+
+namespace uolap::engine {
+
+/// Every workload an OlapEngine can execute, as data. The serving runtime
+/// and other engine-neutral drivers dispatch through QuerySpec +
+/// OlapEngine::Run instead of naming the per-query virtuals.
+enum class QueryId {
+  kProjection,  ///< SUM over the first `projection_degree` lineitem columns
+  kSelection,   ///< degree-4 projection + 3 date predicates
+  kJoin,        ///< hash join + SUM projection
+  kGroupBy,     ///< hash aggregation, `num_groups` groups
+  kQ1,          ///< TPC-H Q1
+  kQ6,          ///< TPC-H Q6
+  kQ9,          ///< TPC-H Q9 (high-performance engines only)
+  kQ18,         ///< TPC-H Q18 (high-performance engines only)
+};
+
+/// Stable lower-case name ("projection", "q6", ...).
+std::string QueryIdName(QueryId id);
+
+/// A fully parameterized query: the tagged id plus the parameter fields it
+/// reads (the others are ignored but kept value-initialized so specs
+/// compare and label deterministically). Build via the factory helpers.
+struct QuerySpec {
+  QueryId id = QueryId::kQ6;
+
+  int projection_degree = 4;               ///< kProjection
+  SelectionParams selection{};             ///< kSelection
+  JoinSize join_size = JoinSize::kLarge;   ///< kJoin
+  int64_t num_groups = 1024;               ///< kGroupBy
+  Q6Params q6{};                           ///< kQ6
+
+  static QuerySpec Projection(int degree);
+  static QuerySpec Selection(const SelectionParams& params);
+  static QuerySpec Join(JoinSize size);
+  static QuerySpec GroupBy(int64_t num_groups);
+  static QuerySpec Q1();
+  static QuerySpec Q6(const Q6Params& params);
+  static QuerySpec Q9();
+  static QuerySpec Q18();
+
+  /// Deterministic label of the query class, e.g. "selection/s0.10" or
+  /// "join/large" — stable across runs, so it can key schedules, profile
+  /// run labels and registry-level caches.
+  std::string Label() const;
+};
+
+/// The answer of one dispatched query. `value` holds the alternative the
+/// query id implies: the scalar alternative carries both Money answers
+/// (projection/selection/join/Q6) and the group-by checksum — tpch::Money
+/// *is* int64_t, so the id, not the type, disambiguates.
+struct QueryResult {
+  QueryId id = QueryId::kQ6;
+  std::variant<int64_t, Q1Result, Q9Result, Q18Result> value;
+
+  tpch::Money money() const { return std::get<int64_t>(value); }
+  int64_t checksum() const { return std::get<int64_t>(value); }
+  const Q1Result& q1() const { return std::get<Q1Result>(value); }
+  const Q9Result& q9() const { return std::get<Q9Result>(value); }
+  const Q18Result& q18() const { return std::get<Q18Result>(value); }
+
+  friend bool operator==(const QueryResult&, const QueryResult&) = default;
+};
+
+}  // namespace uolap::engine
+
+#endif  // UOLAP_ENGINE_QUERY_SPEC_H_

@@ -1,0 +1,42 @@
+#include "engine/registry.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace uolap::engine {
+
+void EngineRegistry::Register(const std::string& name, Factory factory) {
+  UOLAP_CHECK(factory != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool inserted =
+      factories_.emplace(name, std::move(factory)).second;
+  UOLAP_CHECK_MSG(inserted, "engine key registered twice");
+}
+
+bool EngineRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(name) > 0;
+}
+
+OlapEngine& EngineRegistry::Get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = instances_.find(name);
+  if (it != instances_.end()) return *it->second;
+  auto factory = factories_.find(name);
+  UOLAP_CHECK_MSG(factory != factories_.end(),
+                  "unknown engine key (see EngineRegistry::names())");
+  auto engine = factory->second(db_);
+  UOLAP_CHECK(engine != nullptr);
+  return *instances_.emplace(name, std::move(engine)).first->second;
+}
+
+std::vector<std::string> EngineRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  keys.reserve(factories_.size());
+  for (const auto& [key, factory] : factories_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace uolap::engine

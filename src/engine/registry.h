@@ -1,0 +1,60 @@
+#ifndef UOLAP_ENGINE_REGISTRY_H_
+#define UOLAP_ENGINE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "tpch/schema.h"
+
+namespace uolap::engine {
+
+/// String-keyed registry of lazily constructed engines over one database.
+/// The single engine-selection mechanism of the tree: benches resolve
+/// their engines by key ("typer", "tectorwise", "tectorwise+simd",
+/// "rowstore", "colstore" — registered by
+/// harness::RegisterBuiltinEngines), and the serving runtime routes
+/// QuerySpecs through it without ever naming a concrete engine type.
+///
+/// Instances are cached (one engine per key for the registry's lifetime)
+/// and construction is mutex-guarded, so sweep drivers may resolve
+/// concurrently. Registration is explicit — no static self-registration,
+/// which is linker-fragile with static libraries.
+class EngineRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<OlapEngine>(const tpch::Database&)>;
+
+  explicit EngineRegistry(const tpch::Database& db) : db_(db) {}
+
+  EngineRegistry(const EngineRegistry&) = delete;
+  EngineRegistry& operator=(const EngineRegistry&) = delete;
+
+  /// Registers a factory under `name`. CHECK-fails on duplicates.
+  void Register(const std::string& name, Factory factory);
+
+  bool Has(const std::string& name) const;
+
+  /// Returns the cached engine for `name`, constructing it on first use.
+  /// CHECK-fails when the key was never registered.
+  OlapEngine& Get(const std::string& name);
+
+  /// Registered keys in sorted (deterministic) order.
+  std::vector<std::string> names() const;
+
+  const tpch::Database& db() const { return db_; }
+
+ private:
+  const tpch::Database& db_;
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+  std::map<std::string, std::unique_ptr<OlapEngine>> instances_;
+};
+
+}  // namespace uolap::engine
+
+#endif  // UOLAP_ENGINE_REGISTRY_H_

@@ -31,6 +31,8 @@ class TectorwiseEngine : public engine::OlapEngine {
     return simd_ ? "Tectorwise-SIMD" : "Tectorwise";
   }
   bool SupportsPredication() const override { return true; }
+  /// Implements every QuerySpec workload, including Q9/Q18.
+  bool Supports(engine::QueryId) const override { return true; }
   bool simd() const { return simd_; }
 
   tpch::Money Projection(engine::Workers& w, int degree) const override;

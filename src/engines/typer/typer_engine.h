@@ -27,6 +27,8 @@ class TyperEngine : public engine::OlapEngine {
 
   std::string name() const override { return "Typer"; }
   bool SupportsPredication() const override { return true; }
+  /// Implements every QuerySpec workload, including Q9/Q18.
+  bool Supports(engine::QueryId) const override { return true; }
 
   tpch::Money Projection(engine::Workers& w, int degree) const override;
   tpch::Money Selection(engine::Workers& w,

@@ -7,6 +7,7 @@
 
 #include "audit/validation.h"
 #include "common/macros.h"
+#include "harness/engines.h"
 #include "obs/profile_export.h"
 
 namespace uolap::harness {
@@ -57,6 +58,9 @@ BenchContext::BenchContext(int argc, char** argv, double default_sf)
           .count();
   std::printf("# generated TPC-H sf=%.3g (%zu lineitems) in %.1fs\n", sf_,
               db_->lineitem.size(), gen_s);
+
+  engines_ = std::make_unique<engine::EngineRegistry>(*db_);
+  RegisterBuiltinEngines(*engines_);
 
   session_.machine = machine_.name;
   session_.freq_ghz = machine_.freq_ghz;
@@ -111,37 +115,11 @@ void BenchContext::FlushOutputs() {
   std::fflush(stdout);
 }
 
-typer::TyperEngine& BenchContext::typer() {
-  if (!typer_) typer_ = std::make_unique<typer::TyperEngine>(*db_);
-  return *typer_;
-}
-
-tectorwise::TectorwiseEngine& BenchContext::tectorwise() {
-  if (!tw_) tw_ = std::make_unique<tectorwise::TectorwiseEngine>(*db_);
-  return *tw_;
-}
-
-tectorwise::TectorwiseEngine& BenchContext::tectorwise_simd() {
-  if (!tw_simd_) {
-    tw_simd_ =
-        std::make_unique<tectorwise::TectorwiseEngine>(*db_, /*simd=*/true);
-  }
-  return *tw_simd_;
-}
-
-rowstore::RowstoreEngine& BenchContext::rowstore() {
-  if (!rowstore_) {
-    std::printf("# materializing DBMS R row-store pages...\n");
-    rowstore_ = std::make_unique<rowstore::RowstoreEngine>(*db_);
-  }
-  return *rowstore_;
-}
-
-colstore::ColstoreEngine& BenchContext::colstore() {
-  if (!colstore_) {
-    colstore_ = std::make_unique<colstore::ColstoreEngine>(*db_);
-  }
-  return *colstore_;
+void BenchContext::RecordServer(obs::ServerRecord server) {
+  std::lock_guard<std::mutex> lock(session_mu_);
+  server.enabled = true;
+  session_.server = std::move(server);
+  flushed_ = false;
 }
 
 void BenchContext::Emit(const TablePrinter& table) {

@@ -10,10 +10,7 @@
 #include "common/flags.h"
 #include "common/table_printer.h"
 #include "core/machine.h"
-#include "engines/colstore/colstore_engine.h"
-#include "engines/rowstore/rowstore_engine.h"
-#include "engines/tectorwise/tw_engine.h"
-#include "engines/typer/typer_engine.h"
+#include "engine/registry.h"
 #include "harness/profile.h"
 #include "obs/record.h"
 #include "tpch/dbgen.h"
@@ -57,12 +54,23 @@ class BenchContext {
   const core::MachineConfig& machine() const { return machine_; }
   double scale_factor() const { return sf_; }
   bool quick() const { return quick_; }
+  uint64_t seed() const { return seed_; }
+  bool stable_json() const { return stable_json_; }
+  /// The parsed flag set; drivers with extra flags (e.g. uolap_serve's
+  /// --cores/--queries) read them from here.
+  const FlagSet& flags() const { return flags_; }
 
-  typer::TyperEngine& typer();
-  tectorwise::TectorwiseEngine& tectorwise();
-  tectorwise::TectorwiseEngine& tectorwise_simd();
-  rowstore::RowstoreEngine& rowstore();
-  colstore::ColstoreEngine& colstore();
+  /// The engine registry over this context's database, pre-loaded with the
+  /// built-in keys ("typer", "tectorwise", "tectorwise+simd", "rowstore",
+  /// "colstore"); see harness/engines.h.
+  engine::EngineRegistry& engines() { return *engines_; }
+  /// Shorthand for engines().Get(name): the cached engine for a registry
+  /// key (constructed on first use). Engine-specific entry points need a
+  /// static_cast at the call site, e.g.
+  ///   static_cast<typer::TyperEngine&>(ctx.engine("typer")).
+  engine::OlapEngine& engine(const std::string& name) {
+    return engines_->Get(name);
+  }
 
   /// Prints the table to stdout (ASCII) and appends CSV if --csv given.
   void Emit(const TablePrinter& table);
@@ -119,9 +127,15 @@ class BenchContext {
   /// Idempotent per state; the destructor calls it as a backstop.
   void FlushOutputs();
 
- private:
+  /// Records an externally produced run into the session (e.g. the
+  /// serving runtime's per-class profiles). Thread-safe.
   void RecordRun(obs::RunRecord run);
 
+  /// Records a serving run's statistics; exported as the profile JSON's
+  /// "server" block.
+  void RecordServer(obs::ServerRecord server);
+
+ private:
   FlagSet flags_;
   double sf_ = 1.0;
   bool quick_ = false;
@@ -138,11 +152,7 @@ class BenchContext {
   obs::RunRecord last_run_;
   bool flushed_ = false;
   std::unique_ptr<tpch::Database> db_;
-  std::unique_ptr<typer::TyperEngine> typer_;
-  std::unique_ptr<tectorwise::TectorwiseEngine> tw_;
-  std::unique_ptr<tectorwise::TectorwiseEngine> tw_simd_;
-  std::unique_ptr<rowstore::RowstoreEngine> rowstore_;
-  std::unique_ptr<colstore::ColstoreEngine> colstore_;
+  std::unique_ptr<engine::EngineRegistry> engines_;
 };
 
 }  // namespace uolap::harness

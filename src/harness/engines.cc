@@ -1,0 +1,34 @@
+#include "harness/engines.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "engines/colstore/colstore_engine.h"
+#include "engines/rowstore/rowstore_engine.h"
+#include "engines/tectorwise/tw_engine.h"
+#include "engines/typer/typer_engine.h"
+
+namespace uolap::harness {
+
+void RegisterBuiltinEngines(engine::EngineRegistry& registry) {
+  registry.Register("typer", [](const tpch::Database& db) {
+    return std::make_unique<typer::TyperEngine>(db);
+  });
+  registry.Register("tectorwise", [](const tpch::Database& db) {
+    return std::make_unique<tectorwise::TectorwiseEngine>(db);
+  });
+  registry.Register("tectorwise+simd", [](const tpch::Database& db) {
+    return std::make_unique<tectorwise::TectorwiseEngine>(db, /*simd=*/true);
+  });
+  registry.Register("rowstore", [](const tpch::Database& db) {
+    // Page materialization takes a visible moment at larger scale factors.
+    std::printf("# materializing DBMS R row-store pages...\n");
+    std::fflush(stdout);
+    return std::make_unique<rowstore::RowstoreEngine>(db);
+  });
+  registry.Register("colstore", [](const tpch::Database& db) {
+    return std::make_unique<colstore::ColstoreEngine>(db);
+  });
+}
+
+}  // namespace uolap::harness

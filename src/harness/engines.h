@@ -1,0 +1,22 @@
+#ifndef UOLAP_HARNESS_ENGINES_H_
+#define UOLAP_HARNESS_ENGINES_H_
+
+#include "engine/registry.h"
+
+namespace uolap::harness {
+
+/// Registers the four profiled systems (five keys) into `registry`:
+///
+///   "typer"            compiled execution (HyPer/Typer style)
+///   "tectorwise"       vectorized execution (VectorWise/Tectorwise style)
+///   "tectorwise+simd"  the same with AVX-512 primitives
+///   "rowstore"         DBMS R (slotted-page Volcano interpreter)
+///   "colstore"         DBMS C (batch-mode interpreted column operators)
+///
+/// Lives in the harness (which links every engine library) so the engine
+/// layer itself stays free of concrete-engine dependencies.
+void RegisterBuiltinEngines(engine::EngineRegistry& registry);
+
+}  // namespace uolap::harness
+
+#endif  // UOLAP_HARNESS_ENGINES_H_

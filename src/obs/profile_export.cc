@@ -141,6 +141,77 @@ void WriteCore(JsonWriter* w, const RunRecord& run, size_t core_index) {
   w->EndObject();
 }
 
+void WriteServer(JsonWriter* w, const ServerRecord& s) {
+  w->BeginObject();
+  w->KV("cores", static_cast<int64_t>(s.cores));
+  w->KV("vtime_ms", s.vtime_ms);
+  w->KV("submitted", s.submitted);
+  w->KV("completed", s.completed);
+  w->KV("throughput_qps", s.throughput_qps);
+  w->KV("avg_socket_gbps", s.avg_socket_gbps);
+  w->KV("peak_socket_gbps", s.peak_socket_gbps);
+  w->KV("saturated", s.saturated);
+  w->Key("tenants");
+  w->BeginArray();
+  for (const TenantRecord& t : s.tenants) {
+    w->BeginObject();
+    w->KV("name", t.name);
+    w->KV("engine", t.engine);
+    w->KV("submitted", t.submitted);
+    w->KV("completed", t.completed);
+    w->KV("mean_ms", t.mean_ms);
+    w->KV("p50_ms", t.p50_ms);
+    w->KV("p95_ms", t.p95_ms);
+    w->KV("p99_ms", t.p99_ms);
+    w->KV("throughput_qps", t.throughput_qps);
+    w->Key("latency_histogram");
+    w->BeginArray();
+    for (const uint64_t count : t.latency_histogram) w->UInt(count);
+    w->EndArray();
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("engines");
+  w->BeginArray();
+  for (const EngineLoadRecord& e : s.engines) {
+    w->BeginObject();
+    w->KV("engine", e.engine);
+    w->KV("completed", e.completed);
+    w->KV("p50_ms", e.p50_ms);
+    w->KV("p95_ms", e.p95_ms);
+    w->KV("p99_ms", e.p99_ms);
+    w->KV("throughput_qps", e.throughput_qps);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("classes");
+  w->BeginArray();
+  for (const QueryClassRecord& c : s.classes) {
+    w->BeginObject();
+    w->KV("label", c.label);
+    w->KV("engine", c.engine);
+    w->KV("executions", c.executions);
+    w->KV("solo_ms", c.solo_ms);
+    w->KV("corun_ms", c.corun_ms);
+    w->KV("avg_bw_scale", c.avg_bw_scale);
+    w->KV("solo_dcache_frac", c.solo_dcache_frac);
+    w->KV("corun_dcache_frac", c.corun_dcache_frac);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("queue_timeline");
+  w->BeginArray();
+  for (const QueueSample& q : s.queue_timeline) {
+    w->BeginObject();
+    w->KV("vtime_ms", q.vtime_ms);
+    w->KV("running", static_cast<int64_t>(q.running));
+    w->KV("queued", static_cast<int64_t>(q.queued));
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
 }  // namespace
 
 std::string ProfileToJson(const ProfileSession& session) {
@@ -155,6 +226,10 @@ std::string ProfileToJson(const ProfileSession& session) {
   w.KV("seed", session.seed);
   w.KV("quick", session.quick);
   w.KV("wall_ms", session.wall_ms);
+  if (session.server.enabled) {
+    w.Key("server");
+    WriteServer(&w, session.server);
+  }
   w.Key("runs");
   w.BeginArray();
   for (const RunRecord& run : session.runs) {

@@ -12,14 +12,25 @@ namespace uolap::obs {
 /// any breaking change to field names/meanings; the golden exporter test
 /// pins the byte-level layout so accidental drift fails CI.
 /// v2: per-run "audit" object (model-invariant validation results).
-inline constexpr int kProfileSchemaVersion = 2;
+/// v3: optional top-level "server" block (multi-tenant serving runs:
+///     per-tenant latency percentiles/histograms, per-engine load,
+///     per-class solo-vs-co-run attribution, queue-depth timeline).
+inline constexpr int kProfileSchemaVersion = 3;
 inline constexpr char kProfileSchemaName[] = "uolap-profile";
 
 /// Serializes a session to the versioned profile JSON schema:
 ///
-///   { "schema": "uolap-profile", "version": 2,
+///   { "schema": "uolap-profile", "version": 3,
 ///     "bench": ..., "machine": ..., "freq_ghz": ..., "scale_factor": ...,
 ///     "seed": ..., "quick": ..., "wall_ms": ...,
+///     "server": { cores/vtime_ms/submitted/completed/throughput_qps/
+///                 avg_socket_gbps/peak_socket_gbps/saturated/
+///                 "tenants": [ per-tenant latency stats + histogram ],
+///                 "engines": [ per-engine-key load rollup ],
+///                 "classes": [ solo vs co-run service time + Dcache ],
+///                 "queue_timeline": [ {vtime_ms/running/queued} ] },
+///       // "server" is present only when the session recorded a serving
+///       // run (src/server); plain bench sessions omit the key.
 ///     "runs": [ { "label", "threads", "bandwidth_scale",
 ///                 "makespan_cycles", "time_ms", "socket_bandwidth_gbps",
 ///                 "audit": { "enabled", "checks",

@@ -45,6 +45,73 @@ struct RunRecord {
   std::vector<audit::Violation> violations;
 };
 
+// --- serving-runtime records (src/server) ---------------------------------
+
+/// Per-tenant latency/throughput statistics of one serving run.
+struct TenantRecord {
+  std::string name;
+  std::string engine;  ///< registry key the tenant targets
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double throughput_qps = 0;
+  /// Log2 latency histogram: bucket 0 counts latencies < 1 ms, bucket i
+  /// counts [2^(i-1), 2^i) ms.
+  std::vector<uint64_t> latency_histogram;
+};
+
+/// Aggregate load on one engine key across all tenants.
+struct EngineLoadRecord {
+  std::string engine;
+  uint64_t completed = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double throughput_qps = 0;
+};
+
+/// One distinct (engine, QuerySpec) class with solo-vs-co-run attribution:
+/// the class's Top-Down Dcache share analyzed alone (bw_scale = 1) and at
+/// the work-weighted bandwidth scale its executions actually saw.
+struct QueryClassRecord {
+  std::string label;  ///< "<engine key>/<QuerySpec::Label()>"
+  std::string engine;
+  uint64_t executions = 0;
+  double solo_ms = 0;         ///< service time running alone
+  double corun_ms = 0;        ///< mean observed co-run service time
+  double avg_bw_scale = 1.0;  ///< work-weighted contention scale observed
+  double solo_dcache_frac = 0;
+  double corun_dcache_frac = 0;
+};
+
+/// (virtual time, occupancy) sample; recorded when occupancy changes.
+struct QueueSample {
+  double vtime_ms = 0;
+  uint32_t running = 0;
+  uint32_t queued = 0;
+};
+
+/// Everything the serving runtime reports for one Server::Run(); exported
+/// as the profile JSON's "server" block (schema v3) when enabled.
+struct ServerRecord {
+  bool enabled = false;  ///< false when the session recorded no serving run
+  int cores = 0;
+  double vtime_ms = 0;  ///< virtual time at the last completion
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  double throughput_qps = 0;
+  double avg_socket_gbps = 0;
+  double peak_socket_gbps = 0;
+  bool saturated = false;  ///< peak demand hit the socket ceiling
+  std::vector<TenantRecord> tenants;
+  std::vector<EngineLoadRecord> engines;
+  std::vector<QueryClassRecord> classes;
+  std::vector<QueueSample> queue_timeline;
+};
+
 /// A bench invocation's worth of recorded runs plus its metadata; the unit
 /// both exporters consume.
 struct ProfileSession {
@@ -56,6 +123,7 @@ struct ProfileSession {
   bool quick = false;
   double wall_ms = 0;  ///< host wall-clock of the whole bench run
   std::vector<RunRecord> runs;
+  ServerRecord server;  ///< serving-run statistics (enabled == recorded)
 };
 
 }  // namespace uolap::obs

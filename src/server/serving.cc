@@ -1,0 +1,546 @@
+#include "server/serving.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit/invariants.h"
+#include "audit/validation.h"
+#include "common/macros.h"
+#include "common/rng.h"
+#include "core/machine.h"
+#include "engine/engine.h"
+#include "obs/attribution.h"
+#include "obs/region_profiler.h"
+
+namespace uolap::server {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Remaining-work threshold below which an instance counts as complete
+/// (work is a fraction in [0, 1]; the epoch length is chosen so the
+/// finishing instance lands within rounding error of zero).
+constexpr double kDoneEps = 1e-9;
+
+double CyclesToMs(double cycles, double freq_ghz) {
+  return cycles / (freq_ghz * 1e6);
+}
+
+double MsToCycles(double ms, double freq_ghz) { return ms * freq_ghz * 1e6; }
+
+/// Exponential draw with the given mean (<= 0 mean draws 0).
+double ExpDraw(Rng& rng, double mean) {
+  if (mean <= 0) return 0;
+  // NextDouble() is in [0, 1), so the argument stays in (0, 1].
+  return -std::log(1.0 - rng.NextDouble()) * mean;
+}
+
+/// Log2 latency bucket: 0 counts < 1 ms, bucket i counts [2^(i-1), 2^i).
+size_t HistBucket(double ms) {
+  size_t bucket = 0;
+  double edge = 1.0;
+  while (ms >= edge && bucket < 63) {
+    edge *= 2.0;
+    ++bucket;
+  }
+  return bucket;
+}
+
+/// Nearest-rank percentile of an ascending-sorted list (q in (0, 1]).
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t n = sorted.size();
+  size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
+  rank = std::min(std::max<size_t>(rank, 1), n);
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+Server::Server(const ServerConfig& config, engine::EngineRegistry& registry)
+    : config_(config), registry_(registry) {
+  UOLAP_CHECK_MSG(config_.cores >= 1, "server needs at least one core");
+  UOLAP_CHECK_MSG(
+      static_cast<uint32_t>(config_.cores) <=
+          config_.machine.cores_per_socket,
+      "server core pool exceeds the machine's cores per socket");
+}
+
+void Server::AddTenant(TenantConfig tenant) {
+  UOLAP_CHECK_MSG(!tenant.catalog.empty(), "tenant catalog is empty");
+  UOLAP_CHECK_MSG(registry_.Has(tenant.engine),
+                  "tenant references an unknown engine key");
+  const engine::OlapEngine& eng = registry_.Get(tenant.engine);
+  for (const engine::QuerySpec& spec : tenant.catalog) {
+    UOLAP_CHECK_MSG(eng.Supports(spec.id),
+                    "tenant catalog contains an unsupported query");
+  }
+  const bool open = tenant.arrival_qps > 0;
+  const bool closed = tenant.concurrency > 0;
+  UOLAP_CHECK_MSG(open != closed,
+                  "tenant must be open-loop (arrival_qps) xor closed-loop "
+                  "(concurrency)");
+  tenants_.push_back(std::move(tenant));
+  classes_ready_ = false;
+}
+
+void Server::EnsureClasses() {
+  if (classes_ready_) return;
+  // Classes are simulated in tenant/catalog order, deduplicated by label,
+  // so the set of machine executions is a deterministic function of the
+  // tenant list (and each class is executed exactly once per Server).
+  std::map<std::string, size_t> by_label;
+  for (const QueryClass& cls : classes_) {
+    by_label[cls.label] = static_cast<size_t>(&cls - classes_.data());
+  }
+  tenant_classes_.clear();
+  tenant_classes_.reserve(tenants_.size());
+  for (const TenantConfig& tenant : tenants_) {
+    std::vector<size_t> indices;
+    indices.reserve(tenant.catalog.size());
+    for (const engine::QuerySpec& spec : tenant.catalog) {
+      const std::string label = tenant.engine + "/" + spec.Label();
+      auto it = by_label.find(label);
+      if (it == by_label.end()) {
+        classes_.push_back(SimulateClass(tenant.engine, spec));
+        it = by_label.emplace(label, classes_.size() - 1).first;
+      }
+      indices.push_back(it->second);
+    }
+    tenant_classes_.push_back(std::move(indices));
+  }
+  classes_ready_ = true;
+}
+
+Server::QueryClass Server::SimulateClass(const std::string& engine_key,
+                                         const engine::QuerySpec& spec) {
+  QueryClass cls;
+  cls.engine = engine_key;
+  cls.spec = spec;
+  cls.label = engine_key + "/" + spec.Label();
+  engine::OlapEngine& eng = registry_.Get(engine_key);
+
+  // The solo execution: the engine really runs the query on a fresh
+  // single-core machine through the dispatch API, profiled per region —
+  // the same recipe as harness::ProfileSingleObs (the server cannot link
+  // the harness; see the layering contract).
+  core::Machine machine(config_.machine, 1);
+  if (audit::ValidationEnabled()) audit::ArmMachine(machine);
+  obs::RegionProfiler profiler(
+      machine.core(0),
+      obs::RegionProfiler::Options{config_.sample_interval_instructions});
+  engine::Workers w(machine.core(0));
+  eng.Run(spec, w);
+  machine.FinalizeAll();
+
+  obs::RunRecord run;
+  run.label = "serve/" + cls.label;
+  run.threads = 1;
+  run.config = config_.machine;
+  run.bw_scale = 1.0;
+  obs::CoreRecord rec;
+  rec.whole = machine.AnalyzeCore(0);
+  rec.regions = profiler.Finish();
+  obs::AnalyzeTree(config_.machine, &rec.regions, run.bw_scale);
+  rec.timeline = profiler.timeline();
+  rec.events = profiler.events();
+  rec.begin = profiler.begin_counters();
+  run.makespan_cycles = rec.whole.total_cycles;
+  run.time_ms = rec.whole.time_ms;
+  run.socket_bandwidth_gbps = rec.whole.bandwidth_gbps;
+  run.cores.push_back(std::move(rec));
+  if (audit::ValidationEnabled()) {
+    audit::AuditReport rep = audit::AuditMachine(machine, run.label);
+    audit::CheckBreakdown(run.cores[0].whole, config_.machine.freq_ghz,
+                          run.label + "/core0/topdown", &rep);
+    run.audited = true;
+    run.audit_checks = rep.checks;
+    run.violations = rep.violations;
+    audit::ReportViolations(rep, run.label);
+  }
+
+  cls.counters = run.cores[0].whole.counters;
+  cls.solo = run.cores[0].whole;
+  // Byte classes mirror core::MultiCoreModel: prefetch waste and
+  // writebacks ride the sequential stream.
+  cls.bytes_seq =
+      static_cast<double>(cls.counters.mem.dram_demand_bytes_seq +
+                          cls.counters.mem.dram_prefetch_waste_bytes +
+                          cls.counters.mem.dram_writeback_bytes);
+  cls.bytes_rand =
+      static_cast<double>(cls.counters.mem.dram_demand_bytes_rand);
+  cls.solo_run = std::move(run);
+  return cls;
+}
+
+ServeResult Server::Run() {
+  UOLAP_CHECK_MSG(!tenants_.empty(), "no tenants added");
+  EnsureClasses();
+
+  const core::MachineConfig& cfg = config_.machine;
+  const double freq = cfg.freq_ghz;
+  const core::TopDownModel model(cfg);
+  const int cores = config_.cores;
+
+  // A query in flight. `remaining` is the fraction of the class's work
+  // outstanding; under bandwidth scale s it drains at rate 1/g(s) per
+  // cycle, where g(s) is the class's Top-Down total at that scale.
+  struct Instance {
+    int tenant = -1;  ///< -1 marks a free core slot
+    size_t cls = 0;
+    int client = -1;  ///< closed-loop client index (-1 when open-loop)
+    double arrival = 0;
+    double start = 0;
+    double remaining = 1.0;
+    double scale_cycles = 0;  ///< integral of s over the run time
+    double run_cycles = 0;
+  };
+
+  struct TenantState {
+    Rng rng{0};
+    uint64_t cap = 0;
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    double next_open_arrival = kInf;   ///< cycles; open-loop stream head
+    std::vector<double> client_wake;   ///< cycles; closed-loop clients
+    std::vector<double> zipf_cdf;
+    std::vector<double> latencies_ms;
+    std::vector<uint64_t> histogram;
+  };
+
+  struct ClassStats {
+    uint64_t executions = 0;
+    double service_cycles = 0;  ///< observed (contended) service time
+    double scale_cycles = 0;
+    double run_cycles = 0;
+  };
+
+  std::vector<TenantState> tstates(tenants_.size());
+  for (size_t t = 0; t < tenants_.size(); ++t) {
+    const TenantConfig& tc = tenants_[t];
+    TenantState& ts = tstates[t];
+    ts.rng.Seed(tc.seed != 0 ? tc.seed : Mix64(0x5345525645ULL + t));
+    ts.cap = tc.max_queries != 0 ? tc.max_queries
+                                 : config_.default_max_queries;
+    // Zipf CDF over the catalog order: P(i) proportional to 1/(i+1)^s.
+    double norm = 0;
+    ts.zipf_cdf.reserve(tc.catalog.size());
+    for (size_t i = 0; i < tc.catalog.size(); ++i) {
+      norm += std::pow(static_cast<double>(i + 1), -tc.zipf_s);
+      ts.zipf_cdf.push_back(norm);
+    }
+    for (double& c : ts.zipf_cdf) c /= norm;
+    if (tc.arrival_qps > 0) {
+      ts.next_open_arrival =
+          MsToCycles(ExpDraw(ts.rng, 1000.0 / tc.arrival_qps), freq);
+    } else {
+      ts.client_wake.resize(static_cast<size_t>(tc.concurrency));
+      for (double& wake : ts.client_wake) {
+        wake = MsToCycles(ExpDraw(ts.rng, tc.think_ms), freq);
+      }
+    }
+  }
+  std::vector<ClassStats> cstats(classes_.size());
+
+  auto pick_class = [&](size_t t) -> size_t {
+    const TenantState& ts = tstates[t];
+    const double u = tstates[t].rng.NextDouble();
+    size_t i = 0;
+    while (i + 1 < ts.zipf_cdf.size() && u >= ts.zipf_cdf[i]) ++i;
+    return tenant_classes_[t][i];
+  };
+
+  std::vector<Instance> slots(static_cast<size_t>(cores));
+  std::vector<Instance> queue;  // FIFO; head_ pops from the front
+  size_t queue_head = 0;
+
+  double vtime = 0;
+  double total_bytes = 0;
+  double peak_gbps = 0;
+  bool saturated = false;
+  std::vector<obs::QueueSample> timeline;
+  std::map<std::string, std::vector<double>> engine_latencies;
+
+  auto sample_queue = [&]() {
+    uint32_t running = 0;
+    for (const Instance& inst : slots) running += inst.tenant >= 0 ? 1 : 0;
+    const uint32_t queued =
+        static_cast<uint32_t>(queue.size() - queue_head);
+    if (!timeline.empty() && timeline.back().running == running &&
+        timeline.back().queued == queued) {
+      return;
+    }
+    timeline.push_back(
+        obs::QueueSample{CyclesToMs(vtime, freq), running, queued});
+  };
+
+  auto submit = [&](size_t t, int client) {
+    TenantState& ts = tstates[t];
+    Instance inst;
+    inst.tenant = static_cast<int>(t);
+    inst.cls = pick_class(t);
+    inst.client = client;
+    inst.arrival = vtime;
+    queue.push_back(inst);
+    ++ts.submitted;
+  };
+
+  // Processes every arrival stream whose next event is due. Tenants are
+  // visited in index order and closed-loop clients in client order, so
+  // ties admit in a deterministic order.
+  auto process_arrivals = [&]() {
+    for (size_t t = 0; t < tenants_.size(); ++t) {
+      const TenantConfig& tc = tenants_[t];
+      TenantState& ts = tstates[t];
+      if (tc.arrival_qps > 0) {
+        while (ts.submitted < ts.cap && ts.next_open_arrival <= vtime) {
+          submit(t, /*client=*/-1);
+          ts.next_open_arrival +=
+              MsToCycles(ExpDraw(ts.rng, 1000.0 / tc.arrival_qps), freq);
+        }
+        if (ts.submitted >= ts.cap) ts.next_open_arrival = kInf;
+      } else {
+        for (size_t c = 0; c < ts.client_wake.size(); ++c) {
+          if (ts.client_wake[c] > vtime) continue;
+          if (ts.submitted < ts.cap) {
+            submit(t, static_cast<int>(c));
+          }
+          ts.client_wake[c] = kInf;  // sleeps until its query completes
+        }
+      }
+    }
+  };
+
+  // Damped fixed point (mirrors core::MultiCoreModel::Analyze): find the
+  // bandwidth scale at which the running set's aggregate DRAM byte rate
+  // fits the blended socket ceiling, then report each instance's
+  // service-time total g at that scale.
+  auto solve_epoch = [&](const std::vector<Instance*>& running,
+                         std::vector<double>* g_out) -> double {
+    double seq_bytes = 0;
+    double rand_bytes = 0;
+    for (const Instance* inst : running) {
+      seq_bytes += classes_[inst->cls].bytes_seq;
+      rand_bytes += classes_[inst->cls].bytes_rand;
+    }
+    const double class_bytes = seq_bytes + rand_bytes;
+    const double seq_frac = class_bytes > 0 ? seq_bytes / class_bytes : 1.0;
+    const double socket_bpc =
+        seq_frac * cfg.SocketSeqBytesPerCycle() +
+        (1.0 - seq_frac) * cfg.SocketRandBytesPerCycle();
+
+    double scale = 1.0;
+    g_out->assign(running.size(), 0.0);
+    for (int iter = 0; iter < 40; ++iter) {
+      double demand_bpc = 0;
+      for (size_t i = 0; i < running.size(); ++i) {
+        const QueryClass& cls = classes_[running[i]->cls];
+        (*g_out)[i] = model.Analyze(cls.counters, scale).total_cycles;
+        demand_bpc += (cls.bytes_seq + cls.bytes_rand) / (*g_out)[i];
+      }
+      if (demand_bpc <= socket_bpc * 1.001) {
+        if (scale >= 0.999 || demand_bpc >= socket_bpc * 0.98) break;
+        // Undershooting after an earlier cut: relax (damped).
+        scale = std::min(1.0, scale * 1.05);
+        continue;
+      }
+      scale *= std::pow(socket_bpc / demand_bpc, 0.7);
+    }
+    return scale;
+  };
+
+  std::vector<Instance*> running;
+  std::vector<double> g;
+  uint64_t total_submitted = 0;
+  uint64_t total_completed = 0;
+
+  process_arrivals();  // admit anything due at virtual time zero
+  sample_queue();
+
+  while (true) {
+    // Schedule: fill free core slots from the FIFO queue.
+    for (Instance& slot : slots) {
+      if (slot.tenant >= 0 || queue_head >= queue.size()) continue;
+      slot = queue[queue_head++];
+      slot.start = vtime;
+    }
+    if (queue_head > 0 && queue_head == queue.size()) {
+      queue.clear();
+      queue_head = 0;
+    }
+
+    running.clear();
+    for (Instance& slot : slots) {
+      if (slot.tenant >= 0) running.push_back(&slot);
+    }
+
+    double next_arrival = kInf;
+    for (size_t t = 0; t < tenants_.size(); ++t) {
+      const TenantState& ts = tstates[t];
+      if (ts.submitted >= ts.cap) continue;
+      next_arrival = std::min(next_arrival, ts.next_open_arrival);
+      for (const double wake : ts.client_wake) {
+        next_arrival = std::min(next_arrival, wake);
+      }
+    }
+
+    if (running.empty()) {
+      if (next_arrival == kInf) break;  // drained: no work, no arrivals
+      vtime = std::max(vtime, next_arrival);
+      process_arrivals();
+      sample_queue();
+      continue;
+    }
+
+    const double scale = solve_epoch(running, &g);
+    double next_completion = kInf;
+    for (size_t i = 0; i < running.size(); ++i) {
+      next_completion =
+          std::min(next_completion, vtime + running[i]->remaining * g[i]);
+    }
+    const double next_event = std::min(next_completion, next_arrival);
+    const double dt = next_event - vtime;
+    if (dt > 0) {
+      double rate_bpc = 0;
+      for (size_t i = 0; i < running.size(); ++i) {
+        const QueryClass& cls = classes_[running[i]->cls];
+        rate_bpc += (cls.bytes_seq + cls.bytes_rand) / g[i];
+        running[i]->remaining -= dt / g[i];
+        running[i]->scale_cycles += scale * dt;
+        running[i]->run_cycles += dt;
+      }
+      total_bytes += rate_bpc * dt;
+      peak_gbps = std::max(peak_gbps, rate_bpc * freq);
+      if (scale < 0.999) saturated = true;
+    }
+    vtime = next_event;
+
+    // Completions first (slot order), then arrivals at the same instant.
+    for (Instance& slot : slots) {
+      if (slot.tenant < 0 || slot.remaining > kDoneEps) continue;
+      const size_t t = static_cast<size_t>(slot.tenant);
+      const TenantConfig& tc = tenants_[t];
+      TenantState& ts = tstates[t];
+      const double latency_ms = CyclesToMs(vtime - slot.arrival, freq);
+      ts.latencies_ms.push_back(latency_ms);
+      const size_t bucket = HistBucket(latency_ms);
+      if (ts.histogram.size() <= bucket) ts.histogram.resize(bucket + 1, 0);
+      ++ts.histogram[bucket];
+      ++ts.completed;
+      engine_latencies[classes_[slot.cls].engine].push_back(latency_ms);
+      ClassStats& cs = cstats[slot.cls];
+      ++cs.executions;
+      cs.service_cycles += vtime - slot.start;
+      cs.scale_cycles += slot.scale_cycles;
+      cs.run_cycles += slot.run_cycles;
+      if (slot.client >= 0) {
+        ts.client_wake[static_cast<size_t>(slot.client)] =
+            vtime + MsToCycles(ExpDraw(ts.rng, tc.think_ms), freq);
+      }
+      slot = Instance{};  // frees the slot (tenant = -1)
+    }
+    process_arrivals();
+    sample_queue();
+  }
+
+  // --- assemble the record -------------------------------------------
+  ServeResult result;
+  obs::ServerRecord& record = result.record;
+  record.enabled = true;
+  record.cores = cores;
+  record.vtime_ms = CyclesToMs(vtime, freq);
+  const double vtime_s = record.vtime_ms / 1000.0;
+  for (size_t t = 0; t < tenants_.size(); ++t) {
+    TenantState& ts = tstates[t];
+    total_submitted += ts.submitted;
+    total_completed += ts.completed;
+    obs::TenantRecord rec;
+    rec.name = tenants_[t].name;
+    rec.engine = tenants_[t].engine;
+    rec.submitted = ts.submitted;
+    rec.completed = ts.completed;
+    std::vector<double> sorted = ts.latencies_ms;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0;
+    for (const double l : sorted) sum += l;
+    rec.mean_ms = sorted.empty() ? 0 : sum / static_cast<double>(sorted.size());
+    rec.p50_ms = Percentile(sorted, 0.50);
+    rec.p95_ms = Percentile(sorted, 0.95);
+    rec.p99_ms = Percentile(sorted, 0.99);
+    rec.throughput_qps =
+        vtime_s > 0 ? static_cast<double>(ts.completed) / vtime_s : 0;
+    rec.latency_histogram = std::move(ts.histogram);
+    record.tenants.push_back(std::move(rec));
+  }
+  record.submitted = total_submitted;
+  record.completed = total_completed;
+  record.throughput_qps =
+      vtime_s > 0 ? static_cast<double>(total_completed) / vtime_s : 0;
+  record.avg_socket_gbps = vtime > 0 ? total_bytes * freq / vtime : 0;
+  record.peak_socket_gbps = peak_gbps;
+  record.saturated = saturated;
+
+  for (auto& [key, latencies] : engine_latencies) {
+    std::sort(latencies.begin(), latencies.end());
+    obs::EngineLoadRecord rec;
+    rec.engine = key;
+    rec.completed = latencies.size();
+    rec.p50_ms = Percentile(latencies, 0.50);
+    rec.p95_ms = Percentile(latencies, 0.95);
+    rec.p99_ms = Percentile(latencies, 0.99);
+    rec.throughput_qps =
+        vtime_s > 0 ? static_cast<double>(latencies.size()) / vtime_s : 0;
+    record.engines.push_back(std::move(rec));
+  }
+
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    const QueryClass& cls = classes_[i];
+    const ClassStats& cs = cstats[i];
+    obs::QueryClassRecord rec;
+    rec.label = cls.label;
+    rec.engine = cls.engine;
+    rec.executions = cs.executions;
+    rec.solo_ms = cls.solo.time_ms;
+    rec.corun_ms =
+        cs.executions > 0
+            ? CyclesToMs(cs.service_cycles /
+                             static_cast<double>(cs.executions),
+                         freq)
+            : 0;
+    rec.avg_bw_scale =
+        cs.run_cycles > 0 ? cs.scale_cycles / cs.run_cycles : 1.0;
+    rec.solo_dcache_frac = cls.solo.cycles.Frac(cls.solo.cycles.dcache);
+    const core::ProfileResult corun =
+        model.Analyze(cls.counters, rec.avg_bw_scale);
+    rec.corun_dcache_frac = corun.cycles.Frac(corun.cycles.dcache);
+    record.classes.push_back(rec);
+
+    result.class_runs.push_back(cls.solo_run);
+    if (cs.executions > 0 && rec.avg_bw_scale < 0.999) {
+      // Re-analysis of the solo profile at the contention scale the class
+      // actually observed — the co-run Top-Down view of the same counters.
+      obs::RunRecord corun_run = cls.solo_run;
+      corun_run.label += " [corun]";
+      corun_run.bw_scale = rec.avg_bw_scale;
+      corun_run.cores[0].whole = corun;
+      obs::AnalyzeTree(cfg, &corun_run.cores[0].regions, rec.avg_bw_scale);
+      corun_run.makespan_cycles = corun.total_cycles;
+      corun_run.time_ms = corun.time_ms;
+      corun_run.socket_bandwidth_gbps = corun.bandwidth_gbps;
+      // The audit covered the solo machine state, not this re-analysis.
+      corun_run.audited = false;
+      corun_run.audit_checks = 0;
+      corun_run.violations.clear();
+      result.class_runs.push_back(std::move(corun_run));
+    }
+  }
+
+  record.queue_timeline = std::move(timeline);
+  return result;
+}
+
+}  // namespace uolap::server

@@ -1,0 +1,131 @@
+#ifndef UOLAP_SERVER_SERVING_H_
+#define UOLAP_SERVER_SERVING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/counters.h"
+#include "core/topdown.h"
+#include "engine/query_spec.h"
+#include "engine/registry.h"
+#include "obs/record.h"
+
+namespace uolap::server {
+
+/// One tenant: a client population issuing queries from a catalog against
+/// one registry engine key.
+///
+///  - Open loop (`arrival_qps > 0`): queries arrive as a Poisson process
+///    in *virtual* time, independent of completions — the "heavy traffic"
+///    regime where queueing delay appears once the core pool or the
+///    socket bandwidth saturates.
+///  - Closed loop (`concurrency > 0`): that many clients each keep one
+///    query in flight, waiting an exponential think time between a
+///    completion and the next submission.
+///
+/// Which catalog entry a submission draws follows a Zipf(zipf_s) law over
+/// the catalog order (0 = uniform); all randomness comes from the
+/// tenant's seeded generator, so a serving run is a pure function of its
+/// configuration.
+struct TenantConfig {
+  std::string name;
+  std::string engine;                      ///< EngineRegistry key
+  std::vector<engine::QuerySpec> catalog;  ///< the query classes in the mix
+  double zipf_s = 0.0;       ///< catalog skew: P(i) proportional 1/(i+1)^s
+  double arrival_qps = 0.0;  ///< open-loop Poisson rate (virtual qps)
+  int concurrency = 0;       ///< closed-loop client count
+  double think_ms = 0.0;     ///< closed-loop mean think time
+  uint64_t max_queries = 0;  ///< submissions cap (0 = server default)
+  uint64_t seed = 0;         ///< tenant RNG stream (0 = derived from index)
+};
+
+/// Serving-runtime configuration: the simulated machine, the core pool
+/// the scheduler multiplexes queries onto, and the admission default.
+struct ServerConfig {
+  core::MachineConfig machine;
+  int cores = 8;  ///< concurrency of the pool (<= machine.cores_per_socket)
+  uint64_t default_max_queries = 32;  ///< per-tenant cap when unset
+  /// Counter-timeline sampling interval of the per-class profiles
+  /// (0 = timelines off); see obs::RegionProfiler::Options.
+  uint64_t sample_interval_instructions = 0;
+};
+
+/// The outcome of one Server::Run().
+struct ServeResult {
+  /// Latency percentiles, throughput, contention attribution and the
+  /// queue-depth timeline — the profile JSON's "server" block.
+  obs::ServerRecord record;
+  /// One solo profile per distinct (engine, QuerySpec) class, labelled
+  /// "serve/<engine>/<class>", plus a "... [corun]" re-analysis at the
+  /// class's observed contention scale for every class that ran
+  /// contended. Feed these to the session exporter alongside the record.
+  std::vector<obs::RunRecord> class_runs;
+};
+
+/// Deterministic virtual-time serving runtime over the QuerySpec dispatch
+/// API. The runtime never names a concrete engine or query: tenants
+/// reference engines by registry key and queries as QuerySpecs.
+///
+/// Model (DESIGN.md section 6): every distinct (engine, QuerySpec) class
+/// is executed once on a fresh single-core simulated machine through
+/// `OlapEngine::Run`, which yields its full counter set. The serving run
+/// itself is then a fluid event simulation: admitted queries occupy pool
+/// cores FIFO; between consecutive events the co-running set is fixed,
+/// and a damped fixed point (mirroring core::MultiCoreModel) finds the
+/// bandwidth scale `s` at which the set's aggregate DRAM demand fits the
+/// blended socket ceiling. Each running query advances through its work
+/// at rate 1/g(s), where g(s) is its class's Top-Down total re-analyzed
+/// at scale s — so co-running tenants genuinely dilate each other's
+/// service times, and the dilation lands in the Dcache component exactly
+/// as the paper's Section 10 contention model prescribes.
+///
+/// Everything is virtual time; no host clock, no ambient RNG. Two Run()
+/// calls on the same Server produce bit-identical results (class profiles
+/// are simulated once and cached; the fluid loop is pure arithmetic).
+class Server {
+ public:
+  Server(const ServerConfig& config, engine::EngineRegistry& registry);
+
+  /// Registers a tenant. Call before Run(). CHECK-fails on an empty
+  /// catalog, an unknown engine key, a spec the engine does not support,
+  /// or a tenant that is neither open- nor closed-loop.
+  void AddTenant(TenantConfig tenant);
+
+  /// Simulates the serving run to completion (every tenant submits its
+  /// max_queries and drains).
+  ServeResult Run();
+
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  struct QueryClass {
+    std::string label;   ///< "<engine key>/<QuerySpec::Label()>"
+    std::string engine;  ///< registry key
+    engine::QuerySpec spec;
+    core::CoreCounters counters;  ///< full solo execution counter set
+    core::ProfileResult solo;     ///< Analyze(counters, 1.0)
+    double bytes_seq = 0;         ///< seq-class DRAM bytes (incl. waste/wb)
+    double bytes_rand = 0;
+    obs::RunRecord solo_run;  ///< regions/timeline profile of the solo run
+  };
+
+  /// Simulates every distinct class referenced by the tenants (idempotent).
+  void EnsureClasses();
+  /// Executes one class solo on a fresh machine and records its profile.
+  QueryClass SimulateClass(const std::string& engine_key,
+                           const engine::QuerySpec& spec);
+
+  ServerConfig config_;
+  engine::EngineRegistry& registry_;
+  std::vector<TenantConfig> tenants_;
+  /// tenant -> catalog index -> index into classes_.
+  std::vector<std::vector<size_t>> tenant_classes_;
+  std::vector<QueryClass> classes_;
+  bool classes_ready_ = false;
+};
+
+}  // namespace uolap::server
+
+#endif  // UOLAP_SERVER_SERVING_H_

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "engines/tectorwise/tw_engine.h"
+
 namespace uolap::harness {
 namespace {
 
@@ -57,11 +59,24 @@ TEST(BenchContextTest, SkylakeSelectable) {
 TEST(BenchContextTest, EnginesAreCachedSingletons) {
   ArgvBuilder args({"--sf=0.005"});
   BenchContext ctx(args.argc(), args.argv(), 0.01);
-  EXPECT_EQ(&ctx.typer(), &ctx.typer());
-  EXPECT_EQ(&ctx.tectorwise(), &ctx.tectorwise());
-  EXPECT_NE(static_cast<void*>(&ctx.tectorwise()),
-            static_cast<void*>(&ctx.tectorwise_simd()));
-  EXPECT_TRUE(ctx.tectorwise_simd().simd());
+  EXPECT_EQ(&ctx.engine("typer"), &ctx.engine("typer"));
+  EXPECT_EQ(&ctx.engine("tectorwise"), &ctx.engine("tectorwise"));
+  EXPECT_NE(&ctx.engine("tectorwise"), &ctx.engine("tectorwise+simd"));
+  EXPECT_TRUE(static_cast<tectorwise::TectorwiseEngine&>(
+                  ctx.engine("tectorwise+simd"))
+                  .simd());
+}
+
+TEST(BenchContextTest, RegistryCarriesTheBuiltinKeys) {
+  ArgvBuilder args({"--sf=0.005"});
+  BenchContext ctx(args.argc(), args.argv(), 0.01);
+  const std::vector<std::string> names = ctx.engines().names();
+  const std::vector<std::string> want = {
+      "colstore", "rowstore", "tectorwise", "tectorwise+simd", "typer"};
+  EXPECT_EQ(names, want);
+  for (const std::string& name : want) EXPECT_TRUE(ctx.engines().Has(name));
+  EXPECT_FALSE(ctx.engines().Has("no-such-engine"));
+  EXPECT_EQ(ctx.engine("typer").name(), "Typer");
 }
 
 TEST(BenchContextTest, CsvFlagAppendsTables) {

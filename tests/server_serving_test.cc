@@ -1,0 +1,228 @@
+// Tests of the virtual-time serving runtime: determinism (two runs of
+// the same Server are bit-identical), accounting consistency, FIFO
+// queueing when tenants outnumber cores, and the tentpole behaviour —
+// co-running tenants that saturate the shared socket bandwidth inflate
+// each other's service time and Dcache stall share relative to solo.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/query_spec.h"
+#include "engine/registry.h"
+#include "harness/engines.h"
+#include "server/serving.h"
+#include "tpch/dbgen.h"
+
+namespace uolap::server {
+namespace {
+
+class ServingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tpch::DbGen gen(42);
+    db_ = new tpch::Database(std::move(gen.Generate(0.01)).value());
+    registry_ = new engine::EngineRegistry(*db_);
+    harness::RegisterBuiltinEngines(*registry_);
+  }
+
+  static ServerConfig BaseConfig() {
+    ServerConfig config;
+    config.machine = core::MachineConfig::Broadwell();
+    config.cores = 4;
+    config.default_max_queries = 8;
+    return config;
+  }
+
+  static TenantConfig ScanTenant(const std::string& name,
+                                 const std::string& engine, int concurrency,
+                                 uint64_t seed) {
+    TenantConfig t;
+    t.name = name;
+    t.engine = engine;
+    t.catalog = {engine::QuerySpec::Projection(4),
+                 engine::QuerySpec::Q6(engine::MakeQ6Params())};
+    t.zipf_s = 0.5;
+    t.concurrency = concurrency;
+    t.think_ms = 0.05;
+    t.seed = seed;
+    return t;
+  }
+
+  static tpch::Database* db_;
+  static engine::EngineRegistry* registry_;
+};
+
+tpch::Database* ServingTest::db_ = nullptr;
+engine::EngineRegistry* ServingTest::registry_ = nullptr;
+
+TEST_F(ServingTest, RepeatedRunsAreBitIdentical) {
+  Server server(BaseConfig(), *registry_);
+  server.AddTenant(ScanTenant("a", "typer", 2, 7));
+  server.AddTenant(ScanTenant("b", "tectorwise", 2, 11));
+
+  const ServeResult first = server.Run();
+  const ServeResult second = server.Run();
+
+  const obs::ServerRecord& r1 = first.record;
+  const obs::ServerRecord& r2 = second.record;
+  EXPECT_EQ(r1.vtime_ms, r2.vtime_ms);
+  EXPECT_EQ(r1.submitted, r2.submitted);
+  EXPECT_EQ(r1.completed, r2.completed);
+  EXPECT_EQ(r1.throughput_qps, r2.throughput_qps);
+  EXPECT_EQ(r1.avg_socket_gbps, r2.avg_socket_gbps);
+  EXPECT_EQ(r1.peak_socket_gbps, r2.peak_socket_gbps);
+  ASSERT_EQ(r1.tenants.size(), r2.tenants.size());
+  for (size_t i = 0; i < r1.tenants.size(); ++i) {
+    EXPECT_EQ(r1.tenants[i].mean_ms, r2.tenants[i].mean_ms);
+    EXPECT_EQ(r1.tenants[i].p50_ms, r2.tenants[i].p50_ms);
+    EXPECT_EQ(r1.tenants[i].p95_ms, r2.tenants[i].p95_ms);
+    EXPECT_EQ(r1.tenants[i].p99_ms, r2.tenants[i].p99_ms);
+    EXPECT_EQ(r1.tenants[i].latency_histogram,
+              r2.tenants[i].latency_histogram);
+  }
+  ASSERT_EQ(r1.classes.size(), r2.classes.size());
+  for (size_t i = 0; i < r1.classes.size(); ++i) {
+    EXPECT_EQ(r1.classes[i].executions, r2.classes[i].executions);
+    EXPECT_EQ(r1.classes[i].corun_ms, r2.classes[i].corun_ms);
+    EXPECT_EQ(r1.classes[i].avg_bw_scale, r2.classes[i].avg_bw_scale);
+  }
+  ASSERT_EQ(r1.queue_timeline.size(), r2.queue_timeline.size());
+  for (size_t i = 0; i < r1.queue_timeline.size(); ++i) {
+    EXPECT_EQ(r1.queue_timeline[i].vtime_ms,
+              r2.queue_timeline[i].vtime_ms);
+    EXPECT_EQ(r1.queue_timeline[i].running, r2.queue_timeline[i].running);
+    EXPECT_EQ(r1.queue_timeline[i].queued, r2.queue_timeline[i].queued);
+  }
+}
+
+TEST_F(ServingTest, AccountingIsConsistent) {
+  Server server(BaseConfig(), *registry_);
+  server.AddTenant(ScanTenant("a", "typer", 2, 3));
+  server.AddTenant(ScanTenant("b", "tectorwise", 2, 5));
+
+  const ServeResult result = server.Run();
+  const obs::ServerRecord& rec = result.record;
+
+  // Everything submitted drains; tenant sums match the totals.
+  EXPECT_EQ(rec.submitted, rec.completed);
+  uint64_t tenant_submitted = 0;
+  uint64_t tenant_completed = 0;
+  for (const obs::TenantRecord& t : rec.tenants) {
+    tenant_submitted += t.submitted;
+    tenant_completed += t.completed;
+    EXPECT_EQ(t.submitted, 8u);  // default_max_queries
+    EXPECT_LE(t.p50_ms, t.p95_ms);
+    EXPECT_LE(t.p95_ms, t.p99_ms);
+    uint64_t hist_total = 0;
+    for (const uint64_t count : t.latency_histogram) hist_total += count;
+    EXPECT_EQ(hist_total, t.completed);
+  }
+  EXPECT_EQ(tenant_submitted, rec.submitted);
+  EXPECT_EQ(tenant_completed, rec.completed);
+
+  uint64_t engine_completed = 0;
+  for (const obs::EngineLoadRecord& e : rec.engines) {
+    engine_completed += e.completed;
+  }
+  EXPECT_EQ(engine_completed, rec.completed);
+
+  uint64_t class_executions = 0;
+  for (const obs::QueryClassRecord& c : rec.classes) {
+    class_executions += c.executions;
+    EXPECT_GT(c.solo_ms, 0);
+  }
+  EXPECT_EQ(class_executions, rec.completed);
+
+  EXPECT_GT(rec.vtime_ms, 0);
+  EXPECT_GT(rec.throughput_qps, 0);
+  // One solo class profile per distinct (engine, query) class at least.
+  EXPECT_GE(result.class_runs.size(), rec.classes.size());
+}
+
+TEST_F(ServingTest, FifoQueueingWhenTenantsExceedCores) {
+  ServerConfig config = BaseConfig();
+  config.cores = 1;
+  config.default_max_queries = 4;
+  Server server(config, *registry_);
+  server.AddTenant(ScanTenant("a", "typer", 3, 9));
+
+  const ServeResult result = server.Run();
+  const obs::ServerRecord& rec = result.record;
+  EXPECT_EQ(rec.completed, 4u);
+  // Three clients contend for one core: the queue must have been depth
+  // >= 1 at some point, and never more than one query runs at once.
+  uint32_t max_running = 0;
+  uint32_t max_queued = 0;
+  for (const obs::QueueSample& q : rec.queue_timeline) {
+    max_running = std::max(max_running, q.running);
+    max_queued = std::max(max_queued, q.queued);
+  }
+  EXPECT_EQ(max_running, 1u);
+  EXPECT_GE(max_queued, 1u);
+}
+
+TEST_F(ServingTest, SharedBandwidthContentionInflatesDcacheShare) {
+  // Shrink the socket ceiling to the bandwidth of a single core: any two
+  // co-running scans must now contend, so the serving run reports a
+  // bandwidth scale < 1 and a higher Dcache stall share than solo.
+  ServerConfig config = BaseConfig();
+  config.machine.bandwidth.per_socket_seq_gbps =
+      config.machine.bandwidth.per_core_seq_gbps;
+  config.machine.bandwidth.per_socket_rand_gbps =
+      config.machine.bandwidth.per_core_rand_gbps;
+  Server server(config, *registry_);
+  server.AddTenant(ScanTenant("a", "typer", 2, 13));
+  server.AddTenant(ScanTenant("b", "tectorwise", 2, 17));
+
+  const ServeResult result = server.Run();
+  const obs::ServerRecord& rec = result.record;
+  EXPECT_TRUE(rec.saturated);
+
+  bool some_class_contended = false;
+  for (const obs::QueryClassRecord& c : rec.classes) {
+    if (c.executions == 0) continue;
+    EXPECT_LE(c.avg_bw_scale, 1.0);
+    EXPECT_GE(c.corun_ms, c.solo_ms - 1e-9);
+    EXPECT_GE(c.corun_dcache_frac, c.solo_dcache_frac - 1e-12);
+    if (c.avg_bw_scale < 0.999) {
+      some_class_contended = true;
+      EXPECT_GT(c.corun_ms, c.solo_ms);
+      EXPECT_GT(c.corun_dcache_frac, c.solo_dcache_frac);
+    }
+  }
+  EXPECT_TRUE(some_class_contended);
+
+  // The co-run re-analysis runs ride along in class_runs.
+  bool corun_run_present = false;
+  for (const obs::RunRecord& run : result.class_runs) {
+    if (run.label.find(" [corun]") != std::string::npos) {
+      corun_run_present = true;
+      EXPECT_LT(run.bw_scale, 1.0);
+    }
+  }
+  EXPECT_TRUE(corun_run_present);
+}
+
+TEST_F(ServingTest, OpenLoopTenantObeysPoissonCap) {
+  ServerConfig config = BaseConfig();
+  config.default_max_queries = 6;
+  Server server(config, *registry_);
+  TenantConfig open;
+  open.name = "open";
+  open.engine = "typer";
+  open.catalog = {engine::QuerySpec::Projection(2)};
+  open.arrival_qps = 500;
+  open.seed = 21;
+  server.AddTenant(open);
+
+  const ServeResult result = server.Run();
+  ASSERT_EQ(result.record.tenants.size(), 1u);
+  EXPECT_EQ(result.record.tenants[0].submitted, 6u);
+  EXPECT_EQ(result.record.tenants[0].completed, 6u);
+}
+
+}  // namespace
+}  // namespace uolap::server
