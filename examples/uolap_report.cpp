@@ -5,7 +5,8 @@
 //   uolap_report validate a.json [b.json ...]
 //   uolap_report summary  profile.json [--regions]
 //   uolap_report diff     before.json after.json [--max-regress=0.05]
-//   uolap_report merge    --out=BENCH_sim.json a.json [b.json ...]
+//   uolap_report merge    --out=BENCH_sim.json [--throughput=micro.json]
+//                         a.json [b.json ...]
 //
 // `validate` accepts both profile JSONs (schema "uolap-profile") and
 // Chrome trace JSONs (object with a "traceEvents" array); everything else
@@ -39,7 +40,8 @@ int Usage() {
                "  validate a.json [b.json ...]\n"
                "  summary  profile.json [--regions]\n"
                "  diff     before.json after.json [--max-regress=0.05]\n"
-               "  merge    --out=BENCH_sim.json a.json [b.json ...]\n");
+               "  merge    --out=BENCH_sim.json [--throughput=micro.json] "
+               "a.json [b.json ...]\n");
   return 2;
 }
 
@@ -291,17 +293,57 @@ int Diff(const JsonValue& before, const JsonValue& after,
   return regressed == 0 ? 0 : 1;
 }
 
+/// Re-emits a parsed JSON document through the writer (used to embed the
+/// bench_sim_micro throughput document verbatim in the merged output).
+void WriteJsonValue(uolap::obs::JsonWriter& w, const JsonValue& v) {
+  switch (v.type) {
+    case JsonValue::Type::kNull:
+      w.Null();
+      return;
+    case JsonValue::Type::kBool:
+      w.Bool(v.boolean);
+      return;
+    case JsonValue::Type::kNumber:
+      w.Double(v.number);
+      return;
+    case JsonValue::Type::kString:
+      w.String(v.str);
+      return;
+    case JsonValue::Type::kArray:
+      w.BeginArray();
+      for (const JsonValue& e : v.array) WriteJsonValue(w, e);
+      w.EndArray();
+      return;
+    case JsonValue::Type::kObject:
+      w.BeginObject();
+      for (const auto& [key, value] : v.object) {
+        w.Key(key);
+        WriteJsonValue(w, value);
+      }
+      w.EndObject();
+      return;
+  }
+}
+
 /// Merges per-bench profile JSONs into one mechanical summary document —
 /// the BENCH_sim.json replacement the scripts/bench.sh helper writes.
-int Merge(const std::vector<JsonValue>& profiles, const std::string& out) {
+/// `throughput` (v2, optional) embeds the uolap-bench-sim-micro document
+/// bench_sim_micro emits — simulator tuples/sec with its own
+/// before/after-the-fast-paths entries.
+int Merge(const std::vector<JsonValue>& profiles, const std::string& out,
+          const JsonValue* throughput) {
   uolap::obs::JsonWriter w;
   w.BeginObject();
   w.KV("schema", "uolap-bench-sim");
-  w.KV("version", 1);
+  w.KV("version", 2);
   w.KV("comment",
        "Generated by scripts/bench.sh via `uolap_report merge` from the "
        "--json output of each figure bench; diff two generations with "
        "`uolap_report diff` to gate perf PRs.");
+  if (throughput != nullptr) {
+    w.Key("throughput");
+    WriteJsonValue(w, *throughput);
+  }
   w.Key("benches");
   w.BeginArray();
   for (const JsonValue& profile : profiles) {
@@ -390,7 +432,23 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < paths.size(); ++i) {
       if (!LoadProfile(paths[i], &profiles[i])) return 1;
     }
-    return Merge(profiles, out);
+    JsonValue throughput;
+    const std::string tp_path = flags.GetString("throughput", "");
+    if (!tp_path.empty()) {
+      auto doc = uolap::obs::ReadJsonFile(tp_path);
+      if (!doc.ok()) {
+        std::fprintf(stderr, "%s: %s\n", tp_path.c_str(),
+                     doc.status().ToString().c_str());
+        return 1;
+      }
+      throughput = std::move(doc).value();
+      if (throughput.GetString("schema") != "uolap-bench-sim-micro") {
+        std::fprintf(stderr, "%s: expected a uolap-bench-sim-micro JSON\n",
+                     tp_path.c_str());
+        return 1;
+      }
+    }
+    return Merge(profiles, out, tp_path.empty() ? nullptr : &throughput);
   }
   return Usage();
 }

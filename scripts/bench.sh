@@ -50,6 +50,16 @@ for bench in "${BENCHES[@]}"; do
   profiles+=("$profile")
 done
 
-build/examples/uolap_report merge --out="$OUT" "${profiles[@]}"
+# Simulator-throughput section (bench_sim_micro): tuples simulated per
+# wall-clock second for the hot-path shapes, measured through both the
+# reference kernels and the accelerated ones (before/after + speedup).
+# The google-benchmark suite is skipped here (--benchmark_filter matches
+# nothing); run bench_sim_micro directly for the microbenchmarks.
+echo "# bench_sim_micro (simulator throughput, fast vs reference)"
+build/bench/bench_sim_micro --benchmark_filter='^$' \
+  --sim-json="$PROFILE_DIR/sim_micro.json"
+
+build/examples/uolap_report merge --out="$OUT" \
+  --throughput="$PROFILE_DIR/sim_micro.json" "${profiles[@]}"
 build/examples/uolap_report validate "${profiles[@]}" >/dev/null
 echo "# wrote $OUT (profiles kept in $PROFILE_DIR/)"

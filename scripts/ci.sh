@@ -85,13 +85,48 @@ serve_smoke() {
       --stable-json --json="$out/a.json" >/dev/null
   fi
   "$build_dir/examples/uolap_report" validate "$out/a.json"
+  # No -q: grep must drain the whole stream, or an early exit can SIGPIPE
+  # the writer and fail the pipeline under pipefail.
   "$build_dir/examples/uolap_report" summary "$out/a.json" |
-    grep -q "^serving:"
+    grep "^serving:" >/dev/null
   rm -rf "$out"
 }
 
 echo "=== serving smoke (release) ==="
 serve_smoke build
+
+# Perf smoke: the fast-path overhaul's counter gates (DESIGN.md §7).
+# uolap_perfsmoke replays a fixed synthetic address trace (never
+# dereferenced, so bit-identical on any host without ASLR pinning) through
+# every accelerated lane. Three byte-level checks:
+#   1. accelerated vs --reference output: the bit-identity contract;
+#   2. accelerated output vs the checked-in golden: counter drift fails CI
+#      and forces a conscious golden update;
+#   3. uolap_report diff --max-regress=0 against the golden: the same gate
+#      at the modelled-cycle level, exercising the diff tool itself.
+perf_smoke() {
+  local build_dir="$1"
+  local out
+  out="$(mktemp -d)"
+  "$build_dir/examples/uolap_perfsmoke" --json="$out/fast.json" >/dev/null
+  "$build_dir/examples/uolap_perfsmoke" --reference \
+    --json="$out/ref.json" >/dev/null
+  cmp "$out/fast.json" "$out/ref.json"
+  cmp tests/golden/perfsmoke_profile.json "$out/fast.json"
+  "$build_dir/examples/uolap_report" diff \
+    tests/golden/perfsmoke_profile.json "$out/fast.json" \
+    --max-regress=0 >/dev/null
+  rm -rf "$out"
+}
+
+echo "=== perf smoke (release) ==="
+perf_smoke build
+# Simulator-throughput spot check: the random-probe microbenchmark pair
+# (fast vs reference kernels) from the bench suite must run clean; the
+# full throughput JSON is produced by scripts/bench.sh, not CI.
+build/bench/bench_sim_micro \
+  --benchmark_filter='BM_CoreRandomProbe' --benchmark_min_time=0.05 \
+  --sim-json= >/dev/null
 
 echo "=== determinism gate ==="
 if setarch "$(uname -m)" -R true 2>/dev/null; then

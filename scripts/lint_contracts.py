@@ -22,6 +22,10 @@ enforce (see DESIGN.md section 5d for the rationale of each rule):
                        into core.memory() or mutable_counters() bypasses
                        the instruction-mix accounting. The sanctioned
                        vectorized charging sites carry an allow marker.
+  test-only-hooks      TestOnly* hooks (TestOnlySetWay, TestOnlySetStream,
+                       ...) bypass the invariants the normal mutation
+                       paths maintain; calling one outside tests/ would
+                       corrupt simulated state silently.
   include-guard        headers use #ifndef UOLAP_<PATH>_H_ guards.
   own-header-first     foo.cc includes its own foo.h first (catches
                        headers that silently depend on prior includes).
@@ -96,6 +100,12 @@ RULES = [
      re.compile(r"(?:\.|->)\s*memory\s*\(\s*\)|\bmutable_counters\s*\("),
      ENGINE_DIRS,
      "charge through the Core/ColumnView API, not the raw MemorySystem"),
+    # Member-call syntax only: the hooks' own declarations/definitions in
+    # src headers are not call sites.
+    ("test-only-hooks",
+     re.compile(r"(?:\.|->)\s*TestOnly\w*\s*\("),
+     ("src", "bench", "examples"),
+     "TestOnly* hooks may only be called from tests/"),
 ]
 
 

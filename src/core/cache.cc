@@ -35,55 +35,63 @@ SetAssociativeCache::SetAssociativeCache(uint64_t num_sets, uint32_t ways)
                       (static_cast<unsigned __int128>(1) << 58);
   }
   const uint64_t n = num_sets_ * ways_;
-  tags_ = CallocArray<uint64_t>(n);
-  ts_ = CallocArray<uint64_t>(n);
-  dirty_ = CallocArray<uint8_t>(n);
+  // The front-slot array stores global way indices as uint32_t.
+  UOLAP_CHECK_MSG(n <= UINT32_MAX, "cache geometry exceeds front-slot range");
+  recs_ = CallocArray<WayRec>(n);
+  mru_ = CallocArray<uint32_t>(num_sets_);
+  for (uint64_t s = 0; s < num_sets_; ++s) {
+    mru_[s] = static_cast<uint32_t>(s * ways_);
+  }
 }
 
-CacheAccessResult SetAssociativeCache::InsertAt(uint64_t base, uint64_t key,
+CacheAccessResult SetAssociativeCache::InsertAt(uint64_t set, uint64_t key,
                                                 bool dirty) {
   CacheAccessResult result;
   // The victim is the way with the minimum timestamp, first-wins on ties:
   // invalid ways carry stamp 0 and so are picked (in way order) before any
   // valid way; otherwise this is true-LRU.
+  const uint64_t base = set * ways_;
   uint64_t victim = base;
-  uint64_t victim_ts = ts_[base];
+  uint64_t victim_ts = recs_[base].ts;
   for (uint32_t w = 1; w < ways_; ++w) {
-    if (ts_[base + w] < victim_ts) {
+    if (recs_[base + w].ts < victim_ts) {
       victim = base + w;
-      victim_ts = ts_[base + w];
+      victim_ts = recs_[base + w].ts;
     }
   }
-  if (tags_[victim] != 0) {
+  const uint64_t victim_tag = recs_[victim].tag & kTagMask;
+  if (victim_tag != 0) {
     result.evicted = true;
-    result.evicted_dirty = dirty_[victim] != 0;
-    result.evicted_key = tags_[victim] - 1;
+    result.evicted_dirty = (recs_[victim].tag & kDirtyBit) != 0;
+    result.evicted_key = victim_tag - 1;
   }
-  tags_[victim] = key + 1;
-  dirty_[victim] = dirty ? 1 : 0;
-  ts_[victim] = ++clock_;
+  recs_[victim].tag = (key + 1) | (dirty ? kDirtyBit : 0);
+  recs_[victim].ts = ++clock_;
+  mru_[set] = static_cast<uint32_t>(victim);
+  result.slot = victim;
   return result;
 }
 
 CacheAccessResult SetAssociativeCache::Insert(uint64_t key, bool dirty) {
-  const uint64_t base = SetIndex(key) * ways_;
-  const uint64_t tag = key + 1;
-  for (uint32_t w = 0; w < ways_; ++w) {
-    if (tags_[base + w] == tag) {
-      CacheAccessResult result;
-      result.hit = true;
-      if (dirty) dirty_[base + w] = 1;
-      ts_[base + w] = ++clock_;
-      return result;
-    }
+  const uint64_t set = SetIndex(key);
+  const int64_t i = FindInSet(set, key + 1);
+  if (i >= 0) {
+    const uint64_t u = static_cast<uint64_t>(i);
+    CacheAccessResult result;
+    result.hit = true;
+    if (dirty) recs_[u].tag |= kDirtyBit;
+    recs_[u].ts = ++clock_;
+    mru_[set] = static_cast<uint32_t>(u);
+    result.slot = u;
+    return result;
   }
-  return InsertAt(base, key, dirty);
+  return InsertAt(set, key, dirty);
 }
 
 CacheAccessResult SetAssociativeCache::InsertAbsent(uint64_t key,
                                                     bool dirty) {
   UOLAP_DCHECK(Find(key) < 0);
-  return InsertAt(SetIndex(key) * ways_, key, dirty);
+  return InsertAt(SetIndex(key), key, dirty);
 }
 
 bool SetAssociativeCache::Invalidate(uint64_t key, bool* was_dirty) {
@@ -93,18 +101,18 @@ bool SetAssociativeCache::Invalidate(uint64_t key, bool* was_dirty) {
     return false;
   }
   const uint64_t u = static_cast<uint64_t>(i);
-  if (was_dirty != nullptr) *was_dirty = dirty_[u] != 0;
-  tags_[u] = 0;
-  ts_[u] = 0;
-  dirty_[u] = 0;
+  if (was_dirty != nullptr) *was_dirty = (recs_[u].tag & kDirtyBit) != 0;
+  recs_[u].tag = 0;
+  recs_[u].ts = 0;
   return true;
 }
 
 void SetAssociativeCache::Clear() {
   const uint64_t n = num_sets_ * ways_;
-  std::memset(tags_.get(), 0, n * sizeof(uint64_t));
-  std::memset(ts_.get(), 0, n * sizeof(uint64_t));
-  std::memset(dirty_.get(), 0, n * sizeof(uint8_t));
+  std::memset(recs_.get(), 0, n * sizeof(WayRec));
+  for (uint64_t s = 0; s < num_sets_; ++s) {
+    mru_[s] = static_cast<uint32_t>(s * ways_);
+  }
   clock_ = 0;
 }
 

@@ -17,6 +17,10 @@ struct CacheAccessResult {
   bool evicted = false;
   bool evicted_dirty = false;
   uint64_t evicted_key = 0;
+  /// Global way index (set * ways + way) the key now occupies. Valid after
+  /// Insert/InsertAbsent; the translation memo caches it so repeated
+  /// same-page accesses can replay the hit without a tag scan.
+  uint64_t slot = 0;
 };
 
 /// A set-associative cache over abstract 64-bit keys with true-LRU
@@ -30,10 +34,20 @@ struct CacheAccessResult {
 /// and writeback propagation explicitly).
 ///
 /// This sits on the simulator's hottest path (one tag scan per simulated
-/// line access, several per miss), so the state is laid out
-/// structure-of-arrays — tag scans touch one dense array — and backed by
-/// calloc, whose zero pages the OS maps lazily: constructing a multi-MB L3
-/// image costs nothing until its sets are actually touched.
+/// line access, several per miss), so each set's metadata is interleaved
+/// into one contiguous block of 16-byte {tag, ts} way records — a random
+/// set probe (the dominant pattern of hash-probe workloads against the
+/// multi-MB L3 image) costs a couple of host cache lines instead of one
+/// per parallel array. The dirty bit lives in the tag's top bit (keys are
+/// line/page numbers < 2^58, so key + 1 never reaches it). Backing is
+/// calloc, whose zero pages the OS maps lazily: constructing the L3 image
+/// costs nothing until its sets are actually touched. Two lookup
+/// accelerators sit in front of the scan, both invisible to the model
+/// (they change which probe finds a tag, never what is found):
+///  - a per-set recently-used-way front slot (`mru_`), checked first —
+///    hash-table probes hammer the same hot set/way repeatedly;
+///  - a way-unrolled scan fallback that ORs four tag compares per step
+///    (one branch per group instead of one per way).
 class SetAssociativeCache {
  public:
   /// `num_sets` and `ways` define the geometry; both must be >= 1.
@@ -44,15 +58,64 @@ class SetAssociativeCache {
   /// Looks up `key`. On a hit, promotes the line to MRU and (for stores)
   /// marks it dirty.
   bool Access(uint64_t key, bool is_store) {
-    const int64_t i = Find(key);
+    return AccessSlot(key, is_store) >= 0;
+  }
+
+  /// Access() that additionally reports where the key landed: the global
+  /// way index on a hit, -1 on a miss. Counter/LRU effects are exactly
+  /// Access()'s (this *is* the access; Access is a thin wrapper).
+  int64_t AccessSlot(uint64_t key, bool is_store) {
+    const uint64_t set = SetIndex(key);
+    const int64_t i = FindInSet(set, key + 1);
     if (i < 0) {
       ++misses_;
-      return false;
+      return -1;
     }
+    const uint64_t u = static_cast<uint64_t>(i);
     ++hits_;
-    if (is_store) dirty_[static_cast<uint64_t>(i)] = 1;
-    ts_[static_cast<uint64_t>(i)] = ++clock_;
+    if (is_store) recs_[u].tag |= kDirtyBit;
+    recs_[u].ts = ++clock_;
+    mru_[set] = static_cast<uint32_t>(u);
+    return i;
+  }
+
+  /// Exactly Access(key, is_store) when `key` is resident — same hit
+  /// count, dirty update and LRU stamp, bit for bit. When absent it is a
+  /// pure no-op: no miss is recorded, no state changes. The bulk
+  /// resident-run lane uses this to probe residency and fall back to the
+  /// full per-line walk (which then records the one miss) on failure.
+  bool AccessIfPresent(uint64_t key, bool is_store) {
+    const uint64_t set = SetIndex(key);
+    const int64_t i = FindInSet(set, key + 1);
+    if (i < 0) return false;
+    const uint64_t u = static_cast<uint64_t>(i);
+    ++hits_;
+    if (is_store) recs_[u].tag |= kDirtyBit;
+    recs_[u].ts = ++clock_;
+    mru_[set] = static_cast<uint32_t>(u);
     return true;
+  }
+
+  /// Replays Access()'s hit path on a known-resident way (`slot` as
+  /// reported by a prior AccessSlot/Insert of the same key, with no
+  /// intervening operation that could move or evict it): hit count and
+  /// LRU stamp, bit for bit. The translation memo uses this to skip the
+  /// set index + tag scan entirely on same-page runs.
+  void TouchHit(uint64_t slot) {
+    UOLAP_DCHECK(slot < num_sets_ * ways_ && (recs_[slot].tag & kTagMask) != 0);
+    ++hits_;
+    recs_[slot].ts = ++clock_;
+  }
+
+  /// `n` consecutive TouchHit(slot) calls in closed form. The intermediate
+  /// LRU clock values are unobservable — nothing else touched this cache
+  /// in between by precondition — so the final state is bit-identical to
+  /// the loop.
+  void TouchHitN(uint64_t slot, uint64_t n) {
+    UOLAP_DCHECK(slot < num_sets_ * ways_ && (recs_[slot].tag & kTagMask) != 0);
+    hits_ += n;
+    clock_ += n;
+    recs_[slot].ts = clock_;
   }
 
   /// Inserts `key` as MRU. Returns eviction information so the caller can
@@ -66,6 +129,19 @@ class SetAssociativeCache {
   /// Insert(key, dirty).
   CacheAccessResult InsertAbsent(uint64_t key, bool dirty);
 
+  /// Host-side hint: pulls `key`'s set metadata toward the host caches so
+  /// an upcoming FindInSet/InsertAt on the same set does not stall on host
+  /// DRAM. Touches no simulator state whatsoever — callers may issue it
+  /// speculatively and arbitrarily early.
+  void PrefetchSet(uint64_t key) const {
+    const char* p =
+        reinterpret_cast<const char*>(&recs_[SetIndex(key) * ways_]);
+    const uint64_t bytes = static_cast<uint64_t>(ways_) * sizeof(WayRec);
+    for (uint64_t off = 0; off < bytes; off += 64) {
+      __builtin_prefetch(p + off);
+    }
+  }
+
   /// True if `key` is currently resident (no LRU update; used by tests).
   bool Contains(uint64_t key) const { return Find(key) >= 0; }
 
@@ -73,7 +149,7 @@ class SetAssociativeCache {
   bool MarkDirty(uint64_t key) {
     const int64_t i = Find(key);
     if (i < 0) return false;
-    dirty_[static_cast<uint64_t>(i)] = 1;
+    recs_[static_cast<uint64_t>(i)].tag |= kDirtyBit;
     return true;
   }
 
@@ -102,11 +178,12 @@ class SetAssociativeCache {
   WayState way_state(uint64_t set, uint32_t way) const {
     UOLAP_DCHECK(set < num_sets_ && way < ways_);
     const uint64_t i = set * ways_ + way;
+    const uint64_t tag = recs_[i].tag & kTagMask;
     WayState s;
-    s.valid = tags_[i] != 0;
-    s.dirty = dirty_[i] != 0;
-    s.key = s.valid ? tags_[i] - 1 : 0;
-    s.last_touch = ts_[i];
+    s.valid = tag != 0;
+    s.dirty = (recs_[i].tag & kDirtyBit) != 0;
+    s.key = s.valid ? tag - 1 : 0;
+    s.last_touch = recs_[i].ts;
     return s;
   }
   /// Current value of the per-cache LRU clock (every touch increments it).
@@ -117,27 +194,42 @@ class SetAssociativeCache {
 
   /// Test-only corruption hook for the audit failure-path tests: overwrite
   /// one way's raw state, bypassing every invariant the normal mutators
-  /// maintain. `raw_tag` is stored verbatim (key + 1 encoding, 0 ==
-  /// invalid). Never called outside tests.
+  /// maintain. `raw_tag` is the key + 1 encoding (0 == invalid); the dirty
+  /// flag is storable independently of validity, so the auditors can see
+  /// an invalid-but-dirty way. Never called outside tests.
   void TestOnlySetWay(uint64_t set, uint32_t way, uint64_t raw_tag,
                       uint64_t ts, bool dirty) {
     UOLAP_CHECK(set < num_sets_ && way < ways_);
+    UOLAP_CHECK(raw_tag < kDirtyBit);
     const uint64_t i = set * ways_ + way;
-    tags_[i] = raw_tag;
-    ts_[i] = ts;
-    dirty_[i] = dirty ? 1 : 0;
+    recs_[i].tag = raw_tag | (dirty ? kDirtyBit : 0);
+    recs_[i].ts = ts;
   }
 
  private:
-  // State is three parallel arrays indexed set-major (set * ways + way):
-  //  - tags_ stores key + 1, with 0 meaning "invalid way" (keys are line
-  //    or page numbers, so key + 1 never wraps);
-  //  - ts_ stores the last-touch tick of the monotonic per-cache clock
+  // State is one set-major array of 16-byte way records (set * ways + way):
+  //  - tag packs the key + 1 in the low 63 bits, with 0 meaning "invalid
+  //    way" (keys are line or page numbers < 2^58, so key + 1 never
+  //    reaches the top bit), and the per-line dirty bit at bit 63;
+  //  - ts stores the last-touch tick of the monotonic per-cache clock
   //    (0 == never touched). True LRU: every touch stamps a fresh tick and
   //    the victim is the minimum stamp in the set — invalid ways carry
   //    stamp 0 and therefore win victim selection automatically, with the
-  //    same first-wins tie-break as an explicit invalid-way scan;
-  //  - dirty_ carries the per-line dirty bit.
+  //    same first-wins tie-break as an explicit invalid-way scan.
+  // Interleaving tag/ts/dirty per set keeps a random set probe to a couple
+  // of host cache lines; the layout is invisible to the model.
+  // mru_ holds one global way index per set — the way last hit or filled
+  // there. It always points inside its own set (initialized to way 0,
+  // updated only by in-set mutators), so a front-slot tag match is always
+  // a genuine residency hit; it is a pure accelerator and never part of
+  // the modelled state.
+  struct WayRec {
+    uint64_t tag;
+    uint64_t ts;
+  };
+  static constexpr uint64_t kDirtyBit = 1ull << 63;
+  static constexpr uint64_t kTagMask = kDirtyBit - 1;
+
   struct FreeDeleter {
     void operator()(void* p) const { std::free(p); }
   };
@@ -170,20 +262,39 @@ class SetAssociativeCache {
     return ((q - quot * odd_) << odd_shift_) | (key & low_mask_);
   }
 
-  /// Line index of `key` if resident, else -1. An early-exit scan over
-  /// the set's dense tag array; this is the single hottest loop in the
-  /// simulator (measured faster than a fixed-trip bitmask scan here —
-  /// the not-taken compare branches predict essentially perfectly).
-  int64_t Find(uint64_t key) const {
-    const uint64_t base = SetIndex(key) * ways_;
-    const uint64_t tag = key + 1;
-    for (uint32_t w = 0; w < ways_; ++w) {
-      if (tags_[base + w] == tag) return static_cast<int64_t>(base + w);
+  /// Way index of `tag` (key + 1) within `set` if resident, else -1. This
+  /// is the single hottest loop in the simulator: the recently-used-way
+  /// front slot catches the common repeat, then groups of four tag
+  /// compares are ORed so the fallback takes one predictable branch per
+  /// group; a scalar tail pins down the exact (lowest) way.
+  int64_t FindInSet(uint64_t set, uint64_t tag) const {
+    const uint64_t front = mru_[set];
+    if ((recs_[front].tag & kTagMask) == tag) {
+      return static_cast<int64_t>(front);
+    }
+    const uint64_t base = set * ways_;
+    uint32_t w = 0;
+    for (; w + 4 <= ways_; w += 4) {
+      const bool any = ((recs_[base + w].tag & kTagMask) == tag) |
+                       ((recs_[base + w + 1].tag & kTagMask) == tag) |
+                       ((recs_[base + w + 2].tag & kTagMask) == tag) |
+                       ((recs_[base + w + 3].tag & kTagMask) == tag);
+      if (any) break;
+    }
+    for (; w < ways_; ++w) {
+      if ((recs_[base + w].tag & kTagMask) == tag) {
+        return static_cast<int64_t>(base + w);
+      }
     }
     return -1;
   }
 
-  CacheAccessResult InsertAt(uint64_t base, uint64_t key, bool dirty);
+  /// Line index of `key` if resident, else -1.
+  int64_t Find(uint64_t key) const {
+    return FindInSet(SetIndex(key), key + 1);
+  }
+
+  CacheAccessResult InsertAt(uint64_t set, uint64_t key, bool dirty);
 
   uint64_t num_sets_;
   uint32_t ways_;
@@ -196,9 +307,8 @@ class SetAssociativeCache {
   uint32_t odd_shift_ = 0;
   bool odd_fast_ = false;
 
-  Array<uint64_t> tags_;
-  Array<uint64_t> ts_;
-  Array<uint8_t> dirty_;
+  Array<WayRec> recs_;
+  Array<uint32_t> mru_;
   uint64_t clock_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

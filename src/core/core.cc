@@ -87,6 +87,30 @@ void Core::AccessSeq(uint64_t addr, uint32_t elem_bytes, uint64_t count,
     uint64_t k = (64 - off - elem_bytes) / elem_bytes + 1;
     if (k > left) k = left;
     const int slot = static_cast<int>((line >> 6) & (kFilterSlots - 1));
+    // Bulk resident-run lane: when the elements tile whole lines from a
+    // line boundary and the first line would take the walk arm below
+    // (filter mismatch), MemorySystem may service a provably L1-resident
+    // stream run in closed form. Each serviced line then took exactly the
+    // walk the mismatch arm issues, every line of the run shares this 4 KB
+    // page's filter slot, and the per-line filter writes telescope to the
+    // final line — so the element accounting and filter update below are
+    // bit-identical to iterating.
+    if (off == 0 && 64 % elem_bytes == 0 && filter_line_[slot] != line) {
+      const uint64_t per_line = 64 / elem_bytes;
+      const uint64_t lines_wanted = (left + per_line - 1) / per_line;
+      const uint64_t n =
+          memory_.AccessDataRunResident(line, lines_wanted, is_store);
+      if (n > 0) {
+        const uint64_t elems = std::min(left, n * per_line);
+        mc->data_accesses += elems - n;
+        mc->l1d_hits += elems - n;
+        filter_line_[slot] = line + n - 1;
+        filter_dirty_[slot] = is_store;
+        a += elems * elem_bytes;
+        left -= elems;
+        continue;
+      }
+    }
     uint64_t hits = k;
     if (filter_line_[slot] == line) {
       if (is_store && !filter_dirty_[slot]) {
@@ -132,6 +156,24 @@ void Core::AccessRange(SeqCursor& cur, uint64_t addr, uint32_t elem_bytes,
     const uint64_t line = a >> 6;
     uint64_t k = (64 - off - elem_bytes) / elem_bytes + 1;
     if (k > left) k = left;
+    // Same bulk resident-run lane as AccessSeq, with the caller's cursor
+    // standing in for the filter slot (same telescoping argument).
+    if (off == 0 && 64 % elem_bytes == 0 && cur.line != line) {
+      const uint64_t per_line = 64 / elem_bytes;
+      const uint64_t lines_wanted = (left + per_line - 1) / per_line;
+      const uint64_t n =
+          memory_.AccessDataRunResident(line, lines_wanted, is_store);
+      if (n > 0) {
+        const uint64_t elems = std::min(left, n * per_line);
+        mc->data_accesses += elems - n;
+        mc->l1d_hits += elems - n;
+        cur.line = line + n - 1;
+        cur.dirty = is_store;
+        a += elems * elem_bytes;
+        left -= elems;
+        continue;
+      }
+    }
     uint64_t hits = k;
     if (cur.line == line) {
       if (is_store && !cur.dirty) {

@@ -68,6 +68,17 @@ class Core {
   /// accesses to the same cache line (indexed by 4 KB page so interleaved
   /// column streams do not thrash it); everything else walks the full
   /// simulated hierarchy.
+  ///
+  /// Straddle contract (pinned; see core_straddle_contract_test): an
+  /// access that crosses a line boundary bypasses the filter entirely —
+  /// every touched line takes a full hierarchy walk and the filter keeps
+  /// its previous contents. The filter tracks only non-straddling
+  /// accesses, so a straddled store followed by a same-line
+  /// non-straddling store walks the hierarchy again for the dirty
+  /// transition instead of filter-hitting (the walk is an L1 hit; only
+  /// the filter's short-circuit is forgone). `LoadSeq`/`StoreSeq`
+  /// straddle elements take the identical arm, which is what keeps the
+  /// batched and per-element paths counter-equivalent.
   void Load(const void* p, uint32_t bytes) {
     ++mix_.load;
     ++pending_.load;
@@ -114,6 +125,15 @@ class Core {
                 /*is_store=*/true);
   }
 
+  /// Host-side prefetch hint for a simulated access that is about to
+  /// happen (e.g. the next probe key of a batched probe loop): warms the
+  /// host cache lines holding the L2/L3/STLB set metadata that access will
+  /// scan. Never touches simulated state or counters — it is safe to hint
+  /// speculatively or not at all. See MemorySystem::PrefetchData.
+  void PrefetchHint(const void* p) const {
+    memory_.PrefetchData(reinterpret_cast<uint64_t>(p));
+  }
+
   /// --- branch side -----------------------------------------------------
   /// Returns true if the simulated predictor mispredicted.
   bool Branch(uint32_t site_id, bool taken) {
@@ -139,6 +159,11 @@ class Core {
   const CodeRegion& code_region() const { return region_; }
 
   void SetMlpHint(double mlp) { memory_.SetMlpHint(mlp); }
+
+  /// Routes the memory model through its pre-accelerator reference paths
+  /// (bit-identical counters by contract; the differential property test
+  /// drives both and compares). See MemorySystem::SetReferencePaths.
+  void SetReferencePaths(bool on) { memory_.SetReferencePaths(on); }
 
   /// --- observability ---------------------------------------------------
   /// Marks the start/end of a named, nestable profiling region (an

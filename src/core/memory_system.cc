@@ -1,11 +1,18 @@
 #include "core/memory_system.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <cstdlib>
 
 #include "common/macros.h"
 
 namespace uolap::core {
+
+// The fast-path valid-entry bitmask is uint32_t and
+// the full-table victim check compares against ~0u.
+static_assert(kStreamTableEntries == 32,
+              "stream fast-path masks assume a 32-entry detector table");
 
 namespace {
 
@@ -16,7 +23,25 @@ uint64_t Log2Exact(uint64_t x) {
   return shift;
 }
 
+// Process-wide reference-path default: -1 = unresolved (consult the
+// UOLAP_REFERENCE_PATHS environment variable once), else 0/1.
+std::atomic<int> g_reference_default{-1};
+
+bool ResolveReferenceDefault() {
+  int v = g_reference_default.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("UOLAP_REFERENCE_PATHS");
+    v = (env != nullptr && env[0] != '\0' && env[0] != '0') ? 1 : 0;
+    g_reference_default.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
 }  // namespace
+
+void MemorySystem::SetReferencePathsDefault(bool on) {
+  g_reference_default.store(on ? 1 : 0, std::memory_order_relaxed);
+}
 
 MemorySystem::MemorySystem(const MachineConfig& config)
     : config_(config),
@@ -26,8 +51,10 @@ MemorySystem::MemorySystem(const MachineConfig& config)
       l3_(config.l3.num_sets(), config.l3.associativity),
       dtlb_(config.dtlb_entries / config.dtlb_ways, config.dtlb_ways),
       stlb_(config.stlb_entries / config.stlb_ways, config.stlb_ways),
+      reference_paths_(ResolveReferenceDefault()),
       page_shift_(Log2Exact(config.page_bytes)) {
   UOLAP_CHECK(page_shift_ > kLineShift);
+  ResetFastPathState();
   // The seq-access residuals divide by compile-time MLP constants, which
   // IEEE forbids the compiler from strength-reducing itself — precompute
   // them (bit-exact: identical operands, identical quotient bits).
@@ -54,6 +81,20 @@ void MemorySystem::RecomputeMlpCosts() {
   dram_rand_cost_ = config_.DramCycles() / mlp_hint_;
 }
 
+void MemorySystem::ResetFastPathState() {
+  stream_index_.Clear();
+  stream_valid_mask_ = 0;
+  lru_prev_.fill(-1);
+  lru_next_.fill(-1);
+  lru_head_ = -1;
+  lru_tail_ = -1;
+  stream_index_stale_ = false;
+  memo_page_ = kNoPage;
+  memo_dtlb_slot_ = 0;
+  last_level_ = 0;
+  fast_stats_ = FastPathStats{};
+}
+
 void MemorySystem::Reset() {
   l1i_.Clear();
   l1d_.Clear();
@@ -70,6 +111,7 @@ void MemorySystem::Reset() {
   stream_last_fill_dram_.fill(0);
   stream_clock_ = 0;
   matched_stream_ = -1;
+  ResetFastPathState();
   fill_containment_violations_ = 0;
   counters_ = MemCounters{};
   mlp_hint_ = kMlpDefault;
@@ -88,21 +130,24 @@ void MemorySystem::KillStream(int index) {
     counters_.dram_prefetch_waste_bytes += waste * 64;
     ++counters_.streams_killed;
   }
+  if (stream_valid_[u] && !stream_index_stale_) {
+    stream_index_.Remove(stream_next_fwd_[u]);
+    stream_valid_mask_ &= ~(1u << static_cast<uint32_t>(index));
+    LruDetach(index);
+  }
   stream_next_fwd_[u] = 0;
   stream_next_bwd_[u] = 0;
-  stream_ts_[u] = 0;  // ts 0 == free slot; see victim scan in UpdateStreams
+  stream_ts_[u] = 0;  // ts 0 == free slot; see ScanVictim
   stream_run_[u] = 0;
   stream_dir_[u] = 0;
   stream_valid_[u] = 0;
   stream_last_fill_dram_[u] = 0;
 }
 
-bool MemorySystem::UpdateStreams(uint64_t line, bool* is_reaccess) {
-  *is_reaccess = false;
+int MemorySystem::ScanStreams(uint64_t line) const {
   constexpr uint64_t kTol = static_cast<uint64_t>(kStreamSkipTolerance);
   // First-match scan in table order; the subtractions deliberately wrap:
   // line - next_fwd <= tol  <=>  next_fwd <= line <= next_fwd + tol.
-  int matched = -1;
   for (int i = 0; i < kStreamTableEntries; ++i) {
     const size_t u = static_cast<size_t>(i);
     if (!stream_valid_[u]) continue;
@@ -110,10 +155,55 @@ bool MemorySystem::UpdateStreams(uint64_t line, bool* is_reaccess) {
     const bool re = line + 1 == stream_next_fwd_[u];
     const bool fwd = dir >= 0 && line - stream_next_fwd_[u] <= kTol;
     const bool bwd = dir <= 0 && stream_next_bwd_[u] - line <= kTol;
-    if (re || fwd || bwd) {
-      matched = i;
-      break;
+    if (re || fwd || bwd) return i;
+  }
+  return -1;
+}
+
+int MemorySystem::IndexStreams(uint64_t line) const {
+  constexpr uint64_t kTol = static_cast<uint64_t>(kStreamSkipTolerance);
+  // Every ScanStreams match condition places some valid entry's next_fwd
+  // inside [line - tol, line + tol + 2]:
+  //   re-access:  next_fwd == line + 1              (any direction)
+  //   forward:    next_fwd in [line - tol, line]    and dir >= 0
+  //   backward:   next_bwd in [line, line + tol]    and dir <= 0,
+  //               i.e. next_fwd in [line + 2, line + 2 + tol]
+  // If the filter proves no tracked prediction lies in that window, the
+  // scan cannot match — the common case for random probes, answered in
+  // one or two bit tests. Otherwise run the reference scan itself: a
+  // stream is nearby, the scan exits at it, and first-match-in-table-
+  // order semantics are inherited rather than reproduced. (Window keys
+  // that wrap around 0 cannot be tracked — line numbers are < 2^58 — so
+  // clamping the low end is exact.)
+  const uint64_t lo = line >= kTol ? line - kTol : 0;
+  if (!stream_index_.MaybeNear(lo, line + kTol + 2)) return -1;
+  return ScanStreams(line);
+}
+
+int MemorySystem::ScanVictim() const {
+  // Minimum-stamp scan with first-wins ties: free slots carry stamp 0
+  // (the clock starts at 1), so this prefers the first invalid slot when
+  // one exists and the true LRU stream otherwise.
+  int victim = 0;
+  uint64_t victim_ts = stream_ts_[0];
+  for (int i = 1; i < kStreamTableEntries; ++i) {
+    if (stream_ts_[static_cast<size_t>(i)] < victim_ts) {
+      victim = i;
+      victim_ts = stream_ts_[static_cast<size_t>(i)];
     }
+  }
+  return victim;
+}
+
+bool MemorySystem::UpdateStreams(uint64_t line, bool* is_reaccess) {
+  *is_reaccess = false;
+  constexpr uint64_t kTol = static_cast<uint64_t>(kStreamSkipTolerance);
+  int matched;
+  if (UOLAP_UNLIKELY(reference_paths_ || stream_index_stale_)) {
+    matched = ScanStreams(line);
+  } else {
+    matched = IndexStreams(line);
+    UOLAP_DCHECK(matched == ScanStreams(line));
   }
 
   if (matched >= 0) {
@@ -137,6 +227,9 @@ bool MemorySystem::UpdateStreams(uint64_t line, bool* is_reaccess) {
           stream_last_fill_dram_[u] && config_.prefetchers.AnyStreamer()) {
         counters_.dram_prefetch_waste_bytes += skipped * 64;
       }
+      if (!stream_index_stale_) {
+        stream_index_.Move(stream_next_fwd_[u], line + 1);
+      }
       stream_dir_[u] = fwd_match ? 1 : -1;
       stream_next_fwd_[u] = line + 1;
       stream_next_bwd_[u] = line - 1;
@@ -153,17 +246,19 @@ bool MemorySystem::UpdateStreams(uint64_t line, bool* is_reaccess) {
   }
 
   // No stream matched: allocate a fresh detector entry, preferring an
-  // invalid slot over evicting a live stream. Free slots carry stamp 0
-  // (the clock starts at 1), so the minimum-stamp scan with first-wins
-  // ties picks the first invalid slot when one exists and the true LRU
-  // stream otherwise.
-  int victim = 0;
-  uint64_t victim_ts = stream_ts_[0];
-  for (int i = 1; i < kStreamTableEntries; ++i) {
-    if (stream_ts_[static_cast<size_t>(i)] < victim_ts) {
-      victim = i;
-      victim_ts = stream_ts_[static_cast<size_t>(i)];
-    }
+  // invalid slot over evicting a live stream. The fast path reads the
+  // first free slot off the valid-entry bitmask, or the LRU list head
+  // when the table is full — identical to ScanVictim (free slots are
+  // ts 0 / first-wins; valid stamps are distinct, so list order == stamp
+  // order).
+  int victim;
+  if (UOLAP_UNLIKELY(reference_paths_ || stream_index_stale_)) {
+    victim = ScanVictim();
+  } else {
+    victim = stream_valid_mask_ != ~0u
+                 ? std::countr_zero(~stream_valid_mask_)
+                 : static_cast<int>(lru_head_);
+    UOLAP_DCHECK(victim == ScanVictim());
   }
   KillStream(victim);
   const size_t v = static_cast<size_t>(victim);
@@ -173,6 +268,11 @@ bool MemorySystem::UpdateStreams(uint64_t line, bool* is_reaccess) {
   stream_dir_[v] = 0;
   stream_run_[v] = 1;
   stream_last_fill_dram_[v] = 0;
+  if (!stream_index_stale_) {
+    stream_index_.Insert(line + 1);
+    stream_valid_mask_ |= 1u << static_cast<uint32_t>(victim);
+    LruAppend(victim);
+  }
   matched_stream_ = victim;
   TouchStream(matched_stream_);
   return false;
@@ -237,18 +337,38 @@ void MemorySystem::AccessDataLine(uint64_t line, bool is_store) {
   ++counters_.data_accesses;
 
   // --- address translation ---
+  // The page memo caches the DTLB way of the immediately-previous access.
+  // It is consulted only for the very next access, so a memo hit means
+  // the previous translation was a same-page hit or fill — nothing can
+  // have moved or evicted that way in between (same-page translations
+  // never insert, different pages replace the memo first). Replaying the
+  // hit via TouchHit is therefore bit-identical to the reference lookup,
+  // LRU stamps included.
   const uint64_t page = line >> (page_shift_ - kLineShift);
-  if (dtlb_.Access(page, /*is_store=*/false)) {
+  if (!reference_paths_ && page == memo_page_) {
     ++counters_.dtlb_hits;
-  } else if (stlb_.Access(page, /*is_store=*/false)) {
-    ++counters_.stlb_hits;
-    counters_.tlb_cycles += stlb_cost_;
-    dtlb_.InsertAbsent(page, /*dirty=*/false);
+    dtlb_.TouchHit(memo_dtlb_slot_);
+    ++fast_stats_.memo_hits;
   } else {
-    ++counters_.page_walks;
-    counters_.tlb_cycles += page_walk_cost_;
-    stlb_.InsertAbsent(page, /*dirty=*/false);
-    dtlb_.InsertAbsent(page, /*dirty=*/false);
+    const int64_t hit_slot = dtlb_.AccessSlot(page, /*is_store=*/false);
+    if (hit_slot >= 0) {
+      ++counters_.dtlb_hits;
+      memo_page_ = page;
+      memo_dtlb_slot_ = static_cast<uint64_t>(hit_slot);
+    } else if (stlb_.Access(page, /*is_store=*/false)) {
+      ++counters_.stlb_hits;
+      counters_.tlb_cycles += stlb_cost_;
+      const CacheAccessResult fill = dtlb_.InsertAbsent(page, /*dirty=*/false);
+      memo_page_ = page;
+      memo_dtlb_slot_ = fill.slot;
+    } else {
+      ++counters_.page_walks;
+      counters_.tlb_cycles += page_walk_cost_;
+      stlb_.InsertAbsent(page, /*dirty=*/false);
+      const CacheAccessResult fill = dtlb_.InsertAbsent(page, /*dirty=*/false);
+      memo_page_ = page;
+      memo_dtlb_slot_ = fill.slot;
+    }
   }
 
   // --- stream detection (prefetcher training happens on the demand
@@ -260,6 +380,7 @@ void MemorySystem::AccessDataLine(uint64_t line, bool is_store) {
   // --- hierarchy walk ---
   const int level = WalkData(line, is_store);
   if (UOLAP_UNLIKELY(validate_fills_) && level > 1) ValidateFill(line, level);
+  last_level_ = level;
   if (matched_stream_ >= 0) {
     stream_last_fill_dram_[static_cast<size_t>(matched_stream_)] =
         (level == 4) ? 1 : 0;
@@ -335,6 +456,74 @@ void MemorySystem::AccessDataLine(uint64_t line, bool is_store) {
     // streamer catches up.
     counters_.stream_startup_cycles += stream_startup_cost_;
   }
+}
+
+uint64_t MemorySystem::AccessDataRunResidentSlow(uint64_t first_line,
+                                                 uint64_t max_lines,
+                                                 bool is_store) {
+  // Eligibility: the per-line path for each serviced line must provably
+  // take one exact shape — memo-hit translation, first-match advance of
+  // stream `m` with no skip, L1 hit with established-stream costing (no
+  // cycle terms). Every gate below guards one step of that proof (the
+  // inline front already ruled out reference mode, a stale index, a
+  // non-L1 previous access, and no matched stream).
+  const int m = matched_stream_;
+  const size_t u = static_cast<size_t>(m);
+  if (!stream_valid_[u] || stream_dir_[u] != 1 || !StreamEstablished(m)) {
+    return 0;
+  }
+  if (stream_next_fwd_[u] != first_line) return 0;
+  const uint64_t line_shift = page_shift_ - kLineShift;
+  if ((first_line >> line_shift) != memo_page_) return 0;
+  // Clamp to the memo page so every translation is a memo hit.
+  const uint64_t lines_per_page = 1ull << line_shift;
+  const uint64_t page_left =
+      lines_per_page - (first_line & (lines_per_page - 1));
+  const uint64_t n = std::min(max_lines, page_left);
+  if (n == 0) return 0;
+  // A lower-index valid entry whose prediction window overlaps any line
+  // of the run would steal the per-line first-match; refuse the run if
+  // one exists (conservative: direction is not even consulted).
+  constexpr uint64_t kTol = static_cast<uint64_t>(kStreamSkipTolerance);
+  const uint64_t window_lo = first_line - kTol;       // wrapping is fine
+  const uint64_t window_span = (n - 1) + 2 * kTol + 2;  // .. last + tol + 2
+  for (int j = 0; j < m; ++j) {
+    if (!stream_valid_[static_cast<size_t>(j)]) continue;
+    if (stream_next_fwd_[static_cast<size_t>(j)] - window_lo <= window_span) {
+      return 0;
+    }
+  }
+  // Service the L1-resident prefix. A hit is Access()'s exact hit path; a
+  // miss touches nothing and ends the run — the caller's per-line
+  // fallback then records that miss once, exactly as the reference would.
+  uint64_t c = 0;
+  while (c < n && l1d_.AccessIfPresent(first_line + c, is_store)) ++c;
+  if (c == 0) return 0;
+  // Closed-form bulk update, equal to c iterations of the per-line path:
+  // only final states are observable, and every per-line increment below
+  // telescopes (counters, LRU clocks, stream stamp/run/prediction).
+  counters_.data_accesses += c;
+  counters_.l1d_hits += c;
+  counters_.dtlb_hits += c;
+  dtlb_.TouchHitN(memo_dtlb_slot_, c);
+  fast_stats_.memo_hits += c;
+  stream_index_.Move(stream_next_fwd_[u], first_line + c);
+  stream_next_fwd_[u] = first_line + c;
+  stream_next_bwd_[u] = first_line + c - 2;
+  stream_run_[u] += static_cast<uint32_t>(c);
+  stream_clock_ += c;
+  stream_ts_[u] = stream_clock_;
+  if (lru_tail_ != m) {
+    LruDetach(m);
+    LruAppend(m);
+  }
+  stream_last_fill_dram_[u] = 0;
+  matched_stream_ = m;
+  newly_established_ = false;
+  last_level_ = 1;
+  ++fast_stats_.lane_runs;
+  fast_stats_.lane_lines += c;
+  return c;
 }
 
 void MemorySystem::ValidateFill(uint64_t line, int from_level) {

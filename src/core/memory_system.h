@@ -8,6 +8,7 @@
 #include "core/calibration.h"
 #include "core/config.h"
 #include "core/counters.h"
+#include "core/stream_index.h"
 
 namespace uolap::core {
 
@@ -23,6 +24,20 @@ namespace uolap::core {
 /// Cost accounting at access time fills `MemCounters`; the Top-Down model
 /// later combines those with the instruction mix (a fixed point is needed
 /// because prefetch timeliness and bandwidth queuing depend on total time).
+///
+/// Hot-path architecture (DESIGN.md §7): three accelerators sit in front
+/// of the per-line reference machinery, each bit-identical to it by
+/// construction and each switchable back off via SetReferencePaths —
+///  1. an expected-next-line reject filter over the stream-detector table
+///     (StreamIndex) short-circuiting the linear match scan whenever no
+///     tracked stream is near the accessed line, plus a valid-entry
+///     bitmask and an LRU list replacing the linear victim scan;
+///  2. a page-granular translation memo (the (page, dtlb way) of the
+///     immediately-previous access) replaying the DTLB hit path without a
+///     tag scan;
+///  3. a bulk resident-run lane (AccessDataRunResident) servicing
+///     provably L1-resident, stream-established forward runs with
+///     closed-form counter arithmetic.
 class MemorySystem {
  public:
   explicit MemorySystem(const MachineConfig& config);
@@ -42,17 +57,75 @@ class MemorySystem {
   /// One line-granular data access.
   void AccessDataLine(uint64_t line, bool is_store);
 
+  /// Bulk fast lane for sequential line runs: services up to `max_lines`
+  /// consecutive lines starting at `first_line` — but only those provably
+  /// indistinguishable from the per-line path serviced one by one:
+  /// the run must continue the stream matched by the previous access
+  /// (established, forward, predicting exactly `first_line`, with no
+  /// lower-index detector entry able to steal the match), stay within the
+  /// translation memo's page, follow an L1 hit, and every serviced line
+  /// must itself hit L1. Returns the number of lines serviced (0 = caller
+  /// falls back to AccessDataLine); the first unserviced line has had no
+  /// effect on any state. Counter and raw-state effects of the serviced
+  /// prefix are bit-identical to the per-line loop.
+  ///
+  /// Inline front: callers attempt the lane once per fresh line, so the
+  /// ineligible-shape exits (reference mode, cold scans missing past L1)
+  /// must cost a couple of predictable compares, not a function call.
+  uint64_t AccessDataRunResident(uint64_t first_line, uint64_t max_lines,
+                                 bool is_store) {
+    if (reference_paths_ || stream_index_stale_ || last_level_ != 1 ||
+        matched_stream_ < 0) {
+      return 0;
+    }
+    return AccessDataRunResidentSlow(first_line, max_lines, is_store);
+  }
+
   /// One line-granular instruction fetch.
   void FetchCode(uint64_t line);
 
+  /// Host-side prefetch hint for an upcoming data access to `addr`: pulls
+  /// the L2/L3 set and STLB set metadata that access would scan toward the
+  /// host caches. Purely a host optimization — no simulated state or
+  /// counter is touched, so callers (e.g. batched probe loops that know
+  /// the next key) may hint speculatively. No-op on the reference paths,
+  /// which model the pre-overhaul servicing cost faithfully.
+  void PrefetchData(uint64_t addr) const {
+    if (reference_paths_) return;
+    const uint64_t line = addr >> kLineShift;
+    l3_.PrefetchSet(line);
+    l2_.PrefetchSet(line);
+    stlb_.PrefetchSet(line >> (page_shift_ - kLineShift));
+  }
+
   /// Sets the memory-level-parallelism hint used to cost random accesses
   /// from now on. Engines set this per phase (scalar probe loop vs
-  /// vectorized gather etc.; see calibration.h).
+  /// vectorized gather etc.; see calibration.h). Setting the hint it
+  /// already has is free: recomputing the quotients from identical
+  /// operands would reproduce identical bits, so skipping it is exact.
   void SetMlpHint(double mlp) {
+    if (mlp == mlp_hint_) return;
     mlp_hint_ = mlp;
     RecomputeMlpCosts();
   }
   double mlp_hint() const { return mlp_hint_; }
+
+  /// Routes stream detection, victim selection, translation and the bulk
+  /// lane through the pre-accelerator reference code (the linear scans and
+  /// unconditional TLB lookups). Counters and raw cache/TLB/stream state
+  /// are bit-identical either way — the differential property test and the
+  /// CI perf-smoke stage assert exactly that. Defaults to fast; flip the
+  /// default process-wide with SetReferencePathsDefault or the
+  /// UOLAP_REFERENCE_PATHS environment variable (read once).
+  void SetReferencePaths(bool on) {
+    reference_paths_ = on;
+    memo_page_ = kNoPage;
+  }
+  bool reference_paths() const { return reference_paths_; }
+
+  /// Process-wide default for newly constructed MemorySystems; overrides
+  /// the UOLAP_REFERENCE_PATHS environment variable.
+  static void SetReferencePathsDefault(bool on);
 
   /// Flushes live established streams (accounts their trailing prefetch
   /// waste). Call once at the end of a profiled run.
@@ -105,13 +178,27 @@ class MemorySystem {
   }
   uint64_t stream_clock() const { return stream_clock_; }
 
+  /// Engagement counters for the fast paths. These are host-side
+  /// instrumentation, not simulated state: they differ between fast and
+  /// reference runs by design and are never exported into profiles. Tests
+  /// use them to assert the fast paths actually fire.
+  struct FastPathStats {
+    uint64_t memo_hits = 0;   ///< translations served by the page memo
+    uint64_t lane_runs = 0;   ///< bulk resident-run engagements
+    uint64_t lane_lines = 0;  ///< lines serviced by the bulk lane
+  };
+  const FastPathStats& fast_path_stats() const { return fast_stats_; }
+
   /// Test-only corruption hook (audit failure-path tests): records a fake
   /// fill-containment violation so the checker's failure path is testable
   /// (real ones require a model bug by construction).
   void TestOnlyAddFillViolation() { ++fill_containment_violations_; }
 
   /// Test-only corruption hook (audit failure-path tests): overwrite one
-  /// stream-detector entry's raw state.
+  /// stream-detector entry's raw state. Desyncs the fast-path index from
+  /// the table, so it also makes the reference scans sticky until the next
+  /// Reset (bit-identical; the audit checkers see the same raw state
+  /// either way).
   void TestOnlySetStream(int i, bool valid, uint32_t run, int8_t dir,
                          uint64_t ts) {
     const size_t u = static_cast<size_t>(i);
@@ -119,18 +206,23 @@ class MemorySystem {
     stream_run_[u] = run;
     stream_dir_[u] = dir;
     stream_ts_[u] = ts;
+    stream_index_stale_ = true;
   }
 
  private:
   static constexpr int kLineShift = 6;  // 64-byte lines
+  static constexpr uint64_t kNoPage = ~0ull;
 
-  /// The detector table is structure-of-arrays: every data access scans it
-  /// (all of it, for random accesses), so the per-entry hot fields live in
-  /// dense parallel arrays instead of a 40-byte struct stride.
+  /// The detector table is structure-of-arrays: every data access probes
+  /// it, so the per-entry hot fields live in dense parallel arrays instead
+  /// of a 40-byte struct stride.
   ///   next_fwd/next_bwd: expected next line in each direction
   ///   ts:   last-touch tick (larger == younger)
   ///   run:  consecutive matches so far
   ///   dir:  +1 forward, -1 backward, 0 undecided
+  /// Valid entries always keep next_bwd == next_fwd - 2 (both are set
+  /// together on every allocate/advance), which is why the fast-path index
+  /// can key on next_fwd alone.
   bool StreamEstablished(int i) const {
     return stream_run_[static_cast<size_t>(i)] >=
            static_cast<uint32_t>(kStreamEstablishLength);
@@ -139,13 +231,71 @@ class MemorySystem {
   /// Updates the stream detector with `line`; returns whether the access
   /// belongs to an established sequential stream.
   bool UpdateStreams(uint64_t line, bool* is_reaccess);
+  /// Reference matcher: first-match scan in table order. Pure.
+  int ScanStreams(uint64_t line) const;
+  /// Fast matcher: O(1) StreamIndex window reject, falling back to
+  /// ScanStreams when a tracked stream is nearby; returns the same entry
+  /// ScanStreams would (asserted in debug builds).
+  int IndexStreams(uint64_t line) const;
+  /// Eligibility proof + closed-form servicing behind the inline
+  /// AccessDataRunResident front (which has already ruled out reference
+  /// mode, a stale index, a non-L1 previous access, and no matched
+  /// stream).
+  uint64_t AccessDataRunResidentSlow(uint64_t first_line, uint64_t max_lines,
+                                     bool is_store);
+  /// Reference victim: linear minimum-stamp scan (free slots carry stamp
+  /// 0, so they win with first-in-table-order ties). Pure.
+  int ScanVictim() const;
+
   /// Timestamp true-LRU, like SetAssociativeCache: a touch is one stamp,
   /// the victim is the minimum stamp (identical replacement order to the
-  /// rank-based scheme, O(1) per touch instead of O(entries)).
+  /// rank-based scheme, O(1) per touch instead of O(entries)). Stamps of
+  /// valid entries are distinct, so the LRU list order below mirrors the
+  /// stamp order exactly.
   void TouchStream(int index) {
     stream_ts_[static_cast<size_t>(index)] = ++stream_clock_;
+    if (!stream_index_stale_ && lru_tail_ != index) {
+      LruDetach(index);
+      LruAppend(index);
+    }
   }
   void KillStream(int index);
+
+  // Doubly-linked LRU list over valid detector entries (head = oldest
+  // stamp, tail = youngest); -1 terminates. Maintained alongside the
+  // valid-entry bitmask. All of it is fast-path acceleration state: it is
+  // rebuilt empty on Reset and abandoned (stream_index_stale_) if a
+  // test-only hook edits the table underneath it.
+  void LruDetach(int index) {
+    const size_t u = static_cast<size_t>(index);
+    const int8_t p = lru_prev_[u];
+    const int8_t n = lru_next_[u];
+    if (p >= 0) {
+      lru_next_[static_cast<size_t>(p)] = n;
+    } else {
+      lru_head_ = n;
+    }
+    if (n >= 0) {
+      lru_prev_[static_cast<size_t>(n)] = p;
+    } else {
+      lru_tail_ = p;
+    }
+  }
+  void LruAppend(int index) {
+    const size_t u = static_cast<size_t>(index);
+    lru_prev_[u] = lru_tail_;
+    lru_next_[u] = -1;
+    if (lru_tail_ >= 0) {
+      lru_next_[static_cast<size_t>(lru_tail_)] = static_cast<int8_t>(index);
+    } else {
+      lru_head_ = static_cast<int8_t>(index);
+    }
+    lru_tail_ = static_cast<int8_t>(index);
+  }
+
+  /// Shared by the constructor and Reset(): empty index/list/mask/memo
+  /// acceleration state.
+  void ResetFastPathState();
 
   /// Walks L1D -> L2 -> L3 -> DRAM and performs fills; returns 1/2/3/4 for
   /// the level that serviced the access (4 == DRAM).
@@ -183,6 +333,21 @@ class MemorySystem {
   uint64_t stream_clock_ = 0;
   int matched_stream_ = -1;      ///< detector entry used by the last access
   bool newly_established_ = false;
+
+  // --- fast-path acceleration state (never part of the modelled state) --
+  StreamIndex stream_index_;
+  uint32_t stream_valid_mask_ = 0;
+  std::array<int8_t, kStreamTableEntries> lru_prev_{};
+  std::array<int8_t, kStreamTableEntries> lru_next_{};
+  int8_t lru_head_ = -1;
+  int8_t lru_tail_ = -1;
+  bool reference_paths_ = false;
+  bool stream_index_stale_ = false;
+  uint64_t memo_page_ = kNoPage;  ///< page of the previous data access
+  uint64_t memo_dtlb_slot_ = 0;   ///< its DTLB way (global index)
+  int last_level_ = 0;            ///< service level of the previous access
+  FastPathStats fast_stats_;
+
   double mlp_hint_ = kMlpDefault;
   // Quotients of RecomputeMlpCosts (functions of mlp_hint_):
   double stlb_cost_ = 0;

@@ -1,0 +1,84 @@
+#ifndef UOLAP_CORE_STREAM_INDEX_H_
+#define UOLAP_CORE_STREAM_INDEX_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/macros.h"
+
+namespace uolap::core {
+
+/// Expected-next-line reject filter over the stream-detector table.
+///
+/// Every valid detector entry predicts one line (`next_fwd`), and every
+/// matching condition in MemorySystem::ScanStreams is a small window
+/// around the predicted lines (re-access, forward with skip tolerance,
+/// backward translated through `next_bwd == next_fwd - 2`). This filter
+/// summarizes the set of predicted lines at 16-line granularity in a
+/// 256-bucket counting Bloom filter: `MaybeNear(lo, hi)` checks the one
+/// or two granule bits the ~9-line candidate window can span, and a false
+/// answer proves no detector entry can match — the common case for random
+/// probes, which almost never land near a tracked stream. On a true
+/// answer the caller falls back to the reference match scan, which is the
+/// cheap case for sequential shapes (the matching entry exists and the
+/// scan exits at it).
+///
+/// Counts (uint8, one per granule; at most kStreamTableEntries = 32 keys
+/// are ever tracked, so they cannot saturate) make removal exact; the
+/// derived occupancy bitset is what MaybeNear tests. Maintenance is O(1)
+/// per insert/remove/move — no hashing, no probe chains — which is what
+/// keeps the filter off the scan shapes' critical path.
+class StreamIndex {
+ public:
+  void Clear() {
+    near_sig_.fill(0);
+    near_cnt_.fill(0);
+  }
+
+  /// Constant-time negative filter over the whole candidate window
+  /// [lo, hi]: false guarantees no tracked predicted line lies in the
+  /// range, true means "maybe — run the reference match scan".
+  bool MaybeNear(uint64_t lo, uint64_t hi) const {
+    uint64_t g = lo >> kGranuleShift;
+    const uint64_t last = hi >> kGranuleShift;
+    for (;; ++g) {
+      const uint32_t b = static_cast<uint32_t>(g) & (kGranules - 1);
+      if ((near_sig_[b >> 6] >> (b & 63)) & 1) return true;
+      if (g >= last) return false;
+    }
+  }
+
+  /// Records that some detector entry now predicts `line`.
+  void Insert(uint64_t line) {
+    const uint32_t g =
+        static_cast<uint32_t>(line >> kGranuleShift) & (kGranules - 1);
+    if (near_cnt_[g]++ == 0) near_sig_[g >> 6] |= 1ull << (g & 63);
+  }
+
+  /// Removes one prediction of `line` (which must be tracked).
+  void Remove(uint64_t line) {
+    const uint32_t g =
+        static_cast<uint32_t>(line >> kGranuleShift) & (kGranules - 1);
+    UOLAP_DCHECK(near_cnt_[g] != 0);
+    if (--near_cnt_[g] == 0) near_sig_[g >> 6] &= ~(1ull << (g & 63));
+  }
+
+  /// Moves one prediction from `from_line` to `to_line`.
+  void Move(uint64_t from_line, uint64_t to_line) {
+    Remove(from_line);
+    Insert(to_line);
+  }
+
+ private:
+  static constexpr uint32_t kGranuleShift = 4;  // 16-line granules
+  static constexpr uint32_t kGranules = 256;
+
+  /// Counting Bloom summary: per-granule prediction counts and the
+  /// derived occupancy bitset (4x 64 bits) MaybeNear tests.
+  std::array<uint64_t, kGranules / 64> near_sig_{};
+  std::array<uint8_t, kGranules> near_cnt_{};
+};
+
+}  // namespace uolap::core
+
+#endif  // UOLAP_CORE_STREAM_INDEX_H_

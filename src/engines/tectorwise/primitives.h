@@ -421,6 +421,13 @@ void MapAddDenseGather(VecCtx ctx, int64_t* out, const int64_t* dense,
 /// Writes matching positions to sel_out and payloads to payload_out.
 /// In SIMD mode the bucket/entry accesses become gathers: same memory
 /// traffic, fewer instructions, much higher MLP (the Section 8.2 story).
+///
+/// Deliberately NOT layered on JoinHashTable::ProbeFirstBlock: the
+/// vectorized walk charges its own branch sites (the has-entry branch at
+/// `branch_site + min(step, 3)` and no per-step match branch), which
+/// differ from ProbeFirst's — rewriting on top of it would shift
+/// predictor state and drift counters. The per-call SetMlpHint below is
+/// free when the hint is unchanged (Core::SetMlpHint no-ops).
 template <typename KeyT>
 size_t HtProbeSel(VecCtx ctx, uint32_t branch_site,
                   const engine::JoinHashTable& ht, const KeyT* keys,

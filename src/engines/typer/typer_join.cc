@@ -73,16 +73,13 @@ Money TyperEngine::Join(Workers& w, JoinSize size) const {
         ColumnView<Money> bal(s.acctbal, &core);
         ColumnView<int64_t> sk(s.suppkey, &core);
         Money acc = 0;
-        int64_t payload;
         for (size_t b = r.begin; b < r.end; b += kBlock) {
           const size_t e = std::min(r.end, b + kBlock);
           nk.Touch(b, e - b);  // the probe-key column is read every tuple
-          for (size_t i = b; i < e; ++i) {
-            if (ht.ProbeFirst(core, engine::branch_site::kJoinChain,
-                              nk.GetRaw(i), &payload)) {
-              acc += bal.Get(i) + sk.Get(i);
-            }
-          }
+          ht.ProbeFirstBlock(
+              core, engine::branch_site::kJoinChain, core::kMlpScalarProbe,
+              b, e, [&](size_t i) { return nk.GetRaw(i); },
+              [&](size_t i, int64_t) { acc += bal.Get(i) + sk.Get(i); });
         }
         InstrMix per_tuple;
         per_tuple.alu = 3;
@@ -112,16 +109,13 @@ Money TyperEngine::Join(Workers& w, JoinSize size) const {
         ColumnView<int64_t> avail(ps.availqty, &core);
         ColumnView<Money> cost(ps.supplycost, &core);
         Money acc = 0;
-        int64_t payload;
         for (size_t b = r.begin; b < r.end; b += kBlock) {
           const size_t e = std::min(r.end, b + kBlock);
           sk.Touch(b, e - b);
-          for (size_t i = b; i < e; ++i) {
-            if (ht.ProbeFirst(core, engine::branch_site::kJoinChain,
-                              sk.GetRaw(i), &payload)) {
-              acc += avail.Get(i) + cost.Get(i);
-            }
-          }
+          ht.ProbeFirstBlock(
+              core, engine::branch_site::kJoinChain, core::kMlpScalarProbe,
+              b, e, [&](size_t i) { return sk.GetRaw(i); },
+              [&](size_t i, int64_t) { acc += avail.Get(i) + cost.Get(i); });
         }
         InstrMix per_tuple;
         per_tuple.alu = 3;
@@ -153,18 +147,17 @@ Money TyperEngine::Join(Workers& w, JoinSize size) const {
         ColumnView<int64_t> tax(l.tax, &core);
         ColumnView<int64_t> qty(l.quantity, &core);
         Money acc = 0;
-        int64_t payload;
         {
           core::ScopedRegion probe_region(core, "probe");
           for (size_t b = r.begin; b < r.end; b += kBlock) {
             const size_t e = std::min(r.end, b + kBlock);
             ok.Touch(b, e - b);
-            for (size_t i = b; i < e; ++i) {
-              if (ht.ProbeFirst(core, engine::branch_site::kJoinChain,
-                                ok.GetRaw(i), &payload)) {
-                acc += ep.Get(i) + disc.Get(i) + tax.Get(i) + qty.Get(i);
-              }
-            }
+            ht.ProbeFirstBlock(
+                core, engine::branch_site::kJoinChain, core::kMlpScalarProbe,
+                b, e, [&](size_t i) { return ok.GetRaw(i); },
+                [&](size_t i, int64_t) {
+                  acc += ep.Get(i) + disc.Get(i) + tax.Get(i) + qty.Get(i);
+                });
           }
           InstrMix per_tuple;
           per_tuple.alu = 3;
@@ -215,19 +208,17 @@ Money TyperEngine::JoinLargeInterleaved(Workers& w) const {
     ColumnView<int64_t> tax(l.tax, &core);
     ColumnView<int64_t> qty(l.quantity, &core);
     Money acc = 0;
-    int64_t payload;
     {
       core::ScopedRegion probe_region(core, "probe");
       for (size_t base = r.begin; base < r.end; base += kGroup) {
         const size_t m = std::min(kGroup, r.end - base);
         ok.Touch(base, m);  // the group's keys are gathered up front
-        for (size_t k = 0; k < m; ++k) {
-          const size_t i = base + k;
-          if (ht.ProbeFirst(core, engine::branch_site::kJoinChain,
-                            ok.GetRaw(i), &payload)) {
-            acc += ep.Get(i) + disc.Get(i) + tax.Get(i) + qty.Get(i);
-          }
-        }
+        ht.ProbeFirstBlock(
+            core, engine::branch_site::kJoinChain, core::kMlpSimdGather,
+            base, base + m, [&](size_t i) { return ok.GetRaw(i); },
+            [&](size_t i, int64_t) {
+              acc += ep.Get(i) + disc.Get(i) + tax.Get(i) + qty.Get(i);
+            });
         // Group-state management + software prefetch issue per probe; the
         // serial chase chain of the plain probe is overlapped away, so no
         // extra chain cycles are charged here.

@@ -1,0 +1,113 @@
+// Pins the line-straddle contract documented on Core::Load/Store
+// (core.h): an access crossing a cache-line boundary bypasses the L1
+// same-line filter entirely — it walks every touched line and leaves the
+// filter untouched. Consequently a straddled store followed by a
+// same-line non-straddling store walks the hierarchy again for the dirty
+// transition instead of filter-hitting. These counter sequences are the
+// model's long-standing behaviour; downstream goldens depend on them, so
+// any change here must be deliberate (and re-golden everything).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/core.h"
+#include "core/machine.h"
+
+namespace uolap::core {
+namespace {
+
+const void* Ptr(uint64_t addr) {
+  return reinterpret_cast<const void*>(static_cast<uintptr_t>(addr));
+}
+void* MutPtr(uint64_t addr) {
+  return reinterpret_cast<void*>(static_cast<uintptr_t>(addr));
+}
+
+// Base of an otherwise-untouched region; line-aligned, page-aligned.
+constexpr uint64_t kBase = 1ull << 30;
+
+TEST(StraddleContractTest, StraddledStoreBypassesFilter) {
+  Core core(MachineConfig::Broadwell());
+  const MemCounters& mem = core.memory().counters();
+
+  // 8-byte store at line offset 60: straddles lines L and L+1. Both lines
+  // are walked; the filter is left untouched.
+  core.Store(MutPtr(kBase + 60), 8);
+  EXPECT_EQ(mem.data_accesses, 2u);
+  EXPECT_EQ(mem.l1d_hits, 0u);  // cold: both lines walked to DRAM
+
+  // Non-straddling store to line L: the filter does NOT remember the
+  // straddled access, so this walks the hierarchy again (an L1 hit now).
+  core.Store(MutPtr(kBase), 8);
+  EXPECT_EQ(mem.data_accesses, 3u);
+  EXPECT_EQ(mem.l1d_hits, 1u);
+
+  // Same store again: now the filter holds (L, dirty) and collapses the
+  // access without a walk — counted as an L1 hit directly.
+  core.Store(MutPtr(kBase + 8), 8);
+  EXPECT_EQ(mem.data_accesses, 4u);
+  EXPECT_EQ(mem.l1d_hits, 2u);
+}
+
+TEST(StraddleContractTest, StraddledLoadThenDirtyTransition) {
+  Core core(MachineConfig::Broadwell());
+  const MemCounters& mem = core.memory().counters();
+
+  // Straddling load walks both lines, filter untouched.
+  core.Load(Ptr(kBase + 60), 8);
+  EXPECT_EQ(mem.data_accesses, 2u);
+
+  // Non-straddling load to line L: filter mismatch, walks (L1 hit),
+  // filter := (L, clean).
+  core.Load(Ptr(kBase), 8);
+  EXPECT_EQ(mem.data_accesses, 3u);
+  EXPECT_EQ(mem.l1d_hits, 1u);
+
+  // Store to the same line: filter hit but clean -> dirty transition
+  // walks the hierarchy once more (L1 hit, line marked dirty).
+  core.Store(MutPtr(kBase + 16), 8);
+  EXPECT_EQ(mem.data_accesses, 4u);
+  EXPECT_EQ(mem.l1d_hits, 2u);
+
+  // And again: filter holds (L, dirty) -> pure collapse.
+  core.Store(MutPtr(kBase + 24), 8);
+  EXPECT_EQ(mem.data_accesses, 5u);
+  EXPECT_EQ(mem.l1d_hits, 3u);
+}
+
+TEST(StraddleContractTest, BatchedStraddleElementsTakeTheSameArm) {
+  // StoreSeq with an element straddling at offset 60 must produce the
+  // identical sequence: the straddling element walks both lines and does
+  // not update the filter; the next element (offset 4 of line L+1) takes
+  // the filter-mismatch walk.
+  Core batched(MachineConfig::Broadwell());
+  const MemCounters& mem = batched.memory().counters();
+  batched.StoreSeq(MutPtr(kBase + 60), 8, 2);
+  EXPECT_EQ(mem.data_accesses, 3u);
+  EXPECT_EQ(mem.l1d_hits, 1u);  // the second element hits the just-filled L+1
+
+  // Per-element equivalent, for the exact same counters.
+  Core elem(MachineConfig::Broadwell());
+  const MemCounters& mem2 = elem.memory().counters();
+  elem.Store(MutPtr(kBase + 60), 8);
+  elem.Store(MutPtr(kBase + 68), 8);
+  EXPECT_EQ(mem2.data_accesses, mem.data_accesses);
+  EXPECT_EQ(mem2.l1d_hits, mem.l1d_hits);
+  EXPECT_EQ(mem2.dtlb_hits, mem.dtlb_hits);
+  EXPECT_EQ(mem2.page_walks, mem.page_walks);
+}
+
+TEST(StraddleContractTest, PageStraddleWalksBothPages) {
+  Core core(MachineConfig::Broadwell());
+  const MemCounters& mem = core.memory().counters();
+  // 8-byte access at the last 4 bytes of a page: two lines, two pages —
+  // two translations (both page walks when cold).
+  core.Load(Ptr(kBase + 4096 - 4), 8);
+  EXPECT_EQ(mem.data_accesses, 2u);
+  EXPECT_EQ(mem.page_walks, 2u);
+  EXPECT_EQ(mem.dtlb_hits, 0u);
+}
+
+}  // namespace
+}  // namespace uolap::core
