@@ -5,7 +5,7 @@
 // resident runs, stream establish/advance/kill churn, the translation
 // memo, random probes through the stream-index reject filter, line and
 // page straddles, and branchy retire traffic. The finalized counters are
-// exported as a real v3 profile.
+// exported as a real versioned profile.
 //
 //   uolap_perfsmoke --json=out.json [--reference]
 //

@@ -1,22 +1,31 @@
 // Works with the profile JSONs that every figure bench emits via --json:
-// validate them, summarize one, diff two as a perf-regression gate, or
-// merge several into a mechanical BENCH_sim.json.
+// validate them, summarize one, diff two as a perf-regression gate, rank
+// the hottest tenants/classes/metrics, gate on SLO specs, or merge
+// several into a mechanical BENCH_sim.json.
 //
 //   uolap_report validate a.json [b.json ...]
 //   uolap_report summary  profile.json [--regions]
+//                         [--section=server|regions|metrics]
+//   uolap_report top      profile.json [--n=5]
+//   uolap_report slo      profile.json [--slo='t:p99<5ms'] [--spec=file]
 //   uolap_report diff     before.json after.json [--max-regress=0.05]
 //   uolap_report merge    --out=BENCH_sim.json [--throughput=micro.json]
-//                         a.json [b.json ...]
+//                         [--serve=serve.json] a.json [b.json ...]
 //
 // `validate` accepts both profile JSONs (schema "uolap-profile") and
 // Chrome trace JSONs (object with a "traceEvents" array); everything else
 // wants profile JSONs. `diff` matches runs by (label, threads), prints the
 // per-run modelled-cycle delta, and exits non-zero when any matched run
 // regresses by more than --max-regress (default 5%) — the gate future perf
-// PRs run in CI.
+// PRs run in CI. `slo` evaluates SLO clauses (from --slo, a --spec file
+// of one clause per line, or the specs embedded in the profile's server
+// block) against the profile's SLO epoch windows and exits non-zero on
+// any violation — the serve-SLO smoke gate.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <string>
 #include <utility>
@@ -27,6 +36,8 @@
 #include "obs/json.h"
 #include "obs/json_writer.h"
 #include "obs/profile_export.h"
+#include "obs/record.h"
+#include "obs/slo.h"
 
 namespace {
 
@@ -36,12 +47,17 @@ using uolap::obs::JsonValue;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: uolap_report <validate|summary|diff|merge> ...\n"
+               "usage: uolap_report <validate|summary|top|slo|diff|merge>"
+               " ...\n"
                "  validate a.json [b.json ...]\n"
-               "  summary  profile.json [--regions]\n"
+               "  summary  profile.json [--regions] "
+               "[--section=server|regions|metrics]\n"
+               "  top      profile.json [--n=5]\n"
+               "  slo      profile.json [--slo='tenant:p99<5ms,...'] "
+               "[--spec=slo.spec]\n"
                "  diff     before.json after.json [--max-regress=0.05]\n"
                "  merge    --out=BENCH_sim.json [--throughput=micro.json] "
-               "a.json [b.json ...]\n");
+               "[--serve=serve.json] a.json [b.json ...]\n");
   return 2;
 }
 
@@ -56,11 +72,15 @@ bool ValidateFile(const std::string& path, JsonValue* out = nullptr) {
   }
   const JsonValue& v = doc.value();
   if (v.is_object() && v.GetString("schema") == uolap::obs::kProfileSchemaName) {
-    // v3 added the optional "server" block on top of v2; both parse here.
+    // v3 added the optional "server" block and v4 the telemetry fields on
+    // top of v2; every supported version parses here (later fields simply
+    // read as absent from older files).
     const int version = static_cast<int>(v.GetNumber("version", -1));
-    if (version != 2 && version != uolap::obs::kProfileSchemaVersion) {
-      std::fprintf(stderr, "%s: profile schema version %d, expected 2..%d\n",
-                   path.c_str(), version, uolap::obs::kProfileSchemaVersion);
+    if (!uolap::obs::IsSupportedProfileVersion(version)) {
+      std::fprintf(stderr, "%s: profile schema version %d, expected %d..%d\n",
+                   path.c_str(), version,
+                   uolap::obs::kMinProfileSchemaVersion,
+                   uolap::obs::kProfileSchemaVersion);
       return false;
     }
     const JsonValue* runs = v.Find("runs");
@@ -144,19 +164,32 @@ void PrintRegions(const JsonValue& core) {
   std::printf("%s", t.ToAscii().c_str());
 }
 
-/// Prints the v3 "server" block (multi-tenant serving runs): per-tenant
+/// Prints the "server" block (multi-tenant serving runs): per-tenant
 /// latency percentiles, per-engine load, and the solo-vs-co-run class
 /// attribution that shows where shared-bandwidth contention landed.
 void PrintServer(const JsonValue& server) {
   std::printf(
       "serving: %d cores | vtime %.1f ms | %g/%g completed | "
-      "%.1f qps | socket %.1f GB/s avg, %.1f GB/s peak%s\n\n",
+      "%.1f qps | socket %.1f GB/s avg, %.1f GB/s peak%s\n",
       static_cast<int>(server.GetNumber("cores")),
       server.GetNumber("vtime_ms"), server.GetNumber("completed"),
       server.GetNumber("submitted"), server.GetNumber("throughput_qps"),
       server.GetNumber("avg_socket_gbps"),
       server.GetNumber("peak_socket_gbps"),
       server.GetBool("saturated") ? " | SATURATED" : "");
+  // v4 telemetry rollup (absent in v2/v3 files).
+  const JsonValue* epochs = server.Find("epochs");
+  if (epochs != nullptr && epochs->is_array()) {
+    std::printf(
+        "telemetry: %zu epochs of %g ms | overall p50/p95/p99 "
+        "%.2f/%.2f/%.2f ms | %zu slo specs\n",
+        epochs->array.size(), server.GetNumber("epoch_ms"),
+        server.GetNumber("p50_ms"), server.GetNumber("p95_ms"),
+        server.GetNumber("p99_ms"),
+        server.Find("slos") != nullptr ? server.Find("slos")->array.size()
+                                       : 0);
+  }
+  std::printf("\n");
   const JsonValue* tenants = server.Find("tenants");
   if (tenants != nullptr && !tenants->array.empty()) {
     TablePrinter t("tenants");
@@ -205,7 +238,63 @@ void PrintServer(const JsonValue& server) {
   }
 }
 
-int Summary(const JsonValue& profile, bool show_regions) {
+/// Prints the v4 "metrics" block: one row per series with the payload
+/// matching the family kind (counter value, gauge value, or histogram
+/// count/sum).
+void PrintMetrics(const JsonValue& metrics) {
+  TablePrinter t("metrics");
+  t.SetHeader({"metric", "kind", "label", "value"});
+  for (const JsonValue& family : metrics.array) {
+    const std::string name = family.GetString("name");
+    const std::string kind = family.GetString("kind");
+    const JsonValue* series = family.Find("series");
+    if (series == nullptr) continue;
+    for (const JsonValue& s : series->array) {
+      const std::string label_key = s.GetString("label_key");
+      const std::string label =
+          label_key.empty() ? "-"
+                            : label_key + "=" + s.GetString("label_value");
+      std::string value;
+      if (kind == "histogram") {
+        value = TablePrinter::Fmt(s.GetNumber("count"), 0) + " obs, sum " +
+                TablePrinter::Fmt(s.GetNumber("sum_micro") / 1e6, 2);
+      } else {
+        value = TablePrinter::Fmt(s.GetNumber("value"), kind == "gauge" ? 2 : 0);
+      }
+      t.AddRow({name, kind, label, value});
+    }
+  }
+  std::printf("%s", t.ToAscii().c_str());
+}
+
+int Summary(const JsonValue& profile, bool show_regions,
+            const std::string& section) {
+  const JsonValue* server = profile.Find("server");
+  const JsonValue* metrics = profile.Find("metrics");
+  const JsonValue* runs = profile.Find("runs");
+  if (section == "server") {
+    if (server == nullptr || !server->is_object()) {
+      std::fprintf(stderr, "profile has no server block\n");
+      return 1;
+    }
+    PrintServer(*server);
+    return 0;
+  }
+  if (section == "metrics") {
+    if (metrics == nullptr || !metrics->is_array()) {
+      std::fprintf(stderr, "profile has no metrics block\n");
+      return 1;
+    }
+    PrintMetrics(*metrics);
+    return 0;
+  }
+  if (section == "regions") show_regions = true;
+  if (!section.empty() && section != "regions") {
+    std::fprintf(stderr,
+                 "--section wants server, regions, or metrics, got '%s'\n",
+                 section.c_str());
+    return 2;
+  }
   std::printf("bench %s | machine %s | sf %g | seed %llu%s | wall %.0f ms\n\n",
               profile.GetString("bench", "?").c_str(),
               profile.GetString("machine", "?").c_str(),
@@ -213,9 +302,12 @@ int Summary(const JsonValue& profile, bool show_regions) {
               static_cast<unsigned long long>(profile.GetNumber("seed")),
               profile.GetBool("quick") ? " | --quick" : "",
               profile.GetNumber("wall_ms"));
-  const JsonValue* server = profile.Find("server");
   if (server != nullptr && server->is_object()) PrintServer(*server);
-  const JsonValue* runs = profile.Find("runs");
+  if (metrics != nullptr && metrics->is_array()) {
+    std::printf("metrics: %zu families recorded "
+                "(--section=metrics to list)\n\n",
+                metrics->array.size());
+  }
   TablePrinter t("runs");
   t.SetHeader({"label", "threads", "Mcycles", "time ms", "GB/s", "regions"});
   for (const JsonValue& run : runs->array) {
@@ -245,6 +337,246 @@ int Summary(const JsonValue& profile, bool show_regions) {
     }
   }
   return 0;
+}
+
+/// `top`: ranks the hottest subjects of a profile — tenants by p99,
+/// classes by co-run service time, counter metrics by value. For profiles
+/// without a server block, falls back to the costliest runs by cycles.
+int Top(const JsonValue& profile, int n) {
+  const size_t limit = n > 0 ? static_cast<size_t>(n) : 5;
+  const JsonValue* server = profile.Find("server");
+  bool printed = false;
+
+  if (server != nullptr && server->is_object()) {
+    const JsonValue* tenants = server->Find("tenants");
+    if (tenants != nullptr && !tenants->array.empty()) {
+      std::vector<const JsonValue*> rows;
+      for (const JsonValue& t : tenants->array) rows.push_back(&t);
+      std::stable_sort(rows.begin(), rows.end(),
+                       [](const JsonValue* a, const JsonValue* b) {
+                         return a->GetNumber("p99_ms") > b->GetNumber("p99_ms");
+                       });
+      TablePrinter t("top tenants by p99 latency");
+      t.SetHeader({"tenant", "engine", "done", "p99 ms", "qps"});
+      for (size_t i = 0; i < rows.size() && i < limit; ++i) {
+        t.AddRow({rows[i]->GetString("name"), rows[i]->GetString("engine"),
+                  TablePrinter::Fmt(rows[i]->GetNumber("completed"), 0),
+                  TablePrinter::Fmt(rows[i]->GetNumber("p99_ms"), 2),
+                  TablePrinter::Fmt(rows[i]->GetNumber("throughput_qps"), 1)});
+      }
+      std::printf("%s\n", t.ToAscii().c_str());
+      printed = true;
+    }
+    const JsonValue* classes = server->Find("classes");
+    if (classes != nullptr && !classes->array.empty()) {
+      std::vector<const JsonValue*> rows;
+      for (const JsonValue& c : classes->array) rows.push_back(&c);
+      std::stable_sort(
+          rows.begin(), rows.end(),
+          [](const JsonValue* a, const JsonValue* b) {
+            return a->GetNumber("corun_ms") > b->GetNumber("corun_ms");
+          });
+      TablePrinter t("top query classes by co-run service time");
+      t.SetHeader({"class", "runs", "solo ms", "corun ms", "bw scale"});
+      for (size_t i = 0; i < rows.size() && i < limit; ++i) {
+        t.AddRow({rows[i]->GetString("label"),
+                  TablePrinter::Fmt(rows[i]->GetNumber("executions"), 0),
+                  TablePrinter::Fmt(rows[i]->GetNumber("solo_ms"), 2),
+                  TablePrinter::Fmt(rows[i]->GetNumber("corun_ms"), 2),
+                  TablePrinter::Fmt(rows[i]->GetNumber("avg_bw_scale"), 3)});
+      }
+      std::printf("%s\n", t.ToAscii().c_str());
+      printed = true;
+    }
+  }
+
+  const JsonValue* metrics = profile.Find("metrics");
+  if (metrics != nullptr && metrics->is_array()) {
+    struct CounterRow {
+      std::string name;
+      std::string label;
+      double value = 0;
+    };
+    std::vector<CounterRow> rows;
+    for (const JsonValue& family : metrics->array) {
+      if (family.GetString("kind") != "counter") continue;
+      const JsonValue* series = family.Find("series");
+      if (series == nullptr) continue;
+      for (const JsonValue& s : series->array) {
+        const std::string label_key = s.GetString("label_key");
+        rows.push_back({family.GetString("name"),
+                        label_key.empty()
+                            ? "-"
+                            : label_key + "=" + s.GetString("label_value"),
+                        s.GetNumber("value")});
+      }
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const CounterRow& a, const CounterRow& b) {
+                       return a.value > b.value;
+                     });
+    if (!rows.empty()) {
+      TablePrinter t("top counters");
+      t.SetHeader({"metric", "label", "value"});
+      for (size_t i = 0; i < rows.size() && i < limit; ++i) {
+        t.AddRow({rows[i].name, rows[i].label,
+                  TablePrinter::Fmt(rows[i].value, 0)});
+      }
+      std::printf("%s\n", t.ToAscii().c_str());
+      printed = true;
+    }
+  }
+
+  if (!printed) {
+    // Plain bench profile: rank runs by modelled cycles.
+    const JsonValue* runs = profile.Find("runs");
+    std::vector<const JsonValue*> rows;
+    for (const JsonValue& run : runs->array) rows.push_back(&run);
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const JsonValue* a, const JsonValue* b) {
+                       return RunCycles(*a) > RunCycles(*b);
+                     });
+    TablePrinter t("top runs by modelled cycles");
+    t.SetHeader({"label", "threads", "Mcycles", "time ms"});
+    for (size_t i = 0; i < rows.size() && i < limit; ++i) {
+      t.AddRow({rows[i]->GetString("label"),
+                TablePrinter::Fmt(rows[i]->GetNumber("threads"), 0),
+                TablePrinter::Fmt(RunCycles(*rows[i]) / 1e6, 2),
+                TablePrinter::Fmt(rows[i]->GetNumber("time_ms"), 2)});
+    }
+    std::printf("%s\n", t.ToAscii().c_str());
+  }
+  return 0;
+}
+
+/// Rebuilds the slice of a ServerRecord that SLO evaluation needs from a
+/// profile's "server" block: subject names and the epoch windows.
+uolap::obs::ServerRecord ServerRecordFromJson(const JsonValue& server) {
+  uolap::obs::ServerRecord rec;
+  rec.enabled = true;
+  const JsonValue* tenants = server.Find("tenants");
+  if (tenants != nullptr) {
+    for (const JsonValue& t : tenants->array) {
+      uolap::obs::TenantRecord tr;
+      tr.name = t.GetString("name");
+      rec.tenants.push_back(std::move(tr));
+    }
+  }
+  const JsonValue* classes = server.Find("classes");
+  if (classes != nullptr) {
+    for (const JsonValue& c : classes->array) {
+      uolap::obs::QueryClassRecord cr;
+      cr.label = c.GetString("label");
+      rec.classes.push_back(std::move(cr));
+    }
+  }
+  auto windows = [](const JsonValue* list) {
+    std::vector<uolap::obs::WindowStat> out;
+    if (list == nullptr) return out;
+    for (const JsonValue& w : list->array) {
+      uolap::obs::WindowStat ws;
+      ws.subject = w.GetString("subject");
+      ws.completed = static_cast<uint64_t>(w.GetNumber("completed"));
+      ws.p50_ms = w.GetNumber("p50_ms");
+      ws.p95_ms = w.GetNumber("p95_ms");
+      ws.p99_ms = w.GetNumber("p99_ms");
+      out.push_back(std::move(ws));
+    }
+    return out;
+  };
+  const JsonValue* epochs = server.Find("epochs");
+  if (epochs != nullptr) {
+    for (const JsonValue& e : epochs->array) {
+      uolap::obs::EpochRecord er;
+      er.index = static_cast<int>(e.GetNumber("index"));
+      er.start_ms = e.GetNumber("start_ms");
+      er.end_ms = e.GetNumber("end_ms");
+      er.completed = static_cast<uint64_t>(e.GetNumber("completed"));
+      er.p50_ms = e.GetNumber("p50_ms");
+      er.p95_ms = e.GetNumber("p95_ms");
+      er.p99_ms = e.GetNumber("p99_ms");
+      er.max_running = static_cast<uint32_t>(e.GetNumber("max_running"));
+      er.max_queued = static_cast<uint32_t>(e.GetNumber("max_queued"));
+      er.tenants = windows(e.Find("tenants"));
+      er.classes = windows(e.Find("classes"));
+      rec.epochs.push_back(std::move(er));
+    }
+  }
+  return rec;
+}
+
+/// `slo`: evaluates SLO clauses against a profile's epoch windows.
+/// Clause sources, in precedence order: --slo text, a --spec file (one
+/// clause per line, '#' comments), the specs embedded in the profile.
+int Slo(const JsonValue& profile, const std::string& slo_text,
+        const std::string& spec_path) {
+  const JsonValue* server = profile.Find("server");
+  if (server == nullptr || !server->is_object()) {
+    std::fprintf(stderr, "slo: profile has no server block\n");
+    return 2;
+  }
+  std::string clauses = slo_text;
+  if (clauses.empty() && !spec_path.empty()) {
+    std::ifstream in(spec_path);
+    if (!in) {
+      std::fprintf(stderr, "slo: cannot read spec file %s\n",
+                   spec_path.c_str());
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      const size_t hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      if (!clauses.empty()) clauses += ",";
+      clauses += line;
+    }
+  }
+  if (clauses.empty()) {
+    const JsonValue* embedded = server->Find("slos");
+    if (embedded != nullptr) {
+      for (const JsonValue& s : embedded->array) {
+        if (!clauses.empty()) clauses += ",";
+        clauses += s.str;
+      }
+    }
+  }
+  if (clauses.empty()) {
+    std::fprintf(stderr,
+                 "slo: no SLO clauses (give --slo/--spec or serve with "
+                 "--slo so the profile embeds them)\n");
+    return 2;
+  }
+  auto specs = uolap::obs::ParseSloSpecs(clauses);
+  if (!specs.ok()) {
+    std::fprintf(stderr, "slo: %s\n", specs.status().ToString().c_str());
+    return 2;
+  }
+  const uolap::obs::ServerRecord rec = ServerRecordFromJson(*server);
+  if (rec.epochs.empty()) {
+    std::fprintf(stderr,
+                 "slo: profile has no SLO epochs (serve with --epoch-ms, "
+                 "needs schema v4)\n");
+    return 2;
+  }
+  const std::vector<uolap::obs::SloResult> results =
+      uolap::obs::EvaluateSlos(specs.value(), rec);
+  TablePrinter t("SLO evaluation (" + std::to_string(rec.epochs.size()) +
+                 " epochs)");
+  t.SetHeader({"slo", "epochs", "worst", "first viol", "verdict"});
+  bool failed = false;
+  for (const uolap::obs::SloResult& r : results) {
+    failed |= !r.pass;
+    t.AddRow({r.spec.ToString(), std::to_string(r.epochs_evaluated),
+              TablePrinter::Fmt(r.worst_value, 2),
+              r.first_violation_epoch >= 0
+                  ? std::to_string(r.first_violation_epoch)
+                  : "-",
+              !r.known_subject ? "FAIL (unknown subject)"
+                               : (r.pass ? "PASS" : "FAIL")});
+  }
+  std::printf("%s%s\n", t.ToAscii().c_str(), failed ? "FAIL" : "PASS");
+  return failed ? 1 : 0;
 }
 
 int Diff(const JsonValue& before, const JsonValue& after,
@@ -330,12 +662,15 @@ void WriteJsonValue(uolap::obs::JsonWriter& w, const JsonValue& v) {
 /// `throughput` (v2, optional) embeds the uolap-bench-sim-micro document
 /// bench_sim_micro emits — simulator tuples/sec with its own
 /// before/after-the-fast-paths entries.
+/// `serve` (v3, optional) embeds a serve-path latency digest extracted
+/// from a uolap_serve profile's server block, so the bench record carries
+/// end-to-end p99 next to the per-operator cycle counts.
 int Merge(const std::vector<JsonValue>& profiles, const std::string& out,
-          const JsonValue* throughput) {
+          const JsonValue* throughput, const JsonValue* serve) {
   uolap::obs::JsonWriter w;
   w.BeginObject();
   w.KV("schema", "uolap-bench-sim");
-  w.KV("version", 2);
+  w.KV("version", 3);
   w.KV("comment",
        "Generated by scripts/bench.sh via `uolap_report merge` from the "
        "--json output of each figure bench; diff two generations with "
@@ -343,6 +678,33 @@ int Merge(const std::vector<JsonValue>& profiles, const std::string& out,
   if (throughput != nullptr) {
     w.Key("throughput");
     WriteJsonValue(w, *throughput);
+  }
+  if (serve != nullptr) {
+    const JsonValue* server = serve->Find("server");
+    if (server == nullptr || !server->is_object()) {
+      std::fprintf(stderr, "--serve profile has no server block\n");
+      return 1;
+    }
+    w.Key("serving");
+    w.BeginObject();
+    w.KV("vtime_ms", server->GetNumber("vtime_ms"));
+    w.KV("throughput_qps", server->GetNumber("throughput_qps"));
+    w.KV("p50_ms", server->GetNumber("p50_ms"));
+    w.KV("p95_ms", server->GetNumber("p95_ms"));
+    w.KV("p99_ms", server->GetNumber("p99_ms"));
+    w.Key("tenants");
+    w.BeginArray();
+    const JsonValue* tenants = server->Find("tenants");
+    if (tenants != nullptr) {
+      for (const JsonValue& t : tenants->array) {
+        w.BeginObject();
+        w.KV("tenant", t.GetString("name"));
+        w.KV("p99_ms", t.GetNumber("p99_ms"));
+        w.EndObject();
+      }
+    }
+    w.EndArray();
+    w.EndObject();
   }
   w.Key("benches");
   w.BeginArray();
@@ -415,7 +777,21 @@ int main(int argc, char** argv) {
     if (paths.size() != 1) return Usage();
     JsonValue profile;
     if (!LoadProfile(paths[0], &profile)) return 1;
-    return Summary(profile, flags.GetBool("regions", false));
+    return Summary(profile, flags.GetBool("regions", false),
+                   flags.GetString("section", ""));
+  }
+  if (mode == "top") {
+    if (paths.size() != 1) return Usage();
+    JsonValue profile;
+    if (!LoadProfile(paths[0], &profile)) return 1;
+    return Top(profile, static_cast<int>(flags.GetInt("n", 5)));
+  }
+  if (mode == "slo") {
+    if (paths.size() != 1) return Usage();
+    JsonValue profile;
+    if (!LoadProfile(paths[0], &profile)) return 1;
+    return Slo(profile, flags.GetString("slo", ""),
+               flags.GetString("spec", ""));
   }
   if (mode == "diff") {
     if (paths.size() != 2) return Usage();
@@ -448,7 +824,13 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
-    return Merge(profiles, out, tp_path.empty() ? nullptr : &throughput);
+    JsonValue serve;
+    const std::string serve_path = flags.GetString("serve", "");
+    if (!serve_path.empty()) {
+      if (!LoadProfile(serve_path, &serve)) return 1;
+    }
+    return Merge(profiles, out, tp_path.empty() ? nullptr : &throughput,
+                 serve_path.empty() ? nullptr : &serve);
   }
   return Usage();
 }

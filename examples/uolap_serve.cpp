@@ -8,12 +8,21 @@
 //   ./build/examples/uolap_serve [--sf=0.05] [--cores=12] [--queries=24]
 //                                [--qps=200] [--zipf=0.8]
 //                                [--json=serve.json] [--stable-json]
+//                                [--epoch-ms=5] [--trace-sample=1/N]
+//                                [--slo='tenant0:p99<12ms,*:qdepth<64']
+//
+// Serving telemetry (DESIGN.md §8): the run is windowed into --epoch-ms
+// SLO epochs, --slo specs are evaluated against those windows (results
+// print here and land in the profile JSON for `uolap_report slo`), and
+// --trace-sample=1/N head-samples every N-th admitted query as a span
+// tree in the --trace Chrome trace (default 1/1 when --trace is given).
 //
 // Everything is virtual time from seeded generators: two runs with the
 // same flags produce byte-identical --json output (the CI smoke stage
 // byte-diffs them).
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -21,7 +30,36 @@
 #include "common/table_printer.h"
 #include "engine/query_spec.h"
 #include "harness/context.h"
+#include "obs/slo.h"
 #include "server/serving.h"
+
+namespace {
+
+/// Parses --trace-sample: "1/N" or plain "N" mean one span per N admitted
+/// queries; 0/empty disables. Exits on malformed input.
+uint64_t ParseTraceSample(const std::string& text) {
+  if (text.empty()) return 0;
+  std::string denom = text;
+  const size_t slash = text.find('/');
+  if (slash != std::string::npos) {
+    if (text.substr(0, slash) != "1") {
+      std::fprintf(stderr, "--trace-sample wants 1/N or N, got '%s'\n",
+                   text.c_str());
+      std::exit(2);
+    }
+    denom = text.substr(slash + 1);
+  }
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(denom.c_str(), &end, 10);
+  if (denom.empty() || end != denom.c_str() + denom.size()) {
+    std::fprintf(stderr, "--trace-sample wants 1/N or N, got '%s'\n",
+                 text.c_str());
+    std::exit(2);
+  }
+  return static_cast<uint64_t>(n);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace uolap;
@@ -34,6 +72,16 @@ int main(int argc, char** argv) {
       ctx.flags().GetInt("queries", ctx.quick() ? 12 : 24));
   const double qps = ctx.flags().GetDouble("qps", 200.0);
   const double zipf = ctx.flags().GetDouble("zipf", 0.8);
+  // Span tracing defaults to 1/1 when a trace is requested, otherwise off.
+  const std::string trace_sample = ctx.flags().GetString(
+      "trace-sample", ctx.flags().Has("trace") ? "1/1" : "");
+  const double epoch_ms = ctx.flags().GetDouble("epoch-ms", 5.0);
+  const std::string slo_text = ctx.flags().GetString("slo", "");
+  StatusOr<std::vector<obs::SloSpec>> slos = obs::ParseSloSpecs(slo_text);
+  if (!slos.ok()) {
+    std::fprintf(stderr, "--slo: %s\n", slos.status().ToString().c_str());
+    return 2;
+  }
 
   server::ServerConfig config;
   config.machine = ctx.machine();
@@ -41,6 +89,9 @@ int main(int argc, char** argv) {
   config.default_max_queries = queries;
   config.sample_interval_instructions =
       ctx.obs_options().sample_interval_instructions;
+  config.epoch_ms = epoch_ms;
+  config.trace_sample_n = ParseTraceSample(trace_sample);
+  config.slos = slos.value();
   server::Server server(config, ctx.engines());
 
   // Tenant seeds derive from --seed so reruns with a different seed see
@@ -129,13 +180,41 @@ int main(int argc, char** argv) {
   }
   ctx.Emit(classes);
 
+  std::printf(
+      "\n# telemetry: %zu epochs of %.1f ms, overall p50/p95/p99 = "
+      "%.2f/%.2f/%.2f ms, %zu spans sampled%s\n",
+      rec.epochs.size(), rec.epoch_ms, rec.p50_ms, rec.p95_ms, rec.p99_ms,
+      rec.spans.size(),
+      rec.trace_sample_n > 0
+          ? (" (1/" + std::to_string(rec.trace_sample_n) + ")").c_str()
+          : "");
+
+  bool slo_failed = false;
+  if (!rec.slo_results.empty()) {
+    TablePrinter slo_table("SLO evaluation (per epoch window)");
+    slo_table.SetHeader({"slo", "epochs", "worst", "first viol", "verdict"});
+    for (const obs::SloResult& r : rec.slo_results) {
+      slo_failed |= !r.pass;
+      slo_table.AddRow(
+          {r.spec.ToString(), std::to_string(r.epochs_evaluated),
+           TablePrinter::Fmt(r.worst_value, 2),
+           r.first_violation_epoch >= 0
+               ? std::to_string(r.first_violation_epoch)
+               : "-",
+           !r.known_subject ? "FAIL (unknown subject)"
+                            : (r.pass ? "PASS" : "FAIL")});
+    }
+    ctx.Emit(slo_table);
+  }
+
   // Record everything into the session so --json/--trace carry the
   // serving run: the per-class profiles as ordinary runs, the serving
-  // statistics as the schema-v3 "server" block.
+  // statistics as the schema-v4 "server" block.
   for (obs::RunRecord& run : result.class_runs) {
     ctx.RecordRun(std::move(run));
   }
   ctx.RecordServer(rec);
   ctx.FlushOutputs();
-  return 0;
+  // SLO verdicts gate the exit code so CI can use a serve run directly.
+  return slo_failed ? 1 : 0;
 }

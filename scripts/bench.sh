@@ -59,7 +59,16 @@ echo "# bench_sim_micro (simulator throughput, fast vs reference)"
 build/bench/bench_sim_micro --benchmark_filter='^$' \
   --sim-json="$PROFILE_DIR/sim_micro.json"
 
+# Serve-path section (v3 of the uolap-bench-sim record): a fixed-seed
+# multi-tenant serving run whose end-to-end latency digest (overall and
+# per-tenant p99) is embedded next to the per-operator cycle counts.
+echo "# uolap_serve (serve-path latency digest)"
+# shellcheck disable=SC2086  # QUICK is intentionally word-split
+build/examples/uolap_serve $QUICK --seed=7 --stable-json \
+  --json="$PROFILE_DIR/serve.json" >/dev/null
+
 build/examples/uolap_report merge --out="$OUT" \
-  --throughput="$PROFILE_DIR/sim_micro.json" "${profiles[@]}"
+  --throughput="$PROFILE_DIR/sim_micro.json" \
+  --serve="$PROFILE_DIR/serve.json" "${profiles[@]}"
 build/examples/uolap_report validate "${profiles[@]}" >/dev/null
 echo "# wrote $OUT (profiles kept in $PROFILE_DIR/)"

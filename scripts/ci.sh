@@ -67,7 +67,7 @@ exporter_smoke build
 # (machine_invariance_test).
 # Serving smoke: a quick multi-tenant uolap_serve run at small SF with a
 # fixed seed. The serving runtime is pure virtual time from seeded
-# generators, so two runs must serialize byte-identical v3 profile JSON
+# generators, so two runs must serialize byte-identical profile JSON
 # (ASLR pinned: the solo class profiles are execution-driven). The
 # summary must carry the serving block.
 serve_smoke() {
@@ -94,6 +94,54 @@ serve_smoke() {
 
 echo "=== serving smoke (release) ==="
 serve_smoke build
+
+# Serving-telemetry smoke: span tracing, SLO epoch windows, and the
+# metrics registry, end to end. Two fully-traced runs must serialize
+# byte-identical profile AND Chrome-trace JSON; the SLO gate must pass
+# the checked-in loose spec and fail an absurdly tight one; the
+# Prometheus exposition must carry the serve-path counters.
+telemetry_smoke() {
+  local build_dir="$1"
+  local out
+  out="$(mktemp -d)"
+  local serve=("$build_dir/examples/uolap_serve" --quick --seed=7
+    --stable-json --epoch-ms=5 --trace-sample=1/1)
+  # Both runs must pass the same flags (same argv shape): the simulated
+  # caches key on raw heap addresses, so even an extra flag string shifts
+  # allocations and breaks the byte-compare.
+  if setarch "$(uname -m)" -R true 2>/dev/null; then
+    setarch "$(uname -m)" -R "${serve[@]}" --json="$out/a.json" \
+      --trace="$out/a.trace" --metrics="$out/a.prom" >/dev/null
+    setarch "$(uname -m)" -R "${serve[@]}" --json="$out/b.json" \
+      --trace="$out/b.trace" --metrics="$out/b.prom" >/dev/null
+    cmp "$out/a.json" "$out/b.json"
+    cmp "$out/a.trace" "$out/b.trace"
+    cmp "$out/a.prom" "$out/b.prom"
+  else
+    "${serve[@]}" --json="$out/a.json" --trace="$out/a.trace" \
+      --metrics="$out/a.prom" >/dev/null
+  fi
+  "$build_dir/examples/uolap_report" validate "$out/a.json" "$out/a.trace"
+  # SLO gate, both directions: the checked-in loose spec must pass, a
+  # sub-microsecond p99 bound must fail with a non-zero exit.
+  "$build_dir/examples/uolap_report" slo "$out/a.json" \
+    --spec=tests/golden/serve_slo.spec
+  if "$build_dir/examples/uolap_report" slo "$out/a.json" \
+      --slo='*:p99<0.001' >/dev/null; then
+    echo "telemetry smoke: tight SLO spec unexpectedly passed" >&2
+    return 1
+  fi
+  "$build_dir/examples/uolap_report" top "$out/a.json" >/dev/null
+  # No -q: grep must drain the whole stream, or an early exit can
+  # SIGPIPE the writer and fail the pipeline under pipefail.
+  "$build_dir/examples/uolap_report" summary "$out/a.json" \
+    --section=metrics | grep "server.queries_completed_total" >/dev/null
+  grep "^server_queries_completed_total" "$out/a.prom" >/dev/null
+  rm -rf "$out"
+}
+
+echo "=== telemetry smoke (release) ==="
+telemetry_smoke build
 
 # Perf smoke: the fast-path overhaul's counter gates (DESIGN.md §7).
 # uolap_perfsmoke replays a fixed synthetic address trace (never
@@ -166,5 +214,8 @@ exporter_smoke build-tsan
 
 echo "=== serving smoke (tsan) ==="
 serve_smoke build-tsan
+
+echo "=== telemetry smoke (tsan) ==="
+telemetry_smoke build-tsan
 
 echo "=== ci passed ==="

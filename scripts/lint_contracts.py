@@ -33,6 +33,12 @@ enforce (see DESIGN.md section 5d for the rationale of each rule):
   layering             #includes respect the dependency DAG
                        (common <- core <- audit <- obs, engines never
                        include harness, etc.).
+  metric-names         every metric name constant in obs/metric_names.h
+                       matches the grammar ^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$
+                       and is unique; publishing call sites elsewhere in
+                       src/ must use those constants, not raw string
+                       literals, so the registry namespace stays centrally
+                       auditable.
 
 A finding on a line ending in `// lint:allow(<rule>)` is suppressed.
 Exit status: 0 clean, 1 findings, 2 usage error.
@@ -64,7 +70,8 @@ LAYERING = {
     "src/obs": ["common", "core", "audit"],
     "src/tpch": ["common"],
     "src/storage": ["common", "core", "tpch"],
-    "src/engine": ["common", "core", "storage", "tpch"],
+    # engine publishes dispatch counters into the obs metrics registry.
+    "src/engine": ["common", "core", "storage", "tpch", "obs"],
     "src/engines": ["common", "core", "storage", "tpch", "engine",
                     "engines"],
     # The serving runtime sits above the engines and observability but
@@ -75,6 +82,16 @@ LAYERING = {
 }
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+# The one header allowed to define metric name strings, and the grammar
+# every name there must match (dot-separated lower_snake segments).
+METRIC_HEADER = "src/obs/metric_names.h"
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+METRIC_CONST_RE = re.compile(
+    r"inline\s+constexpr\s+char\s+k\w+\[\]\s*=\s*\"([^\"]*)\"")
+# Registry publish calls with an inline string literal as the name.
+METRIC_CALL_RE = re.compile(
+    r"(?:\.|->)\s*(?:Count|Observe|SetGauge|MaxGauge)\s*\(\s*\"")
 
 RULES = [
     ("region-raii",
@@ -168,6 +185,7 @@ class Linter:
         if relpath.endswith((".cc", ".cpp")):
             self.lint_own_header_first(path, relpath, lines)
         self.lint_layering(path, relpath, lines)
+        self.lint_metric_names(path, relpath, lines)
 
     def lint_header(self, path, relpath, lines):
         want = guard_name(relpath)
@@ -195,6 +213,39 @@ class Linter:
                 self.fail(path, i, "own-header-first",
                           f'first project include must be "{own_inc}"')
             return
+
+    def lint_metric_names(self, path, relpath, lines):
+        if relpath == METRIC_HEADER:
+            # The central header: every constant matches the grammar and
+            # no name is registered twice.
+            seen = {}
+            for i, line in enumerate(lines, 1):
+                m = METRIC_CONST_RE.search(line)
+                if not m:
+                    continue
+                name = m.group(1)
+                if not METRIC_NAME_RE.match(name):
+                    self.fail(path, i, "metric-names",
+                              f'"{name}" violates the metric name grammar '
+                              f"{METRIC_NAME_RE.pattern}")
+                if name in seen:
+                    self.fail(path, i, "metric-names",
+                              f'"{name}" already registered on line '
+                              f"{seen[name]}")
+                seen[name] = i
+            return
+        # Elsewhere in src/: publishing through the registry with an
+        # inline string literal bypasses the central registration.
+        if not relpath.startswith("src/"):
+            return
+        for i, line in enumerate(lines, 1):
+            if not METRIC_CALL_RE.search(line) or is_comment(line):
+                continue
+            if "metric-names" in allowed_rules(line):
+                continue
+            self.fail(path, i, "metric-names",
+                      "metric names must come from obs/metric_names.h, "
+                      "not inline string literals")
 
     def lint_layering(self, path, relpath, lines):
         module = next((m for m in LAYERING

@@ -1,6 +1,8 @@
 #include "engine/engine.h"
 
 #include "common/macros.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace uolap::engine {
 
@@ -10,6 +12,8 @@ bool OlapEngine::Supports(QueryId id) const {
 
 QueryResult OlapEngine::Run(const QuerySpec& spec, Workers& w) const {
   UOLAP_CHECK_MSG(Supports(spec.id), "engine does not support this query");
+  obs::MetricsRegistry::Global().Count(
+      obs::metric_names::kEngineDispatchTotal, "query", QueryIdName(spec.id));
   QueryResult r;
   r.id = spec.id;
   switch (spec.id) {

@@ -8,6 +8,8 @@
 #include "audit/validation.h"
 #include "common/macros.h"
 #include "harness/engines.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "obs/profile_export.h"
 
 namespace uolap::harness {
@@ -32,6 +34,7 @@ BenchContext::BenchContext(int argc, char** argv, double default_sf)
   csv_path_ = flags_.GetString("csv", "");
   json_path_ = flags_.GetString("json", "");
   trace_path_ = flags_.GetString("trace", "");
+  metrics_path_ = flags_.GetString("metrics", "");
   sample_interval_ = static_cast<uint64_t>(flags_.GetInt(
       "sample-every", exporting() ? 1'000'000 : 0));
   stable_json_ = flags_.GetBool("stable-json", false);
@@ -72,6 +75,8 @@ BenchContext::BenchContext(int argc, char** argv, double default_sf)
 BenchContext::~BenchContext() { FlushOutputs(); }
 
 void BenchContext::RecordRun(obs::RunRecord run) {
+  obs::MetricsRegistry::Global().Count(
+      obs::metric_names::kHarnessRunsRecorded);
   std::lock_guard<std::mutex> lock(session_mu_);
   last_run_ = run;
   session_.runs.push_back(std::move(run));
@@ -97,6 +102,9 @@ void BenchContext::FlushOutputs() {
                      return a.label != b.label ? a.label < b.label
                                                : a.threads < b.threads;
                    });
+  // Snapshot the global registry into the session so the profile JSON v4
+  // "metrics" block reflects everything published up to this flush.
+  session_.metrics = obs::MetricsRegistry::Global().Snapshot();
   if (!json_path_.empty()) {
     const Status s =
         obs::WriteTextFile(json_path_, obs::ProfileToJson(session_));
@@ -112,6 +120,12 @@ void BenchContext::FlushOutputs() {
                 "chrome://tracing)\n",
                 trace_path_.c_str());
   }
+  if (!metrics_path_.empty()) {
+    const Status s = obs::WriteTextFile(
+        metrics_path_, obs::ToPrometheusText(session_.metrics));
+    UOLAP_CHECK_MSG(s.ok(), s.ToString().c_str());
+    std::printf("# wrote metrics exposition to %s\n", metrics_path_.c_str());
+  }
   std::fflush(stdout);
 }
 
@@ -123,6 +137,8 @@ void BenchContext::RecordServer(obs::ServerRecord server) {
 }
 
 void BenchContext::Emit(const TablePrinter& table) {
+  obs::MetricsRegistry::Global().Count(
+      obs::metric_names::kHarnessTablesEmitted);
   std::printf("\n%s\n", table.ToAscii().c_str());
   std::fflush(stdout);
   if (!csv_path_.empty()) {

@@ -30,6 +30,8 @@ namespace uolap::harness {
 ///                     run (regions, timelines, Top-Down breakdowns)
 ///   --trace=<path>    write a Chrome trace-event file (load in Perfetto
 ///                     or chrome://tracing)
+///   --metrics=<path>  write the metrics-registry snapshot taken at flush
+///                     as Prometheus text exposition
 ///   --sample-every=<n>  counter-timeline sampling interval in retired
 ///                     instructions (default: 1M when --json/--trace is
 ///                     given, otherwise off; 0 disables)
@@ -120,8 +122,11 @@ class BenchContext {
   ObsOptions obs_options() const {
     return ObsOptions{sample_interval_};
   }
-  /// True when --json or --trace was given.
-  bool exporting() const { return !json_path_.empty() || !trace_path_.empty(); }
+  /// True when --json, --trace, or --metrics was given.
+  bool exporting() const {
+    return !json_path_.empty() || !trace_path_.empty() ||
+           !metrics_path_.empty();
+  }
 
   /// Writes the --json/--trace files from the runs recorded so far.
   /// Idempotent per state; the destructor calls it as a backstop.
@@ -144,6 +149,7 @@ class BenchContext {
   std::string csv_path_;
   std::string json_path_;
   std::string trace_path_;
+  std::string metrics_path_;
   uint64_t sample_interval_ = 0;
   bool stable_json_ = false;
   std::chrono::steady_clock::time_point start_time_;

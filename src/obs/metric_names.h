@@ -1,0 +1,57 @@
+#ifndef UOLAP_OBS_METRIC_NAMES_H_
+#define UOLAP_OBS_METRIC_NAMES_H_
+
+// Central registry of every metric name published into
+// obs::MetricsRegistry. All names live here — scripts/lint_contracts.py
+// flags metric-publication call sites that pass a raw string literal
+// instead of one of these constants, and checks that every constant
+// matches the canonical grammar:
+//
+//   ^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$
+//
+// (lower_snake segments joined by dots; the Prometheus exposition maps
+// dots to underscores). Keeping the names in one header makes the full
+// metric surface reviewable in one place and collision-proof.
+
+namespace uolap::obs::metric_names {
+
+// --- engine dispatch path (engine::OlapEngine::Run) -----------------------
+/// Queries dispatched through the unified QuerySpec entry point,
+/// labelled query=<QueryIdName>.
+inline constexpr char kEngineDispatchTotal[] = "engine.dispatch_total";
+
+// --- serving runtime (server::Server) -------------------------------------
+/// Queries admitted per tenant (label tenant=<name>).
+inline constexpr char kServerQueriesSubmitted[] =
+    "server.queries_submitted_total";
+/// Queries drained per tenant (label tenant=<name>).
+inline constexpr char kServerQueriesCompleted[] =
+    "server.queries_completed_total";
+/// End-to-end latency (queue wait + service), virtual ms, per tenant.
+inline constexpr char kServerLatencyMs[] = "server.latency_ms";
+/// Time between admission and core assignment, virtual ms, per tenant.
+inline constexpr char kServerQueueWaitMs[] = "server.queue_wait_ms";
+/// Deepest FIFO backlog observed during the run (gauge, max-merged).
+inline constexpr char kServerQueueDepthPeak[] = "server.queue_depth_peak";
+/// Virtual time of the last completion (gauge).
+inline constexpr char kServerVtimeMs[] = "server.vtime_ms";
+/// Peak socket bandwidth demand observed (gauge, GB/s).
+inline constexpr char kServerSocketGbpsPeak[] = "server.socket_gbps_peak";
+/// SLO-window epochs closed during the run.
+inline constexpr char kServerEpochsTotal[] = "server.epochs_total";
+/// Epoch-level SLO violations, labelled slo=<spec>.
+inline constexpr char kServerSloViolations[] = "server.slo_violations_total";
+/// Query span trees recorded under --trace-sample.
+inline constexpr char kServerSpansRecorded[] = "server.spans_recorded_total";
+
+// --- bench harness (harness::BenchContext) --------------------------------
+/// Profiled runs recorded into the session (Profile/ProfileMulti/
+/// RecordRun).
+inline constexpr char kHarnessRunsRecorded[] = "harness.runs_recorded_total";
+/// Result tables emitted by the bench (BenchContext::Emit).
+inline constexpr char kHarnessTablesEmitted[] =
+    "harness.tables_emitted_total";
+
+}  // namespace uolap::obs::metric_names
+
+#endif  // UOLAP_OBS_METRIC_NAMES_H_

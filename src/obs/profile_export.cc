@@ -1,6 +1,9 @@
 #include "obs/profile_export.h"
 
 #include <fstream>
+#include <map>
+#include <string_view>
+#include <vector>
 
 #include "obs/json_writer.h"
 
@@ -141,6 +144,20 @@ void WriteCore(JsonWriter* w, const RunRecord& run, size_t core_index) {
   w->EndObject();
 }
 
+void WriteWindowStats(JsonWriter* w, const std::vector<WindowStat>& stats) {
+  w->BeginArray();
+  for (const WindowStat& stat : stats) {
+    w->BeginObject();
+    w->KV("subject", stat.subject);
+    w->KV("completed", stat.completed);
+    w->KV("p50_ms", stat.p50_ms);
+    w->KV("p95_ms", stat.p95_ms);
+    w->KV("p99_ms", stat.p99_ms);
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
 void WriteServer(JsonWriter* w, const ServerRecord& s) {
   w->BeginObject();
   w->KV("cores", static_cast<int64_t>(s.cores));
@@ -151,6 +168,9 @@ void WriteServer(JsonWriter* w, const ServerRecord& s) {
   w->KV("avg_socket_gbps", s.avg_socket_gbps);
   w->KV("peak_socket_gbps", s.peak_socket_gbps);
   w->KV("saturated", s.saturated);
+  w->KV("p50_ms", s.p50_ms);
+  w->KV("p95_ms", s.p95_ms);
+  w->KV("p99_ms", s.p99_ms);
   w->Key("tenants");
   w->BeginArray();
   for (const TenantRecord& t : s.tenants) {
@@ -209,7 +229,83 @@ void WriteServer(JsonWriter* w, const ServerRecord& s) {
     w->EndObject();
   }
   w->EndArray();
+  w->KV("epoch_ms", s.epoch_ms);
+  w->Key("epochs");
+  w->BeginArray();
+  for (const EpochRecord& e : s.epochs) {
+    w->BeginObject();
+    w->KV("index", static_cast<int64_t>(e.index));
+    w->KV("start_ms", e.start_ms);
+    w->KV("end_ms", e.end_ms);
+    w->KV("completed", e.completed);
+    w->KV("p50_ms", e.p50_ms);
+    w->KV("p95_ms", e.p95_ms);
+    w->KV("p99_ms", e.p99_ms);
+    w->KV("max_running", static_cast<int64_t>(e.max_running));
+    w->KV("max_queued", static_cast<int64_t>(e.max_queued));
+    w->Key("tenants");
+    WriteWindowStats(w, e.tenants);
+    w->Key("classes");
+    WriteWindowStats(w, e.classes);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->KV("trace_sample_n", s.trace_sample_n);
+  w->Key("slos");
+  w->BeginArray();
+  for (const SloSpec& spec : s.slos) w->String(spec.ToString());
+  w->EndArray();
+  w->Key("slo_results");
+  w->BeginArray();
+  for (const SloResult& r : s.slo_results) {
+    w->BeginObject();
+    w->KV("spec", r.spec.ToString());
+    w->KV("known_subject", r.known_subject);
+    w->KV("pass", r.pass);
+    w->KV("first_violation_epoch",
+          static_cast<int64_t>(r.first_violation_epoch));
+    w->KV("worst_value", r.worst_value);
+    w->KV("epochs_evaluated", static_cast<int64_t>(r.epochs_evaluated));
+    w->EndObject();
+  }
+  w->EndArray();
   w->EndObject();
+}
+
+void WriteMetrics(JsonWriter* w, const MetricsSnapshot& snapshot) {
+  w->BeginArray();
+  for (const MetricFamily& f : snapshot.families) {
+    w->BeginObject();
+    w->KV("name", f.name);
+    w->KV("kind", MetricKindName(f.kind));
+    w->Key("series");
+    w->BeginArray();
+    for (const MetricSeries& s : f.series) {
+      w->BeginObject();
+      w->KV("label_key", s.label_key);
+      w->KV("label_value", s.label_value);
+      switch (f.kind) {
+        case MetricKind::kCounter:
+          w->KV("value", s.counter);
+          break;
+        case MetricKind::kGauge:
+          w->KV("value", s.gauge);
+          break;
+        case MetricKind::kHistogram:
+          w->Key("buckets");
+          w->BeginArray();
+          for (const uint64_t b : s.histogram.buckets) w->UInt(b);
+          w->EndArray();
+          w->KV("count", s.histogram.count);
+          w->KV("sum_micro", s.histogram.sum_micro);
+          break;
+      }
+      w->EndObject();
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+  w->EndArray();
 }
 
 }  // namespace
@@ -226,6 +322,10 @@ std::string ProfileToJson(const ProfileSession& session) {
   w.KV("seed", session.seed);
   w.KV("quick", session.quick);
   w.KV("wall_ms", session.wall_ms);
+  if (!session.metrics.empty()) {
+    w.Key("metrics");
+    WriteMetrics(&w, session.metrics);
+  }
   if (session.server.enabled) {
     w.Key("server");
     WriteServer(&w, session.server);
@@ -372,6 +472,110 @@ std::string SessionToChromeTrace(const ProfileSession& session) {
         prev = s.counters;
         prev_cycles = cum_cycles;
         prev_instr = s.instructions;
+      }
+    }
+  }
+
+  // Serving process: one thread per server core slot carrying execution
+  // spans, one thread per tenant carrying whole-query spans with their
+  // queue-wait children. Operator regions are projected into each
+  // execution span from the class's solo profile ("serve/<class>" run):
+  // every region's begin/end position is taken as a fraction of the solo
+  // makespan and scaled into the span's wall extent, so the query's
+  // operator structure is visible even though the serving loop is fluid.
+  const ServerRecord& server = session.server;
+  if (server.enabled && !server.spans.empty()) {
+    const int64_t pid = static_cast<int64_t>(session.runs.size()) + 1;
+    metadata("process_name", pid, 0, "serving");
+    for (int c = 0; c < server.cores; ++c) {
+      metadata("thread_name", pid, c, "core " + std::to_string(c));
+    }
+    // Tenant tracks live above the core tracks (tid 1000+).
+    std::map<std::string, int64_t> tenant_tid;
+    for (size_t t = 0; t < server.tenants.size(); ++t) {
+      const int64_t tid = 1000 + static_cast<int64_t>(t);
+      tenant_tid[server.tenants[t].name] = tid;
+      metadata("thread_name", pid, tid,
+               "tenant " + server.tenants[t].name);
+    }
+
+    // Fractional region intervals of each class's solo profile.
+    struct RegionFrac {
+      std::string name;
+      double f0 = 0;
+      double f1 = 0;
+    };
+    std::map<std::string, std::vector<RegionFrac>> class_regions;
+    for (const RunRecord& run : session.runs) {
+      constexpr std::string_view kPrefix = "serve/";
+      if (run.label.rfind(kPrefix, 0) != 0 || run.cores.size() != 1 ||
+          run.makespan_cycles <= 0) {
+        continue;
+      }
+      const std::string cls = run.label.substr(kPrefix.size());
+      if (cls.find(" [corun]") != std::string::npos) continue;
+      const TopDownModel run_model(run.config);
+      const CoreRecord& core = run.cores[0];
+      std::vector<RegionFrac>& fracs = class_regions[cls];
+      struct OpenRegion {
+        int node;
+        double f0;
+      };
+      std::vector<OpenRegion> open;
+      for (const RegionEvent& e : core.events) {
+        const double f =
+            SnapshotCycles(run_model, e.snapshot, core.begin, run.bw_scale) /
+            run.makespan_cycles;
+        if (e.begin) {
+          open.push_back({e.node, f});
+          continue;
+        }
+        if (open.empty() || open.back().node != e.node) continue;
+        const OpenRegion b = open.back();
+        open.pop_back();
+        fracs.push_back(
+            {core.regions.nodes[static_cast<size_t>(e.node)].name, b.f0, f});
+      }
+    }
+
+    for (const QuerySpan& span : server.spans) {
+      const double arrival_us = span.arrival_ms * 1e3;
+      const double start_us = span.start_ms * 1e3;
+      const double end_us = span.end_ms * 1e3;
+      auto duration = [&](const std::string& name, const char* cat,
+                          int64_t tid, double ts, double dur) {
+        w.BeginObject();
+        w.KV("ph", "X");
+        w.KV("name", name);
+        w.KV("cat", cat);
+        w.KV("pid", pid);
+        w.KV("tid", tid);
+        w.KV("ts", ts);
+        w.KV("dur", dur);
+        w.Key("args");
+        w.BeginObject();
+        w.KV("seq", span.seq);
+        w.KV("tenant", span.tenant);
+        w.EndObject();
+        w.EndObject();
+      };
+      auto tt = tenant_tid.find(span.tenant);
+      if (tt != tenant_tid.end()) {
+        duration(span.cls, "query", tt->second, arrival_us,
+                 end_us - arrival_us);
+        duration("queue", "queue", tt->second, arrival_us,
+                 start_us - arrival_us);
+      }
+      if (span.core >= 0) {
+        duration(span.cls, "exec", span.core, start_us, end_us - start_us);
+        auto cr = class_regions.find(span.cls);
+        if (cr != class_regions.end()) {
+          const double span_us = end_us - start_us;
+          for (const RegionFrac& rf : cr->second) {
+            duration(rf.name, "region", span.core,
+                     start_us + rf.f0 * span_us, (rf.f1 - rf.f0) * span_us);
+          }
+        }
       }
     }
   }

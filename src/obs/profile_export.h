@@ -15,20 +15,45 @@ namespace uolap::obs {
 /// v3: optional top-level "server" block (multi-tenant serving runs:
 ///     per-tenant latency percentiles/histograms, per-engine load,
 ///     per-class solo-vs-co-run attribution, queue-depth timeline).
-inline constexpr int kProfileSchemaVersion = 3;
+/// v4: serving telemetry — optional top-level "metrics" block (registry
+///     snapshot), "server" gains overall p50/p95/p99, SLO epoch windows
+///     ("epochs"), trace sampling metadata, and SLO specs/results.
+///     Query spans go to the Chrome trace only, never the profile JSON.
+inline constexpr int kProfileSchemaVersion = 4;
+/// Oldest schema version the reporting tools still parse. Readers accept
+/// [kMinProfileSchemaVersion, kProfileSchemaVersion]; fields added later
+/// than a file's version simply read as absent.
+inline constexpr int kMinProfileSchemaVersion = 2;
 inline constexpr char kProfileSchemaName[] = "uolap-profile";
+
+/// True when a profile file of schema version `v` can be parsed by this
+/// build's readers.
+inline constexpr bool IsSupportedProfileVersion(int v) {
+  return v >= kMinProfileSchemaVersion && v <= kProfileSchemaVersion;
+}
 
 /// Serializes a session to the versioned profile JSON schema:
 ///
-///   { "schema": "uolap-profile", "version": 3,
+///   { "schema": "uolap-profile", "version": 4,
 ///     "bench": ..., "machine": ..., "freq_ghz": ..., "scale_factor": ...,
 ///     "seed": ..., "quick": ..., "wall_ms": ...,
+///     "metrics": [ { "name", "kind", "series": [ { "label_key",
+///                    "label_value", value or buckets/count/sum_micro } ] } ],
+///       // "metrics" is present only when the registry snapshot taken at
+///       // flush is non-empty.
 ///     "server": { cores/vtime_ms/submitted/completed/throughput_qps/
 ///                 avg_socket_gbps/peak_socket_gbps/saturated/
+///                 p50_ms/p95_ms/p99_ms/
 ///                 "tenants": [ per-tenant latency stats + histogram ],
 ///                 "engines": [ per-engine-key load rollup ],
 ///                 "classes": [ solo vs co-run service time + Dcache ],
-///                 "queue_timeline": [ {vtime_ms/running/queued} ] },
+///                 "queue_timeline": [ {vtime_ms/running/queued} ],
+///                 epoch_ms/"epochs": [ { index/start_ms/end_ms/completed/
+///                    p50_ms/p95_ms/p99_ms/max_running/max_queued/
+///                    "tenants"/"classes": [ {subject/completed/p50..p99} ] } ]/
+///                 trace_sample_n/"slos": [ "<spec>" ]/
+///                 "slo_results": [ { spec/known_subject/pass/
+///                    first_violation_epoch/worst_value/epochs_evaluated } ] },
 ///       // "server" is present only when the session recorded a serving
 ///       // run (src/server); plain bench sessions omit the key.
 ///     "runs": [ { "label", "threads", "bandwidth_scale",
@@ -54,7 +79,11 @@ std::string ProfileToJson(const ProfileSession& session);
 /// chrome://tracing): each run is a process, each simulated core a thread;
 /// regions become "X" duration events placed on the modelled cycle
 /// timeline, and the counter timeline becomes "C" counter tracks (IPC,
-/// DRAM GB/s, L1D miss %).
+/// DRAM GB/s, L1D miss %). When the session carries a serving run with
+/// sampled spans, a "serving" process is appended: each tenant gets a
+/// thread carrying whole-query spans with nested queue-wait children, and
+/// each server core slot gets a thread carrying execution spans with the
+/// class's solo operator-region profile scaled into them.
 std::string SessionToChromeTrace(const ProfileSession& session);
 
 /// Writes `content` to `path` (binary, overwrite).

@@ -9,7 +9,9 @@
 #include "core/config.h"
 #include "core/counters.h"
 #include "core/topdown.h"
+#include "obs/metrics.h"
 #include "obs/region_profiler.h"
+#include "obs/slo.h"
 
 namespace uolap::obs {
 
@@ -94,8 +96,48 @@ struct QueueSample {
   uint32_t queued = 0;
 };
 
+/// Latency percentiles of one subject (tenant or class) inside one epoch
+/// window. Only subjects with completions in the window are recorded.
+struct WindowStat {
+  std::string subject;
+  uint64_t completed = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+};
+
+/// One SLO epoch: a fixed-width virtual-time window with its own latency
+/// percentiles and queue-depth extremes, the granularity `uolap_report
+/// slo` evaluates SLO specs at.
+struct EpochRecord {
+  int index = 0;
+  double start_ms = 0;
+  double end_ms = 0;
+  uint64_t completed = 0;  ///< completions inside the window, all traffic
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  uint32_t max_running = 0;
+  uint32_t max_queued = 0;
+  std::vector<WindowStat> tenants;  ///< name-sorted, sparse
+  std::vector<WindowStat> classes;  ///< label-sorted, sparse
+};
+
+/// One sampled query's span tree in virtual time: admission → core
+/// assignment → completion. Exported to the Chrome trace (queue + exec
+/// spans nested under a whole-query span), not to the profile JSON.
+struct QuerySpan {
+  uint64_t seq = 0;  ///< global admission order, the head-sampling key
+  std::string tenant;
+  std::string cls;  ///< query-class label ("<engine>/<spec label>")
+  double arrival_ms = 0;
+  double start_ms = 0;  ///< core assignment (end of queue wait)
+  double end_ms = 0;
+  int core = -1;  ///< core slot the query executed on
+};
+
 /// Everything the serving runtime reports for one Server::Run(); exported
-/// as the profile JSON's "server" block (schema v3) when enabled.
+/// as the profile JSON's "server" block (schema v4) when enabled.
 struct ServerRecord {
   bool enabled = false;  ///< false when the session recorded no serving run
   int cores = 0;
@@ -106,10 +148,22 @@ struct ServerRecord {
   double avg_socket_gbps = 0;
   double peak_socket_gbps = 0;
   bool saturated = false;  ///< peak demand hit the socket ceiling
+  double p50_ms = 0;       ///< overall latency percentiles, all traffic
+  double p95_ms = 0;
+  double p99_ms = 0;
   std::vector<TenantRecord> tenants;
   std::vector<EngineLoadRecord> engines;
   std::vector<QueryClassRecord> classes;
   std::vector<QueueSample> queue_timeline;
+
+  // Serving telemetry (schema v4): SLO epoch windows, sampled query
+  // spans, and the SLO verdicts computed at the end of the run.
+  double epoch_ms = 0;  ///< epoch width; 0 = epoch windows disabled
+  std::vector<EpochRecord> epochs;
+  uint64_t trace_sample_n = 0;  ///< head sampling 1/N; 0 = spans disabled
+  std::vector<QuerySpan> spans;
+  std::vector<SloSpec> slos;
+  std::vector<SloResult> slo_results;
 };
 
 /// A bench invocation's worth of recorded runs plus its metadata; the unit
@@ -124,6 +178,9 @@ struct ProfileSession {
   double wall_ms = 0;  ///< host wall-clock of the whole bench run
   std::vector<RunRecord> runs;
   ServerRecord server;  ///< serving-run statistics (enabled == recorded)
+  /// Registry snapshot taken at flush; serialized as the profile JSON v4
+  /// "metrics" block when non-empty.
+  MetricsSnapshot metrics;
 };
 
 }  // namespace uolap::obs

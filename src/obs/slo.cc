@@ -1,0 +1,199 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "obs/json_writer.h"
+#include "obs/record.h"
+
+namespace uolap::obs {
+
+std::string SloMetricName(SloMetric metric) {
+  switch (metric) {
+    case SloMetric::kP50:
+      return "p50";
+    case SloMetric::kP95:
+      return "p95";
+    case SloMetric::kP99:
+      return "p99";
+    case SloMetric::kQueueDepth:
+      return "qdepth";
+  }
+  return "?";
+}
+
+std::string SloSpec::ToString() const {
+  std::string out = subject + ":" + SloMetricName(metric) + "<" +
+                    JsonWriter::FormatDouble(threshold);
+  if (metric != SloMetric::kQueueDepth) out += "ms";
+  return out;
+}
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+StatusOr<std::vector<SloSpec>> ParseSloSpecs(std::string_view text) {
+  std::vector<SloSpec> specs;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    const std::string_view clause = Trim(text.substr(pos, comma - pos));
+    pos = comma + 1;
+    if (clause.empty()) continue;
+
+    const size_t colon = clause.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::InvalidArgument("SLO clause '" + std::string(clause) +
+                                     "' is not <subject>:<metric><threshold");
+    }
+    SloSpec spec;
+    spec.subject = std::string(Trim(clause.substr(0, colon)));
+    std::string_view rest = Trim(clause.substr(colon + 1));
+    const size_t lt = rest.find('<');
+    if (lt == std::string_view::npos) {
+      return Status::InvalidArgument("SLO clause '" + std::string(clause) +
+                                     "' has no '<' threshold");
+    }
+    const std::string_view metric = Trim(rest.substr(0, lt));
+    if (metric == "p50") {
+      spec.metric = SloMetric::kP50;
+    } else if (metric == "p95") {
+      spec.metric = SloMetric::kP95;
+    } else if (metric == "p99") {
+      spec.metric = SloMetric::kP99;
+    } else if (metric == "qdepth") {
+      spec.metric = SloMetric::kQueueDepth;
+    } else {
+      return Status::InvalidArgument(
+          "unknown SLO metric '" + std::string(metric) +
+          "' (want p50, p95, p99, or qdepth)");
+    }
+    std::string number(Trim(rest.substr(lt + 1)));
+    if (spec.metric != SloMetric::kQueueDepth && number.size() >= 2 &&
+        number.substr(number.size() - 2) == "ms") {
+      number.resize(number.size() - 2);
+    }
+    if (spec.metric == SloMetric::kQueueDepth && spec.subject != "*") {
+      return Status::InvalidArgument(
+          "qdepth SLOs apply to the whole server; use subject '*'");
+    }
+    char* end = nullptr;
+    spec.threshold = std::strtod(number.c_str(), &end);
+    if (number.empty() || end != number.c_str() + number.size() ||
+        spec.threshold <= 0) {
+      return Status::InvalidArgument("SLO threshold '" + number +
+                                     "' is not a positive number");
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+namespace {
+
+double WindowValue(const WindowStat& w, SloMetric metric) {
+  switch (metric) {
+    case SloMetric::kP50:
+      return w.p50_ms;
+    case SloMetric::kP95:
+      return w.p95_ms;
+    case SloMetric::kP99:
+      return w.p99_ms;
+    case SloMetric::kQueueDepth:
+      break;
+  }
+  return 0;
+}
+
+/// The window value of `spec`'s subject inside `epoch`, or false when the
+/// epoch holds no data for it.
+bool EpochValue(const SloSpec& spec, const EpochRecord& epoch, double* value) {
+  if (spec.metric == SloMetric::kQueueDepth) {
+    *value = static_cast<double>(epoch.max_queued);
+    return true;
+  }
+  if (spec.subject == "*") {
+    if (epoch.completed == 0) return false;
+    switch (spec.metric) {
+      case SloMetric::kP50:
+        *value = epoch.p50_ms;
+        return true;
+      case SloMetric::kP95:
+        *value = epoch.p95_ms;
+        return true;
+      case SloMetric::kP99:
+        *value = epoch.p99_ms;
+        return true;
+      case SloMetric::kQueueDepth:
+        return false;
+    }
+  }
+  for (const WindowStat& w : epoch.tenants) {
+    if (w.subject == spec.subject) {
+      *value = WindowValue(w, spec.metric);
+      return true;
+    }
+  }
+  for (const WindowStat& w : epoch.classes) {
+    if (w.subject == spec.subject) {
+      *value = WindowValue(w, spec.metric);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SubjectKnown(const SloSpec& spec, const ServerRecord& record) {
+  if (spec.subject == "*") return true;
+  for (const TenantRecord& t : record.tenants) {
+    if (t.name == spec.subject) return true;
+  }
+  for (const QueryClassRecord& c : record.classes) {
+    if (c.label == spec.subject) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<SloResult> EvaluateSlos(const std::vector<SloSpec>& specs,
+                                    const ServerRecord& record) {
+  std::vector<SloResult> results;
+  results.reserve(specs.size());
+  for (const SloSpec& spec : specs) {
+    SloResult result;
+    result.spec = spec;
+    result.known_subject = SubjectKnown(spec, record);
+    if (!result.known_subject) {
+      result.pass = false;
+      results.push_back(std::move(result));
+      continue;
+    }
+    for (const EpochRecord& epoch : record.epochs) {
+      double value = 0;
+      if (!EpochValue(spec, epoch, &value)) continue;
+      ++result.epochs_evaluated;
+      result.worst_value = std::max(result.worst_value, value);
+      if (value > spec.threshold && result.first_violation_epoch < 0) {
+        result.first_violation_epoch = epoch.index;
+        result.pass = false;
+      }
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace uolap::obs

@@ -1,0 +1,65 @@
+#ifndef UOLAP_OBS_SLO_H_
+#define UOLAP_OBS_SLO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uolap::obs {
+
+struct ServerRecord;
+
+/// Declarative serving SLOs (DESIGN.md §8). A spec is evaluated against
+/// the per-epoch sliding windows the serving runtime records: one check
+/// per epoch that has data for the subject, violation on the first epoch
+/// whose window statistic exceeds the threshold.
+
+/// The window statistic an SLO constrains.
+enum class SloMetric { kP50, kP95, kP99, kQueueDepth };
+
+/// Stable spec-syntax name ("p50", "p95", "p99", "qdepth").
+std::string SloMetricName(SloMetric metric);
+
+/// One parsed SLO clause, e.g. `tenant0:p99<12.5ms` or `*:qdepth<32`.
+struct SloSpec {
+  /// Tenant name, class label, or `*` for the all-traffic window.
+  std::string subject;
+  SloMetric metric = SloMetric::kP99;
+  double threshold = 0;  ///< ms for latency metrics, queries for qdepth
+
+  /// Canonical round-trippable form (`subject:metric<thresholdms`).
+  std::string ToString() const;
+};
+
+/// Parses a comma-separated SLO spec list. Grammar per clause:
+///
+///   <subject>:<p50|p95|p99|qdepth> '<' <number> ['ms']
+///
+/// Whitespace around clauses is ignored; an empty string parses to an
+/// empty list. `qdepth` applies to the whole server (subject must be `*`).
+StatusOr<std::vector<SloSpec>> ParseSloSpecs(std::string_view text);
+
+/// Outcome of evaluating one spec against a serving run.
+struct SloResult {
+  SloSpec spec;
+  /// False when the subject names no tenant, class, or `*` in the record —
+  /// reported as a failure so typos cannot silently pass.
+  bool known_subject = true;
+  bool pass = true;
+  int first_violation_epoch = -1;  ///< epoch index, -1 when none
+  double worst_value = 0;          ///< max window value seen for the subject
+  int epochs_evaluated = 0;        ///< epochs that had data for the subject
+};
+
+/// Evaluates every spec against `record`'s epoch windows. Epochs with no
+/// completions for a subject contribute nothing (no data is not a
+/// violation); a subject with zero evaluated epochs passes vacuously as
+/// long as it is known.
+std::vector<SloResult> EvaluateSlos(const std::vector<SloSpec>& specs,
+                                    const ServerRecord& record);
+
+}  // namespace uolap::obs
+
+#endif  // UOLAP_OBS_SLO_H_

@@ -15,7 +15,10 @@
 #include "core/machine.h"
 #include "engine/engine.h"
 #include "obs/attribution.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "obs/region_profiler.h"
+#include "obs/slo.h"
 
 namespace uolap::server {
 namespace {
@@ -193,6 +196,8 @@ ServeResult Server::Run() {
     int tenant = -1;  ///< -1 marks a free core slot
     size_t cls = 0;
     int client = -1;  ///< closed-loop client index (-1 when open-loop)
+    uint64_t seq = 0;      ///< global admission order (span sampling key)
+    bool sampled = false;  ///< head-sampled for span tracing
     double arrival = 0;
     double start = 0;
     double remaining = 1.0;
@@ -265,11 +270,92 @@ ServeResult Server::Run() {
   std::vector<obs::QueueSample> timeline;
   std::map<std::string, std::vector<double>> engine_latencies;
 
+  // --- serving telemetry state (DESIGN.md §8) -------------------------
+  obs::MetricsRegistry& metrics =
+      config_.metrics != nullptr ? *config_.metrics
+                                 : obs::MetricsRegistry::Global();
+  uint64_t seq_counter = 0;
+  std::vector<obs::QuerySpan> spans;
+  std::vector<double> all_latencies;
+  uint32_t cur_running = 0;
+  uint32_t cur_queued = 0;
+  uint32_t peak_queued = 0;
+
+  // SLO epoch windows: fixed-width virtual-time buckets accumulating the
+  // latencies completed inside them plus occupancy extremes. Epochs are
+  // closed (and their percentiles frozen) the moment virtual time crosses
+  // the boundary, so a completion exactly on a boundary starts the next
+  // window — a deterministic tie rule.
+  const double epoch_cycles =
+      config_.epoch_ms > 0 ? MsToCycles(config_.epoch_ms, freq) : 0;
+  struct EpochAcc {
+    std::vector<double> lat;
+    std::map<std::string, std::vector<double>> tenant_lat;
+    std::map<std::string, std::vector<double>> class_lat;
+    uint32_t max_running = 0;
+    uint32_t max_queued = 0;
+  };
+  EpochAcc acc;
+  int epoch_index = 0;
+  double epoch_start = 0;
+  std::vector<obs::EpochRecord> epochs;
+
+  auto window_stats = [&](std::map<std::string, std::vector<double>>& lat) {
+    std::vector<obs::WindowStat> out;
+    for (auto& [subject, values] : lat) {
+      std::sort(values.begin(), values.end());
+      obs::WindowStat w;
+      w.subject = subject;
+      w.completed = values.size();
+      w.p50_ms = Percentile(values, 0.50);
+      w.p95_ms = Percentile(values, 0.95);
+      w.p99_ms = Percentile(values, 0.99);
+      out.push_back(std::move(w));
+    }
+    return out;
+  };
+
+  auto close_epoch = [&](double end_cycles) {
+    obs::EpochRecord e;
+    e.index = epoch_index;
+    e.start_ms = CyclesToMs(epoch_start, freq);
+    e.end_ms = CyclesToMs(end_cycles, freq);
+    std::sort(acc.lat.begin(), acc.lat.end());
+    e.completed = acc.lat.size();
+    e.p50_ms = Percentile(acc.lat, 0.50);
+    e.p95_ms = Percentile(acc.lat, 0.95);
+    e.p99_ms = Percentile(acc.lat, 0.99);
+    e.max_running = acc.max_running;
+    e.max_queued = acc.max_queued;
+    e.tenants = window_stats(acc.tenant_lat);
+    e.classes = window_stats(acc.class_lat);
+    epochs.push_back(std::move(e));
+    acc = EpochAcc{};
+    // Occupancy persists across the boundary; seed the new window's
+    // extremes with the level it inherits.
+    acc.max_running = cur_running;
+    acc.max_queued = cur_queued;
+    epoch_start = end_cycles;
+    ++epoch_index;
+  };
+
+  auto roll_epochs = [&](double now) {
+    if (epoch_cycles <= 0) return;
+    while (now >= epoch_start + epoch_cycles) {
+      close_epoch(epoch_start + epoch_cycles);
+    }
+  };
+
   auto sample_queue = [&]() {
     uint32_t running = 0;
     for (const Instance& inst : slots) running += inst.tenant >= 0 ? 1 : 0;
     const uint32_t queued =
         static_cast<uint32_t>(queue.size() - queue_head);
+    cur_running = running;
+    cur_queued = queued;
+    peak_queued = std::max(peak_queued, queued);
+    acc.max_running = std::max(acc.max_running, running);
+    acc.max_queued = std::max(acc.max_queued, queued);
     if (!timeline.empty() && timeline.back().running == running &&
         timeline.back().queued == queued) {
       return;
@@ -284,9 +370,14 @@ ServeResult Server::Run() {
     inst.tenant = static_cast<int>(t);
     inst.cls = pick_class(t);
     inst.client = client;
+    inst.seq = seq_counter++;
+    inst.sampled = config_.trace_sample_n > 0 &&
+                   inst.seq % config_.trace_sample_n == 0;
     inst.arrival = vtime;
     queue.push_back(inst);
     ++ts.submitted;
+    metrics.Count(obs::metric_names::kServerQueriesSubmitted, "tenant",
+                  tenants_[t].name);
   };
 
   // Processes every arrival stream whose next event is due. Tenants are
@@ -391,6 +482,7 @@ ServeResult Server::Run() {
     if (running.empty()) {
       if (next_arrival == kInf) break;  // drained: no work, no arrivals
       vtime = std::max(vtime, next_arrival);
+      roll_epochs(vtime);
       process_arrivals();
       sample_queue();
       continue;
@@ -418,9 +510,11 @@ ServeResult Server::Run() {
       if (scale < 0.999) saturated = true;
     }
     vtime = next_event;
+    roll_epochs(vtime);
 
     // Completions first (slot order), then arrivals at the same instant.
-    for (Instance& slot : slots) {
+    for (size_t slot_index = 0; slot_index < slots.size(); ++slot_index) {
+      Instance& slot = slots[slot_index];
       if (slot.tenant < 0 || slot.remaining > kDoneEps) continue;
       const size_t t = static_cast<size_t>(slot.tenant);
       const TenantConfig& tc = tenants_[t];
@@ -437,6 +531,29 @@ ServeResult Server::Run() {
       cs.service_cycles += vtime - slot.start;
       cs.scale_cycles += slot.scale_cycles;
       cs.run_cycles += slot.run_cycles;
+      all_latencies.push_back(latency_ms);
+      if (epoch_cycles > 0) {
+        acc.lat.push_back(latency_ms);
+        acc.tenant_lat[tc.name].push_back(latency_ms);
+        acc.class_lat[classes_[slot.cls].label].push_back(latency_ms);
+      }
+      metrics.Count(obs::metric_names::kServerQueriesCompleted, "tenant",
+                    tc.name);
+      metrics.Observe(obs::metric_names::kServerLatencyMs, "tenant", tc.name,
+                      latency_ms);
+      metrics.Observe(obs::metric_names::kServerQueueWaitMs, "tenant",
+                      tc.name, CyclesToMs(slot.start - slot.arrival, freq));
+      if (slot.sampled) {
+        obs::QuerySpan span;
+        span.seq = slot.seq;
+        span.tenant = tc.name;
+        span.cls = classes_[slot.cls].label;
+        span.arrival_ms = CyclesToMs(slot.arrival, freq);
+        span.start_ms = CyclesToMs(slot.start, freq);
+        span.end_ms = CyclesToMs(vtime, freq);
+        span.core = static_cast<int>(slot_index);
+        spans.push_back(std::move(span));
+      }
       if (slot.client >= 0) {
         ts.client_wake[static_cast<size_t>(slot.client)] =
             vtime + MsToCycles(ExpDraw(ts.rng, tc.think_ms), freq);
@@ -448,6 +565,11 @@ ServeResult Server::Run() {
   }
 
   // --- assemble the record -------------------------------------------
+  // Close the trailing partial epoch so late completions are windowed.
+  if (epoch_cycles > 0 && (vtime > epoch_start || epochs.empty())) {
+    close_epoch(vtime);
+  }
+
   ServeResult result;
   obs::ServerRecord& record = result.record;
   record.enabled = true;
@@ -483,6 +605,10 @@ ServeResult Server::Run() {
   record.avg_socket_gbps = vtime > 0 ? total_bytes * freq / vtime : 0;
   record.peak_socket_gbps = peak_gbps;
   record.saturated = saturated;
+  std::sort(all_latencies.begin(), all_latencies.end());
+  record.p50_ms = Percentile(all_latencies, 0.50);
+  record.p95_ms = Percentile(all_latencies, 0.95);
+  record.p99_ms = Percentile(all_latencies, 0.99);
 
   for (auto& [key, latencies] : engine_latencies) {
     std::sort(latencies.begin(), latencies.end());
@@ -540,6 +666,32 @@ ServeResult Server::Run() {
   }
 
   record.queue_timeline = std::move(timeline);
+
+  // Serving telemetry: epoch windows, sampled spans (admission order),
+  // SLO verdicts, and the run-level metric rollups.
+  record.epoch_ms = config_.epoch_ms;
+  record.epochs = std::move(epochs);
+  record.trace_sample_n = config_.trace_sample_n;
+  std::sort(spans.begin(), spans.end(),
+            [](const obs::QuerySpan& a, const obs::QuerySpan& b) {
+              return a.seq < b.seq;
+            });
+  record.spans = std::move(spans);
+  record.slos = config_.slos;
+  record.slo_results = obs::EvaluateSlos(config_.slos, record);
+
+  namespace mn = obs::metric_names;
+  metrics.SetGauge(mn::kServerVtimeMs, record.vtime_ms);
+  metrics.MaxGauge(mn::kServerSocketGbpsPeak, record.peak_socket_gbps);
+  metrics.MaxGauge(mn::kServerQueueDepthPeak,
+                   static_cast<double>(peak_queued));
+  metrics.Count(mn::kServerEpochsTotal, record.epochs.size());
+  metrics.Count(mn::kServerSpansRecorded, record.spans.size());
+  for (const obs::SloResult& r : record.slo_results) {
+    if (!r.pass) {
+      metrics.Count(mn::kServerSloViolations, "slo", r.spec.ToString());
+    }
+  }
   return result;
 }
 

@@ -10,7 +10,9 @@
 #include "core/topdown.h"
 #include "engine/query_spec.h"
 #include "engine/registry.h"
+#include "obs/metrics.h"
 #include "obs/record.h"
+#include "obs/slo.h"
 
 namespace uolap::server {
 
@@ -50,6 +52,22 @@ struct ServerConfig {
   /// Counter-timeline sampling interval of the per-class profiles
   /// (0 = timelines off); see obs::RegionProfiler::Options.
   uint64_t sample_interval_instructions = 0;
+
+  // --- serving telemetry (DESIGN.md §8) ---------------------------------
+  /// SLO epoch width in virtual ms; the run records per-epoch latency
+  /// windows and queue-depth extremes at this granularity. 0 disables
+  /// epoch windows (and with them SLO evaluation).
+  double epoch_ms = 0;
+  /// Head-based span sampling: every N-th admitted query (global
+  /// admission order, starting with the first) gets a QuerySpan recorded.
+  /// 1 traces everything, 0 disables tracing.
+  uint64_t trace_sample_n = 0;
+  /// Declarative SLOs evaluated against the epoch windows when Run()
+  /// finishes; results land in ServerRecord::slo_results.
+  std::vector<obs::SloSpec> slos;
+  /// Registry the run publishes its metrics into; nullptr uses
+  /// obs::MetricsRegistry::Global().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The outcome of one Server::Run().

@@ -36,6 +36,8 @@
 #include "engine/query_spec.h"
 #include "engine/registry.h"
 #include "harness/engines.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "tpch/dbgen.h"
 
 namespace uolap {
@@ -55,6 +57,13 @@ constexpr char kChildDirect[] = "--dispatch-child=dir";
 /// The concrete-virtual execution the dispatch switch must agree with.
 QueryResult RunDirect(const engine::OlapEngine& eng, const QuerySpec& spec,
                       Workers& w) {
+  // Run(spec) publishes a dispatch counter into the global metrics
+  // registry before executing; mirror that here so both children replay
+  // the same allocation sequence (the registry's first-touch node
+  // insertions move the heap, which the address-keyed cache models see).
+  obs::MetricsRegistry::Global().Count(
+      obs::metric_names::kEngineDispatchTotal, "query",
+      engine::QueryIdName(spec.id));
   QueryResult r;
   r.id = spec.id;
   switch (spec.id) {

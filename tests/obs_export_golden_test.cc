@@ -84,12 +84,23 @@ ProfileSession MakeGoldenSession() {
   session.quick = true;
   session.wall_ms = 12.5;
   session.runs.push_back(std::move(run));
+
+  // A small fixed registry snapshot so the v4 "metrics" block is golden-
+  // covered alongside the run: one labeled counter family, one gauge, one
+  // histogram with observations in different buckets.
+  MetricsRegistry registry;
+  registry.Count("golden.queries_total", "tenant", "a", 3);
+  registry.Count("golden.queries_total", "tenant", "b", 1);
+  registry.SetGauge("golden.vtime_ms", 12.5);
+  registry.Observe("golden.latency_ms", 0.5);
+  registry.Observe("golden.latency_ms", 3.0);
+  session.metrics = registry.Snapshot();
   return session;
 }
 
 constexpr char kProfileGolden[] = R"golden({
  "schema": "uolap-profile",
- "version": 3,
+ "version": 4,
  "bench": "obs_export_golden_test",
  "machine": "broadwell",
  "freq_ghz": 2.4,
@@ -97,6 +108,52 @@ constexpr char kProfileGolden[] = R"golden({
  "seed": 42,
  "quick": true,
  "wall_ms": 12.5,
+ "metrics": [
+  {
+   "name": "golden.latency_ms",
+   "kind": "histogram",
+   "series": [
+    {
+     "label_key": "",
+     "label_value": "",
+     "buckets": [
+      1,
+      0,
+      1
+     ],
+     "count": 2,
+     "sum_micro": 3500000
+    }
+   ]
+  },
+  {
+   "name": "golden.queries_total",
+   "kind": "counter",
+   "series": [
+    {
+     "label_key": "tenant",
+     "label_value": "a",
+     "value": 3
+    },
+    {
+     "label_key": "tenant",
+     "label_value": "b",
+     "value": 1
+    }
+   ]
+  },
+  {
+   "name": "golden.vtime_ms",
+   "kind": "gauge",
+   "series": [
+    {
+     "label_key": "",
+     "label_value": "",
+     "value": 12.5
+    }
+   ]
+  }
+ ],
  "runs": [
   {
    "label": "golden",
@@ -264,7 +321,7 @@ constexpr char kProfileGolden[] = R"golden({
 }
 )golden";
 
-constexpr char kTraceGolden[] = R"golden({"traceEvents":[{"ph":"M","name":"process_name","pid":1,"tid":0,"args":{"name":"golden"}},{"ph":"M","name":"thread_name","pid":1,"tid":0,"args":{"name":"core 0"}},{"ph":"X","name":"scan","cat":"region","pid":1,"tid":0,"ts":0,"dur":0.44872916666666673,"args":{"instructions":1536}},{"ph":"X","name":"probe","cat":"region","pid":1,"tid":0,"ts":0.44872916666666673,"dur":1.9091875000000007,"args":{"instructions":320}},{"ph":"C","name":"IPC c0","pid":1,"tid":0,"ts":0.44872916666666673,"args":{"value":1.4262500580342634}},{"ph":"C","name":"DRAM GB/s c0","pid":1,"tid":0,"ts":0.44872916666666673,"args":{"value":9.128000371419285}},{"ph":"C","name":"L1D miss % c0","pid":1,"tid":0,"ts":0.44872916666666673,"args":{"value":12.5}}],"displayTimeUnit":"ms","otherData":{"schema":"uolap-trace","version":3,"bench":"obs_export_golden_test","machine":"broadwell"}})golden";
+constexpr char kTraceGolden[] = R"golden({"traceEvents":[{"ph":"M","name":"process_name","pid":1,"tid":0,"args":{"name":"golden"}},{"ph":"M","name":"thread_name","pid":1,"tid":0,"args":{"name":"core 0"}},{"ph":"X","name":"scan","cat":"region","pid":1,"tid":0,"ts":0,"dur":0.44872916666666673,"args":{"instructions":1536}},{"ph":"X","name":"probe","cat":"region","pid":1,"tid":0,"ts":0.44872916666666673,"dur":1.9091875000000007,"args":{"instructions":320}},{"ph":"C","name":"IPC c0","pid":1,"tid":0,"ts":0.44872916666666673,"args":{"value":1.4262500580342634}},{"ph":"C","name":"DRAM GB/s c0","pid":1,"tid":0,"ts":0.44872916666666673,"args":{"value":9.128000371419285}},{"ph":"C","name":"L1D miss % c0","pid":1,"tid":0,"ts":0.44872916666666673,"args":{"value":12.5}}],"displayTimeUnit":"ms","otherData":{"schema":"uolap-trace","version":4,"bench":"obs_export_golden_test","machine":"broadwell"}})golden";
 
 void ExpectGolden(const std::string& actual, const std::string& expected,
                   const std::string& dump_name) {

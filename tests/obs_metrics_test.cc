@@ -1,0 +1,246 @@
+// Tests of the serving-telemetry metrics layer: name validation, the
+// registry's counter/gauge/histogram semantics, order-invariant snapshot
+// merging (the per-core aggregation contract), the Prometheus text
+// exposition bytes, snapshot diffing, SLO spec parsing, and profile
+// schema version back-compat (v2/v3 files must keep parsing under the v4
+// reader).
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/json.h"
+#include "obs/profile_export.h"
+#include "obs/slo.h"
+
+namespace uolap::obs {
+namespace {
+
+TEST(MetricNameTest, AcceptsLoweredDottedNames) {
+  EXPECT_TRUE(IsValidMetricName("server.latency_ms"));
+  EXPECT_TRUE(IsValidMetricName("a"));
+  EXPECT_TRUE(IsValidMetricName("a1_b.c2"));
+  EXPECT_TRUE(IsValidMetricName("engine.dispatch_total"));
+  // Later segments may lead with a digit or underscore (the grammar is
+  // [a-z0-9_]+ after the first segment); only the name head is strict.
+  EXPECT_TRUE(IsValidMetricName("server.1x"));
+}
+
+TEST(MetricNameTest, RejectsEverythingElse) {
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("Server.latency"));
+  EXPECT_FALSE(IsValidMetricName("1server"));
+  EXPECT_FALSE(IsValidMetricName("_server"));
+  EXPECT_FALSE(IsValidMetricName("server."));
+  EXPECT_FALSE(IsValidMetricName(".server"));
+  EXPECT_FALSE(IsValidMetricName("server..x"));
+  EXPECT_FALSE(IsValidMetricName("server latency"));
+  EXPECT_FALSE(IsValidMetricName("server-latency"));
+}
+
+TEST(MetricsRegistryTest, CountersGaugesHistograms) {
+  MetricsRegistry reg;
+  reg.Count("q.total");
+  reg.Count("q.total", 4);
+  reg.Count("q.total", "tenant", "a", 2);
+  reg.SetGauge("vtime.ms", 3.5);
+  reg.MaxGauge("peak.gbps", 10.0);
+  reg.MaxGauge("peak.gbps", 7.0);  // lower: keeps 10
+  reg.Observe("lat.ms", 0.5);
+  reg.Observe("lat.ms", 3.0);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  const MetricFamily* q = snap.Find("q.total");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->kind, MetricKind::kCounter);
+  ASSERT_EQ(q->series.size(), 2u);  // unlabeled + tenant=a, sorted
+  EXPECT_EQ(q->series[0].label_key, "");
+  EXPECT_EQ(q->series[0].counter, 5u);
+  EXPECT_EQ(q->series[1].label_value, "a");
+  EXPECT_EQ(q->series[1].counter, 2u);
+
+  const MetricFamily* peak = snap.Find("peak.gbps");
+  ASSERT_NE(peak, nullptr);
+  EXPECT_EQ(peak->series[0].gauge, 10.0);
+
+  const MetricFamily* lat = snap.Find("lat.ms");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->series[0].histogram.count, 2u);
+  // 0.5 lands in bucket 0 ([0,1)), 3.0 in bucket 2 ([2,4)).
+  ASSERT_GE(lat->series[0].histogram.buckets.size(), 3u);
+  EXPECT_EQ(lat->series[0].histogram.buckets[0], 1u);
+  EXPECT_EQ(lat->series[0].histogram.buckets[1], 0u);
+  EXPECT_EQ(lat->series[0].histogram.buckets[2], 1u);
+  EXPECT_EQ(lat->series[0].histogram.sum_micro, 3'500'000u);
+
+  reg.Reset();
+  EXPECT_TRUE(reg.Snapshot().empty());
+}
+
+TEST(MetricsRegistryTest, Log2BucketEdges) {
+  EXPECT_EQ(Log2Bucket(0.0), 0u);
+  EXPECT_EQ(Log2Bucket(0.99), 0u);
+  EXPECT_EQ(Log2Bucket(1.0), 1u);
+  EXPECT_EQ(Log2Bucket(1.99), 1u);
+  EXPECT_EQ(Log2Bucket(2.0), 2u);
+  EXPECT_EQ(Log2Bucket(1024.0), 11u);
+  EXPECT_EQ(Log2Bucket(1e300), 63u);  // capped
+}
+
+/// The per-core aggregation contract: merging N snapshots must be
+/// order-invariant down to the byte. Histogram sums are fixed-point
+/// micro-units precisely so this holds for every permutation.
+TEST(MetricsSnapshotTest, MergeIsOrderInvariant) {
+  constexpr int kCores = 8;
+  constexpr int kObservationsPerCore = 64;
+  std::vector<MetricsSnapshot> per_core;
+  for (int c = 0; c < kCores; ++c) {
+    MetricsRegistry reg;
+    Rng rng(/*seed=*/1000 + c);
+    for (int i = 0; i < kObservationsPerCore; ++i) {
+      reg.Observe("core.latency_ms", rng.NextDouble() * 50.0);
+      reg.Count("core.ops_total", "core", std::to_string(c));
+    }
+    reg.SetGauge("core.peak", rng.NextDouble() * 100.0);
+    per_core.push_back(reg.Snapshot());
+  }
+
+  auto merge_in_order = [&](const std::vector<int>& order) {
+    MetricsSnapshot acc;
+    for (const int idx : order) acc.Merge(per_core[idx]);
+    return ToPrometheusText(acc);
+  };
+
+  std::vector<int> order;
+  for (int c = 0; c < kCores; ++c) order.push_back(c);
+  const std::string forward = merge_in_order(order);
+
+  Rng shuffle_rng(7);
+  for (int trial = 0; trial < 16; ++trial) {
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1],
+                order[static_cast<size_t>(shuffle_rng.Uniform(
+                    0, static_cast<int64_t>(i) - 1))]);
+    }
+    EXPECT_EQ(merge_in_order(order), forward)
+        << "merge order changed the exposition bytes (trial " << trial
+        << ")";
+  }
+}
+
+TEST(MetricsSnapshotTest, DiffSubtractsCountersAndKeepsGauges) {
+  MetricsRegistry reg;
+  reg.Count("ops.total", 10);
+  reg.Observe("lat.ms", 1.0);
+  const MetricsSnapshot base = reg.Snapshot();
+  reg.Count("ops.total", 5);
+  reg.Observe("lat.ms", 3.0);
+  reg.SetGauge("vtime.ms", 42.0);
+  const MetricsSnapshot now = reg.Snapshot();
+
+  const MetricsSnapshot delta = now.Diff(base);
+  EXPECT_EQ(delta.Find("ops.total")->series[0].counter, 5u);
+  EXPECT_EQ(delta.Find("lat.ms")->series[0].histogram.count, 1u);
+  EXPECT_EQ(delta.Find("vtime.ms")->series[0].gauge, 42.0);
+  // Diff against a later snapshot saturates at zero, never wraps.
+  const MetricsSnapshot inverted = base.Diff(now);
+  EXPECT_EQ(inverted.Find("ops.total")->series[0].counter, 0u);
+}
+
+/// Byte-golden for the Prometheus exposition: the serve-path smoke stage
+/// greps this output, so format drift must be a conscious choice.
+TEST(MetricsSnapshotTest, PrometheusTextMatchesGolden) {
+  MetricsRegistry reg;
+  reg.Count("server.queries_total", "tenant", "a", 3);
+  reg.SetGauge("server.vtime_ms", 12.5);
+  reg.Observe("server.latency_ms", 0.5);
+  reg.Observe("server.latency_ms", 3.0);
+  const char kGolden[] =
+      "# TYPE server_latency_ms histogram\n"
+      "server_latency_ms_bucket{le=\"1\"} 1\n"
+      "server_latency_ms_bucket{le=\"2\"} 1\n"
+      "server_latency_ms_bucket{le=\"4\"} 2\n"
+      "server_latency_ms_bucket{le=\"+Inf\"} 2\n"
+      "server_latency_ms_sum 3.5\n"
+      "server_latency_ms_count 2\n"
+      "# TYPE server_queries_total counter\n"
+      "server_queries_total{tenant=\"a\"} 3\n"
+      "# TYPE server_vtime_ms gauge\n"
+      "server_vtime_ms 12.5\n";
+  EXPECT_EQ(ToPrometheusText(reg.Snapshot()), kGolden);
+}
+
+TEST(SloSpecTest, ParsesAndCanonicalizes) {
+  auto specs =
+      ParseSloSpecs("tenant0:p99<12ms, *:p50<3.5 ,*:qdepth<64");
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  ASSERT_EQ(specs.value().size(), 3u);
+  EXPECT_EQ(specs.value()[0].ToString(), "tenant0:p99<12ms");
+  EXPECT_EQ(specs.value()[0].metric, SloMetric::kP99);
+  EXPECT_EQ(specs.value()[0].threshold, 12.0);
+  EXPECT_EQ(specs.value()[1].ToString(), "*:p50<3.5ms");
+  EXPECT_EQ(specs.value()[2].ToString(), "*:qdepth<64");
+  EXPECT_TRUE(ParseSloSpecs("").value().empty());
+}
+
+TEST(SloSpecTest, RejectsMalformedClauses) {
+  EXPECT_FALSE(ParseSloSpecs("tenant0").ok());
+  EXPECT_FALSE(ParseSloSpecs("tenant0:p99").ok());
+  EXPECT_FALSE(ParseSloSpecs("tenant0:p99>12").ok());
+  EXPECT_FALSE(ParseSloSpecs("tenant0:p42<12").ok());
+  EXPECT_FALSE(ParseSloSpecs("tenant0:p99<abc").ok());
+  EXPECT_FALSE(ParseSloSpecs("tenant0:p99<-3").ok());
+  EXPECT_FALSE(ParseSloSpecs(":p99<3").ok());
+  // qdepth is pool-wide: a per-tenant subject is a spec bug.
+  EXPECT_FALSE(ParseSloSpecs("tenant0:qdepth<8").ok());
+}
+
+TEST(ProfileVersionTest, SupportedRange) {
+  EXPECT_FALSE(IsSupportedProfileVersion(1));
+  EXPECT_TRUE(IsSupportedProfileVersion(2));
+  EXPECT_TRUE(IsSupportedProfileVersion(3));
+  EXPECT_TRUE(IsSupportedProfileVersion(kProfileSchemaVersion));
+  EXPECT_FALSE(IsSupportedProfileVersion(kProfileSchemaVersion + 1));
+  EXPECT_FALSE(IsSupportedProfileVersion(-1));
+}
+
+/// v2 files (pre-serving) and v3 files (server block, no telemetry) keep
+/// parsing under the v4 reader: newer fields simply read as absent.
+TEST(ProfileVersionTest, OlderProfilesStillParse) {
+  const char kV2[] = R"({
+    "schema": "uolap-profile", "version": 2, "bench": "legacy",
+    "runs": [{"label": "scan", "threads": 1, "makespan_cycles": 100}]
+  })";
+  const char kV3[] = R"({
+    "schema": "uolap-profile", "version": 3, "bench": "legacy",
+    "runs": [],
+    "server": {"cores": 4, "submitted": 8, "completed": 8,
+               "vtime_ms": 1.5, "tenants": [{"name": "a", "p99_ms": 2}]}
+  })";
+  for (const char* text : {kV2, kV3}) {
+    const auto doc = ParseJson(text);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    const JsonValue& v = doc.value();
+    EXPECT_EQ(v.GetString("schema"), kProfileSchemaName);
+    EXPECT_TRUE(IsSupportedProfileVersion(
+        static_cast<int>(v.GetNumber("version"))));
+    // v4-only fields are absent, not errors.
+    EXPECT_EQ(v.Find("metrics"), nullptr);
+    const JsonValue* runs = v.Find("runs");
+    ASSERT_NE(runs, nullptr);
+    EXPECT_TRUE(runs->is_array());
+  }
+  const auto v3 = ParseJson(kV3);
+  const JsonValue* server = v3.value().Find("server");
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->GetNumber("completed"), 8.0);
+  EXPECT_EQ(server->Find("epochs"), nullptr);
+}
+
+}  // namespace
+}  // namespace uolap::obs

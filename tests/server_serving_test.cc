@@ -206,6 +206,174 @@ TEST_F(ServingTest, SharedBandwidthContentionInflatesDcacheShare) {
   EXPECT_TRUE(corun_run_present);
 }
 
+TEST_F(ServingTest, SpanTracingCoversEveryQueryAtFullSampling) {
+  ServerConfig config = BaseConfig();
+  config.trace_sample_n = 1;
+  Server server(config, *registry_);
+  server.AddTenant(ScanTenant("a", "typer", 2, 7));
+  server.AddTenant(ScanTenant("b", "tectorwise", 2, 11));
+
+  const obs::ServerRecord& rec = server.Run().record;
+  EXPECT_EQ(rec.trace_sample_n, 1u);
+  ASSERT_EQ(rec.spans.size(), rec.completed);
+  uint64_t last_seq = 0;
+  for (size_t i = 0; i < rec.spans.size(); ++i) {
+    const obs::QuerySpan& s = rec.spans[i];
+    // Span lifecycle ordering holds in virtual time: the query arrives,
+    // waits (possibly zero), starts on a core, and finishes after it.
+    EXPECT_LE(s.arrival_ms, s.start_ms);
+    EXPECT_LT(s.start_ms, s.end_ms);
+    EXPECT_GE(s.core, 0);
+    EXPECT_LT(s.core, config.cores);
+    EXPECT_FALSE(s.tenant.empty());
+    EXPECT_FALSE(s.cls.empty());
+    if (i > 0) EXPECT_GT(s.seq, last_seq);  // sorted by admission order
+    last_seq = s.seq;
+  }
+}
+
+TEST_F(ServingTest, SpanHeadSamplingKeepsEveryNth) {
+  ServerConfig config = BaseConfig();
+  config.trace_sample_n = 4;
+  Server server(config, *registry_);
+  server.AddTenant(ScanTenant("a", "typer", 2, 7));
+  server.AddTenant(ScanTenant("b", "tectorwise", 2, 11));
+
+  const obs::ServerRecord& rec = server.Run().record;
+  // Head sampling keys on the admission sequence number, and every
+  // admitted query drains, so exactly ceil(submitted / N) spans survive.
+  EXPECT_EQ(rec.spans.size(), (rec.submitted + 3) / 4);
+  for (const obs::QuerySpan& s : rec.spans) EXPECT_EQ(s.seq % 4, 0u);
+}
+
+TEST_F(ServingTest, EpochWindowsPartitionCompletions) {
+  ServerConfig config = BaseConfig();
+  config.epoch_ms = 0.5;
+  Server server(config, *registry_);
+  server.AddTenant(ScanTenant("a", "typer", 2, 7));
+  server.AddTenant(ScanTenant("b", "tectorwise", 2, 11));
+
+  const obs::ServerRecord& rec = server.Run().record;
+  EXPECT_EQ(rec.epoch_ms, 0.5);
+  ASSERT_FALSE(rec.epochs.empty());
+  uint64_t epoch_completed = 0;
+  for (size_t i = 0; i < rec.epochs.size(); ++i) {
+    const obs::EpochRecord& e = rec.epochs[i];
+    EXPECT_EQ(e.index, static_cast<int>(i));
+    EXPECT_LT(e.start_ms, e.end_ms);
+    if (i > 0) EXPECT_EQ(e.start_ms, rec.epochs[i - 1].end_ms);
+    epoch_completed += e.completed;
+    if (e.completed > 0) {
+      EXPECT_LE(e.p50_ms, e.p95_ms);
+      EXPECT_LE(e.p95_ms, e.p99_ms);
+    }
+    uint64_t window_completed = 0;
+    for (const obs::WindowStat& w : e.tenants) {
+      EXPECT_GT(w.completed, 0u);
+      window_completed += w.completed;
+    }
+    EXPECT_EQ(window_completed, e.completed);
+  }
+  EXPECT_EQ(epoch_completed, rec.completed);
+  // The whole-run percentile rollup rides along with the windows.
+  EXPECT_LE(rec.p50_ms, rec.p95_ms);
+  EXPECT_LE(rec.p95_ms, rec.p99_ms);
+  EXPECT_GT(rec.p99_ms, 0.0);
+}
+
+TEST_F(ServingTest, SloSpecsGateOnEpochWindows) {
+  ServerConfig config = BaseConfig();
+  config.epoch_ms = 0.5;
+  const auto specs = obs::ParseSloSpecs(
+      "*:p99<1e9ms,a:p99<1e9,*:qdepth<100000,*:p99<0.0001,nosuch:p50<1");
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  config.slos = specs.value();
+  Server server(config, *registry_);
+  server.AddTenant(ScanTenant("a", "typer", 2, 7));
+  server.AddTenant(ScanTenant("b", "tectorwise", 2, 11));
+
+  const obs::ServerRecord& rec = server.Run().record;
+  ASSERT_EQ(rec.slo_results.size(), 5u);
+  // Loose pool-wide, per-tenant, and queue-depth specs pass.
+  EXPECT_TRUE(rec.slo_results[0].pass);
+  EXPECT_GT(rec.slo_results[0].epochs_evaluated, 0);
+  EXPECT_TRUE(rec.slo_results[1].pass);
+  EXPECT_TRUE(rec.slo_results[2].pass);
+  // A sub-microsecond p99 bound must trip in some epoch.
+  EXPECT_FALSE(rec.slo_results[3].pass);
+  EXPECT_GE(rec.slo_results[3].first_violation_epoch, 0);
+  EXPECT_GT(rec.slo_results[3].worst_value, 0.0001);
+  // Typos in the subject fail loudly instead of vacuously passing.
+  EXPECT_FALSE(rec.slo_results[4].pass);
+  EXPECT_FALSE(rec.slo_results[4].known_subject);
+}
+
+TEST_F(ServingTest, TelemetryIsDeterministicAcrossRuns) {
+  ServerConfig config = BaseConfig();
+  config.epoch_ms = 0.5;
+  config.trace_sample_n = 2;
+  Server server(config, *registry_);
+  server.AddTenant(ScanTenant("a", "typer", 2, 7));
+  server.AddTenant(ScanTenant("b", "tectorwise", 2, 11));
+
+  const obs::ServerRecord r1 = server.Run().record;
+  const obs::ServerRecord r2 = server.Run().record;
+  ASSERT_EQ(r1.epochs.size(), r2.epochs.size());
+  for (size_t i = 0; i < r1.epochs.size(); ++i) {
+    EXPECT_EQ(r1.epochs[i].completed, r2.epochs[i].completed);
+    EXPECT_EQ(r1.epochs[i].p99_ms, r2.epochs[i].p99_ms);
+    EXPECT_EQ(r1.epochs[i].max_running, r2.epochs[i].max_running);
+    EXPECT_EQ(r1.epochs[i].max_queued, r2.epochs[i].max_queued);
+  }
+  ASSERT_EQ(r1.spans.size(), r2.spans.size());
+  for (size_t i = 0; i < r1.spans.size(); ++i) {
+    EXPECT_EQ(r1.spans[i].seq, r2.spans[i].seq);
+    EXPECT_EQ(r1.spans[i].tenant, r2.spans[i].tenant);
+    EXPECT_EQ(r1.spans[i].start_ms, r2.spans[i].start_ms);
+    EXPECT_EQ(r1.spans[i].end_ms, r2.spans[i].end_ms);
+    EXPECT_EQ(r1.spans[i].core, r2.spans[i].core);
+  }
+}
+
+TEST_F(ServingTest, InjectedRegistryCapturesServeCounters) {
+  obs::MetricsRegistry local;
+  ServerConfig config = BaseConfig();
+  config.metrics = &local;
+  Server server(config, *registry_);
+  server.AddTenant(ScanTenant("a", "typer", 2, 7));
+  server.AddTenant(ScanTenant("b", "tectorwise", 2, 11));
+
+  const obs::ServerRecord& rec = server.Run().record;
+  const obs::MetricsSnapshot snap = local.Snapshot();
+
+  auto series_sum = [&](const char* name) {
+    const obs::MetricFamily* f = snap.Find(name);
+    uint64_t total = 0;
+    if (f != nullptr) {
+      for (const obs::MetricSeries& s : f->series) total += s.counter;
+    }
+    return total;
+  };
+  EXPECT_EQ(series_sum("server.queries_submitted_total"), rec.submitted);
+  EXPECT_EQ(series_sum("server.queries_completed_total"), rec.completed);
+
+  const obs::MetricFamily* lat = snap.Find("server.latency_ms");
+  ASSERT_NE(lat, nullptr);
+  uint64_t observed = 0;
+  for (const obs::MetricSeries& s : lat->series) {
+    observed += s.histogram.count;
+  }
+  EXPECT_EQ(observed, rec.completed);
+
+  const obs::MetricFamily* vtime = snap.Find("server.vtime_ms");
+  ASSERT_NE(vtime, nullptr);
+  EXPECT_EQ(vtime->series[0].gauge, rec.vtime_ms);
+  // Nothing leaked into the process-global registry's serve counters...
+  // (other tests share the global, so only assert the injected one was
+  // actually used: it is non-empty and self-consistent.)
+  EXPECT_FALSE(snap.empty());
+}
+
 TEST_F(ServingTest, OpenLoopTenantObeysPoissonCap) {
   ServerConfig config = BaseConfig();
   config.default_max_queries = 6;
