@@ -1,0 +1,237 @@
+"""Structural model of one C++ file, built on the cpptok token stream.
+
+Recovers just enough shape for the contract rules:
+
+  * ``includes``       — ``#include`` directives with line numbers.
+  * ``functions``      — heuristically detected function bodies
+                         (name + token range of the ``{...}`` body).
+  * ``loops``          — ``for`` / ``while`` statements: header token
+                         range, body token range, and for range-``for``
+                         the token range of the iterated expression.
+  * ``unordered_vars`` — identifiers declared with an
+                         ``std::unordered_*`` type in this file.
+  * ``float_vars``     — identifiers declared ``float`` / ``double``.
+
+All of it is heuristic (no semantic analysis), tuned to the idioms this
+tree actually uses; the fixture corpus pins the behaviour.
+"""
+
+import re
+from dataclasses import dataclass, field
+
+from cpptok import KIND_IDENT, match_forward, scan
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+
+_CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "alignof", "decltype", "else", "do", "new", "delete", "static_assert",
+}
+
+_UNORDERED_TYPES = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset",
+}
+
+
+@dataclass(frozen=True)
+class Include:
+    line: int
+    path: str
+    angled: bool
+
+
+@dataclass(frozen=True)
+class Function:
+    name: str
+    line: int          # line of the opening brace's signature name
+    body_start: int    # token index of '{'
+    body_end: int      # token index of matching '}'
+
+
+@dataclass(frozen=True)
+class Loop:
+    kind: str          # "range_for" | "for" | "while"
+    line: int
+    header_start: int  # token index of '('
+    header_end: int    # token index of matching ')'
+    body_start: int    # first token of body
+    body_end: int      # one past last token of body
+    range_expr: tuple = ()  # token texts of the iterated expr (range_for)
+
+
+@dataclass
+class FileModel:
+    code_text: str = ""
+    code_lines: list = field(default_factory=list)
+    tokens: list = field(default_factory=list)
+    includes: list = field(default_factory=list)
+    functions: list = field(default_factory=list)
+    loops: list = field(default_factory=list)
+    unordered_vars: dict = field(default_factory=dict)  # name -> line
+    float_vars: dict = field(default_factory=dict)      # name -> line
+
+
+def build(source, raw_lines):
+    model = FileModel()
+    model.code_text, model.tokens = scan(source)
+    model.code_lines = model.code_text.split("\n")
+    for lineno, raw in enumerate(raw_lines, 1):
+        m = _INCLUDE_RE.match(raw)
+        if m:
+            model.includes.append(
+                Include(lineno, m.group(2), m.group(1) == "<"))
+    _find_functions(model)
+    _find_loops(model)
+    _find_declarations(model)
+    return model
+
+
+def _find_functions(model):
+    """name ( ... ) [qualifiers] { — a function definition, heuristically.
+
+    Lambdas and control statements are filtered by name; constructors,
+    destructors and operators come through with their spelled name
+    (``~Foo`` keeps the tilde).
+    """
+    toks = model.tokens
+    n = len(toks)
+    seen_bodies = set()
+    i = 0
+    while i < n:
+        if toks[i].text != "(":
+            i += 1
+            continue
+        j = i - 1
+        if j < 0 or toks[j].kind != KIND_IDENT:
+            i += 1
+            continue
+        name = toks[j].text
+        if name in _CONTROL_KEYWORDS:
+            i += 1
+            continue
+        if j > 0 and toks[j - 1].text == "~":
+            name = "~" + name
+        close = match_forward(toks, i, "(", ")")
+        if close >= n:
+            break
+        # Skip trailing qualifiers: const noexcept override final
+        # -> Type, : init-lists (constructors), etc., up to '{' or a
+        # statement terminator.
+        k = close + 1
+        depth_guard = 0
+        while k < n and depth_guard < 64:
+            t = toks[k].text
+            if t == "{":
+                # A ctor's init-list members (`: core_(core) {`) would
+                # re-detect the same body under the member's name; the
+                # first detection (the real signature) wins.
+                if k not in seen_bodies:
+                    seen_bodies.add(k)
+                    body_end = match_forward(toks, k, "{", "}")
+                    model.functions.append(
+                        Function(name, toks[j].line, k, body_end))
+                break
+            if t in (";", ")", "}", "=", ","):
+                break  # declaration / call / default-arg — not a body
+            if t == "(":  # e.g. constructor init-list member(expr)
+                k = match_forward(toks, k, "(", ")")
+            k += 1
+            depth_guard += 1
+        i = close + 1
+
+
+def _find_loops(model):
+    toks = model.tokens
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != KIND_IDENT or t.text not in ("for", "while"):
+            continue
+        if i + 1 >= n or toks[i + 1].text != "(":
+            continue
+        hdr_start = i + 1
+        hdr_end = match_forward(toks, hdr_start, "(", ")")
+        if hdr_end >= n:
+            continue
+        # Body: a brace block or a single statement up to ';'.
+        b = hdr_end + 1
+        if b < n and toks[b].text == "{":
+            body_start, body_end = b, match_forward(toks, b, "{", "}") + 1
+        else:
+            body_start = b
+            depth = 0
+            while b < n:
+                txt = toks[b].text
+                if txt in "([{":
+                    depth += 1
+                elif txt in ")]}":
+                    depth -= 1
+                elif txt == ";" and depth == 0:
+                    break
+                b += 1
+            body_end = b + 1
+        kind = t.text
+        range_expr = ()
+        if t.text == "for":
+            # A ':' at paren depth 1 inside the header => range-for.
+            depth = 0
+            for k in range(hdr_start, hdr_end):
+                txt = toks[k].text
+                if txt == "(":
+                    depth += 1
+                elif txt == ")":
+                    depth -= 1
+                elif txt == ":" and depth == 1:
+                    kind = "range_for"
+                    range_expr = tuple(
+                        tok.text for tok in toks[k + 1:hdr_end])
+                    break
+        model.loops.append(Loop(kind, t.line, hdr_start, hdr_end,
+                                body_start, body_end, range_expr))
+
+
+def _find_declarations(model):
+    toks = model.tokens
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != KIND_IDENT:
+            continue
+        if t.text in _UNORDERED_TYPES:
+            name_idx = _skip_template_args(toks, i + 1)
+            if (name_idx < n and toks[name_idx].kind == KIND_IDENT
+                    and toks[name_idx].text not in _CONTROL_KEYWORDS):
+                model.unordered_vars.setdefault(
+                    toks[name_idx].text, toks[name_idx].line)
+        elif t.text in ("float", "double"):
+            # `double x`, `double x = ...`, `double x;` — but not a
+            # function: `double F(` and not a cast `(double)` /
+            # template arg `<double>`.
+            j = i + 1
+            if (j < n and toks[j].kind == KIND_IDENT
+                    and toks[j].text not in _CONTROL_KEYWORDS
+                    and j + 1 < n and toks[j + 1].text in
+                    (";", "=", ",", ")", "{", "+=")):
+                model.float_vars.setdefault(toks[j].text, toks[j].line)
+
+
+def _skip_template_args(toks, i):
+    """Given index just past ``unordered_map``, step over ``<...>``."""
+    n = len(toks)
+    if i < n and toks[i].text == "<":
+        depth = 0
+        while i < n:
+            txt = toks[i].text
+            if txt == "<":
+                depth += 1
+            elif txt == ">":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+            elif txt == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return i + 1
+            elif txt in (";", "{"):
+                return i  # unbalanced, bail
+            i += 1
+    return i

@@ -1,0 +1,176 @@
+"""Lightweight C++ lexer for uolap-analyze.
+
+One scanner pass produces two synchronized views of a translation unit:
+
+  * ``code_lines`` — the source with comments replaced by spaces and
+    string/char literal *contents* blanked (the quotes survive), line
+    structure preserved.  Regex rules run over these so a forbidden call
+    mentioned in a comment or embedded in a log string never fires.
+  * ``tokens`` — a flat token stream (identifier / number / string /
+    char / punctuation) with 1-based line numbers, for the rules that
+    need structure (loop bodies, template arguments, brace matching).
+
+This is a *lexer with line accounting*, not a compiler front end: no
+preprocessing, no template instantiation.  It understands the lexical
+shapes that would otherwise break a regex pass — ``//`` and ``/* */``
+comments, string/char escapes, and ``R"delim(...)delim"`` raw strings —
+which is exactly the level of fidelity the contract rules need.
+"""
+
+import re
+from dataclasses import dataclass
+
+KIND_IDENT = "ident"
+KIND_NUMBER = "number"
+KIND_STRING = "string"
+KIND_CHAR = "char"
+KIND_PUNCT = "punct"
+
+_IDENT_START = re.compile(r"[A-Za-z_]")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUMBER_RE = re.compile(r"(?:0[xXbB])?[0-9][0-9a-fA-F'.eEpPuUlLfFzZ+-]*")
+# Longest-match-first multi-char operators we care to keep intact.
+_PUNCTS = [
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=",
+    "==", "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=",
+]
+
+_RAW_STRING_OPEN = re.compile(r'R"([^()\\ \t\n]{0,16})\(')
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self):  # compact for fixture-diff output
+        return f"{self.kind}:{self.text}@{self.line}"
+
+
+def _blank_keep_newlines(text):
+    """Replace every non-newline character with a space."""
+    return re.sub(r"[^\n]", " ", text)
+
+
+def scan(source):
+    """Returns (code_text, tokens) for a C++ source string.
+
+    ``code_text`` has identical length and newline positions to
+    ``source``; split it on newlines to get ``code_lines``.
+    """
+    out = []          # chars of code_text
+    tokens = []
+    i = 0
+    n = len(source)
+    line = 1
+
+    def emit_blank(seg):
+        out.append(_blank_keep_newlines(seg))
+
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            out.append(c)
+            line += 1
+            i += 1
+            continue
+        # --- comments -------------------------------------------------
+        if c == "/" and i + 1 < n:
+            if source[i + 1] == "/":
+                j = source.find("\n", i)
+                j = n if j < 0 else j
+                emit_blank(source[i:j])
+                i = j
+                continue
+            if source[i + 1] == "*":
+                j = source.find("*/", i + 2)
+                j = n if j < 0 else j + 2
+                seg = source[i:j]
+                emit_blank(seg)
+                line += seg.count("\n")
+                i = j
+                continue
+        # --- raw strings ----------------------------------------------
+        if c == "R" and source.startswith('R"', i):
+            m = _RAW_STRING_OPEN.match(source, i)
+            if m:
+                close = ")" + m.group(1) + '"'
+                j = source.find(close, m.end())
+                j = n if j < 0 else j + len(close)
+                seg = source[i:j]
+                tokens.append(Token(KIND_STRING, '""', line))
+                out.append('"' + _blank_keep_newlines(seg[1:-1]) + '"'
+                           if len(seg) >= 2 else seg)
+                line += seg.count("\n")
+                i = j
+                continue
+        # --- string / char literals -----------------------------------
+        if c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if source[j] == "\\":
+                    j += 2
+                    continue
+                if source[j] == quote or source[j] == "\n":
+                    break
+                j += 1
+            j = min(j + 1, n)
+            seg = source[i:j]
+            kind = KIND_STRING if quote == '"' else KIND_CHAR
+            tokens.append(Token(kind, quote + quote, line))
+            out.append(quote + _blank_keep_newlines(seg[1:-1]) + quote
+                       if len(seg) >= 2 else seg)
+            line += seg.count("\n")
+            i = j
+            continue
+        # --- identifiers ----------------------------------------------
+        if _IDENT_START.match(c):
+            m = _IDENT_RE.match(source, i)
+            tokens.append(Token(KIND_IDENT, m.group(0), line))
+            out.append(m.group(0))
+            i = m.end()
+            continue
+        # --- numbers --------------------------------------------------
+        if c.isdigit():
+            m = _NUMBER_RE.match(source, i)
+            tokens.append(Token(KIND_NUMBER, m.group(0), line))
+            out.append(m.group(0))
+            i = m.end()
+            continue
+        # --- punctuation ----------------------------------------------
+        if not c.isspace():
+            for p in _PUNCTS:
+                if source.startswith(p, i):
+                    tokens.append(Token(KIND_PUNCT, p, line))
+                    out.append(p)
+                    i += len(p)
+                    break
+            else:
+                tokens.append(Token(KIND_PUNCT, c, line))
+                out.append(c)
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+
+    return "".join(out), tokens
+
+
+def match_forward(tokens, i, open_text, close_text):
+    """Index of the token matching ``tokens[i]`` (an ``open_text``), or
+    ``len(tokens)`` when unbalanced."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if t == open_text:
+            depth += 1
+        elif t == close_text:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return n

@@ -1,0 +1,276 @@
+"""Contract rule family (CON-*).
+
+The simulation contracts the compiler cannot enforce (DESIGN.md §5d),
+promoted from scripts/lint_contracts.py onto the token/structure model:
+
+  * region discipline — engine/bench code uses core::ScopedRegion, never
+    raw ``PushRegion``/``PopRegion``; and wherever raw calls are legal
+    (core internals, obs), every function body pushes exactly as often
+    as it pops, so an early return cannot leave the region stack torn.
+  * metric names — every name constant in src/obs/metric_names.h obeys
+    the grammar and is unique; publish call sites use the constants,
+    never inline string literals.
+  * test-only hooks — ``TestOnly*`` members are never *called* outside
+    tests/, and a ``TestOnly``-prefixed symbol is never referenced from
+    a src/ translation unit other than the one that declares it.
+  * structure — include guards, own-header-first, no file-scope
+    using-directives in headers, and the storage discipline (charge
+    through the Core/ColumnView API, not raw ``memory()``).
+"""
+
+import os
+import re
+
+from engine import Rule
+from cpptok import KIND_IDENT, KIND_STRING
+
+# Engine-level code: operator implementations and drivers that must go
+# through the sanctioned RAII/charging APIs.
+ENGINE_DIRS = ("src/engines", "src/storage", "src/server", "bench",
+               "examples")
+_SRC_DIRS = ("src",)
+_NO_TESTONLY_DIRS = ("src", "bench", "examples")
+
+# --- CON-REGION-RAW -------------------------------------------------------
+
+_RAW_REGION_RE = re.compile(r"\b(?:PushRegion|PopRegion)\s*\(")
+
+
+def check_region_raw(ctx, rule, sf):
+    if not sf.in_dirs(ENGINE_DIRS):
+        return
+    for lineno, line in enumerate(sf.model.code_lines, 1):
+        if _RAW_REGION_RE.search(line):
+            ctx.report(rule, sf, lineno,
+                       "raw PushRegion/PopRegion call site; only "
+                       "core::ScopedRegion keeps the push/pop stream "
+                       "LIFO under early returns")
+
+
+# --- CON-REGION-PAIR ------------------------------------------------------
+
+# The RAII wrapper and the primitives themselves are the sanctioned
+# unbalanced bodies (ctor pushes, dtor pops); everything else in src/
+# must balance within one function body.
+_PAIR_EXEMPT_FN = re.compile(r"^~?(?:ScopedRegion|PushRegion|PopRegion)$")
+
+
+def _count_calls(toks, start, end, name):
+    count = 0
+    for k in range(start, min(end, len(toks) - 1)):
+        t = toks[k]
+        if t.kind == KIND_IDENT and t.text == name and \
+                toks[k + 1].text == "(":
+            count += 1
+    return count
+
+
+def check_region_pair(ctx, rule, sf):
+    if not sf.in_dirs(_SRC_DIRS):
+        return
+    toks = sf.model.tokens
+    for fn in sf.model.functions:
+        if _PAIR_EXEMPT_FN.match(fn.name):
+            continue
+        pushes = _count_calls(toks, fn.body_start, fn.body_end,
+                              "PushRegion")
+        pops = _count_calls(toks, fn.body_start, fn.body_end,
+                            "PopRegion")
+        if pushes != pops:
+            ctx.report(rule, sf, fn.line,
+                       f"{fn.name}: {pushes} PushRegion vs {pops} "
+                       "PopRegion in one body; an unbalanced region "
+                       "stack silently skews every enclosing "
+                       "attribution node")
+
+
+# --- CON-METRIC-NAME ------------------------------------------------------
+
+METRIC_HEADER = "src/obs/metric_names.h"
+_METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+# Spans line breaks: `inline constexpr char kFoo[] =\n    "a.b";`
+_METRIC_CONST_RE = re.compile(
+    r"constexpr\s+char\s+(k\w+)\[\]\s*=\s*\"([^\"]*)\"")
+_PUBLISH_METHODS = {"Count", "Observe", "SetGauge", "MaxGauge"}
+
+
+def check_metric_names(ctx, rule, sf):
+    if sf.relpath == METRIC_HEADER:
+        seen = {}
+        for m in _METRIC_CONST_RE.finditer(sf.source):
+            lineno = sf.source.count("\n", 0, m.start()) + 1
+            name = m.group(2)
+            if not _METRIC_NAME_RE.match(name):
+                ctx.report(rule, sf, lineno,
+                           f'"{name}" violates the metric name grammar '
+                           f"{_METRIC_NAME_RE.pattern}")
+            if name in seen:
+                ctx.report(rule, sf, lineno,
+                           f'"{name}" already registered on line '
+                           f"{seen[name]}")
+            seen[name] = lineno
+        return
+    if not sf.in_dirs(_SRC_DIRS):
+        return
+    # Publish call with an inline string literal as the name argument
+    # (token-based, so a literal on a continuation line still counts).
+    toks = sf.model.tokens
+    for k, t in enumerate(toks[:-2]):
+        if t.kind != KIND_IDENT or t.text not in _PUBLISH_METHODS:
+            continue
+        prev = toks[k - 1].text if k > 0 else ""
+        if prev not in (".", "->"):
+            continue
+        if toks[k + 1].text == "(" and toks[k + 2].kind == KIND_STRING:
+            ctx.report(rule, sf, t.line,
+                       "metric published with an inline string "
+                       "literal; names must come from "
+                       "obs/metric_names.h so the registry namespace "
+                       "stays centrally auditable")
+
+
+# --- CON-TESTONLY ---------------------------------------------------------
+
+_TESTONLY_CALL_RE = re.compile(r"(?:\.|->)\s*TestOnly\w*\s*\(")
+
+
+def check_testonly_call(ctx, rule, sf):
+    if not sf.in_dirs(_NO_TESTONLY_DIRS):
+        return
+    for lineno, line in enumerate(sf.model.code_lines, 1):
+        if _TESTONLY_CALL_RE.search(line):
+            ctx.report(rule, sf, lineno,
+                       "TestOnly* hook called outside tests/; these "
+                       "bypass the invariants the normal mutation "
+                       "paths maintain")
+
+
+# --- CON-TESTONLY-REF (tree) ----------------------------------------------
+
+def check_testonly_ref(ctx, rule):
+    """A ``TestOnly``-prefixed symbol may appear in the header that
+    declares it (and that header's own .cc); any other src/ file
+    referencing the name is production code depending on a test hook."""
+    declared_in = {}  # symbol -> set of headers mentioning it
+    for relpath, sf in ctx.files.items():
+        if not relpath.startswith("src/") or not relpath.endswith(".h"):
+            continue
+        for t in sf.model.tokens:
+            if t.kind == KIND_IDENT and t.text.startswith("TestOnly"):
+                declared_in.setdefault(t.text, set()).add(relpath)
+    for relpath, sf in ctx.files.items():
+        if not relpath.startswith("src/") or relpath.endswith(".h"):
+            continue
+        own_header = re.sub(r"\.(cc|cpp)$", ".h", relpath)
+        for t in sf.model.tokens:
+            if t.kind != KIND_IDENT or not t.text.startswith("TestOnly"):
+                continue
+            homes = declared_in.get(t.text, set())
+            if own_header in homes:
+                continue  # implementing its own declared hook
+            ctx.report(rule, sf, t.line,
+                       f"{t.text} referenced from {relpath}, but it is "
+                       f"declared in {', '.join(sorted(homes)) or 'no header'};"
+                       " test hooks must stay confined to their own TU "
+                       "and tests/")
+
+
+# --- CON-GUARD ------------------------------------------------------------
+
+def _guard_name(relpath):
+    p = relpath[4:] if relpath.startswith("src/") else relpath
+    return "UOLAP_" + re.sub(r"[/.]", "_", p).upper() + "_"
+
+
+def check_guard(ctx, rule, sf):
+    if not sf.in_dirs(_SRC_DIRS) or not sf.is_header:
+        return
+    want = _guard_name(sf.relpath)
+    for lineno, line in enumerate(sf.model.code_lines, 1):
+        if line.startswith("#ifndef "):
+            got = line.split()[1] if len(line.split()) > 1 else "<none>"
+            if got != want:
+                ctx.report(rule, sf, lineno,
+                           f"include guard is {got}, want {want}")
+            return
+    ctx.report(rule, sf, 1, f"no include guard; want #ifndef {want}")
+
+
+# --- CON-USING-NS ---------------------------------------------------------
+
+_USING_NS_RE = re.compile(r"^\s*using\s+namespace\b")
+
+
+def check_using_ns(ctx, rule, sf):
+    if not sf.in_dirs(_SRC_DIRS) or not sf.is_header:
+        return
+    for lineno, line in enumerate(sf.model.code_lines, 1):
+        if _USING_NS_RE.match(line):
+            ctx.report(rule, sf, lineno,
+                       "file-scope using-directive in a header leaks "
+                       "into every includer")
+
+
+# --- CON-INCLUDE-ORDER ----------------------------------------------------
+
+def check_include_order(ctx, rule, sf):
+    """foo.cc includes its own foo.h first — catches headers that
+    silently depend on prior includes."""
+    if not sf.relpath.endswith((".cc", ".cpp")):
+        return
+    own = re.sub(r"\.(cc|cpp)$", ".h", sf.relpath)
+    own_inc = own[4:] if own.startswith("src/") else own
+    if not os.path.exists(os.path.join(ctx.root, "src", own_inc)):
+        return
+    for inc in sf.model.includes:
+        if inc.angled:
+            continue
+        if inc.path != own_inc:
+            ctx.report(rule, sf, inc.line,
+                       f'first project include must be "{own_inc}"')
+        return
+
+
+# --- CON-STORAGE ----------------------------------------------------------
+
+_STORAGE_RE = re.compile(
+    r"(?:\.|->)\s*memory\s*\(\s*\)|\bmutable_counters\s*\(")
+
+
+def check_storage(ctx, rule, sf):
+    if not sf.in_dirs(ENGINE_DIRS):
+        return
+    for lineno, line in enumerate(sf.model.code_lines, 1):
+        if _STORAGE_RE.search(line):
+            ctx.report(rule, sf, lineno,
+                       "reaching into core.memory()/mutable_counters() "
+                       "bypasses the instruction-mix accounting; charge "
+                       "through the Core/ColumnView API")
+
+
+RULES = [
+    Rule("CON-REGION-RAW", "error", "contracts",
+         "engine/bench code must use core::ScopedRegion, not raw "
+         "Push/PopRegion", check_region_raw),
+    Rule("CON-REGION-PAIR", "error", "contracts",
+         "PushRegion/PopRegion balance within every function body",
+         check_region_pair),
+    Rule("CON-METRIC-NAME", "error", "contracts",
+         "metric name grammar, uniqueness, and central registration",
+         check_metric_names),
+    Rule("CON-TESTONLY", "error", "contracts",
+         "TestOnly* hooks may only be called from tests/",
+         check_testonly_call),
+    Rule("CON-TESTONLY-REF", "error", "contracts",
+         "TestOnly symbols referenced only from their own TU and tests/",
+         check_testonly_ref, scope="tree"),
+    Rule("CON-GUARD", "error", "contracts",
+         "headers use #ifndef UOLAP_<PATH>_H_ guards", check_guard),
+    Rule("CON-USING-NS", "error", "contracts",
+         "no file-scope using-directives in headers", check_using_ns),
+    Rule("CON-INCLUDE-ORDER", "warning", "contracts",
+         "a .cc includes its own header first", check_include_order),
+    Rule("CON-STORAGE", "error", "contracts",
+         "charge memory through Core/ColumnView, not raw MemorySystem",
+         check_storage),
+]

@@ -1,0 +1,274 @@
+"""Determinism rule family (DET-*).
+
+The reproduction's whole value is byte-deterministic, counter-bit-
+identical measurement (DESIGN.md §5d, §8): every fast path, the serving
+runtime, and the telemetry layer are gated on bit-exact replay.  These
+rules reject the constructs that historically break that contract —
+ambient entropy, host time, iteration-order leaks out of hash
+containers, pointer-value ordering, and order-sensitive float
+accumulation in merge/snapshot paths.
+"""
+
+import re
+
+from engine import Rule
+from cpptok import KIND_IDENT
+
+# Directories whose code feeds simulated counters (bit-determinism is a
+# hard contract there, so *any* host clock or unordered container is
+# out).  src/harness and src/common run outside the simulated world and
+# may e.g. time a run's wall clock — but never read calendar time or
+# ambient randomness.
+SIM_DIRS = ("src/core", "src/audit", "src/engine", "src/engines",
+            "src/storage", "src/tpch", "src/obs", "src/server")
+
+_SRC_DIRS = ("src",)
+_CODE_DIRS = ("src", "bench", "examples")
+
+# --- DET-RNG --------------------------------------------------------------
+
+_RNG_RE = re.compile(r"\bs?rand\s*\(|std::random_device")
+
+
+def check_rng(ctx, rule, sf):
+    if not sf.in_dirs(_SRC_DIRS):
+        return
+    for lineno, line in enumerate(sf.model.code_lines, 1):
+        if _RNG_RE.search(line):
+            ctx.report(rule, sf, lineno,
+                       "ambient randomness (rand/srand/random_device); "
+                       "all randomness must flow from the seeded "
+                       "generators in common/rng.h")
+
+
+# --- DET-WALLCLOCK --------------------------------------------------------
+
+# In simulation dirs, any host clock is banned; elsewhere in src/ only
+# calendar time (system_clock, time(...)) is — the harness legitimately
+# measures wall_ms with steady_clock.
+_ANY_CLOCK_RE = re.compile(
+    r"std::chrono|steady_clock|system_clock|high_resolution_clock|"
+    r"clock_gettime|gettimeofday|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)")
+_CALENDAR_RE = re.compile(
+    r"system_clock|gettimeofday|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)")
+
+
+def check_wallclock(ctx, rule, sf):
+    if sf.in_dirs(SIM_DIRS):
+        pattern, what = _ANY_CLOCK_RE, \
+            "host time in simulation code breaks bit-determinism"
+    elif sf.in_dirs(_SRC_DIRS):
+        pattern, what = _CALENDAR_RE, \
+            "calendar time is non-reproducible; only steady_clock wall " \
+            "timing is allowed outside the simulated world"
+    else:
+        return
+    for lineno, line in enumerate(sf.model.code_lines, 1):
+        if pattern.search(line):
+            ctx.report(rule, sf, lineno, what)
+
+
+# --- DET-UNORDERED-SIM ----------------------------------------------------
+
+_UNORDERED_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+
+
+def check_unordered_sim(ctx, rule, sf):
+    if not sf.in_dirs(SIM_DIRS):
+        return
+    for lineno, line in enumerate(sf.model.code_lines, 1):
+        if _UNORDERED_RE.search(line):
+            ctx.report(rule, sf, lineno,
+                       "std::unordered_* in simulation code: iteration "
+                       "order is implementation-defined; use a "
+                       "deterministic container")
+
+
+# --- DET-UNORDERED-ITER ---------------------------------------------------
+
+# Method names whose call inside the loop body leaks iteration order
+# into an observable artefact.
+_SINK_METHODS = {
+    # obs::MetricsRegistry
+    "Count", "Observe", "SetGauge", "MaxGauge",
+    # obs::JsonWriter
+    "Key", "String", "BeginObject", "BeginArray", "Value", "Raw",
+    "Int", "Uint", "Double", "Bool",
+}
+# Identifiers whose mutation inside the loop body counts as an ordered
+# sink (counters, profiles, exports).
+_SINK_NAME_RE = re.compile(
+    r"(?i)(counter|profile|metric|registry|writer|json|snapshot|export)")
+_MUTATORS = {"=", "+=", "-=", "*=", "/=", "++", "--"}
+_APPENDERS = {"push_back", "emplace_back", "append", "Append", "Add"}
+
+
+def _declared_unordered_above(sf, name, loop_line):
+    """The variable map is per-file, so a same-named local in a *later*
+    function must not taint an earlier loop; requiring the declaration
+    to precede the loop keeps field/member declarations in scope."""
+    decl_line = sf.model.unordered_vars.get(name)
+    return decl_line is not None and decl_line <= loop_line
+
+
+def _loop_iterates_unordered(sf, loop):
+    toks = sf.model.tokens
+    if loop.kind == "range_for":
+        for text in loop.range_expr:
+            if _declared_unordered_above(sf, text, loop.line) or \
+                    text.startswith("unordered_"):
+                return True
+        return False
+    header = toks[loop.header_start:loop.header_end]
+    texts = [t.text for t in header]
+    has_unordered = any(
+        _declared_unordered_above(sf, t, loop.line) or
+        t.startswith("unordered_") for t in texts)
+    return has_unordered and ("begin" in texts or "cbegin" in texts)
+
+
+def _body_has_order_sink(sf, loop):
+    toks = sf.model.tokens
+    body = toks[loop.body_start:loop.body_end]
+    for k, t in enumerate(body):
+        if t.kind != KIND_IDENT:
+            continue
+        prev = body[k - 1].text if k > 0 else ""
+        nxt = body[k + 1].text if k + 1 < len(body) else ""
+        if t.text in _SINK_METHODS and prev in (".", "->") and nxt == "(":
+            return t.line
+        if t.text in _APPENDERS and prev in (".", "->") and nxt == "(":
+            # receiver name two tokens back: recv . push_back (
+            recv = body[k - 2].text if k >= 2 else ""
+            if _SINK_NAME_RE.search(recv):
+                return t.line
+        if _SINK_NAME_RE.search(t.text):
+            if nxt in _MUTATORS or prev in ("++", "--"):
+                return t.line
+    return None
+
+
+def check_unordered_iter(ctx, rule, sf):
+    if not sf.in_dirs(_CODE_DIRS):
+        return
+    for loop in sf.model.loops:
+        if not _loop_iterates_unordered(sf, loop):
+            continue
+        sink_line = _body_has_order_sink(sf, loop)
+        if sink_line is not None:
+            ctx.report(rule, sf, loop.line,
+                       "iteration over an unordered container feeds an "
+                       f"ordered sink (line {sink_line}): the emitted "
+                       "order is implementation-defined")
+
+
+# --- DET-PTR-ORDER --------------------------------------------------------
+
+_ASSOC_TYPES = {"map", "set", "multimap", "multiset", "unordered_map",
+                "unordered_set", "unordered_multimap",
+                "unordered_multiset"}
+_PTR_CAST_CMP_RE = re.compile(
+    r"reinterpret_cast<\s*u?intptr_t\s*>[^;]{0,120}?[<>]=?\s*"
+    r"reinterpret_cast<\s*u?intptr_t\s*>")
+
+
+def _first_template_arg(toks, lt_index):
+    """Token texts of the first template argument after ``toks[lt_index]``
+    (which is '<'), stopping at the top-level ',' or '>'."""
+    depth = 0
+    arg = []
+    i = lt_index
+    while i < len(toks):
+        t = toks[i].text
+        if t == "<":
+            depth += 1
+        elif t in (">", ">>"):
+            depth -= 2 if t == ">>" else 1
+            if depth <= 0:
+                return arg
+        elif t == "," and depth == 1:
+            return arg
+        elif t in (";", "{"):
+            return arg
+        if depth >= 1 and i > lt_index:
+            arg.append(t)
+        i += 1
+    return arg
+
+
+def check_ptr_order(ctx, rule, sf):
+    if not sf.in_dirs(_CODE_DIRS):
+        return
+    toks = sf.model.tokens
+    for i, t in enumerate(toks):
+        if t.kind != KIND_IDENT:
+            continue
+        if t.text in _ASSOC_TYPES and i + 1 < len(toks) and \
+                toks[i + 1].text == "<":
+            arg = _first_template_arg(toks, i + 1)
+            if arg and arg[-1] == "*":
+                ctx.report(rule, sf, t.line,
+                           "associative container keyed by pointer "
+                           "value: pointer order/hash varies run to "
+                           "run; key by a stable id instead")
+        elif t.text == "hash" and i + 1 < len(toks) and \
+                toks[i + 1].text == "<":
+            arg = _first_template_arg(toks, i + 1)
+            if arg and arg[-1] == "*":
+                ctx.report(rule, sf, t.line,
+                           "hashing a pointer value: hash varies run "
+                           "to run; hash a stable id instead")
+    for lineno, line in enumerate(sf.model.code_lines, 1):
+        if _PTR_CAST_CMP_RE.search(line):
+            ctx.report(rule, sf, lineno,
+                       "ordering comparison of pointer addresses: the "
+                       "result depends on the allocator/ASLR, not on "
+                       "simulated state")
+
+
+# --- DET-FLOAT-ACCUM ------------------------------------------------------
+
+_MERGE_NAME_RE = re.compile(r"Merge|Snapshot")
+
+
+def check_float_accum(ctx, rule, sf):
+    if not sf.in_dirs(_SRC_DIRS):
+        return
+    toks = sf.model.tokens
+    for fn in sf.model.functions:
+        if not _MERGE_NAME_RE.search(fn.name):
+            continue
+        for k in range(fn.body_start, min(fn.body_end, len(toks) - 1)):
+            t = toks[k]
+            if t.kind != KIND_IDENT or toks[k + 1].text != "+=":
+                continue
+            if "micro" in t.text.lower():
+                continue  # the sanctioned fixed-point idiom
+            if t.text in sf.model.float_vars:
+                ctx.report(rule, sf, t.line,
+                           f"float accumulation of '{t.text}' in a "
+                           f"merge/snapshot path ({fn.name}): use the "
+                           "fixed-point sum_micro idiom so merges are "
+                           "order-invariant")
+
+
+RULES = [
+    Rule("DET-RNG", "error", "determinism",
+         "ambient randomness (rand/srand/std::random_device) in src/",
+         check_rng),
+    Rule("DET-WALLCLOCK", "error", "determinism",
+         "host clocks in simulation code; calendar time anywhere in src/",
+         check_wallclock),
+    Rule("DET-UNORDERED-SIM", "error", "determinism",
+         "std::unordered_* containers in simulation code",
+         check_unordered_sim),
+    Rule("DET-UNORDERED-ITER", "error", "determinism",
+         "unordered-container iteration feeding counters/profiles/JSON/"
+         "metrics", check_unordered_iter),
+    Rule("DET-PTR-ORDER", "error", "determinism",
+         "pointer-value ordering or hashing as a sort/map key",
+         check_ptr_order),
+    Rule("DET-FLOAT-ACCUM", "warning", "determinism",
+         "order-sensitive float accumulation in merge/snapshot paths",
+         check_float_accum),
+]

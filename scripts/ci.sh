@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point. Stages, in order:
-#   1. contract lint (scripts/lint_contracts.py) + clang-tidy when installed;
+#   1. static analysis (scripts/analyze — uolap-analyze: determinism,
+#      layering, and contract rules against the checked-in baseline) +
+#      clang-tidy when installed;
 #   2. the normal optimized build (the configuration every figure runs in)
 #      with its test suite, exporter and multi-tenant serving smokes, and
 #      byte-level determinism gates (a figure bench and a uolap_serve run,
@@ -8,20 +10,57 @@
 #   3. an UOLAP_VALIDATE=ON build: the full test suite plus a figure-bench
 #      sweep with every model-invariant checker armed (a violation aborts);
 #   4. an UndefinedBehaviorSanitizer build running the test suite;
-#   5. a ThreadSanitizer build that runs the test suite through the
+#   5. an AddressSanitizer smoke (build + unit tests);
+#   6. a ThreadSanitizer build that runs the test suite through the
 #      parallel runtime (ThreadPool, RunSweep, threaded ProfileMulti), so
 #      data races in engine ForEach bodies fail CI instead of silently
 #      breaking the bit-determinism contract.
 #
-# Usage: scripts/ci.sh [jobs]   (default: nproc)
+# Usage: scripts/ci.sh [stage] [jobs]
+#   stage: all (default) | analyze | asan — run one stage in isolation
+#   jobs:  parallelism (default: nproc)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+STAGE="all"
+if [[ -n "${1:-}" && ! "${1:-}" =~ ^[0-9]+$ ]]; then
+  STAGE="$1"
+  shift
+fi
 JOBS="${1:-$(nproc)}"
 
-echo "=== contract lint ==="
-python3 scripts/lint_contracts.py
+analyze_stage() {
+  echo "=== static analysis (uolap-analyze) ==="
+  local args=(--baseline=scripts/analyze/baseline.json)
+  # The compile DB (exported by any configured build tree) lets the
+  # analyzer cross-check its scan coverage; skip silently before the
+  # first configure.
+  if [ -f build/compile_commands.json ]; then
+    args+=(--compile-commands=build/compile_commands.json)
+  fi
+  python3 scripts/analyze "${args[@]}"
+}
+
+asan_stage() {
+  echo "=== address-sanitizer smoke ==="
+  cmake -B build-asan -S . -DUOLAP_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  # ASan roughly halves simulator throughput; keep a generous timeout.
+  (cd build-asan && ctest --output-on-failure -j "$JOBS" --timeout 900)
+}
+
+case "$STAGE" in
+  all) ;;
+  analyze) analyze_stage; exit 0 ;;
+  asan) asan_stage; exit 0 ;;
+  *)
+    echo "unknown stage: $STAGE (stages: all, analyze, asan)" >&2
+    exit 2
+    ;;
+esac
+
+analyze_stage
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "=== clang-tidy ==="
@@ -202,6 +241,8 @@ echo "=== undefined-behavior-sanitizer build ==="
 cmake -B build-ubsan -S . -DUOLAP_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j "$JOBS"
 (cd build-ubsan && ctest --output-on-failure -j "$JOBS" --timeout 600)
+
+asan_stage
 
 echo "=== thread-sanitizer build ==="
 cmake -B build-tsan -S . -DUOLAP_SANITIZE=thread >/dev/null

@@ -1,291 +1,37 @@
 #!/usr/bin/env python3
-"""Contract lint for the uolap simulator tree.
+"""Deprecated shim — the contract lint became scripts/analyze.
 
-Static checks for the simulation contracts that the compiler cannot
-enforce (see DESIGN.md section 5d for the rationale of each rule):
+Every rule this script carried was promoted into uolap-analyze
+(scripts/analyze/, DESIGN.md "Static analysis & contracts"):
 
-  region-raii          engines/benches must not call Core::PushRegion /
-                       PopRegion directly; only core::ScopedRegion keeps
-                       the push/pop stream LIFO under early returns.
-  no-wall-clock        nothing that feeds simulated state may read host
-                       time (std::chrono & friends); host time in the
-                       model would break bit-determinism.
-  no-ambient-rng       rand()/srand()/std::random_device are forbidden in
-                       simulation code; all randomness flows from the
-                       seeded common/rng.h generators.
-  no-unordered-sim     std::unordered_{map,set} are forbidden in
-                       simulation code: iteration order is
-                       implementation-defined, and simulated state built
-                       by iterating one would differ across stdlibs.
-  storage-discipline   engine code charges memory through the Core /
-                       ColumnView API (Touch*/Load*/Store*); reaching
-                       into core.memory() or mutable_counters() bypasses
-                       the instruction-mix accounting. The sanctioned
-                       vectorized charging sites carry an allow marker.
-  test-only-hooks      TestOnly* hooks (TestOnlySetWay, TestOnlySetStream,
-                       ...) bypass the invariants the normal mutation
-                       paths maintain; calling one outside tests/ would
-                       corrupt simulated state silently.
-  include-guard        headers use #ifndef UOLAP_<PATH>_H_ guards.
-  own-header-first     foo.cc includes its own foo.h first (catches
-                       headers that silently depend on prior includes).
-  no-using-namespace   headers must not have file-scope using-directives.
-  layering             #includes respect the dependency DAG
-                       (common <- core <- audit <- obs, engines never
-                       include harness, etc.).
-  metric-names         every metric name constant in obs/metric_names.h
-                       matches the grammar ^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$
-                       and is unique; publishing call sites elsewhere in
-                       src/ must use those constants, not raw string
-                       literals, so the registry namespace stays centrally
-                       auditable.
+  region-raii        -> CON-REGION-RAW (+ CON-REGION-PAIR, new)
+  no-wall-clock      -> DET-WALLCLOCK
+  no-ambient-rng     -> DET-RNG
+  no-unordered-sim   -> DET-UNORDERED-SIM (+ DET-UNORDERED-ITER,
+                        DET-PTR-ORDER, DET-FLOAT-ACCUM, new)
+  storage-discipline -> CON-STORAGE
+  test-only-hooks    -> CON-TESTONLY (+ CON-TESTONLY-REF, new)
+  include-guard      -> CON-GUARD
+  own-header-first   -> CON-INCLUDE-ORDER
+  no-using-namespace -> CON-USING-NS
+  layering           -> LAY-DAG over the real include graph (+ LAY-CYCLE)
+  metric-names       -> CON-METRIC-NAME
 
-A finding on a line ending in `// lint:allow(<rule>)` is suppressed.
-Exit status: 0 clean, 1 findings, 2 usage error.
+`// lint:allow(rule)` markers were migrated to
+`// uolap-analyze: allow(RULE-ID) reason`.  This shim forwards so stale
+invocations keep linting instead of silently passing; new callers should
+invoke `python3 scripts/analyze` directly (scripts/ci.sh analyze does).
 """
 
 import os
-import re
+import subprocess
 import sys
 
-REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-
-# Directories scanned (relative to repo root).
-SCAN_DIRS = ["src", "bench", "examples", "tests"]
-
-# Simulation code: files whose behaviour feeds simulated counters.
-SIM_DIRS = ("src/core", "src/audit", "src/engine", "src/engines",
-            "src/storage", "src/tpch", "src/obs", "src/server")
-
-# Engine code for the storage/region discipline rules.
-ENGINE_DIRS = ("src/engines", "src/storage", "src/server", "bench",
-               "examples")
-
-# Module layering DAG: module -> allowed include prefixes. A module may
-# always include itself and the C++ standard library.
-LAYERING = {
-    "src/common": [],
-    "src/core": ["common"],
-    "src/audit": ["common", "core"],
-    "src/obs": ["common", "core", "audit"],
-    "src/tpch": ["common"],
-    "src/storage": ["common", "core", "tpch"],
-    # engine publishes dispatch counters into the obs metrics registry.
-    "src/engine": ["common", "core", "storage", "tpch", "obs"],
-    "src/engines": ["common", "core", "storage", "tpch", "engine",
-                    "engines"],
-    # The serving runtime sits above the engines and observability but
-    # below the harness (it must stay embeddable without the CLI glue).
-    "src/server": ["common", "core", "audit", "obs", "tpch", "storage",
-                   "engine"],
-    # harness / bench / examples / tests may include anything.
-}
-
-ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
-
-# The one header allowed to define metric name strings, and the grammar
-# every name there must match (dot-separated lower_snake segments).
-METRIC_HEADER = "src/obs/metric_names.h"
-METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
-METRIC_CONST_RE = re.compile(
-    r"inline\s+constexpr\s+char\s+k\w+\[\]\s*=\s*\"([^\"]*)\"")
-# Registry publish calls with an inline string literal as the name.
-METRIC_CALL_RE = re.compile(
-    r"(?:\.|->)\s*(?:Count|Observe|SetGauge|MaxGauge)\s*\(\s*\"")
-
-RULES = [
-    ("region-raii",
-     re.compile(r"\b(?:PushRegion|PopRegion)\s*\("),
-     ENGINE_DIRS,
-     "call sites must use core::ScopedRegion, not raw Push/PopRegion"),
-    ("no-wall-clock",
-     re.compile(r"std::chrono|steady_clock|system_clock|high_resolution_"
-                r"clock|clock_gettime|gettimeofday|\btime\s*\(\s*(?:NULL|"
-                r"nullptr|0)\s*\)"),
-     SIM_DIRS,
-     "simulation code must not read host time"),
-    ("no-ambient-rng",
-     re.compile(r"\bs?rand\s*\(|std::random_device"),
-     SIM_DIRS,
-     "use the seeded generators in common/rng.h"),
-    ("no-unordered-sim",
-     re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b"),
-     SIM_DIRS,
-     "iteration order is implementation-defined; use a deterministic "
-     "container"),
-    ("storage-discipline",
-     re.compile(r"(?:\.|->)\s*memory\s*\(\s*\)|\bmutable_counters\s*\("),
-     ENGINE_DIRS,
-     "charge through the Core/ColumnView API, not the raw MemorySystem"),
-    # Member-call syntax only: the hooks' own declarations/definitions in
-    # src headers are not call sites.
-    ("test-only-hooks",
-     re.compile(r"(?:\.|->)\s*TestOnly\w*\s*\("),
-     ("src", "bench", "examples"),
-     "TestOnly* hooks may only be called from tests/"),
-]
-
-
-def allowed_rules(line):
-    m = ALLOW_RE.search(line)
-    if not m:
-        return set()
-    return {r.strip() for r in m.group(1).split(",")}
-
-
-def is_comment(line):
-    s = line.lstrip()
-    return s.startswith("//") or s.startswith("*") or s.startswith("/*")
-
-
-def rel(path):
-    return os.path.relpath(path, REPO).replace(os.sep, "/")
-
-
-def iter_sources():
-    for d in SCAN_DIRS:
-        root = os.path.join(REPO, d)
-        for dirpath, _, files in os.walk(root):
-            for name in sorted(files):
-                if name.endswith((".h", ".cc", ".cpp")):
-                    yield os.path.join(dirpath, name)
-
-
-def guard_name(relpath):
-    # src/core/cache.h -> UOLAP_CORE_CACHE_H_ ; bench/foo.h ->
-    # UOLAP_BENCH_FOO_H_ (src/ prefix is dropped, others are kept).
-    p = relpath[4:] if relpath.startswith("src/") else relpath
-    return "UOLAP_" + re.sub(r"[/.]", "_", p).upper() + "_"
-
-
-class Linter:
-    def __init__(self):
-        self.findings = []
-
-    def fail(self, path, lineno, rule, message):
-        self.findings.append((rel(path), lineno, rule, message))
-
-    def lint_file(self, path):
-        relpath = rel(path)
-        with open(path, encoding="utf-8") as f:
-            lines = f.read().splitlines()
-
-        for rule, pattern, dirs, message in RULES:
-            if not relpath.startswith(dirs):
-                continue
-            for i, line in enumerate(lines, 1):
-                if not pattern.search(line) or is_comment(line):
-                    continue
-                if rule in allowed_rules(line):
-                    continue
-                self.fail(path, i, rule, message)
-
-        if relpath.startswith("src/") and relpath.endswith(".h"):
-            self.lint_header(path, relpath, lines)
-        if relpath.endswith((".cc", ".cpp")):
-            self.lint_own_header_first(path, relpath, lines)
-        self.lint_layering(path, relpath, lines)
-        self.lint_metric_names(path, relpath, lines)
-
-    def lint_header(self, path, relpath, lines):
-        want = guard_name(relpath)
-        guards = [l for l in lines if l.startswith("#ifndef ")]
-        if not guards or guards[0].split()[1] != want:
-            got = guards[0].split()[1] if guards else "<none>"
-            self.fail(path, 1, "include-guard",
-                      f"guard is {got}, want {want}")
-        for i, line in enumerate(lines, 1):
-            if (re.match(r"\s*using\s+namespace\b", line)
-                    and "lint:allow(no-using-namespace)" not in line):
-                self.fail(path, i, "no-using-namespace",
-                          "file-scope using-directive in a header")
-
-    def lint_own_header_first(self, path, relpath, lines):
-        own = re.sub(r"\.(cc|cpp)$", ".h", relpath)
-        own_inc = own[4:] if own.startswith("src/") else own
-        if not os.path.exists(os.path.join(REPO, "src", own_inc)):
-            return
-        for i, line in enumerate(lines, 1):
-            m = re.match(r'\s*#include\s+"([^"]+)"', line)
-            if not m:
-                continue
-            if m.group(1) != own_inc:
-                self.fail(path, i, "own-header-first",
-                          f'first project include must be "{own_inc}"')
-            return
-
-    def lint_metric_names(self, path, relpath, lines):
-        if relpath == METRIC_HEADER:
-            # The central header: every constant matches the grammar and
-            # no name is registered twice.
-            seen = {}
-            for i, line in enumerate(lines, 1):
-                m = METRIC_CONST_RE.search(line)
-                if not m:
-                    continue
-                name = m.group(1)
-                if not METRIC_NAME_RE.match(name):
-                    self.fail(path, i, "metric-names",
-                              f'"{name}" violates the metric name grammar '
-                              f"{METRIC_NAME_RE.pattern}")
-                if name in seen:
-                    self.fail(path, i, "metric-names",
-                              f'"{name}" already registered on line '
-                              f"{seen[name]}")
-                seen[name] = i
-            return
-        # Elsewhere in src/: publishing through the registry with an
-        # inline string literal bypasses the central registration.
-        if not relpath.startswith("src/"):
-            return
-        for i, line in enumerate(lines, 1):
-            if not METRIC_CALL_RE.search(line) or is_comment(line):
-                continue
-            if "metric-names" in allowed_rules(line):
-                continue
-            self.fail(path, i, "metric-names",
-                      "metric names must come from obs/metric_names.h, "
-                      "not inline string literals")
-
-    def lint_layering(self, path, relpath, lines):
-        module = next((m for m in LAYERING
-                       if relpath.startswith(m + "/")), None)
-        if module is None:
-            return
-        allowed = LAYERING[module]
-        own_prefix = module[4:]  # strip src/
-        for i, line in enumerate(lines, 1):
-            m = re.match(r'\s*#include\s+"([^"]+)"', line)
-            if not m or "lint:allow(layering)" in line:
-                continue
-            inc = m.group(1)
-            top = inc.split("/")[0]
-            if inc.startswith(own_prefix + "/") or top == own_prefix:
-                continue
-            if top not in allowed:
-                self.fail(path, i, "layering",
-                          f"{module} must not include {inc} "
-                          f"(allowed: {', '.join(allowed) or 'nothing'})")
-
-
-def main():
-    if len(sys.argv) > 1:
-        print(__doc__)
-        return 2
-    linter = Linter()
-    count = 0
-    for path in iter_sources():
-        linter.lint_file(path)
-        count += 1
-    for relpath, lineno, rule, message in linter.findings:
-        print(f"{relpath}:{lineno}: [{rule}] {message}")
-    if linter.findings:
-        print(f"lint_contracts: {len(linter.findings)} finding(s) "
-              f"in {count} files")
-        return 1
-    print(f"lint_contracts: clean ({count} files)")
-    return 0
-
-
 if __name__ == "__main__":
-    sys.exit(main())
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo = os.path.dirname(here)
+    print("lint_contracts.py is deprecated; forwarding to "
+          "scripts/analyze (uolap-analyze)", file=sys.stderr)
+    cmd = [sys.executable, os.path.join(here, "analyze"),
+           "--baseline", os.path.join(here, "analyze", "baseline.json")]
+    sys.exit(subprocess.call(cmd + sys.argv[1:], cwd=repo))

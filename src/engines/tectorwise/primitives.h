@@ -76,7 +76,7 @@ inline void ChargeSimdLoop(VecCtx ctx, size_t n, uint64_t simd_per_group,
 template <typename T>
 inline T LoadElem(VecCtx ctx, const T* p) {
   if (ctx.simd) {
-    ctx.core->memory().AccessData(reinterpret_cast<uint64_t>(p), sizeof(T),  // lint:allow(storage-discipline)
+    ctx.core->memory().AccessData(reinterpret_cast<uint64_t>(p), sizeof(T),  // uolap-analyze: allow(CON-STORAGE) sanctioned vectorized charging site
                                   /*is_store=*/false);
   } else {
     ctx.core->Load(p, sizeof(T));
@@ -87,7 +87,7 @@ inline T LoadElem(VecCtx ctx, const T* p) {
 template <typename T>
 inline void StoreElem(VecCtx ctx, T* p, T v) {
   if (ctx.simd) {
-    ctx.core->memory().AccessData(reinterpret_cast<uint64_t>(p), sizeof(T),  // lint:allow(storage-discipline)
+    ctx.core->memory().AccessData(reinterpret_cast<uint64_t>(p), sizeof(T),  // uolap-analyze: allow(CON-STORAGE) sanctioned vectorized charging site
                                   /*is_store=*/true);
   } else {
     ctx.core->Store(p, sizeof(T));
@@ -107,7 +107,7 @@ inline void TouchVecLoad(VecCtx ctx, const T* p, size_t n) {
   if (n == 0) return;
   if (ctx.simd) {
     for (size_t i = 0; i < n; ++i) {
-      ctx.core->memory().AccessData(reinterpret_cast<uint64_t>(p + i),  // lint:allow(storage-discipline)
+      ctx.core->memory().AccessData(reinterpret_cast<uint64_t>(p + i),  // uolap-analyze: allow(CON-STORAGE) sanctioned vectorized charging site
                                     sizeof(T), /*is_store=*/false);
     }
   } else {
@@ -120,7 +120,7 @@ inline void TouchVecStore(VecCtx ctx, T* p, size_t n) {
   if (n == 0) return;
   if (ctx.simd) {
     for (size_t i = 0; i < n; ++i) {
-      ctx.core->memory().AccessData(reinterpret_cast<uint64_t>(p + i),  // lint:allow(storage-discipline)
+      ctx.core->memory().AccessData(reinterpret_cast<uint64_t>(p + i),  // uolap-analyze: allow(CON-STORAGE) sanctioned vectorized charging site
                                     sizeof(T), /*is_store=*/true);
     }
   } else {
@@ -135,7 +135,7 @@ inline void TouchVecStore(VecCtx ctx, T* p, size_t n) {
 template <typename T>
 inline void StoreCompact(VecCtx ctx, core::SeqCursor& cur, T* p, T v) {
   if (ctx.simd) {
-    ctx.core->memory().AccessData(reinterpret_cast<uint64_t>(p), sizeof(T),  // lint:allow(storage-discipline)
+    ctx.core->memory().AccessData(reinterpret_cast<uint64_t>(p), sizeof(T),  // uolap-analyze: allow(CON-STORAGE) sanctioned vectorized charging site
                                   /*is_store=*/true);
   } else {
     ctx.core->StoreRange(cur, p, sizeof(T), 1);
@@ -456,7 +456,7 @@ size_t HtProbeSel(VecCtx ctx, uint32_t branch_site,
     const uint64_t b = ht.BucketOf(key);
     const int32_t* head = &heads[b];
     if (ctx.simd) {
-      ctx.core->memory().AccessData(reinterpret_cast<uint64_t>(head), 4,  // lint:allow(storage-discipline)
+      ctx.core->memory().AccessData(reinterpret_cast<uint64_t>(head), 4,  // uolap-analyze: allow(CON-STORAGE) sanctioned vectorized charging site
                                     false);
     } else {
       ctx.core->Load(head, 4);
@@ -472,7 +472,7 @@ size_t HtProbeSel(VecCtx ctx, uint32_t branch_site,
       if (!has) break;
       const auto& entry = entries[static_cast<size_t>(e)];
       if (ctx.simd) {
-        ctx.core->memory().AccessData(reinterpret_cast<uint64_t>(&entry), 16,  // lint:allow(storage-discipline)
+        ctx.core->memory().AccessData(reinterpret_cast<uint64_t>(&entry), 16,  // uolap-analyze: allow(CON-STORAGE) sanctioned vectorized charging site
                                       false);
       } else {
         ctx.core->Load(&entry, 16);

@@ -1,0 +1,29 @@
+// Fixture: DET-UNORDERED-ITER (hash-map iteration feeding an ordered
+// sink) and DET-PTR-ORDER (pointer-keyed map, pointer hash, address
+// ordering).
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+struct Registry {
+  void Count(int key, long v);
+};
+struct Widget {
+  int id = 0;
+};
+
+void EmitCounts(Registry& reg) {
+  std::unordered_map<int, long> counts;
+  for (const auto& kv : counts) {
+    reg.Count(kv.first, kv.second);
+  }
+}
+
+bool PtrKeys(const Widget* a, const Widget* b) {
+  std::map<Widget*, int> by_ptr;
+  std::hash<Widget*> hasher;
+  (void)by_ptr;
+  (void)hasher;
+  return reinterpret_cast<uintptr_t>(a) < reinterpret_cast<uintptr_t>(b);
+}

@@ -1,0 +1,25 @@
+// Fixture: clean counterparts — a sorted-container loop feeding the
+// same sink, and a hash-map loop accumulating an order-invariant local.
+// Neither may produce a finding.
+#include <map>
+#include <unordered_map>
+
+struct Registry {
+  void Count(int key, long v);
+};
+
+void EmitSorted(Registry& reg) {
+  std::map<int, long> counts;
+  for (const auto& kv : counts) {
+    reg.Count(kv.first, kv.second);
+  }
+}
+
+long SumUnordered() {
+  std::unordered_map<int, long> counts;
+  long total = 0;
+  for (const auto& kv : counts) {
+    total += kv.second;
+  }
+  return total;
+}

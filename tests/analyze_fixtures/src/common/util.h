@@ -1,0 +1,13 @@
+#ifndef UOLAP_COMMON_UTIL_H_
+#define UOLAP_COMMON_UTIL_H_
+// Fixture: a fully clean header — correct guard, no findings.
+
+namespace uolap::common {
+
+inline int Clamp(int v, int lo, int hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace uolap::common
+
+#endif  // UOLAP_COMMON_UTIL_H_

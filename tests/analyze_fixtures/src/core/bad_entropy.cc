@@ -1,0 +1,23 @@
+// Fixture: DET-RNG and DET-WALLCLOCK in a simulation directory.
+// rand() mentioned in a comment must NOT fire (comments are blanked).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace uolap::core {
+
+int Entropy() {
+  std::srand(42);
+  int noise = std::rand();
+  long stamp = time(nullptr);
+  return noise + static_cast<int>(stamp);
+}
+
+double WallSeconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+const char* kLogLine = "calling rand() here would be bad";  // string: no fire
+
+}  // namespace uolap::core

@@ -1,0 +1,16 @@
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+// Fixture: DET-UNORDERED-SIM, CON-GUARD (wrong guard), CON-USING-NS.
+#include <unordered_map>
+
+using namespace std;
+
+namespace uolap::core {
+
+struct TagIndex {
+  unordered_map<int, int> slots;
+};
+
+}  // namespace uolap::core
+
+#endif

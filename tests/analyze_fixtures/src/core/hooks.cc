@@ -1,0 +1,8 @@
+// Fixture: a TU implementing its own declared TestOnly hook — clean.
+#include "core/hooks.h"
+
+namespace uolap::core {
+
+void Hooks::TestOnlyPoke() { state = -1; }
+
+}  // namespace uolap::core

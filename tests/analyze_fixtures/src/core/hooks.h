@@ -1,0 +1,16 @@
+#ifndef UOLAP_CORE_HOOKS_H_
+#define UOLAP_CORE_HOOKS_H_
+// Fixture: declares a TestOnly hook. The declaration itself is fine;
+// hooks.cc implementing it is fine; any other src/ TU referencing it
+// is CON-TESTONLY-REF.
+
+namespace uolap::core {
+
+struct Hooks {
+  void TestOnlyPoke();
+  int state = 0;
+};
+
+}  // namespace uolap::core
+
+#endif  // UOLAP_CORE_HOOKS_H_

@@ -1,0 +1,12 @@
+#ifndef UOLAP_CORE_LOOP_H_
+#define UOLAP_CORE_LOOP_H_
+// Fixture: the other half of the include cycle.
+#include "core/ring.h"
+
+namespace uolap::core {
+struct Loop {
+  int turns = 0;
+};
+}  // namespace uolap::core
+
+#endif  // UOLAP_CORE_LOOP_H_

@@ -1,0 +1,13 @@
+#ifndef UOLAP_CORE_RING_H_
+#define UOLAP_CORE_RING_H_
+// Fixture: one half of an include cycle (LAY-CYCLE anchors at loop.h,
+// the lexicographically smaller file).
+#include "core/loop.h"
+
+namespace uolap::core {
+struct Ring {
+  int size = 0;
+};
+}  // namespace uolap::core
+
+#endif  // UOLAP_CORE_RING_H_

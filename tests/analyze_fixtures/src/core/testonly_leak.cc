@@ -1,0 +1,11 @@
+// Fixture: production code calling a TestOnly hook declared elsewhere —
+// CON-TESTONLY (member-call syntax) and CON-TESTONLY-REF (cross-TU).
+#include "core/hooks.h"
+
+namespace uolap::core {
+
+void CorruptState(Hooks& h) {
+  h.TestOnlyPoke();
+}
+
+}  // namespace uolap::core

@@ -1,0 +1,10 @@
+// Fixture: CON-INCLUDE-ORDER — first project include is not the TU's
+// own header.
+#include "core/hooks.h"
+#include "core/widget.h"
+
+namespace uolap::core {
+
+int WidgetCount() { return 7; }
+
+}  // namespace uolap::core

@@ -1,0 +1,9 @@
+#ifndef UOLAP_CORE_WIDGET_H_
+#define UOLAP_CORE_WIDGET_H_
+// Fixture: the header widget.cc must include first.
+
+namespace uolap::core {
+int WidgetCount();
+}  // namespace uolap::core
+
+#endif  // UOLAP_CORE_WIDGET_H_

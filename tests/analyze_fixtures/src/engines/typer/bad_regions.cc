@@ -1,0 +1,23 @@
+// Fixture: CON-REGION-RAW (raw Push/PopRegion in engine code) and
+// CON-REGION-PAIR (a body that pushes without popping). BalancedOp
+// still fires RAW twice but not PAIR. Never compiled — lexical only.
+namespace uolap::core {
+struct Core;
+}  // namespace uolap::core
+
+namespace uolap::engines {
+
+void DoWork();
+
+void LeakyOp(uolap::core::Core& core) {
+  core.PushRegion("probe");
+  DoWork();
+}
+
+void BalancedOp(uolap::core::Core& core) {
+  core.PushRegion("scan");
+  DoWork();
+  core.PopRegion();
+}
+
+}  // namespace uolap::engines

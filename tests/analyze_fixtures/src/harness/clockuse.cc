@@ -1,0 +1,21 @@
+// Fixture: the two-tier wall-clock rule. The harness runs outside the
+// simulated world, so steady_clock wall timing is allowed — but
+// calendar time (system_clock / time()) is non-reproducible anywhere.
+#include <chrono>
+#include <ctime>
+
+namespace uolap::harness {
+
+double WallMs() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+long Calendar() {
+  return std::chrono::system_clock::now().time_since_epoch().count() +
+         time(nullptr);
+}
+
+}  // namespace uolap::harness

@@ -1,0 +1,24 @@
+// Fixture: DET-FLOAT-ACCUM — order-sensitive double accumulation in a
+// merge path. The fixed-point sum_micro idiom two lines down is clean,
+// and the same accumulation outside a Merge/Snapshot function is clean.
+#include <cstdint>
+
+namespace uolap::obs {
+
+double MergeInto(const double* values, int n) {
+  double total = 0.0;
+  uint64_t total_micro = 0;
+  for (int i = 0; i < n; ++i) {
+    total += values[i];
+    total_micro += static_cast<uint64_t>(values[i] * 1e6);
+  }
+  return total + static_cast<double>(total_micro) * 1e-6;
+}
+
+double PlainSum(const double* values, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += values[i];
+  return total;
+}
+
+}  // namespace uolap::obs

@@ -1,0 +1,16 @@
+// Fixture: CON-METRIC-NAME — publishing with an inline string literal
+// (including one on a continuation line) instead of a metric_names
+// constant. The constant-based call is clean.
+#include "obs/metric_names.h"
+
+struct Registry {
+  void Count(const char* name, long v);
+  void Observe(const char* name, double v);
+};
+
+void Publish(Registry& reg) {
+  reg.Count("inline.literal_total", 1);
+  reg.Observe(
+      "inline.on_continuation_line", 2.0);
+  reg.Count(uolap::obs::metric_names::kGoodTotal, 3);
+}

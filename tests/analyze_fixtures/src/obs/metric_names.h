@@ -1,0 +1,16 @@
+#ifndef UOLAP_OBS_METRIC_NAMES_H_
+#define UOLAP_OBS_METRIC_NAMES_H_
+// Fixture: the central metric-name header. One good constant (spanning
+// a line break, which the old line-regex lint missed), one grammar
+// violation, one duplicate registration.
+
+namespace uolap::obs::metric_names {
+
+inline constexpr char kGoodTotal[] =
+    "server.queries_total";
+inline constexpr char kBadGrammar[] = "Server.BadName";
+inline constexpr char kDupTotal[] = "server.queries_total";
+
+}  // namespace uolap::obs::metric_names
+
+#endif  // UOLAP_OBS_METRIC_NAMES_H_

@@ -1,0 +1,11 @@
+// Fixture: LAY-DAG — the serving runtime must stay embeddable below the
+// harness and must not reach into a concrete engine implementation.
+#include "harness/context.h"
+#include "engines/typer/typer_engine.h"
+#include "engine/query_spec.h"
+
+namespace uolap::server {
+
+int Dispatch() { return 1; }
+
+}  // namespace uolap::server

@@ -1,0 +1,20 @@
+// Fixture: CON-STORAGE — charging through the raw MemorySystem. The
+// second site carries a reasoned suppression and must NOT be reported
+// (the self-test asserts the suppressed count instead).
+namespace uolap::core {
+struct Memory {
+  void AccessData(unsigned long addr, int size, bool write);
+};
+struct Core {
+  Memory& memory();
+};
+}  // namespace uolap::core
+
+namespace uolap::storage {
+
+void Charge(uolap::core::Core& core) {
+  core.memory().AccessData(0, 8, false);
+  core.memory().AccessData(8, 8, false);  // uolap-analyze: allow(CON-STORAGE) fixture: proves suppression drops the finding
+}
+
+}  // namespace uolap::storage

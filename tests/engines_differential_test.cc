@@ -199,6 +199,24 @@ class DifferentialTest : public ::testing::Test {
     colstore_ = new colstore::ColstoreEngine(*db_);
   }
 
+  // The suite-lifetime fixtures must be freed here, not leaked to
+  // process exit: the ci.sh asan stage runs this suite under
+  // LeakSanitizer.
+  static void TearDownTestSuite() {
+    delete colstore_;
+    colstore_ = nullptr;
+    delete rowstore_;
+    rowstore_ = nullptr;
+    delete tw_simd_;
+    tw_simd_ = nullptr;
+    delete tw_;
+    tw_ = nullptr;
+    delete typer_;
+    typer_ = nullptr;
+    delete db_;
+    db_ = nullptr;
+  }
+
   /// Runs `fn(engine, workers)` on a fresh single-core machine.
   template <typename Fn>
   auto Run(const engine::OlapEngine& eng, Fn&& fn) {
