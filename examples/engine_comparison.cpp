@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   auto profile = [&](engine::OlapEngine& e, const engine::QuerySpec& spec) {
     core::Machine machine(core::MachineConfig::Broadwell(), 1);
     engine::Workers w(machine.core(0));
-    e.Run(spec, w);
+    e.Run(spec, w).value();  // the answer is discarded, not the Status
     machine.FinalizeAll();
     return machine.AnalyzeCore(0);
   };
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
                  "GB/s"});
     double base = 0;
     for (const std::string& key : keys) {
-      engine::OlapEngine& e = registry.Get(key);
+      engine::OlapEngine& e = *registry.Get(key).value();
       const core::ProfileResult r = profile(e, spec);
       if (key == "typer") base = r.time_ms;
       t.AddRow({e.name(), TablePrinter::Fmt(r.time_ms, 1),

@@ -177,6 +177,28 @@ void PrintServer(const JsonValue& server) {
       server.GetNumber("avg_socket_gbps"),
       server.GetNumber("peak_socket_gbps"),
       server.GetBool("saturated") ? " | SATURATED" : "");
+  // v5 robustness rollup (absent in v2–v4 files, where no query is ever
+  // rejected, shed, timed out, or failed).
+  if (server.Find("admitted") != nullptr) {
+    std::printf(
+        "outcomes: admitted %g | rejected %g | shed %g | timed_out %g | "
+        "failed %g | retries %g | policy %s%s%s\n",
+        server.GetNumber("admitted"), server.GetNumber("rejected"),
+        server.GetNumber("shed"), server.GetNumber("timed_out"),
+        server.GetNumber("failed"), server.GetNumber("retries"),
+        server.GetString("shed_policy").c_str(),
+        server.GetString("fault_plan").empty() ? "" : " | fault plan ",
+        server.GetString("fault_plan").c_str());
+    const double faults = server.GetNumber("faults_injected");
+    const double slows = server.GetNumber("slowdowns_injected");
+    const double downs = server.GetNumber("brownout_downgrades");
+    if (faults > 0 || slows > 0 || downs > 0) {
+      std::printf(
+          "injected: %g transient failures | %g slowdown epochs | "
+          "%g brown-out downgrades\n",
+          faults, slows, downs);
+    }
+  }
   // v4 telemetry rollup (absent in v2/v3 files).
   const JsonValue* epochs = server.Find("epochs");
   if (epochs != nullptr && epochs->is_array()) {
@@ -454,6 +476,15 @@ int Top(const JsonValue& profile, int n) {
 uolap::obs::ServerRecord ServerRecordFromJson(const JsonValue& server) {
   uolap::obs::ServerRecord rec;
   rec.enabled = true;
+  // Robustness rollups are v5; in v2–v4 files they read as zero.
+  rec.admitted = static_cast<uint64_t>(server.GetNumber("admitted"));
+  rec.rejected = static_cast<uint64_t>(server.GetNumber("rejected"));
+  rec.shed = static_cast<uint64_t>(server.GetNumber("shed"));
+  rec.timed_out = static_cast<uint64_t>(server.GetNumber("timed_out"));
+  rec.failed = static_cast<uint64_t>(server.GetNumber("failed"));
+  rec.retries = static_cast<uint64_t>(server.GetNumber("retries"));
+  rec.shed_policy = server.GetString("shed_policy", "none");
+  rec.fault_plan = server.GetString("fault_plan");
   const JsonValue* tenants = server.Find("tenants");
   if (tenants != nullptr) {
     for (const JsonValue& t : tenants->array) {

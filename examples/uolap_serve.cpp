@@ -10,6 +10,10 @@
 //                                [--json=serve.json] [--stable-json]
 //                                [--epoch-ms=5] [--trace-sample=1/N]
 //                                [--slo='tenant0:p99<12ms,*:qdepth<64']
+//                                [--deadline=8] [--shed-policy=both]
+//                                [--retries=2]
+//                                [--fault-plan='seed=7,fail=0.1,slow=0.2,x=2']
+//                                [--brownout=16]
 //
 // Serving telemetry (DESIGN.md §8): the run is windowed into --epoch-ms
 // SLO epochs, --slo specs are evaluated against those windows (results
@@ -17,9 +21,19 @@
 // --trace-sample=1/N head-samples every N-th admitted query as a span
 // tree in the --trace Chrome trace (default 1/1 when --trace is given).
 //
+// Robustness (DESIGN.md §9): --deadline gives every query a virtual-time
+// deadline; --shed-policy picks where load is dropped when the admission
+// load model predicts a miss (reject at admission, shed at schedule time,
+// both, or none); --retries bounds retry-with-backoff of transiently
+// failed attempts; --fault-plan arms the deterministic fault injector;
+// --brownout=DEPTH downgrades queued queries to the fastest engine once
+// the backlog reaches DEPTH. All five default off, leaving the run
+// bit-identical to the pre-robustness runtime.
+//
 // Everything is virtual time from seeded generators: two runs with the
 // same flags produce byte-identical --json output (the CI smoke stage
-// byte-diffs them).
+// byte-diffs them) — including the fault plan's failures and slowdowns,
+// which hash the plan seed rather than sampling event-loop state.
 
 #include <cstdio>
 #include <cstdlib>
@@ -83,6 +97,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Robustness flags (DESIGN.md §9); every default leaves the feature off.
+  const double deadline_ms = ctx.flags().GetDouble("deadline", 0.0);
+  StatusOr<server::ShedPolicy> shed_policy =
+      server::ParseShedPolicy(ctx.flags().GetString("shed-policy", ""));
+  if (!shed_policy.ok()) {
+    std::fprintf(stderr, "--shed-policy: %s\n",
+                 shed_policy.status().ToString().c_str());
+    return 2;
+  }
+  StatusOr<server::FaultPlan> fault_plan =
+      server::ParseFaultPlan(ctx.flags().GetString("fault-plan", ""));
+  if (!fault_plan.ok()) {
+    std::fprintf(stderr, "--fault-plan: %s\n",
+                 fault_plan.status().ToString().c_str());
+    return 2;
+  }
+  const int retries = static_cast<int>(ctx.flags().GetInt("retries", 0));
+  const int brownout = static_cast<int>(ctx.flags().GetInt("brownout", 0));
+
   server::ServerConfig config;
   config.machine = ctx.machine();
   config.cores = cores;
@@ -92,6 +125,18 @@ int main(int argc, char** argv) {
   config.epoch_ms = epoch_ms;
   config.trace_sample_n = ParseTraceSample(trace_sample);
   config.slos = slos.value();
+  config.admission.policy = shed_policy.value();
+  config.admission.default_deadline_ms = deadline_ms;
+  config.retry.max_retries = retries;
+  config.faults = fault_plan.value();
+  if (brownout > 0) {
+    // Brown-out downgrades to the compiled engine — the cheapest way to
+    // the same answer (the server checks the answers match).
+    config.brownout.queue_depth = brownout;
+    config.brownout.downgrade = {{"rowstore", "typer"},
+                                 {"colstore", "typer"},
+                                 {"tectorwise", "typer"}};
+  }
   server::Server server(config, ctx.engines());
 
   // Tenant seeds derive from --seed so reruns with a different seed see
@@ -141,12 +186,30 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(rec.submitted), rec.cores,
       rec.vtime_ms, rec.throughput_qps, rec.avg_socket_gbps,
       rec.peak_socket_gbps, rec.saturated ? ", saturated" : "");
+  std::printf(
+      "# outcomes: admitted %llu, completed %llu, rejected %llu, "
+      "shed %llu, timed_out %llu, failed %llu, retries %llu "
+      "(policy %s, faults %llu, slowdowns %llu, downgrades %llu%s%s)\n",
+      static_cast<unsigned long long>(rec.admitted),
+      static_cast<unsigned long long>(rec.completed),
+      static_cast<unsigned long long>(rec.rejected),
+      static_cast<unsigned long long>(rec.shed),
+      static_cast<unsigned long long>(rec.timed_out),
+      static_cast<unsigned long long>(rec.failed),
+      static_cast<unsigned long long>(rec.retries), rec.shed_policy.c_str(),
+      static_cast<unsigned long long>(rec.faults_injected),
+      static_cast<unsigned long long>(rec.slowdowns_injected),
+      static_cast<unsigned long long>(rec.brownout_downgrades),
+      rec.fault_plan.empty() ? "" : ", plan ", rec.fault_plan.c_str());
 
   TablePrinter tenants("Per-tenant latency and throughput");
-  tenants.SetHeader({"tenant", "engine", "done", "mean ms", "p50 ms",
+  tenants.SetHeader({"tenant", "engine", "done", "drop", "mean ms", "p50 ms",
                      "p95 ms", "p99 ms", "qps"});
   for (const obs::TenantRecord& t : rec.tenants) {
+    // "drop" folds the non-completion outcomes: rejected+shed+timed+failed.
     tenants.AddRow({t.name, t.engine, std::to_string(t.completed),
+                    std::to_string(t.rejected + t.shed + t.timed_out +
+                                   t.failed),
                     TablePrinter::Fmt(t.mean_ms, 2),
                     TablePrinter::Fmt(t.p50_ms, 2),
                     TablePrinter::Fmt(t.p95_ms, 2),
@@ -209,7 +272,7 @@ int main(int argc, char** argv) {
 
   // Record everything into the session so --json/--trace carry the
   // serving run: the per-class profiles as ordinary runs, the serving
-  // statistics as the schema-v4 "server" block.
+  // statistics as the schema-v5 "server" block.
   for (obs::RunRecord& run : result.class_runs) {
     ctx.RecordRun(std::move(run));
   }

@@ -248,6 +248,100 @@ def check_storage(ctx, rule, sf):
                        "through the Core/ColumnView API")
 
 
+# --- CON-STATUS-DISCARD ---------------------------------------------------
+
+# The dispatch surface reports errors by value: engine::OlapEngine::Run
+# and engine::EngineRegistry::Get return common::StatusOr.  A call whose
+# entire statement is the call itself drops the error channel on the
+# floor — the `;` right after the closing paren means nobody can branch
+# on ok() or unwrap the value.  Expression uses (`acc += bal.Get(i)`,
+# `eng.Run(spec, w).value()`) are fine: the result feeds something.
+_STATUS_METHODS = {"Run", "Get"}
+# Idents that consume the value even though they precede the chain.
+_STATUS_CONSUMERS = {"return", "co_return", "co_await", "throw"}
+_CHAIN_PUNCT = {".", "->", "::"}
+
+
+def _match_open(toks, close_idx):
+    close = toks[close_idx].text
+    want = "(" if close == ")" else "["
+    depth = 0
+    for k in range(close_idx, -1, -1):
+        t = toks[k].text
+        if t == close:
+            depth += 1
+        elif t == want:
+            depth -= 1
+            if depth == 0:
+                return k
+    return -1
+
+
+def _match_close(toks, open_idx):
+    depth = 0
+    for k in range(open_idx, len(toks)):
+        t = toks[k].text
+        if t == "(":
+            depth += 1
+        elif t == ")":
+            depth -= 1
+            if depth == 0:
+                return k
+    return -1
+
+
+def _begins_statement(toks, p):
+    """True when the receiver chain ending at toks[p] opens a statement,
+    i.e. nothing to the left can absorb the call's return value."""
+    while p >= 0:
+        t = toks[p]
+        if t.kind == KIND_IDENT:
+            if t.text in _STATUS_CONSUMERS:
+                return False
+            p -= 1
+            continue
+        if t.text in _CHAIN_PUNCT:
+            p -= 1
+            continue
+        if t.text in (")", "]"):
+            opener = _match_open(toks, p)
+            if opener < 1:
+                return False
+            if t.text == ")" and toks[opener - 1].kind != KIND_IDENT:
+                # Grouping or cast paren, not a chained call: the value
+                # is being fed into an expression (or explicitly
+                # void-cast, which is a deliberate annotation).
+                return False
+            p = opener - 1
+            continue
+        return t.text in (";", "{", "}")
+    return True
+
+
+def check_status_discard(ctx, rule, sf):
+    if not sf.in_dirs(ENGINE_DIRS):
+        return
+    toks = sf.model.tokens
+    for k, t in enumerate(toks):
+        if t.kind != KIND_IDENT or t.text not in _STATUS_METHODS:
+            continue
+        if k == 0 or toks[k - 1].text not in (".", "->"):
+            continue
+        if k + 1 >= len(toks) or toks[k + 1].text != "(":
+            continue
+        close = _match_close(toks, k + 1)
+        if close < 0 or close + 1 >= len(toks):
+            continue
+        if toks[close + 1].text != ";":
+            continue
+        if not _begins_statement(toks, k - 2):
+            continue
+        ctx.report(rule, sf, t.line,
+                   f"discarded Status from {t.text}() on the dispatch "
+                   "surface; consume the StatusOr by branching on ok() "
+                   "or unwrapping with value()")
+
+
 RULES = [
     Rule("CON-REGION-RAW", "error", "contracts",
          "engine/bench code must use core::ScopedRegion, not raw "
@@ -273,4 +367,7 @@ RULES = [
     Rule("CON-STORAGE", "error", "contracts",
          "charge memory through Core/ColumnView, not raw MemorySystem",
          check_storage),
+    Rule("CON-STATUS-DISCARD", "error", "contracts",
+         "dispatch-surface Run/Get call sites must consume the Status "
+         "channel", check_status_discard),
 ]

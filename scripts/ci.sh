@@ -17,7 +17,9 @@
 #      breaking the bit-determinism contract.
 #
 # Usage: scripts/ci.sh [stage] [jobs]
-#   stage: all (default) | analyze | asan — run one stage in isolation
+#   stage: all (default) | analyze | asan | chaos_smoke — run one stage
+#          in isolation (chaos_smoke: the fault-injection/degradation
+#          determinism gate under release + TSan)
 #   jobs:  parallelism (default: nproc)
 
 set -euo pipefail
@@ -50,12 +52,79 @@ asan_stage() {
   (cd build-asan && ctest --output-on-failure -j "$JOBS" --timeout 900)
 }
 
+# Chaos smoke: the robustness layer end to end (DESIGN.md §9). A serve
+# run with every degradation path armed — per-query deadlines, admission
+# reject + queue shed, bounded retry with backoff, brown-out downgrade,
+# and a deterministic fault plan — executed twice with identical argv,
+# must serialize byte-identical profile JSON including the shed/timeout/
+# retry/fault counters (the graceful-degradation determinism contract).
+# The parameters are tuned so every path actually fires at --quick scale:
+# the outcome rollup and the injection rollup must both be non-trivial.
+# Finally the SLO gate must fail a deliberately-unmeetable latency bound
+# on the degraded run with a non-zero exit.
+chaos_smoke() {
+  local build_dir="$1"
+  local out
+  out="$(mktemp -d)"
+  local serve=("$build_dir/examples/uolap_serve" --quick --seed=11
+    --stable-json --epoch-ms=5 --deadline=5 --shed-policy=both
+    --retries=2 --brownout=4
+    --fault-plan='seed=13,fail=0.2,slow=0.2,x=2,epoch=0.5')
+  # Identical argv shape both runs: the simulated caches key on raw heap
+  # addresses, so even an extra flag string breaks the byte-compare.
+  if setarch "$(uname -m)" -R true 2>/dev/null; then
+    setarch "$(uname -m)" -R "${serve[@]}" --json="$out/a.json" \
+      >"$out/a.txt"
+    setarch "$(uname -m)" -R "${serve[@]}" --json="$out/b.json" \
+      >"$out/b.txt"
+    cmp "$out/a.json" "$out/b.json"
+    # The stdout rollups must agree too; only the echoed output path and
+    # the dbgen wall-time line legitimately differ between the two runs
+    # (everything else is virtual-time state).
+    cmp <(grep -v "^# wrote \|^# generated " "$out/a.txt") \
+        <(grep -v "^# wrote \|^# generated " "$out/b.txt")
+  else
+    "${serve[@]}" --json="$out/a.json" >"$out/a.txt"
+  fi
+  "$build_dir/examples/uolap_report" validate "$out/a.json"
+  grep "^# outcomes:" "$out/a.txt" >/dev/null
+  # The fault plan must have injected work to degrade gracefully from:
+  # a rollup of all-zero counters means the chaos run tested nothing.
+  "$build_dir/examples/uolap_report" summary "$out/a.json" \
+    >"$out/summary.txt"
+  grep "^outcomes:" "$out/summary.txt" >/dev/null
+  grep "^injected:" "$out/summary.txt" >/dev/null
+  if grep "^outcomes: admitted 0 " "$out/summary.txt" >/dev/null; then
+    echo "chaos smoke: no queries admitted" >&2
+    return 1
+  fi
+  # Deliberately-unmeetable SLO on the degraded run: the gate must trip.
+  if "$build_dir/examples/uolap_report" slo "$out/a.json" \
+      --slo='*:p99<0.001' >/dev/null; then
+    echo "chaos smoke: unmeetable SLO spec unexpectedly passed" >&2
+    return 1
+  fi
+  rm -rf "$out"
+}
+
+chaos_stage() {
+  echo "=== chaos smoke (release) ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  chaos_smoke build
+  echo "=== chaos smoke (tsan) ==="
+  cmake -B build-tsan -S . -DUOLAP_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+  chaos_smoke build-tsan
+}
+
 case "$STAGE" in
   all) ;;
   analyze) analyze_stage; exit 0 ;;
   asan) asan_stage; exit 0 ;;
+  chaos_smoke) chaos_stage; exit 0 ;;
   *)
-    echo "unknown stage: $STAGE (stages: all, analyze, asan)" >&2
+    echo "unknown stage: $STAGE (stages: all, analyze, asan, chaos_smoke)" >&2
     exit 2
     ;;
 esac
@@ -182,6 +251,9 @@ telemetry_smoke() {
 echo "=== telemetry smoke (release) ==="
 telemetry_smoke build
 
+echo "=== chaos smoke (release) ==="
+chaos_smoke build
+
 # Perf smoke: the fast-path overhaul's counter gates (DESIGN.md §7).
 # uolap_perfsmoke replays a fixed synthetic address trace (never
 # dereferenced, so bit-identical on any host without ASLR pinning) through
@@ -258,5 +330,8 @@ serve_smoke build-tsan
 
 echo "=== telemetry smoke (tsan) ==="
 telemetry_smoke build-tsan
+
+echo "=== chaos smoke (tsan) ==="
+chaos_smoke build-tsan
 
 echo "=== ci passed ==="

@@ -10,8 +10,15 @@ bool OlapEngine::Supports(QueryId id) const {
   return id != QueryId::kQ9 && id != QueryId::kQ18;
 }
 
-QueryResult OlapEngine::Run(const QuerySpec& spec, Workers& w) const {
-  UOLAP_CHECK_MSG(Supports(spec.id), "engine does not support this query");
+StatusOr<QueryResult> OlapEngine::Run(const QuerySpec& spec,
+                                      Workers& w) const {
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+  if (!Supports(spec.id)) {
+    return Status::Unimplemented("engine " + name() +
+                                 " does not support query " +
+                                 QueryIdName(spec.id));
+  }
   obs::MetricsRegistry::Global().Count(
       obs::metric_names::kEngineDispatchTotal, "query", QueryIdName(spec.id));
   QueryResult r;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "core/core.h"
 #include "engine/query.h"
 #include "engine/query_spec.h"
@@ -92,7 +93,14 @@ class OlapEngine {
   /// engine code, so dispatched and direct calls are bit-identical — the
   /// engine_dispatch_test differential asserts it). Engine-neutral drivers
   /// such as the serving runtime only see this entry point.
-  QueryResult Run(const QuerySpec& spec, Workers& w) const;
+  ///
+  /// Returns InvalidArgument when `spec.Validate()` fails and
+  /// Unimplemented when this engine does not support the query — the
+  /// error channel the serving runtime's degradation paths flow through
+  /// instead of the former CHECK-abort. The success path allocates
+  /// exactly what the pre-Status dispatch did (bit-determinism).
+  [[nodiscard]] StatusOr<QueryResult> Run(const QuerySpec& spec,
+                                          Workers& w) const;
 
   /// Projection micro-benchmark: SUM over the first `degree` (1..4) of
   /// l_extendedprice, l_discount, l_tax, l_quantity.

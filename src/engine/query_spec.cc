@@ -1,6 +1,7 @@
 #include "engine/query_spec.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 
 namespace uolap::engine {
@@ -23,6 +24,34 @@ std::string QueryIdName(QueryId id) {
       return "q9";
     case QueryId::kQ18:
       return "q18";
+  }
+  return "?";
+}
+
+StatusOr<QueryId> ParseQueryId(std::string_view name) {
+  if (name == "projection") return QueryId::kProjection;
+  if (name == "selection") return QueryId::kSelection;
+  if (name == "join") return QueryId::kJoin;
+  if (name == "groupby") return QueryId::kGroupBy;
+  if (name == "q1") return QueryId::kQ1;
+  if (name == "q6") return QueryId::kQ6;
+  if (name == "q9") return QueryId::kQ9;
+  if (name == "q18") return QueryId::kQ18;
+  return Status::InvalidArgument("unknown query name: " + std::string(name));
+}
+
+std::string_view QueryOutcomeName(QueryOutcome outcome) {
+  switch (outcome) {
+    case QueryOutcome::kOk:
+      return "ok";
+    case QueryOutcome::kRejected:
+      return "rejected";
+    case QueryOutcome::kShed:
+      return "shed";
+    case QueryOutcome::kTimedOut:
+      return "timed_out";
+    case QueryOutcome::kFailed:
+      return "failed";
   }
   return "?";
 }
@@ -78,6 +107,30 @@ QuerySpec QuerySpec::Q18() {
   QuerySpec s;
   s.id = QueryId::kQ18;
   return s;
+}
+
+Status QuerySpec::Validate() const {
+  if (id < QueryId::kProjection || id > QueryId::kQ18) {
+    return Status::InvalidArgument("unknown QueryId");
+  }
+  if (id == QueryId::kProjection &&
+      (projection_degree < 1 || projection_degree > 4)) {
+    return Status::InvalidArgument("projection_degree must be in 1..4");
+  }
+  if (id == QueryId::kSelection &&
+      !(selection.selectivity >= 0.0 && selection.selectivity <= 1.0)) {
+    return Status::InvalidArgument("selection.selectivity must be in [0,1]");
+  }
+  if (id == QueryId::kGroupBy && num_groups < 1) {
+    return Status::InvalidArgument("num_groups must be >= 1");
+  }
+  if (!(deadline_ms >= 0.0) || !std::isfinite(deadline_ms)) {
+    return Status::InvalidArgument("deadline_ms must be finite and >= 0");
+  }
+  if (!(cost_hint_ms >= 0.0) || !std::isfinite(cost_hint_ms)) {
+    return Status::InvalidArgument("cost_hint_ms must be finite and >= 0");
+  }
+  return Status::OK();
 }
 
 std::string QuerySpec::Label() const {

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <variant>
 
+#include "common/status.h"
 #include "engine/query.h"
 #include "engine/results.h"
 #include "tpch/schema.h"
@@ -28,9 +30,31 @@ enum class QueryId {
 /// Stable lower-case name ("projection", "q6", ...).
 std::string QueryIdName(QueryId id);
 
+/// Inverse of QueryIdName: parses a stable query name back into its id.
+/// Returns InvalidArgument for anything QueryIdName never produces.
+StatusOr<QueryId> ParseQueryId(std::string_view name);
+
+/// Terminal disposition of a dispatched query, recorded by the serving
+/// runtime. Everything except kOk means the query produced no answer;
+/// `QueryResult::error` says why.
+enum class QueryOutcome {
+  kOk,        ///< completed and produced a verified result
+  kRejected,  ///< refused at admission (predicted deadline miss)
+  kShed,      ///< dropped from the queue under load-shedding policy
+  kTimedOut,  ///< cancelled at an operator-region boundary past deadline
+  kFailed,    ///< transient engine failures exhausted the retry budget
+};
+
+/// Stable lower-case name ("ok", "rejected", "shed", "timed_out",
+/// "failed") used in profile JSON, span traces, and report rollups.
+std::string_view QueryOutcomeName(QueryOutcome outcome);
+
 /// A fully parameterized query: the tagged id plus the parameter fields it
 /// reads (the others are ignored but kept value-initialized so specs
-/// compare and label deterministically). Build via the factory helpers.
+/// compare and label deterministically). Build via the factory helpers or
+/// the fluent QuerySpecBuilder (engine/spec_builder.h) — the builder also
+/// validates against an engine registry; direct field construction is
+/// deprecated for new call sites (DESIGN.md §6).
 struct QuerySpec {
   QueryId id = QueryId::kQ6;
 
@@ -40,6 +64,16 @@ struct QuerySpec {
   int64_t num_groups = 1024;               ///< kGroupBy
   Q6Params q6{};                           ///< kQ6
 
+  /// Optional virtual-time deadline, measured from arrival (0 = none).
+  /// The serving runtime's admission controller and timeout machinery
+  /// read it; engines ignore it, and it does not affect Label() — class
+  /// identity is the workload, not the SLO attached to it.
+  double deadline_ms = 0;
+  /// Optional caller estimate of solo service time, used to seed the
+  /// admission controller's load model before the first completion of
+  /// this class (0 = unknown).
+  double cost_hint_ms = 0;
+
   static QuerySpec Projection(int degree);
   static QuerySpec Selection(const SelectionParams& params);
   static QuerySpec Join(JoinSize size);
@@ -48,6 +82,11 @@ struct QuerySpec {
   static QuerySpec Q6(const Q6Params& params);
   static QuerySpec Q9();
   static QuerySpec Q18();
+
+  /// Structural validation: parameter ranges, finite non-negative
+  /// deadline/cost. Allocation-free on the success path (dispatch calls
+  /// it per query and the bit-determinism contract pins heap layout).
+  Status Validate() const;
 
   /// Deterministic label of the query class, e.g. "selection/s0.10" or
   /// "join/large" — stable across runs, so it can key schedules, profile
@@ -62,6 +101,14 @@ struct QuerySpec {
 struct QueryResult {
   QueryId id = QueryId::kQ6;
   std::variant<int64_t, Q1Result, Q9Result, Q18Result> value;
+
+  /// kOk from OlapEngine::Run; the serving runtime stamps the degraded
+  /// outcomes on results it synthesizes for shed/timed-out/failed queries.
+  QueryOutcome outcome = QueryOutcome::kOk;
+  /// Empty when outcome == kOk; otherwise a short reason string.
+  std::string error;
+
+  bool ok() const { return outcome == QueryOutcome::kOk; }
 
   tpch::Money money() const { return std::get<int64_t>(value); }
   int64_t checksum() const { return std::get<int64_t>(value); }

@@ -19,16 +19,23 @@ bool EngineRegistry::Has(const std::string& name) const {
   return factories_.count(name) > 0;
 }
 
-OlapEngine& EngineRegistry::Get(const std::string& name) {
+StatusOr<OlapEngine*> EngineRegistry::Get(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = instances_.find(name);
-  if (it != instances_.end()) return *it->second;
+  if (it != instances_.end()) return it->second.get();
   auto factory = factories_.find(name);
-  UOLAP_CHECK_MSG(factory != factories_.end(),
-                  "unknown engine key (see EngineRegistry::names())");
+  if (factory == factories_.end()) {
+    std::string known;
+    for (const auto& [key, unused] : factories_) {
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    return Status::NotFound("unknown engine key \"" + name +
+                            "\" (registered: " + known + ")");
+  }
   auto engine = factory->second(db_);
   UOLAP_CHECK(engine != nullptr);
-  return *instances_.emplace(name, std::move(engine)).first->second;
+  return instances_.emplace(name, std::move(engine)).first->second.get();
 }
 
 std::vector<std::string> EngineRegistry::names() const {

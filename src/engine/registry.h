@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "engine/engine.h"
 #include "tpch/schema.h"
 
@@ -40,8 +41,10 @@ class EngineRegistry {
   bool Has(const std::string& name) const;
 
   /// Returns the cached engine for `name`, constructing it on first use.
-  /// CHECK-fails when the key was never registered.
-  OlapEngine& Get(const std::string& name);
+  /// Returns NotFound when the key was never registered (callers that
+  /// know the key is valid use `Get(name).value()` and keep the former
+  /// CHECK-abort behavior — the message carries the registered keys).
+  [[nodiscard]] StatusOr<OlapEngine*> Get(const std::string& name);
 
   /// Registered keys in sorted (deterministic) order.
   std::vector<std::string> names() const;

@@ -1,0 +1,91 @@
+#include "engine/spec_builder.h"
+
+#include <utility>
+
+namespace uolap::engine {
+
+QuerySpecBuilder& QuerySpecBuilder::Query(std::string_view name) {
+  StatusOr<QueryId> id = ParseQueryId(name);
+  if (id.ok()) {
+    spec_.id = id.value();
+    bad_query_.clear();
+  } else {
+    bad_query_ = std::string(name);
+  }
+  return *this;
+}
+
+QuerySpecBuilder& QuerySpecBuilder::Id(QueryId id) {
+  spec_.id = id;
+  bad_query_.clear();
+  return *this;
+}
+
+QuerySpecBuilder& QuerySpecBuilder::ProjectionDegree(int degree) {
+  spec_.projection_degree = degree;
+  return *this;
+}
+
+QuerySpecBuilder& QuerySpecBuilder::Selection(const SelectionParams& params) {
+  spec_.selection = params;
+  return *this;
+}
+
+QuerySpecBuilder& QuerySpecBuilder::Join(JoinSize size) {
+  spec_.join_size = size;
+  return *this;
+}
+
+QuerySpecBuilder& QuerySpecBuilder::Groups(int64_t num_groups) {
+  spec_.num_groups = num_groups;
+  return *this;
+}
+
+QuerySpecBuilder& QuerySpecBuilder::Q6(const Q6Params& params) {
+  spec_.q6 = params;
+  return *this;
+}
+
+QuerySpecBuilder& QuerySpecBuilder::Deadline(double deadline_ms) {
+  spec_.deadline_ms = deadline_ms;
+  return *this;
+}
+
+QuerySpecBuilder& QuerySpecBuilder::CostHint(double cost_hint_ms) {
+  spec_.cost_hint_ms = cost_hint_ms;
+  return *this;
+}
+
+QuerySpecBuilder& QuerySpecBuilder::Engine(std::string key) {
+  engine_ = std::move(key);
+  return *this;
+}
+
+Status QuerySpecBuilder::Validate() const {
+  if (!bad_query_.empty()) {
+    return Status::InvalidArgument("unknown query name: " + bad_query_);
+  }
+  return spec_.Validate();
+}
+
+Status QuerySpecBuilder::Validate(EngineRegistry& registry) const {
+  Status structural = Validate();
+  if (!structural.ok()) return structural;
+  if (engine_.empty()) return Status::OK();
+  StatusOr<OlapEngine*> eng = registry.Get(engine_);
+  if (!eng.ok()) return eng.status();
+  if (!eng.value()->Supports(spec_.id)) {
+    return Status::Unimplemented("engine " + engine_ +
+                                 " does not support query " +
+                                 QueryIdName(spec_.id));
+  }
+  return Status::OK();
+}
+
+StatusOr<QuerySpec> QuerySpecBuilder::Build() const {
+  Status valid = Validate();
+  if (!valid.ok()) return valid;
+  return spec_;
+}
+
+}  // namespace uolap::engine

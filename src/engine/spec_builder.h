@@ -1,0 +1,76 @@
+#ifndef UOLAP_ENGINE_SPEC_BUILDER_H_
+#define UOLAP_ENGINE_SPEC_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "engine/query_spec.h"
+#include "engine/registry.h"
+
+namespace uolap::engine {
+
+/// Fluent builder for QuerySpec, the preferred construction path for
+/// drivers (uolap_serve, benches, tests) — direct field construction is
+/// deprecated for new call sites (DESIGN.md §6). The builder accumulates
+/// settings without failing; all errors surface at Validate()/Build(), so
+/// call chains read linearly:
+///
+///   auto spec = QuerySpecBuilder()
+///                   .Query("selection")
+///                   .Selection(MakeSelectionParams(db, 0.1))
+///                   .Deadline(12.5)
+///                   .Build();          // StatusOr<QuerySpec>
+///
+/// `Engine(key)` names the registry key the spec is destined for; it is
+/// not part of the spec itself, but Validate(registry) checks the key is
+/// registered and that the engine supports the query.
+class QuerySpecBuilder {
+ public:
+  QuerySpecBuilder() = default;
+
+  /// Sets the query by stable name ("projection", "q6", ...). An unknown
+  /// name is remembered and reported by Validate()/Build().
+  QuerySpecBuilder& Query(std::string_view name);
+  /// Sets the query by id.
+  QuerySpecBuilder& Id(QueryId id);
+
+  QuerySpecBuilder& ProjectionDegree(int degree);
+  QuerySpecBuilder& Selection(const SelectionParams& params);
+  QuerySpecBuilder& Join(JoinSize size);
+  QuerySpecBuilder& Groups(int64_t num_groups);
+  QuerySpecBuilder& Q6(const Q6Params& params);
+
+  /// Virtual-time deadline in ms from arrival (0 clears it).
+  QuerySpecBuilder& Deadline(double deadline_ms);
+  /// Caller estimate of solo service time in ms (0 clears it).
+  QuerySpecBuilder& CostHint(double cost_hint_ms);
+
+  /// Names the engine registry key this spec will be dispatched to.
+  QuerySpecBuilder& Engine(std::string key);
+
+  /// Structural validation of everything set so far (unknown query name,
+  /// parameter ranges, nonsensical deadline). Does not need a registry.
+  Status Validate() const;
+
+  /// Validate() plus registry checks: the Engine(key) — if named — must
+  /// be registered and must support the query.
+  Status Validate(EngineRegistry& registry) const;
+
+  /// The engine key named via Engine(), empty if none.
+  const std::string& engine() const { return engine_; }
+
+  /// Returns the built spec, or the first validation error.
+  StatusOr<QuerySpec> Build() const;
+
+ private:
+  QuerySpec spec_;
+  std::string engine_;
+  /// Unknown name passed to Query(); reported at Validate()/Build().
+  std::string bad_query_;
+};
+
+}  // namespace uolap::engine
+
+#endif  // UOLAP_ENGINE_SPEC_BUILDER_H_

@@ -66,12 +66,14 @@ class BenchContext {
   /// built-in keys ("typer", "tectorwise", "tectorwise+simd", "rowstore",
   /// "colstore"); see harness/engines.h.
   engine::EngineRegistry& engines() { return *engines_; }
-  /// Shorthand for engines().Get(name): the cached engine for a registry
-  /// key (constructed on first use). Engine-specific entry points need a
-  /// static_cast at the call site, e.g.
-  ///   static_cast<typer::TyperEngine&>(ctx.engine("typer")).
+  /// Shorthand for engines().Get(name).value(): the cached engine for a
+  /// registry key (constructed on first use). Benches name keys they know
+  /// are registered, so an unknown key CHECK-fails loudly here; fallible
+  /// callers use engines().Get(name) and handle the NotFound Status.
+  /// Engine-specific entry points need a static_cast at the call site,
+  /// e.g. static_cast<typer::TyperEngine&>(ctx.engine("typer")).
   engine::OlapEngine& engine(const std::string& name) {
-    return engines_->Get(name);
+    return *engines_->Get(name).value();
   }
 
   /// Prints the table to stdout (ASCII) and appends CSV if --csv given.

@@ -44,6 +44,33 @@ inline constexpr char kServerSloViolations[] = "server.slo_violations_total";
 /// Query span trees recorded under --trace-sample.
 inline constexpr char kServerSpansRecorded[] = "server.spans_recorded_total";
 
+// --- serving robustness (DESIGN.md §9) ------------------------------------
+/// Queries refused at admission (predicted deadline miss), per tenant.
+inline constexpr char kServerQueriesRejected[] =
+    "server.queries_rejected_total";
+/// Queries dropped from the queue under the shed policy, per tenant.
+inline constexpr char kServerQueriesShed[] = "server.queries_shed_total";
+/// Queries cancelled at an operator-region boundary past their deadline,
+/// per tenant.
+inline constexpr char kServerQueriesTimedOut[] =
+    "server.queries_timed_out_total";
+/// Queries whose transient failures exhausted the retry budget, per
+/// tenant.
+inline constexpr char kServerQueriesFailed[] = "server.queries_failed_total";
+/// Retry attempts scheduled after transient failures, per tenant.
+inline constexpr char kServerRetriesTotal[] = "server.retries_total";
+/// Backoff waits before retries, virtual ms, per tenant.
+inline constexpr char kServerBackoffMs[] = "server.backoff_ms";
+/// Transient failures injected by the fault plan, per tenant.
+inline constexpr char kServerFaultsInjected[] =
+    "server.faults_injected_total";
+/// Slowdown epochs injected by the fault plan, per tenant.
+inline constexpr char kServerSlowdownsInjected[] =
+    "server.slowdowns_injected_total";
+/// Brown-out engine downgrades applied at schedule time, per tenant.
+inline constexpr char kServerBrownoutDowngrades[] =
+    "server.brownout_downgrades_total";
+
 // --- bench harness (harness::BenchContext) --------------------------------
 /// Profiled runs recorded into the session (Profile/ProfileMulti/
 /// RecordRun).

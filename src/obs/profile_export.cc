@@ -164,6 +164,19 @@ void WriteServer(JsonWriter* w, const ServerRecord& s) {
   w->KV("vtime_ms", s.vtime_ms);
   w->KV("submitted", s.submitted);
   w->KV("completed", s.completed);
+  // Robustness rollups (schema v5); see obs::TenantRecord for the
+  // accounting invariant these obey.
+  w->KV("admitted", s.admitted);
+  w->KV("rejected", s.rejected);
+  w->KV("shed", s.shed);
+  w->KV("timed_out", s.timed_out);
+  w->KV("failed", s.failed);
+  w->KV("retries", s.retries);
+  w->KV("faults_injected", s.faults_injected);
+  w->KV("slowdowns_injected", s.slowdowns_injected);
+  w->KV("brownout_downgrades", s.brownout_downgrades);
+  w->KV("shed_policy", s.shed_policy);
+  w->KV("fault_plan", s.fault_plan);
   w->KV("throughput_qps", s.throughput_qps);
   w->KV("avg_socket_gbps", s.avg_socket_gbps);
   w->KV("peak_socket_gbps", s.peak_socket_gbps);
@@ -179,6 +192,12 @@ void WriteServer(JsonWriter* w, const ServerRecord& s) {
     w->KV("engine", t.engine);
     w->KV("submitted", t.submitted);
     w->KV("completed", t.completed);
+    w->KV("admitted", t.admitted);
+    w->KV("rejected", t.rejected);
+    w->KV("shed", t.shed);
+    w->KV("timed_out", t.timed_out);
+    w->KV("failed", t.failed);
+    w->KV("retries", t.retries);
     w->KV("mean_ms", t.mean_ms);
     w->KV("p50_ms", t.p50_ms);
     w->KV("p95_ms", t.p95_ms);
@@ -556,6 +575,8 @@ std::string SessionToChromeTrace(const ProfileSession& session) {
         w.BeginObject();
         w.KV("seq", span.seq);
         w.KV("tenant", span.tenant);
+        w.KV("outcome", span.outcome);
+        w.KV("attempts", static_cast<int64_t>(span.attempts));
         w.EndObject();
         w.EndObject();
       };

@@ -19,7 +19,11 @@ namespace uolap::obs {
 ///     snapshot), "server" gains overall p50/p95/p99, SLO epoch windows
 ///     ("epochs"), trace sampling metadata, and SLO specs/results.
 ///     Query spans go to the Chrome trace only, never the profile JSON.
-inline constexpr int kProfileSchemaVersion = 4;
+/// v5: serving robustness — "server" and each tenant gain outcome rollups
+///     (admitted/rejected/shed/timed_out/failed/retries), the server block
+///     additionally faults_injected/slowdowns_injected/brownout_downgrades
+///     and the shed_policy / fault_plan strings that shaped the run.
+inline constexpr int kProfileSchemaVersion = 5;
 /// Oldest schema version the reporting tools still parse. Readers accept
 /// [kMinProfileSchemaVersion, kProfileSchemaVersion]; fields added later
 /// than a file's version simply read as absent.
@@ -34,14 +38,17 @@ inline constexpr bool IsSupportedProfileVersion(int v) {
 
 /// Serializes a session to the versioned profile JSON schema:
 ///
-///   { "schema": "uolap-profile", "version": 4,
+///   { "schema": "uolap-profile", "version": 5,
 ///     "bench": ..., "machine": ..., "freq_ghz": ..., "scale_factor": ...,
 ///     "seed": ..., "quick": ..., "wall_ms": ...,
 ///     "metrics": [ { "name", "kind", "series": [ { "label_key",
 ///                    "label_value", value or buckets/count/sum_micro } ] } ],
 ///       // "metrics" is present only when the registry snapshot taken at
 ///       // flush is non-empty.
-///     "server": { cores/vtime_ms/submitted/completed/throughput_qps/
+///     "server": { cores/vtime_ms/submitted/completed/
+///                 admitted/rejected/shed/timed_out/failed/retries/
+///                 faults_injected/slowdowns_injected/brownout_downgrades/
+///                 shed_policy/fault_plan/throughput_qps/
 ///                 avg_socket_gbps/peak_socket_gbps/saturated/
 ///                 p50_ms/p95_ms/p99_ms/
 ///                 "tenants": [ per-tenant latency stats + histogram ],

@@ -55,6 +55,15 @@ struct TenantRecord {
   std::string engine;  ///< registry key the tenant targets
   uint64_t submitted = 0;
   uint64_t completed = 0;
+  // Robustness outcome counts (schema v5). The admission accounting
+  // invariant: admitted = submitted - rejected
+  //                     = completed + shed + timed_out + failed.
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t shed = 0;
+  uint64_t timed_out = 0;
+  uint64_t failed = 0;
+  uint64_t retries = 0;
   double mean_ms = 0;
   double p50_ms = 0;
   double p95_ms = 0;
@@ -133,7 +142,11 @@ struct QuerySpan {
   double arrival_ms = 0;
   double start_ms = 0;  ///< core assignment (end of queue wait)
   double end_ms = 0;
-  int core = -1;  ///< core slot the query executed on
+  int core = -1;  ///< core slot the query executed on (-1: never started)
+  /// Terminal disposition (schema v5): "ok", "rejected", "shed",
+  /// "timed_out", or "failed".
+  std::string outcome = "ok";
+  uint32_t attempts = 1;  ///< execution attempts (> 1 after retries)
 };
 
 /// Everything the serving runtime reports for one Server::Run(); exported
@@ -144,6 +157,18 @@ struct ServerRecord {
   double vtime_ms = 0;  ///< virtual time at the last completion
   uint64_t submitted = 0;
   uint64_t completed = 0;
+  // Robustness totals (schema v5); see TenantRecord for the invariant.
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t shed = 0;
+  uint64_t timed_out = 0;
+  uint64_t failed = 0;
+  uint64_t retries = 0;
+  uint64_t faults_injected = 0;
+  uint64_t slowdowns_injected = 0;
+  uint64_t brownout_downgrades = 0;
+  std::string shed_policy = "none";  ///< AdmissionConfig policy name
+  std::string fault_plan;            ///< canonical FaultPlan ("" = off)
   double throughput_qps = 0;
   double avg_socket_gbps = 0;
   double peak_socket_gbps = 0;

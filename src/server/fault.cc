@@ -1,0 +1,111 @@
+#include "server/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+
+namespace uolap::server {
+
+namespace {
+
+/// Maps a hash to [0, 1) with the same 53-bit recipe as Rng::NextDouble,
+/// so fault probabilities are exact dyadic thresholds.
+double ToUnit(uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/// Domain-separation tags: failure and slowdown draws must be
+/// independent streams even for equal (tenant, key) inputs.
+constexpr uint64_t kFailTag = 0x4641494C5F544147ULL;  // "FAIL_TAG"
+constexpr uint64_t kSlowTag = 0x534C4F575F544147ULL;  // "SLOW_TAG"
+
+uint64_t Chain(uint64_t seed, uint64_t tag, uint64_t a, uint64_t b) {
+  return Mix64(Mix64(Mix64(seed ^ tag) + a) + b);
+}
+
+}  // namespace
+
+std::string FaultPlan::ToString() const {
+  if (!enabled()) return "";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "seed=%llu,fail=%g,slow=%g,x=%g,epoch=%g",
+                static_cast<unsigned long long>(seed), fail_prob, slow_prob,
+                slow_factor, epoch_ms);
+  return buf;
+}
+
+StatusOr<FaultPlan> ParseFaultPlan(std::string_view text) {
+  FaultPlan plan;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    std::string_view item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("fault plan item lacks '=': " +
+                                     std::string(item));
+    }
+    std::string_view key = item.substr(0, eq);
+    std::string value(item.substr(eq + 1));
+    char* end = nullptr;
+    if (key == "seed") {
+      plan.seed = std::strtoull(value.c_str(), &end, 10);
+    } else {
+      const double v = std::strtod(value.c_str(), &end);
+      if (key == "fail") {
+        plan.fail_prob = v;
+      } else if (key == "slow") {
+        plan.slow_prob = v;
+      } else if (key == "x") {
+        plan.slow_factor = v;
+      } else if (key == "epoch") {
+        plan.epoch_ms = v;
+      } else {
+        return Status::InvalidArgument("unknown fault plan key: " +
+                                       std::string(key));
+      }
+    }
+    if (end == nullptr || *end != '\0' || value.empty()) {
+      return Status::InvalidArgument("bad fault plan value: " +
+                                     std::string(item));
+    }
+  }
+  if (plan.fail_prob < 0 || plan.fail_prob > 1 || plan.slow_prob < 0 ||
+      plan.slow_prob > 1) {
+    return Status::InvalidArgument(
+        "fault plan probabilities must be in [0,1]");
+  }
+  if (plan.slow_factor < 1) {
+    return Status::InvalidArgument("fault plan slowdown x must be >= 1");
+  }
+  if (!(plan.epoch_ms > 0)) {
+    return Status::InvalidArgument("fault plan epoch must be > 0 ms");
+  }
+  if ((plan.fail_prob > 0 || plan.slow_prob > 0) && plan.seed == 0) {
+    return Status::InvalidArgument(
+        "fault plan with probabilities needs seed=<nonzero>");
+  }
+  return plan;
+}
+
+FaultDecision EvalFault(const FaultPlan& plan, int tenant,
+                        uint64_t fault_epoch, uint64_t attempt_key) {
+  FaultDecision d;
+  if (!plan.enabled()) return d;
+  const uint64_t t = static_cast<uint64_t>(tenant);
+  if (plan.fail_prob > 0 &&
+      ToUnit(Chain(plan.seed, kFailTag, t, attempt_key)) < plan.fail_prob) {
+    d.fail = true;
+  }
+  if (plan.slow_prob > 0 &&
+      ToUnit(Chain(plan.seed, kSlowTag, t, fault_epoch)) < plan.slow_prob) {
+    d.slow_factor = plan.slow_factor;
+  }
+  return d;
+}
+
+}  // namespace uolap::server

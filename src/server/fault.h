@@ -1,0 +1,60 @@
+#ifndef UOLAP_SERVER_FAULT_H_
+#define UOLAP_SERVER_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace uolap::server {
+
+/// Deterministic fault-injection plan for the serving runtime: seeded
+/// transient engine failures (per execution attempt) and slowdown
+/// multipliers (per tenant per fault epoch). Every decision is a
+/// stateless hash draw over the plan seed and stable identifiers — never
+/// over event-loop state — so a fixed plan yields bit-identical
+/// degradation across runs regardless of event interleaving, which is
+/// what lets CI byte-compare two fault-injected serve runs.
+struct FaultPlan {
+  uint64_t seed = 0;       ///< 0 disables the plan entirely
+  double fail_prob = 0;    ///< P(transient failure) per execution attempt
+  double slow_prob = 0;    ///< P(slowdown) per (tenant, fault epoch)
+  double slow_factor = 1;  ///< service-time multiplier while slowed
+  double epoch_ms = 1;     ///< fault-epoch width in virtual ms
+
+  bool enabled() const {
+    return seed != 0 && (fail_prob > 0 || slow_prob > 0);
+  }
+
+  /// Canonical "seed=..,fail=..,slow=..,x=..,epoch=.." form (empty when
+  /// disabled); round-trips through ParseFaultPlan and is embedded in the
+  /// profile JSON so a recorded run names the plan that shaped it.
+  std::string ToString() const;
+};
+
+/// Parses the "key=value[,key=value...]" plan grammar used by
+/// `uolap_serve --fault-plan`. Keys: seed (uint64, required for the plan
+/// to arm), fail / slow (probabilities in [0,1]), x (slowdown multiplier
+/// >= 1), epoch (fault-epoch width in ms, > 0). The empty string is a
+/// valid disabled plan.
+StatusOr<FaultPlan> ParseFaultPlan(std::string_view text);
+
+/// One attempt's draw from the plan.
+struct FaultDecision {
+  bool fail = false;        ///< this attempt fails transiently
+  double slow_factor = 1.0; ///< service-time multiplier for this attempt
+};
+
+/// Evaluates the plan for one execution attempt. `tenant` is the stable
+/// tenant index, `fault_epoch` is floor(start virtual ms / epoch_ms), and
+/// `attempt_key` uniquely identifies the (query, attempt) pair. Failure
+/// draws chain over the attempt key (a retry re-draws); slowdown draws
+/// chain over the fault epoch only, so all of a tenant's attempts in one
+/// epoch see the same multiplier (a coherent brown-out, not white noise).
+FaultDecision EvalFault(const FaultPlan& plan, int tenant,
+                        uint64_t fault_epoch, uint64_t attempt_key);
+
+}  // namespace uolap::server
+
+#endif  // UOLAP_SERVER_FAULT_H_

@@ -28,6 +28,9 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// (work is a fraction in [0, 1]; the epoch length is chosen so the
 /// finishing instance lands within rounding error of zero).
 constexpr double kDoneEps = 1e-9;
+/// Stream salt separating backoff-jitter draws from the fault plan's own
+/// hash chains ("BACKOFFS" in ASCII).
+constexpr uint64_t kBackoffSalt = 0x4241434B4F464653ULL;
 
 double CyclesToMs(double cycles, double freq_ghz) {
   return cycles / (freq_ghz * 1e6);
@@ -77,7 +80,7 @@ void Server::AddTenant(TenantConfig tenant) {
   UOLAP_CHECK_MSG(!tenant.catalog.empty(), "tenant catalog is empty");
   UOLAP_CHECK_MSG(registry_.Has(tenant.engine),
                   "tenant references an unknown engine key");
-  const engine::OlapEngine& eng = registry_.Get(tenant.engine);
+  const engine::OlapEngine& eng = *registry_.Get(tenant.engine).value();
   for (const engine::QuerySpec& spec : tenant.catalog) {
     UOLAP_CHECK_MSG(eng.Supports(spec.id),
                     "tenant catalog contains an unsupported query");
@@ -116,6 +119,33 @@ void Server::EnsureClasses() {
     }
     tenant_classes_.push_back(std::move(indices));
   }
+  // Brown-out wiring: when brown-out is configured, resolve (and
+  // solo-profile) the cheaper class for every class whose engine has a
+  // downgrade mapping that supports the query. The two solo answers must
+  // agree — the differential check that a brown-out degrades cost, never
+  // correctness. Gated on the config so default runs simulate exactly the
+  // classes they always did (bit-determinism).
+  if (config_.brownout.queue_depth > 0) {
+    for (size_t i = 0; i < classes_.size(); ++i) {
+      auto mapped = config_.brownout.downgrade.find(classes_[i].engine);
+      if (mapped == config_.brownout.downgrade.end()) continue;
+      const std::string down_key = mapped->second;
+      if (down_key == classes_[i].engine) continue;
+      UOLAP_CHECK_MSG(registry_.Has(down_key),
+                      "brown-out downgrade engine is not registered");
+      engine::OlapEngine& down = *registry_.Get(down_key).value();
+      if (!down.Supports(classes_[i].spec.id)) continue;
+      const std::string label = down_key + "/" + classes_[i].spec.Label();
+      auto at = by_label.find(label);
+      if (at == by_label.end()) {
+        classes_.push_back(SimulateClass(down_key, classes_[i].spec));
+        at = by_label.emplace(label, classes_.size() - 1).first;
+      }
+      UOLAP_CHECK_MSG(classes_[i].result == classes_[at->second].result,
+                      "brown-out downgrade changed the query answer");
+      classes_[i].downgrade = static_cast<int>(at->second);
+    }
+  }
   classes_ready_ = true;
 }
 
@@ -125,7 +155,7 @@ Server::QueryClass Server::SimulateClass(const std::string& engine_key,
   cls.engine = engine_key;
   cls.spec = spec;
   cls.label = engine_key + "/" + spec.Label();
-  engine::OlapEngine& eng = registry_.Get(engine_key);
+  engine::OlapEngine& eng = *registry_.Get(engine_key).value();
 
   // The solo execution: the engine really runs the query on a fresh
   // single-core machine through the dispatch API, profiled per region —
@@ -137,7 +167,7 @@ Server::QueryClass Server::SimulateClass(const std::string& engine_key,
       machine.core(0),
       obs::RegionProfiler::Options{config_.sample_interval_instructions});
   engine::Workers w(machine.core(0));
-  eng.Run(spec, w);
+  cls.result = eng.Run(spec, w).value();
   machine.FinalizeAll();
 
   obs::RunRecord run;
@@ -176,6 +206,23 @@ Server::QueryClass Server::SimulateClass(const std::string& engine_key,
                           cls.counters.mem.dram_writeback_bytes);
   cls.bytes_rand =
       static_cast<double>(cls.counters.mem.dram_demand_bytes_rand);
+  // Cancellation points (DESIGN.md §9): a timed-out query keeps running —
+  // and contending — until the next top-level operator-region boundary of
+  // its class, modeled as the cumulative Top-Down cycle fractions of the
+  // solo run's depth-1 regions. A class without regions cancels only at
+  // completion (and so effectively runs to the end, merely late).
+  const obs::RegionTree& tree = run.cores[0].regions;
+  if (cls.solo.total_cycles > 0 && !tree.nodes.empty()) {
+    double cum = 0;
+    for (const int child : tree.root().children) {
+      cum += tree.nodes[static_cast<size_t>(child)].incl_cycles.Total();
+      const double frac = cum / cls.solo.total_cycles;
+      if (frac > kDoneEps && frac < 1.0 - kDoneEps) {
+        cls.cancel_fractions.push_back(frac);
+      }
+    }
+  }
+  cls.cancel_fractions.push_back(1.0);
   cls.solo_run = std::move(run);
   return cls;
 }
@@ -203,6 +250,17 @@ ServeResult Server::Run() {
     double remaining = 1.0;
     double scale_cycles = 0;  ///< integral of s over the run time
     double run_cycles = 0;
+    // --- robustness (DESIGN.md §9) ---
+    int attempt = 1;         ///< 1-based execution attempt
+    double deadline = kInf;  ///< absolute deadline in cycles (kInf = none)
+    double est_ms = 0;       ///< load-model estimate stamped at enqueue
+    /// Once the deadline passes mid-run this holds the work fraction left
+    /// at the next operator-region boundary (cancellation lands there);
+    /// -1 while no cancellation is pending.
+    double cancel_remaining = -1;
+    double retry_ready = 0;  ///< absolute cycles a retry backoff expires at
+    bool will_fail = false;  ///< fault plan fails this attempt at its end
+    double slow = 1.0;       ///< fault-plan service-time multiplier
   };
 
   struct TenantState {
@@ -210,6 +268,11 @@ ServeResult Server::Run() {
     uint64_t cap = 0;
     uint64_t submitted = 0;
     uint64_t completed = 0;
+    uint64_t rejected = 0;
+    uint64_t shed = 0;
+    uint64_t timed_out = 0;
+    uint64_t failed = 0;
+    uint64_t retries = 0;
     double next_open_arrival = kInf;   ///< cycles; open-loop stream head
     std::vector<double> client_wake;   ///< cycles; closed-loop clients
     std::vector<double> zipf_cdf;
@@ -251,13 +314,46 @@ ServeResult Server::Run() {
   }
   std::vector<ClassStats> cstats(classes_.size());
 
-  auto pick_class = [&](size_t t) -> size_t {
+  // Returns the tenant's drawn *catalog index* (not class index): the
+  // catalog spec carries the per-submission deadline, the class only the
+  // workload identity.
+  auto pick_entry = [&](size_t t) -> size_t {
     const TenantState& ts = tstates[t];
     const double u = tstates[t].rng.NextDouble();
     size_t i = 0;
     while (i + 1 < ts.zipf_cdf.size() && u >= ts.zipf_cdf[i]) ++i;
-    return tenant_classes_[t][i];
+    return i;
   };
+
+  // --- robustness state (DESIGN.md §9) --------------------------------
+  const AdmissionConfig& adm = config_.admission;
+  AdmissionController ctl(adm, cores);
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    ctl.SeedClass(i, classes_[i].spec.cost_hint_ms > 0
+                         ? classes_[i].spec.cost_hint_ms
+                         : classes_[i].solo.time_ms);
+  }
+  const bool faults_on = config_.faults.enabled();
+  UOLAP_CHECK_MSG(config_.retry.max_retries >= 0 &&
+                      config_.retry.max_retries < 1024,
+                  "retry budget outside the attempt-key space");
+  std::vector<Instance> retry_queue;  // drained in (retry_ready, seq) order
+  double queued_est_ms = 0;  ///< estimated service time sitting in queue
+  uint64_t faults_injected = 0;
+  uint64_t slowdowns_injected = 0;
+  uint64_t brownout_downgrades = 0;
+
+  auto protected_tenant = [&](size_t t) {
+    return tenants_[t].priority >= adm.protect_priority;
+  };
+  auto quota_ok = [&](const TenantState& ts) {
+    return adm.tenant_shed_quota == 0 ||
+           ts.rejected + ts.shed < adm.tenant_shed_quota;
+  };
+  const bool reject_on = adm.policy == ShedPolicy::kReject ||
+                         adm.policy == ShedPolicy::kBoth;
+  const bool shed_on = adm.policy == ShedPolicy::kShed ||
+                       adm.policy == ShedPolicy::kBoth;
 
   std::vector<Instance> slots(static_cast<size_t>(cores));
   std::vector<Instance> queue;  // FIFO; head_ pops from the front
@@ -364,20 +460,91 @@ ServeResult Server::Run() {
         obs::QueueSample{CyclesToMs(vtime, freq), running, queued});
   };
 
-  auto submit = [&](size_t t, int client) {
+  // Terminal non-completion outcomes (rejected/shed/timed_out/failed):
+  // count, publish, span, and — for closed-loop clients — schedule the
+  // next think wake (a failed query still releases its client).
+  // `core` is the slot the attempt ran on, -1 when it never started.
+  auto terminal = [&](const Instance& inst, engine::QueryOutcome outcome,
+                      int core) {
+    const size_t t = static_cast<size_t>(inst.tenant);
+    const TenantConfig& tc = tenants_[t];
     TenantState& ts = tstates[t];
+    namespace mn = obs::metric_names;
+    switch (outcome) {
+      case engine::QueryOutcome::kRejected:
+        ++ts.rejected;
+        metrics.Count(mn::kServerQueriesRejected, "tenant", tc.name);
+        break;
+      case engine::QueryOutcome::kShed:
+        ++ts.shed;
+        metrics.Count(mn::kServerQueriesShed, "tenant", tc.name);
+        break;
+      case engine::QueryOutcome::kTimedOut:
+        ++ts.timed_out;
+        metrics.Count(mn::kServerQueriesTimedOut, "tenant", tc.name);
+        break;
+      case engine::QueryOutcome::kFailed:
+        ++ts.failed;
+        metrics.Count(mn::kServerQueriesFailed, "tenant", tc.name);
+        break;
+      case engine::QueryOutcome::kOk:
+        break;
+    }
+    if (inst.sampled) {
+      obs::QuerySpan span;
+      span.seq = inst.seq;
+      span.tenant = tc.name;
+      span.cls = classes_[inst.cls].label;
+      span.arrival_ms = CyclesToMs(inst.arrival, freq);
+      span.start_ms = CyclesToMs(core >= 0 ? inst.start : vtime, freq);
+      span.end_ms = CyclesToMs(vtime, freq);
+      span.core = core;
+      span.outcome = std::string(engine::QueryOutcomeName(outcome));
+      span.attempts = static_cast<uint32_t>(inst.attempt);
+      spans.push_back(std::move(span));
+    }
+    if (inst.client >= 0) {
+      ts.client_wake[static_cast<size_t>(inst.client)] =
+          vtime + MsToCycles(ExpDraw(ts.rng, tc.think_ms), freq);
+    }
+  };
+
+  // Returns false when the query was rejected at admission (the caller's
+  // closed-loop client got its next wake from terminal()).
+  auto submit = [&](size_t t, int client) -> bool {
+    TenantState& ts = tstates[t];
+    const TenantConfig& tc = tenants_[t];
+    const size_t entry = pick_entry(t);
+    const engine::QuerySpec& qspec = tc.catalog[entry];
     Instance inst;
     inst.tenant = static_cast<int>(t);
-    inst.cls = pick_class(t);
+    inst.cls = tenant_classes_[t][entry];
     inst.client = client;
     inst.seq = seq_counter++;
     inst.sampled = config_.trace_sample_n > 0 &&
                    inst.seq % config_.trace_sample_n == 0;
     inst.arrival = vtime;
-    queue.push_back(inst);
+    const double deadline_ms =
+        qspec.deadline_ms > 0 ? qspec.deadline_ms : adm.default_deadline_ms;
+    if (deadline_ms > 0) {
+      inst.deadline = vtime + MsToCycles(deadline_ms, freq);
+    }
     ++ts.submitted;
     metrics.Count(obs::metric_names::kServerQueriesSubmitted, "tenant",
-                  tenants_[t].name);
+                  tc.name);
+    // Deadline-aware admission: refuse on arrival when the load model
+    // (queued work draining across the pool, then one mean service time)
+    // predicts a deadline miss.
+    if (reject_on && deadline_ms > 0 && !protected_tenant(t) &&
+        quota_ok(ts) &&
+        ctl.WouldMissDeadline(inst.cls, queued_est_ms, deadline_ms)) {
+      terminal(inst, engine::QueryOutcome::kRejected, /*core=*/-1);
+      return false;
+    }
+    inst.est_ms = ctl.MeanServiceMs(inst.cls);
+    queued_est_ms += inst.est_ms;
+    queue.push_back(inst);
+    return true;
   };
 
   // Processes every arrival stream whose next event is due. Tenants are
@@ -398,9 +565,13 @@ ServeResult Server::Run() {
         for (size_t c = 0; c < ts.client_wake.size(); ++c) {
           if (ts.client_wake[c] > vtime) continue;
           if (ts.submitted < ts.cap) {
-            submit(t, static_cast<int>(c));
+            if (submit(t, static_cast<int>(c))) {
+              ts.client_wake[c] = kInf;  // sleeps until its query drains
+            }
+            // Rejected: terminal() scheduled the client's next think wake.
+          } else {
+            ts.client_wake[c] = kInf;  // retired
           }
-          ts.client_wake[c] = kInf;  // sleeps until its query completes
         }
       }
     }
@@ -430,7 +601,11 @@ ServeResult Server::Run() {
       double demand_bpc = 0;
       for (size_t i = 0; i < running.size(); ++i) {
         const QueryClass& cls = classes_[running[i]->cls];
-        (*g_out)[i] = model.Analyze(cls.counters, scale).total_cycles;
+        // A fault-plan slowdown dilates the class's service time, which
+        // also thins its DRAM byte rate proportionally.
+        (*g_out)[i] =
+            model.Analyze(cls.counters, scale).total_cycles *
+            running[i]->slow;
         demand_bpc += (cls.bytes_seq + cls.bytes_rand) / (*g_out)[i];
       }
       if (demand_bpc <= socket_bpc * 1.001) {
@@ -453,11 +628,82 @@ ServeResult Server::Run() {
   sample_queue();
 
   while (true) {
-    // Schedule: fill free core slots from the FIFO queue.
+    // Promote due retries to the queue tail, in (ready, seq) order —
+    // retried queries requeue like fresh work, deterministically.
+    if (!retry_queue.empty()) {
+      std::sort(retry_queue.begin(), retry_queue.end(),
+                [](const Instance& a, const Instance& b) {
+                  return a.retry_ready != b.retry_ready
+                             ? a.retry_ready < b.retry_ready
+                             : a.seq < b.seq;
+                });
+      size_t due = 0;
+      while (due < retry_queue.size() &&
+             retry_queue[due].retry_ready <= vtime) {
+        Instance inst = retry_queue[due++];
+        inst.est_ms = ctl.MeanServiceMs(inst.cls);
+        queued_est_ms += inst.est_ms;
+        queue.push_back(inst);
+      }
+      retry_queue.erase(retry_queue.begin(),
+                        retry_queue.begin() + static_cast<long>(due));
+    }
+
+    // Schedule: fill free core slots from the FIFO queue. Pop-time
+    // policies, in order: an already-expired deadline times the query
+    // out, the shed policy drops predicted deadline misses, brown-out
+    // swaps in the cheaper class, and the fault plan decides this
+    // attempt's fate.
     for (Instance& slot : slots) {
-      if (slot.tenant >= 0 || queue_head >= queue.size()) continue;
-      slot = queue[queue_head++];
-      slot.start = vtime;
+      if (slot.tenant >= 0) continue;
+      while (queue_head < queue.size()) {
+        const uint32_t depth =
+            static_cast<uint32_t>(queue.size() - queue_head);
+        Instance inst = queue[queue_head++];
+        queued_est_ms = std::max(0.0, queued_est_ms - inst.est_ms);
+        const size_t t = static_cast<size_t>(inst.tenant);
+        if (inst.deadline < kInf && vtime >= inst.deadline) {
+          terminal(inst, engine::QueryOutcome::kTimedOut, /*core=*/-1);
+          continue;
+        }
+        if (shed_on && inst.deadline < kInf && !protected_tenant(t) &&
+            quota_ok(tstates[t]) &&
+            ctl.WouldMissDeadline(inst.cls, /*queued_work_ms=*/0,
+                                  CyclesToMs(inst.deadline - vtime, freq))) {
+          terminal(inst, engine::QueryOutcome::kShed, /*core=*/-1);
+          continue;
+        }
+        if (config_.brownout.queue_depth > 0 &&
+            depth >= static_cast<uint32_t>(config_.brownout.queue_depth) &&
+            classes_[inst.cls].downgrade >= 0) {
+          inst.cls = static_cast<size_t>(classes_[inst.cls].downgrade);
+          ++brownout_downgrades;
+          metrics.Count(obs::metric_names::kServerBrownoutDowngrades,
+                        "tenant", tenants_[t].name);
+        }
+        if (faults_on) {
+          const uint64_t fault_epoch = static_cast<uint64_t>(
+              CyclesToMs(vtime, freq) / config_.faults.epoch_ms);
+          const FaultDecision draw = EvalFault(
+              config_.faults, inst.tenant, fault_epoch,
+              inst.seq * 1024 + static_cast<uint64_t>(inst.attempt));
+          inst.will_fail = draw.fail;
+          inst.slow = draw.slow_factor;
+          if (draw.fail) {
+            ++faults_injected;
+            metrics.Count(obs::metric_names::kServerFaultsInjected,
+                          "tenant", tenants_[t].name);
+          }
+          if (draw.slow_factor > 1.0) {
+            ++slowdowns_injected;
+            metrics.Count(obs::metric_names::kServerSlowdownsInjected,
+                          "tenant", tenants_[t].name);
+          }
+        }
+        inst.start = vtime;
+        slot = inst;
+        break;
+      }
     }
     if (queue_head > 0 && queue_head == queue.size()) {
       queue.clear();
@@ -479,9 +725,15 @@ ServeResult Server::Run() {
       }
     }
 
+    double next_retry = kInf;
+    for (const Instance& inst : retry_queue) {
+      next_retry = std::min(next_retry, inst.retry_ready);
+    }
+
     if (running.empty()) {
-      if (next_arrival == kInf) break;  // drained: no work, no arrivals
-      vtime = std::max(vtime, next_arrival);
+      const double wake = std::min(next_arrival, next_retry);
+      if (wake == kInf) break;  // drained: no work, no arrivals, no retries
+      vtime = std::max(vtime, wake);
       roll_epochs(vtime);
       process_arrivals();
       sample_queue();
@@ -490,11 +742,24 @@ ServeResult Server::Run() {
 
     const double scale = solve_epoch(running, &g);
     double next_completion = kInf;
+    double next_deadline = kInf;
     for (size_t i = 0; i < running.size(); ++i) {
-      next_completion =
-          std::min(next_completion, vtime + running[i]->remaining * g[i]);
+      // A cancelling query stops at its boundary fraction, not at drain.
+      const double target =
+          running[i]->cancel_remaining >= 0 ? running[i]->cancel_remaining : 0;
+      next_completion = std::min(
+          next_completion,
+          vtime + (running[i]->remaining - target) * g[i]);
+      // A running query crossing its deadline is an event: it must be
+      // marked for boundary cancellation at that instant.
+      if (running[i]->cancel_remaining < 0 &&
+          running[i]->deadline < kInf && running[i]->deadline > vtime) {
+        next_deadline = std::min(next_deadline, running[i]->deadline);
+      }
     }
-    const double next_event = std::min(next_completion, next_arrival);
+    const double next_event = std::min(
+        std::min(next_completion, next_arrival),
+        std::min(next_deadline, next_retry));
     const double dt = next_event - vtime;
     if (dt > 0) {
       double rate_bpc = 0;
@@ -512,13 +777,74 @@ ServeResult Server::Run() {
     vtime = next_event;
     roll_epochs(vtime);
 
+    // Deadline crossings: a running query past its deadline is marked to
+    // cancel at the next top-level operator-region boundary of its class —
+    // it keeps running (and contending) until its progress reaches that
+    // fraction. A boundary of 1.0 means the query finishes late instead.
+    for (Instance& slot : slots) {
+      if (slot.tenant < 0 || slot.cancel_remaining >= 0) continue;
+      if (slot.deadline == kInf || vtime < slot.deadline) continue;
+      const double progress = 1.0 - slot.remaining;
+      double boundary = 1.0;
+      for (const double f : classes_[slot.cls].cancel_fractions) {
+        if (f > progress + kDoneEps) {
+          boundary = f;
+          break;
+        }
+      }
+      slot.cancel_remaining = 1.0 - boundary;
+    }
+
     // Completions first (slot order), then arrivals at the same instant.
     for (size_t slot_index = 0; slot_index < slots.size(); ++slot_index) {
       Instance& slot = slots[slot_index];
-      if (slot.tenant < 0 || slot.remaining > kDoneEps) continue;
+      if (slot.tenant < 0) continue;
+      const bool done = slot.remaining <= kDoneEps;
+      const bool cancelled =
+          slot.cancel_remaining >= 0 &&
+          slot.remaining <= slot.cancel_remaining + kDoneEps;
+      if (!done && !cancelled) continue;
       const size_t t = static_cast<size_t>(slot.tenant);
       const TenantConfig& tc = tenants_[t];
       TenantState& ts = tstates[t];
+      if (done && slot.will_fail) {
+        // The attempt ran to completion and then failed transiently (the
+        // full contention cost was paid). Retry with backoff if budget
+        // remains, else the query fails terminally.
+        if (slot.attempt <= config_.retry.max_retries) {
+          ++ts.retries;
+          metrics.Count(obs::metric_names::kServerRetriesTotal, "tenant",
+                        tc.name);
+          Rng jitter_rng(Mix64(config_.faults.seed ^ kBackoffSalt) +
+                         slot.seq * 1024 +
+                         static_cast<uint64_t>(slot.attempt));
+          const double backoff_ms = RetryBackoffMs(
+              config_.retry, slot.attempt, jitter_rng.NextDouble());
+          metrics.Observe(obs::metric_names::kServerBackoffMs, "tenant",
+                          tc.name, backoff_ms);
+          Instance again = slot;
+          ++again.attempt;
+          again.remaining = 1.0;
+          again.cancel_remaining = -1;
+          again.will_fail = false;
+          again.slow = 1.0;
+          again.scale_cycles = 0;
+          again.run_cycles = 0;
+          again.retry_ready = vtime + MsToCycles(backoff_ms, freq);
+          retry_queue.push_back(again);
+        } else {
+          terminal(slot, engine::QueryOutcome::kFailed,
+                   static_cast<int>(slot_index));
+        }
+        slot = Instance{};
+        continue;
+      }
+      if (!done && cancelled) {
+        terminal(slot, engine::QueryOutcome::kTimedOut,
+                 static_cast<int>(slot_index));
+        slot = Instance{};
+        continue;
+      }
       const double latency_ms = CyclesToMs(vtime - slot.arrival, freq);
       ts.latencies_ms.push_back(latency_ms);
       const size_t bucket = HistBucket(latency_ms);
@@ -537,6 +863,7 @@ ServeResult Server::Run() {
         acc.tenant_lat[tc.name].push_back(latency_ms);
         acc.class_lat[classes_[slot.cls].label].push_back(latency_ms);
       }
+      ctl.RecordCompletion(slot.cls, CyclesToMs(vtime - slot.start, freq));
       metrics.Count(obs::metric_names::kServerQueriesCompleted, "tenant",
                     tc.name);
       metrics.Observe(obs::metric_names::kServerLatencyMs, "tenant", tc.name,
@@ -552,6 +879,7 @@ ServeResult Server::Run() {
         span.start_ms = CyclesToMs(slot.start, freq);
         span.end_ms = CyclesToMs(vtime, freq);
         span.core = static_cast<int>(slot_index);
+        span.attempts = static_cast<uint32_t>(slot.attempt);
         spans.push_back(std::move(span));
       }
       if (slot.client >= 0) {
@@ -585,6 +913,24 @@ ServeResult Server::Run() {
     rec.engine = tenants_[t].engine;
     rec.submitted = ts.submitted;
     rec.completed = ts.completed;
+    rec.admitted = ts.submitted - ts.rejected;
+    rec.rejected = ts.rejected;
+    rec.shed = ts.shed;
+    rec.timed_out = ts.timed_out;
+    rec.failed = ts.failed;
+    rec.retries = ts.retries;
+    // The admission accounting invariant: every admitted query reaches
+    // exactly one terminal disposition.
+    UOLAP_CHECK_MSG(
+        rec.admitted == rec.completed + rec.shed + rec.timed_out + rec.failed,
+        "serving accounting: admitted != completed + shed + timed_out + "
+        "failed");
+    record.admitted += rec.admitted;
+    record.rejected += rec.rejected;
+    record.shed += rec.shed;
+    record.timed_out += rec.timed_out;
+    record.failed += rec.failed;
+    record.retries += rec.retries;
     std::vector<double> sorted = ts.latencies_ms;
     std::sort(sorted.begin(), sorted.end());
     double sum = 0;
@@ -600,6 +946,11 @@ ServeResult Server::Run() {
   }
   record.submitted = total_submitted;
   record.completed = total_completed;
+  record.faults_injected = faults_injected;
+  record.slowdowns_injected = slowdowns_injected;
+  record.brownout_downgrades = brownout_downgrades;
+  record.shed_policy = std::string(ShedPolicyName(adm.policy));
+  record.fault_plan = config_.faults.ToString();
   record.throughput_qps =
       vtime_s > 0 ? static_cast<double>(total_completed) / vtime_s : 0;
   record.avg_socket_gbps = vtime > 0 ? total_bytes * freq / vtime : 0;

@@ -13,6 +13,8 @@
 #include "obs/metrics.h"
 #include "obs/record.h"
 #include "obs/slo.h"
+#include "server/admission.h"
+#include "server/fault.h"
 
 namespace uolap::server {
 
@@ -41,6 +43,9 @@ struct TenantConfig {
   double think_ms = 0.0;     ///< closed-loop mean think time
   uint64_t max_queries = 0;  ///< submissions cap (0 = server default)
   uint64_t seed = 0;         ///< tenant RNG stream (0 = derived from index)
+  /// Priority tier; tenants at or above
+  /// AdmissionConfig::protect_priority are exempt from reject/shed.
+  int priority = 0;
 };
 
 /// Serving-runtime configuration: the simulated machine, the core pool
@@ -68,6 +73,18 @@ struct ServerConfig {
   /// Registry the run publishes its metrics into; nullptr uses
   /// obs::MetricsRegistry::Global().
   obs::MetricsRegistry* metrics = nullptr;
+
+  // --- robustness (DESIGN.md §9) ----------------------------------------
+  // All four default to off, in which case the run is bit-identical to
+  // the pre-robustness runtime.
+  /// Deadline-aware admission control and load shedding.
+  AdmissionConfig admission;
+  /// Bounded retry of transiently failed attempts.
+  RetryPolicy retry;
+  /// Queue-depth-triggered engine downgrade.
+  BrownoutConfig brownout;
+  /// Deterministic fault injection.
+  FaultPlan faults;
 };
 
 /// The outcome of one Server::Run().
@@ -127,6 +144,14 @@ class Server {
     double bytes_seq = 0;         ///< seq-class DRAM bytes (incl. waste/wb)
     double bytes_rand = 0;
     obs::RunRecord solo_run;  ///< regions/timeline profile of the solo run
+    engine::QueryResult result;  ///< the verified solo answer
+    /// Ascending progress fractions of the solo run's top-level region
+    /// boundaries (always ends with 1.0): the points where a timed-out
+    /// query may actually stop — cancellation lands on operator
+    /// boundaries, not mid-operator.
+    std::vector<double> cancel_fractions;
+    /// Index into classes_ of the brown-out downgrade class (-1 = none).
+    int downgrade = -1;
   };
 
   /// Simulates every distinct class referenced by the tenants (idempotent).

@@ -83,7 +83,8 @@ def main():
                     "CON-REGION-RAW", "CON-REGION-PAIR",
                     "CON-METRIC-NAME", "CON-TESTONLY",
                     "CON-TESTONLY-REF", "CON-GUARD", "CON-USING-NS",
-                    "CON-INCLUDE-ORDER", "CON-STORAGE"):
+                    "CON-INCLUDE-ORDER", "CON-STORAGE",
+                    "CON-STATUS-DISCARD"):
         check(any(f"[{rule_id}]" in line for line in findings),
               f"rule {rule_id} fires on its fixture")
 

@@ -1,0 +1,24 @@
+// Fixture: CON-STATUS-DISCARD — dispatch-surface calls whose StatusOr
+// result is dropped on the floor, next to expression uses that must
+// stay clean (ColumnView::Get inside arithmetic, .value() chains).
+#include "engine/engine.h"
+
+namespace uolap::server {
+
+void BadDiscards(engine::EngineRegistry& registry,
+                 engine::OlapEngine& eng,
+                 const engine::QuerySpec& spec, int workers) {
+  registry.Get("typer");
+  eng.Run(spec, workers);
+}
+
+double GoodUses(engine::OlapEngine& eng, const engine::QuerySpec& spec,
+                const storage::ColumnView& bal, int workers, int n) {
+  engine::QueryResult r = eng.Run(spec, workers).value();
+  if (!eng.Run(spec, workers).ok()) return -1.0;
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += bal.Get(i);
+  return acc + static_cast<double>(r.result_rows);
+}
+
+}  // namespace uolap::server

@@ -35,6 +35,7 @@
 #include "engine/engine.h"
 #include "engine/query_spec.h"
 #include "engine/registry.h"
+#include "engine/spec_builder.h"
 #include "harness/engines.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
@@ -122,8 +123,8 @@ Measured Execute(const engine::OlapEngine& eng, const QuerySpec& spec,
   Machine machine(MachineConfig::Broadwell(), 1);
   Workers workers(machine.core(0));
   Measured m;
-  m.result =
-      via_dispatch ? eng.Run(spec, workers) : RunDirect(eng, spec, workers);
+  m.result = via_dispatch ? eng.Run(spec, workers).value()
+                          : RunDirect(eng, spec, workers);
   machine.FinalizeAll();
   m.profile = machine.AnalyzeCore(0);
   return m;
@@ -187,7 +188,7 @@ int ChildMain(bool via_dispatch) {
   engine::EngineRegistry registry(db);
   harness::RegisterBuiltinEngines(registry);
   for (const std::string& key : registry.names()) {
-    const engine::OlapEngine& eng = registry.Get(key);
+    const engine::OlapEngine& eng = *registry.Get(key).value();
     for (const QuerySpec& spec : AllSpecs(db)) {
       if (!eng.Supports(spec.id)) continue;
       const Measured m = Execute(eng, spec, via_dispatch);
@@ -279,7 +280,7 @@ TEST_F(DispatchTest, RunMatchesDirectResults) {
   // Results (unlike raw counters) are independent of the address-space
   // layout, so they are comparable within one process.
   for (const std::string& key : registry_->names()) {
-    const engine::OlapEngine& eng = registry_->Get(key);
+    const engine::OlapEngine& eng = *registry_->Get(key).value();
     for (const QuerySpec& spec : AllSpecs(*db_)) {
       if (!eng.Supports(spec.id)) continue;
       SCOPED_TRACE(key + "/" + spec.Label());
@@ -293,8 +294,8 @@ TEST_F(DispatchTest, RunMatchesDirectResults) {
 TEST_F(DispatchTest, SupportsGatesTheTpchOnlyQueries) {
   // The micro-benchmark queries are universal; Q9/Q18 are only
   // implemented by the relational engines (base OlapEngine declines).
-  const engine::OlapEngine& typer = registry_->Get("typer");
-  const engine::OlapEngine& rowstore = registry_->Get("rowstore");
+  const engine::OlapEngine& typer = *registry_->Get("typer").value();
+  const engine::OlapEngine& rowstore = *registry_->Get("rowstore").value();
   EXPECT_TRUE(typer.Supports(QueryId::kQ9));
   EXPECT_TRUE(typer.Supports(QueryId::kQ18));
   EXPECT_FALSE(rowstore.Supports(QueryId::kQ9));
@@ -307,6 +308,104 @@ TEST_F(DispatchTest, LabelsAreStable) {
   EXPECT_EQ(QuerySpec::Join(engine::JoinSize::kLarge).Label(), "join/large");
   EXPECT_EQ(QuerySpec::GroupBy(1024).Label(), "groupby/g1024");
   EXPECT_EQ(QuerySpec::Q6(engine::MakeQ6Params()).Label(), "q6");
+}
+
+// --- Status channel of the dispatch surface --------------------------------
+
+TEST_F(DispatchTest, RunReturnsUnimplementedForUnsupportedQueries) {
+  const engine::OlapEngine& rowstore = *registry_->Get("rowstore").value();
+  Machine machine(MachineConfig::Broadwell(), 1);
+  Workers workers(machine.core(0));
+  const StatusOr<QueryResult> r = rowstore.Run(QuerySpec::Q9(), workers);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(DispatchTest, RunReturnsInvalidArgumentForMalformedSpecs) {
+  const engine::OlapEngine& typer = *registry_->Get("typer").value();
+  Machine machine(MachineConfig::Broadwell(), 1);
+  Workers workers(machine.core(0));
+  QuerySpec bad = QuerySpec::Projection(4);
+  bad.projection_degree = 9;  // valid range is 1..4
+  const StatusOr<QueryResult> r = typer.Run(bad, workers);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  QuerySpec negative_deadline = QuerySpec::Q1();
+  negative_deadline.deadline_ms = -1;
+  EXPECT_EQ(typer.Run(negative_deadline, workers).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DispatchTest, RegistryGetReportsUnknownKeys) {
+  const StatusOr<engine::OlapEngine*> missing = registry_->Get("voltron");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  // The message names the unknown key and the registered alternatives.
+  EXPECT_NE(missing.status().message().find("voltron"), std::string::npos);
+  EXPECT_NE(missing.status().message().find("typer"), std::string::npos);
+}
+
+TEST_F(DispatchTest, SuccessfulRunCarriesOkOutcome) {
+  const engine::OlapEngine& typer = *registry_->Get("typer").value();
+  Machine machine(MachineConfig::Broadwell(), 1);
+  Workers workers(machine.core(0));
+  const StatusOr<QueryResult> r = typer.Run(QuerySpec::Q1(), workers);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().outcome, engine::QueryOutcome::kOk);
+  EXPECT_TRUE(r.value().ok());
+  EXPECT_TRUE(r.value().error.empty());
+}
+
+// --- fluent QuerySpecBuilder ----------------------------------------------
+
+TEST_F(DispatchTest, BuilderBuildsValidatedSpecs) {
+  const StatusOr<QuerySpec> spec = engine::QuerySpecBuilder()
+                                       .Query("groupby")
+                                       .Groups(1024)
+                                       .Deadline(8.0)
+                                       .CostHint(2.0)
+                                       .Build();
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec.value().id, QueryId::kGroupBy);
+  EXPECT_EQ(spec.value().num_groups, 1024u);
+  EXPECT_EQ(spec.value().deadline_ms, 8.0);
+  EXPECT_EQ(spec.value().cost_hint_ms, 2.0);
+  EXPECT_EQ(spec.value().Label(), "groupby/g1024");
+}
+
+TEST_F(DispatchTest, BuilderRejectsInvalidSpecs) {
+  EXPECT_EQ(engine::QuerySpecBuilder().Query("totally-novel").Build()
+                .status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine::QuerySpecBuilder()
+                .Query("projection")
+                .ProjectionDegree(9)
+                .Build()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      engine::QuerySpecBuilder().Query("q1").Deadline(-2).Build()
+          .status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST_F(DispatchTest, BuilderValidatesAgainstTheRegistry) {
+  // Structural validity + the chosen engine's capability surface.
+  engine::QuerySpecBuilder builder;
+  builder.Query("q9").Engine("typer");
+  EXPECT_TRUE(builder.Validate(*registry_).ok());
+  builder.Engine("rowstore");  // rowstore does not implement Q9
+  EXPECT_EQ(builder.Validate(*registry_).code(),
+            StatusCode::kUnimplemented);
+  builder.Engine("voltron");
+  EXPECT_EQ(builder.Validate(*registry_).code(), StatusCode::kNotFound);
+}
+
+TEST_F(DispatchTest, ParseQueryIdCoversTheCatalog) {
+  EXPECT_EQ(engine::ParseQueryId("q18").value(), QueryId::kQ18);
+  EXPECT_EQ(engine::ParseQueryId("selection").value(), QueryId::kSelection);
+  EXPECT_FALSE(engine::ParseQueryId("q99").ok());
 }
 
 }  // namespace

@@ -100,7 +100,7 @@ ProfileSession MakeGoldenSession() {
 
 constexpr char kProfileGolden[] = R"golden({
  "schema": "uolap-profile",
- "version": 4,
+ "version": 5,
  "bench": "obs_export_golden_test",
  "machine": "broadwell",
  "freq_ghz": 2.4,
@@ -321,7 +321,7 @@ constexpr char kProfileGolden[] = R"golden({
 }
 )golden";
 
-constexpr char kTraceGolden[] = R"golden({"traceEvents":[{"ph":"M","name":"process_name","pid":1,"tid":0,"args":{"name":"golden"}},{"ph":"M","name":"thread_name","pid":1,"tid":0,"args":{"name":"core 0"}},{"ph":"X","name":"scan","cat":"region","pid":1,"tid":0,"ts":0,"dur":0.44872916666666673,"args":{"instructions":1536}},{"ph":"X","name":"probe","cat":"region","pid":1,"tid":0,"ts":0.44872916666666673,"dur":1.9091875000000007,"args":{"instructions":320}},{"ph":"C","name":"IPC c0","pid":1,"tid":0,"ts":0.44872916666666673,"args":{"value":1.4262500580342634}},{"ph":"C","name":"DRAM GB/s c0","pid":1,"tid":0,"ts":0.44872916666666673,"args":{"value":9.128000371419285}},{"ph":"C","name":"L1D miss % c0","pid":1,"tid":0,"ts":0.44872916666666673,"args":{"value":12.5}}],"displayTimeUnit":"ms","otherData":{"schema":"uolap-trace","version":4,"bench":"obs_export_golden_test","machine":"broadwell"}})golden";
+constexpr char kTraceGolden[] = R"golden({"traceEvents":[{"ph":"M","name":"process_name","pid":1,"tid":0,"args":{"name":"golden"}},{"ph":"M","name":"thread_name","pid":1,"tid":0,"args":{"name":"core 0"}},{"ph":"X","name":"scan","cat":"region","pid":1,"tid":0,"ts":0,"dur":0.44872916666666673,"args":{"instructions":1536}},{"ph":"X","name":"probe","cat":"region","pid":1,"tid":0,"ts":0.44872916666666673,"dur":1.9091875000000007,"args":{"instructions":320}},{"ph":"C","name":"IPC c0","pid":1,"tid":0,"ts":0.44872916666666673,"args":{"value":1.4262500580342634}},{"ph":"C","name":"DRAM GB/s c0","pid":1,"tid":0,"ts":0.44872916666666673,"args":{"value":9.128000371419285}},{"ph":"C","name":"L1D miss % c0","pid":1,"tid":0,"ts":0.44872916666666673,"args":{"value":12.5}}],"displayTimeUnit":"ms","otherData":{"schema":"uolap-trace","version":5,"bench":"obs_export_golden_test","machine":"broadwell"}})golden";
 
 void ExpectGolden(const std::string& actual, const std::string& expected,
                   const std::string& dump_name) {

@@ -2,7 +2,7 @@
 // registry's counter/gauge/histogram semantics, order-invariant snapshot
 // merging (the per-core aggregation contract), the Prometheus text
 // exposition bytes, snapshot diffing, SLO spec parsing, and profile
-// schema version back-compat (v2/v3 files must keep parsing under the v4
+// schema version back-compat (v2–v4 files must keep parsing under the v5
 // reader).
 
 #include "obs/metrics.h"
@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "obs/json.h"
+#include "obs/metric_names.h"
 #include "obs/profile_export.h"
 #include "obs/slo.h"
 
@@ -240,6 +241,87 @@ TEST(ProfileVersionTest, OlderProfilesStillParse) {
   ASSERT_NE(server, nullptr);
   EXPECT_EQ(server->GetNumber("completed"), 8.0);
   EXPECT_EQ(server->Find("epochs"), nullptr);
+  // v5 robustness rollups are absent in older files and read as their
+  // pre-robustness values: zero drops, the "none" policy, no fault plan.
+  EXPECT_EQ(server->Find("admitted"), nullptr);
+  EXPECT_EQ(server->GetNumber("rejected"), 0.0);
+  EXPECT_EQ(server->GetNumber("timed_out"), 0.0);
+  EXPECT_EQ(server->GetString("shed_policy", "none"), "none");
+  EXPECT_EQ(server->GetString("fault_plan"), "");
+}
+
+/// A v5 server block round-trips its robustness rollups through the
+/// parser, and a v4 file (telemetry but no robustness fields) still
+/// parses under the v5 reader.
+TEST(ProfileVersionTest, V5RobustnessFieldsParse) {
+  const char kV5[] = R"({
+    "schema": "uolap-profile", "version": 5, "bench": "serve",
+    "runs": [],
+    "server": {"cores": 4, "submitted": 10, "completed": 6,
+               "admitted": 9, "rejected": 1, "shed": 2, "timed_out": 1,
+               "failed": 0, "retries": 3, "faults_injected": 4,
+               "slowdowns_injected": 2, "brownout_downgrades": 1,
+               "shed_policy": "both", "fault_plan": "seed=7,fail=0.1",
+               "vtime_ms": 2.5,
+               "tenants": [{"name": "a", "admitted": 9, "rejected": 1,
+                            "shed": 2, "timed_out": 1, "failed": 0,
+                            "retries": 3}]}
+  })";
+  const auto doc = ParseJson(kV5);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(IsSupportedProfileVersion(
+      static_cast<int>(doc.value().GetNumber("version"))));
+  const JsonValue* server = doc.value().Find("server");
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->GetNumber("admitted"), 9.0);
+  EXPECT_EQ(server->GetNumber("shed"), 2.0);
+  EXPECT_EQ(server->GetNumber("retries"), 3.0);
+  EXPECT_EQ(server->GetString("shed_policy"), "both");
+  EXPECT_EQ(server->GetString("fault_plan"), "seed=7,fail=0.1");
+  // The accounting invariant holds in the serialized rollup too.
+  EXPECT_EQ(server->GetNumber("admitted"),
+            server->GetNumber("completed") + server->GetNumber("shed") +
+                server->GetNumber("timed_out") +
+                server->GetNumber("failed"));
+
+  const char kV4[] = R"({
+    "schema": "uolap-profile", "version": 4, "bench": "serve",
+    "runs": [],
+    "server": {"cores": 4, "submitted": 8, "completed": 8,
+               "epoch_ms": 5, "epochs": [], "trace_sample_n": 0}
+  })";
+  const auto v4 = ParseJson(kV4);
+  ASSERT_TRUE(v4.ok());
+  EXPECT_TRUE(IsSupportedProfileVersion(
+      static_cast<int>(v4.value().GetNumber("version"))));
+  EXPECT_EQ(v4.value().Find("server")->Find("admitted"), nullptr);
+}
+
+/// The robustness metric names obey the canonical grammar and publish
+/// per-tenant series like the rest of the serving surface.
+TEST(MetricNameTest, RobustnessNamesAreValidAndPublish) {
+  for (const char* name :
+       {metric_names::kServerQueriesRejected,
+        metric_names::kServerQueriesShed,
+        metric_names::kServerQueriesTimedOut,
+        metric_names::kServerQueriesFailed, metric_names::kServerRetriesTotal,
+        metric_names::kServerBackoffMs, metric_names::kServerFaultsInjected,
+        metric_names::kServerSlowdownsInjected,
+        metric_names::kServerBrownoutDowngrades}) {
+    EXPECT_TRUE(IsValidMetricName(name)) << name;
+  }
+  MetricsRegistry reg;
+  reg.Count(metric_names::kServerQueriesShed, "tenant", "a");
+  reg.Observe(metric_names::kServerBackoffMs, "tenant", "a", 2.0);
+  const MetricsSnapshot snap = reg.Snapshot();
+  const MetricFamily* shed = snap.Find(metric_names::kServerQueriesShed);
+  ASSERT_NE(shed, nullptr);
+  EXPECT_EQ(shed->kind, MetricKind::kCounter);
+  ASSERT_EQ(shed->series.size(), 1u);
+  EXPECT_EQ(shed->series[0].label_value, "a");
+  const MetricFamily* backoff = snap.Find(metric_names::kServerBackoffMs);
+  ASSERT_NE(backoff, nullptr);
+  EXPECT_EQ(backoff->kind, MetricKind::kHistogram);
 }
 
 }  // namespace
