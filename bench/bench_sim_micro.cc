@@ -5,8 +5,10 @@
 // After the google-benchmark suite, the binary measures end-to-end
 // simulated tuples/sec for three representative workloads (sequential
 // scan, hash-probe join, multi-core scan) and writes them to
-// BENCH_sim.json in the working directory, so throughput regressions of
-// the instrument are machine-diffable across commits.
+// BENCH_sim.json next to the binary (override with --out=PATH), so
+// throughput regressions of the instrument are machine-diffable across
+// commits without a repo-root run clobbering the tracked perf-history
+// record.
 
 #include <benchmark/benchmark.h>
 
@@ -15,6 +17,7 @@
 #include <cstdio>
 #include <cstring>
 #include <ctime>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -303,16 +306,25 @@ void WriteSimThroughputJson(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --sim-json=PATH names the throughput JSON (default BENCH_sim.json in
-  // the working directory; empty skips the throughput section, which CI
-  // uses to spot-check the google-benchmark pairs cheaply); stripped
-  // before google-benchmark sees argv.
-  const char* sim_json = "BENCH_sim.json";
+  // --out=PATH (alias --sim-json=PATH) names the throughput JSON. The
+  // default lives NEXT TO THE BINARY, not in the working directory: a
+  // spot-check run from the repo root must never overwrite the tracked
+  // perf-history BENCH_sim.json (that clobber has happened). Empty skips
+  // the throughput section, which CI uses to spot-check the
+  // google-benchmark pairs cheaply. Stripped before google-benchmark
+  // sees argv.
+  std::string sim_json = "BENCH_sim.json";
+  if (const char* slash = std::strrchr(argv[0], '/')) {
+    sim_json.assign(argv[0], static_cast<size_t>(slash + 1 - argv[0]));
+    sim_json += "BENCH_sim.json";
+  }
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--sim-json=", 11) == 0) {
       sim_json = arg + 11;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      sim_json = arg + 6;
     } else {
       argv[out++] = argv[i];
     }
@@ -322,6 +334,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (sim_json[0] != '\0') WriteSimThroughputJson(sim_json);
+  if (!sim_json.empty()) WriteSimThroughputJson(sim_json.c_str());
   return 0;
 }

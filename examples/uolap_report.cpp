@@ -11,6 +11,7 @@
 //   uolap_report diff     before.json after.json [--max-regress=0.05]
 //   uolap_report merge    --out=BENCH_sim.json [--throughput=micro.json]
 //                         [--serve=serve.json] a.json [b.json ...]
+//   uolap_report checkpoint <dir>
 //
 // `validate` accepts both profile JSONs (schema "uolap-profile") and
 // Chrome trace JSONs (object with a "traceEvents" array); everything else
@@ -20,7 +21,11 @@
 // PRs run in CI. `slo` evaluates SLO clauses (from --slo, a --spec file
 // of one clause per line, or the specs embedded in the profile's server
 // block) against the profile's SLO epoch windows and exits non-zero on
-// any violation — the serve-SLO smoke gate.
+// any violation — the serve-SLO smoke gate. `checkpoint` validates a
+// uolap_serve --checkpoint-dir directory offline (DESIGN.md §10): every
+// snapshot is CRC-checked and decoded, every journal's frames are
+// re-verified, torn tails are reported, and the exit code says whether
+// the directory is resumable.
 
 #include <algorithm>
 #include <cmath>
@@ -38,6 +43,7 @@
 #include "obs/profile_export.h"
 #include "obs/record.h"
 #include "obs/slo.h"
+#include "server/checkpoint.h"
 
 namespace {
 
@@ -47,8 +53,8 @@ using uolap::obs::JsonValue;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: uolap_report <validate|summary|top|slo|diff|merge>"
-               " ...\n"
+               "usage: uolap_report "
+               "<validate|summary|top|slo|diff|merge|checkpoint> ...\n"
                "  validate a.json [b.json ...]\n"
                "  summary  profile.json [--regions] "
                "[--section=server|regions|metrics]\n"
@@ -57,7 +63,8 @@ int Usage() {
                "[--spec=slo.spec]\n"
                "  diff     before.json after.json [--max-regress=0.05]\n"
                "  merge    --out=BENCH_sim.json [--throughput=micro.json] "
-               "[--serve=serve.json] a.json [b.json ...]\n");
+               "[--serve=serve.json] a.json [b.json ...]\n"
+               "  checkpoint <dir>\n");
   return 2;
 }
 
@@ -774,6 +781,67 @@ int Merge(const std::vector<JsonValue>& profiles, const std::string& out,
   return 0;
 }
 
+/// `checkpoint`: validates and summarizes a uolap_serve checkpoint
+/// directory (snapshots + CRC-framed journals) without resuming it.
+/// Exits non-zero when the directory is unreadable or holds no snapshot
+/// that a `--resume=1` run could restart from.
+int Checkpoint(const std::string& dir) {
+  namespace server = uolap::server;
+  auto summary = server::InspectCheckpointDir(dir);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "checkpoint: %s\n",
+                 summary.status().ToString().c_str());
+    return 1;
+  }
+  const server::CheckpointDirSummary& s = summary.value();
+
+  TablePrinter snaps("snapshots in " + dir);
+  snaps.SetHeader({"file", "bytes", "vtime ms", "submitted", "epochs",
+                   "status"});
+  int invalid_snapshots = 0;
+  for (const server::SnapshotFileInfo& f : s.snapshots) {
+    if (!f.valid) ++invalid_snapshots;
+    snaps.AddRow({server::SnapshotFileName(f.index),
+                  TablePrinter::Fmt(static_cast<double>(f.bytes), 0),
+                  f.valid ? TablePrinter::Fmt(f.vtime_ms, 3) : "-",
+                  f.valid
+                      ? TablePrinter::Fmt(static_cast<double>(f.submitted), 0)
+                      : "-",
+                  f.valid
+                      ? TablePrinter::Fmt(static_cast<double>(f.epochs_closed),
+                                          0)
+                      : "-",
+                  f.valid ? "ok" : "INVALID: " + f.error});
+  }
+  std::printf("%s\n", snaps.ToAscii().c_str());
+
+  if (!s.journals.empty()) {
+    TablePrinter wals("journals");
+    wals.SetHeader({"file", "bytes", "valid bytes", "records", "tail"});
+    for (const server::JournalFileInfo& f : s.journals) {
+      wals.AddRow({server::JournalFileName(f.index),
+                   TablePrinter::Fmt(static_cast<double>(f.bytes), 0),
+                   TablePrinter::Fmt(static_cast<double>(f.valid_bytes), 0),
+                   TablePrinter::Fmt(static_cast<double>(f.records), 0),
+                   f.torn_tail ? "TORN: " + f.tail_error : "clean"});
+    }
+    std::printf("%s\n", wals.ToAscii().c_str());
+  }
+
+  if (invalid_snapshots > 0) {
+    std::fprintf(stderr, "checkpoint: %d invalid snapshot(s) in %s\n",
+                 invalid_snapshots, dir.c_str());
+  }
+  if (s.resume_index < 0) {
+    std::fprintf(stderr, "checkpoint: %s has no resumable snapshot\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::printf("resume point: %s\n",
+              server::SnapshotFileName(s.resume_index).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -862,6 +930,10 @@ int main(int argc, char** argv) {
     }
     return Merge(profiles, out, tp_path.empty() ? nullptr : &throughput,
                  serve_path.empty() ? nullptr : &serve);
+  }
+  if (mode == "checkpoint") {
+    if (paths.size() != 1) return Usage();
+    return Checkpoint(paths[0]);
   }
   return Usage();
 }

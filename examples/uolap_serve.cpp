@@ -14,6 +14,8 @@
 //                                [--retries=2]
 //                                [--fault-plan='seed=7,fail=0.1,slow=0.2,x=2']
 //                                [--brownout=16]
+//                                [--checkpoint-dir=ck] [--checkpoint-every=2]
+//                                [--resume=1] [--crash-at=25]
 //
 // Serving telemetry (DESIGN.md §8): the run is windowed into --epoch-ms
 // SLO epochs, --slo specs are evaluated against those windows (results
@@ -29,6 +31,14 @@
 // --brownout=DEPTH downgrades queued queries to the fastest engine once
 // the backlog reaches DEPTH. All five default off, leaving the run
 // bit-identical to the pre-robustness runtime.
+//
+// Crash consistency (DESIGN.md §10): --checkpoint-dir arms epoch-boundary
+// snapshots plus a CRC-framed event journal in that directory,
+// --checkpoint-every spaces the snapshots, --resume=1 restarts from the
+// newest valid snapshot instead of from scratch, and --crash-at=MS is the
+// deterministic self-kill (exit 137 once virtual time reaches MS) the CI
+// kill-and-resume stage drives. A resumed run's profile JSON is
+// byte-identical to an uninterrupted one.
 //
 // Everything is virtual time from seeded generators: two runs with the
 // same flags produce byte-identical --json output (the CI smoke stage
@@ -115,6 +125,21 @@ int main(int argc, char** argv) {
   }
   const int retries = static_cast<int>(ctx.flags().GetInt("retries", 0));
   const int brownout = static_cast<int>(ctx.flags().GetInt("brownout", 0));
+  // Crash-consistency flags (DESIGN.md §10); off unless --checkpoint-dir.
+  server::CheckpointConfig ckpt;
+  ckpt.dir = ctx.flags().GetString("checkpoint-dir", "");
+  ckpt.every_epochs =
+      static_cast<int>(ctx.flags().GetInt("checkpoint-every", 1));
+  ckpt.resume = ctx.flags().GetBool("resume", false);
+  ckpt.crash_at_ms = ctx.flags().GetDouble("crash-at", 0.0);
+  if (ckpt.enabled() && ckpt.every_epochs < 1) {
+    std::fprintf(stderr, "--checkpoint-every wants a positive epoch count\n");
+    return 2;
+  }
+  if (ckpt.enabled() && epoch_ms <= 0) {
+    std::fprintf(stderr, "--checkpoint-dir requires --epoch-ms > 0\n");
+    return 2;
+  }
 
   server::ServerConfig config;
   config.machine = ctx.machine();
@@ -129,6 +154,7 @@ int main(int argc, char** argv) {
   config.admission.default_deadline_ms = deadline_ms;
   config.retry.max_retries = retries;
   config.faults = fault_plan.value();
+  config.checkpoint = ckpt;
   if (brownout > 0) {
     // Brown-out downgrades to the compiled engine — the cheapest way to
     // the same answer (the server checks the answers match).
@@ -176,7 +202,15 @@ int main(int argc, char** argv) {
                     /*arrival_qps=*/qps, /*concurrency=*/0,
                     /*think_ms=*/0, /*max_queries=*/0, tenant_seed(3)});
 
-  server::ServeResult result = server.Run();
+  StatusOr<server::ServeResult> run = server.TryRun();
+  if (!run.ok()) {
+    // Checkpoint I/O and recovery failures are operational errors, not
+    // bugs: report the Status and exit non-zero instead of CHECK-failing.
+    std::fprintf(stderr, "uolap_serve: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  server::ServeResult result = std::move(run.value());
   const obs::ServerRecord& rec = result.record;
 
   std::printf(

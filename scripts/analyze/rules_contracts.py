@@ -342,6 +342,72 @@ def check_status_discard(ctx, rule, sf):
                    "or unwrapping with value()")
 
 
+# --- CON-IO-CHECKED -------------------------------------------------------
+
+# The crash-consistency story (DESIGN.md §10) lives or dies on checked
+# I/O: a discarded fwrite/fflush/fsync/rename result on the persistence
+# surface turns a full disk or a failed atomic-rename into silent
+# corruption that the CRC framing can no longer tell apart from a torn
+# tail.  Statement-level, like CON-STATUS-DISCARD: a call whose entire
+# statement is the call itself drops the result.  Expression uses
+# (`== 0`, `if (!...)`, assignments) are fine, `(void)` casts are a
+# deliberate annotation, and flushing the stdout/stderr diagnostics
+# streams is exempt — those never carry durable state.
+_IO_SURFACE_STEMS = ("journal", "checkpoint", "file_io", "profile_export")
+_IO_CALLS = {"WriteTextFile", "WriteFileAtomic", "AppendRecord",
+             "fwrite", "fflush", "fsync", "rename", "ftruncate"}
+_IO_DIAG_STREAMS = {"stdout", "stderr"}
+
+
+def _on_io_surface(sf):
+    if not sf.in_dirs(_SRC_DIRS) or not sf.relpath.endswith((".cc", ".cpp")):
+        return False
+    base = os.path.basename(sf.relpath)
+    return any(stem in base for stem in _IO_SURFACE_STEMS)
+
+
+def _io_begins_statement(toks, p):
+    """Walks left over ``ns::`` / ``obj.`` / ``obj->`` qualifier chains;
+    the receiver must open a statement for the result to be dropped.
+    Unlike _begins_statement this refuses a bare identifier on the left,
+    so a declaration (``Status WriteTextFile(...);``) never matches."""
+    while p >= 0:
+        t = toks[p]
+        if t.text in ("::", ".", "->"):
+            p -= 1
+            if p >= 0 and toks[p].kind == KIND_IDENT:
+                p -= 1
+                continue
+            return False
+        return t.text in (";", "{", "}")
+    return True
+
+
+def check_io_checked(ctx, rule, sf):
+    if not _on_io_surface(sf):
+        return
+    toks = sf.model.tokens
+    for k, t in enumerate(toks):
+        if t.kind != KIND_IDENT or t.text not in _IO_CALLS:
+            continue
+        if k + 1 >= len(toks) or toks[k + 1].text != "(":
+            continue
+        close = _match_close(toks, k + 1)
+        if close < 0 or close + 1 >= len(toks):
+            continue
+        if toks[close + 1].text != ";":
+            continue
+        if t.text == "fflush" and k + 2 < len(toks) and \
+                toks[k + 2].text in _IO_DIAG_STREAMS:
+            continue
+        if not _io_begins_statement(toks, k - 1):
+            continue
+        ctx.report(rule, sf, t.line,
+                   f"discarded {t.text}() result on the persistence "
+                   "surface; a failed write/flush/rename must surface as "
+                   "a Status, not as silent corruption at recovery time")
+
+
 RULES = [
     Rule("CON-REGION-RAW", "error", "contracts",
          "engine/bench code must use core::ScopedRegion, not raw "
@@ -370,4 +436,7 @@ RULES = [
     Rule("CON-STATUS-DISCARD", "error", "contracts",
          "dispatch-surface Run/Get call sites must consume the Status "
          "channel", check_status_discard),
+    Rule("CON-IO-CHECKED", "error", "contracts",
+         "persistence-surface write/flush/rename results must be "
+         "consumed", check_io_checked),
 ]

@@ -6,7 +6,11 @@
 # of hand-edited numbers.
 #
 # Usage: scripts/bench.sh [--full] [out.json]
-#   default: --quick profiles, writes BENCH_sim.json in the repo root.
+#   default: --quick profiles, writes build/BENCH_sim.json. Refreshing
+#   the tracked repo-root record is an explicit act:
+#     scripts/bench.sh BENCH_sim.json
+#   (the default deliberately stays out of the repo root so a casual run
+#   cannot clobber the checked-in perf history; see commit 664ee86).
 #   --full:  paper-scale runs (slow; minutes per bench).
 #
 # Per-bench profile JSONs are kept in bench_profiles/ next to the output
@@ -21,7 +25,7 @@ if [[ "${1:-}" == "--full" ]]; then
   QUICK=""
   shift
 fi
-OUT="${1:-BENCH_sim.json}"
+OUT="${1:-build/BENCH_sim.json}"
 
 BENCHES=(
   bench_fig01_06_projection
@@ -57,7 +61,7 @@ done
 # nothing); run bench_sim_micro directly for the microbenchmarks.
 echo "# bench_sim_micro (simulator throughput, fast vs reference)"
 build/bench/bench_sim_micro --benchmark_filter='^$' \
-  --sim-json="$PROFILE_DIR/sim_micro.json"
+  --out="$PROFILE_DIR/sim_micro.json"
 
 # Serve-path section (v3 of the uolap-bench-sim record): a fixed-seed
 # multi-tenant serving run whose end-to-end latency digest (overall and

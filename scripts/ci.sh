@@ -4,9 +4,11 @@
 #      layering, and contract rules against the checked-in baseline) +
 #      clang-tidy when installed;
 #   2. the normal optimized build (the configuration every figure runs in)
-#      with its test suite, exporter and multi-tenant serving smokes, and
+#      with its test suite, exporter and multi-tenant serving smokes,
 #      byte-level determinism gates (a figure bench and a uolap_serve run,
-#      each executed twice, must serialize identical profiles);
+#      each executed twice, must serialize identical profiles), and the
+#      crash-recovery smoke (kill mid-run, corrupt the journal tail,
+#      resume, byte-compare against the uninterrupted run);
 #   3. an UOLAP_VALIDATE=ON build: the full test suite plus a figure-bench
 #      sweep with every model-invariant checker armed (a violation aborts);
 #   4. an UndefinedBehaviorSanitizer build running the test suite;
@@ -17,9 +19,11 @@
 #      breaking the bit-determinism contract.
 #
 # Usage: scripts/ci.sh [stage] [jobs]
-#   stage: all (default) | analyze | asan | chaos_smoke — run one stage
-#          in isolation (chaos_smoke: the fault-injection/degradation
-#          determinism gate under release + TSan)
+#   stage: all (default) | analyze | asan | chaos_smoke |
+#          crash_recovery_smoke — run one stage in isolation
+#          (chaos_smoke: the fault-injection/degradation determinism
+#          gate; crash_recovery_smoke: kill-and-resume bit-equivalence
+#          plus torn-journal rejection; both under release + TSan)
 #   jobs:  parallelism (default: nproc)
 
 set -euo pipefail
@@ -118,13 +122,90 @@ chaos_stage() {
   chaos_smoke build-tsan
 }
 
+# Crash-recovery smoke: crash consistency end to end (DESIGN.md §10).
+# Run A is the uninterrupted baseline with checkpointing on; run B is the
+# identical serve killed mid-flight by --crash-at (exit 137, no profile);
+# then B's checkpoint directory gets its active journal tail corrupted —
+# the bytes a real kill could have half-written — and the resume must
+# discard that tail LOUDLY, replay the journal as verification, and still
+# serialize profile JSON byte-identical to A's. `uolap_report checkpoint`
+# must validate the directory along the way. Cross-process resume keys on
+# the solo class profiles, which are execution-driven off raw heap
+# addresses, so the byte steps need ASLR pinned and identical argv shapes
+# ("00" vs "25", "0" vs "1" — equal byte lengths run for run).
+crash_recovery_smoke() {
+  local build_dir="$1"
+  local out
+  out="$(mktemp -d)"
+  local serve=("$build_dir/examples/uolap_serve" --quick --seed=11
+    --stable-json --epoch-ms=5 --checkpoint-every=2)
+  if setarch "$(uname -m)" -R true 2>/dev/null; then
+    setarch "$(uname -m)" -R "${serve[@]}" --checkpoint-dir="$out/ck_a" \
+      --crash-at=00 --resume=0 --json="$out/a.json" >/dev/null
+    local rc=0
+    setarch "$(uname -m)" -R "${serve[@]}" --checkpoint-dir="$out/ck_b" \
+      --crash-at=25 --resume=0 --json="$out/b.json" >/dev/null || rc=$?
+    if [[ "$rc" != 137 ]]; then
+      echo "crash smoke: expected exit 137 from --crash-at, got $rc" >&2
+      return 1
+    fi
+    if [[ -e "$out/b.json" ]]; then
+      echo "crash smoke: killed run must not write a profile" >&2
+      return 1
+    fi
+    # The crash directory must validate as resumable, and the resume
+    # point names the journal a kill could have torn.
+    "$build_dir/examples/uolap_report" checkpoint "$out/ck_b" \
+      >"$out/ck.txt"
+    local snap wal
+    snap="$(sed -n 's/^resume point: //p' "$out/ck.txt")"
+    wal="${snap/snap-/journal-}"
+    wal="${wal%.ckpt}.wal"
+    printf 'GARBAGE-TAIL' >>"$out/ck_b/$wal"
+    setarch "$(uname -m)" -R "${serve[@]}" --checkpoint-dir="$out/ck_b" \
+      --crash-at=00 --resume=1 --json="$out/c.json" \
+      >/dev/null 2>"$out/c.err"
+    grep "discarding torn journal tail" "$out/c.err" >/dev/null
+    cmp "$out/a.json" "$out/c.json"
+  else
+    # Unpinned fallback: resume needs identical class profiles across
+    # processes, which ASLR scrambles — exercise checkpoint writing and
+    # the crash exit only.
+    "${serve[@]}" --checkpoint-dir="$out/ck_a" \
+      --crash-at=00 --resume=0 --json="$out/a.json" >/dev/null
+    local rc=0
+    "${serve[@]}" --checkpoint-dir="$out/ck_b" \
+      --crash-at=25 --resume=0 --json="$out/b.json" >/dev/null || rc=$?
+    if [[ "$rc" != 137 ]]; then
+      echo "crash smoke: expected exit 137 from --crash-at, got $rc" >&2
+      return 1
+    fi
+    "$build_dir/examples/uolap_report" checkpoint "$out/ck_b" >/dev/null
+    echo "setarch cannot pin ASLR here; skipping resume byte-compare"
+  fi
+  rm -rf "$out"
+}
+
+crash_recovery_stage() {
+  echo "=== crash-recovery smoke (release) ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS"
+  crash_recovery_smoke build
+  echo "=== crash-recovery smoke (tsan) ==="
+  cmake -B build-tsan -S . -DUOLAP_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+  crash_recovery_smoke build-tsan
+}
+
 case "$STAGE" in
   all) ;;
   analyze) analyze_stage; exit 0 ;;
   asan) asan_stage; exit 0 ;;
   chaos_smoke) chaos_stage; exit 0 ;;
+  crash_recovery_smoke) crash_recovery_stage; exit 0 ;;
   *)
-    echo "unknown stage: $STAGE (stages: all, analyze, asan, chaos_smoke)" >&2
+    echo "unknown stage: $STAGE (stages: all, analyze, asan, chaos_smoke," \
+      "crash_recovery_smoke)" >&2
     exit 2
     ;;
 esac
@@ -254,6 +335,9 @@ telemetry_smoke build
 echo "=== chaos smoke (release) ==="
 chaos_smoke build
 
+echo "=== crash-recovery smoke (release) ==="
+crash_recovery_smoke build
+
 # Perf smoke: the fast-path overhaul's counter gates (DESIGN.md §7).
 # uolap_perfsmoke replays a fixed synthetic address trace (never
 # dereferenced, so bit-identical on any host without ASLR pinning) through
@@ -333,5 +417,8 @@ telemetry_smoke build-tsan
 
 echo "=== chaos smoke (tsan) ==="
 chaos_smoke build-tsan
+
+echo "=== crash-recovery smoke (tsan) ==="
+crash_recovery_smoke build-tsan
 
 echo "=== ci passed ==="

@@ -1,0 +1,38 @@
+#include "common/crc32c.h"
+
+namespace uolap {
+namespace {
+
+// Reflected CRC-32C (Castagnoli) lookup table, built once at first use.
+// The generator polynomial 0x1EDC6F41 reflects to 0x82F63B78.
+struct Crc32cTable {
+  uint32_t entries[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t crc) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const Crc32cTable& table = Table();
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table.entries[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace uolap

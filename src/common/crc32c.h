@@ -1,0 +1,29 @@
+#ifndef UOLAP_COMMON_CRC32C_H_
+#define UOLAP_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace uolap {
+
+/// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78), the checksum
+/// used by the checkpoint snapshot format and the event-journal frames.
+/// Software table implementation: the persistence paths are cold (one
+/// snapshot per epoch, a handful of journal frames per event), so there
+/// is no need for SSE4.2 dispatch, and a single portable implementation
+/// keeps the on-disk format identical across build hosts.
+///
+/// `crc` is the running checksum from a previous call (0 to start), so
+/// large payloads can be checksummed incrementally:
+///   uint32_t c = Crc32c(header, sizeof(header));
+///   c = Crc32c(body.data(), body.size(), c);
+uint32_t Crc32c(const void* data, size_t size, uint32_t crc = 0);
+
+inline uint32_t Crc32c(std::string_view data, uint32_t crc = 0) {
+  return Crc32c(data.data(), data.size(), crc);
+}
+
+}  // namespace uolap
+
+#endif  // UOLAP_COMMON_CRC32C_H_

@@ -1,0 +1,107 @@
+#include "common/file_io.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace uolap {
+namespace {
+
+std::string ErrnoText() { return std::strerror(errno); }
+
+}  // namespace
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path + "': " + ErrnoText());
+  }
+  std::string content;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  if (std::fclose(f) != 0 || read_error) {
+    return Status::Internal("error reading '" + path + "': " + ErrnoText());
+  }
+  return content;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot create '" + tmp + "': " + ErrnoText());
+  }
+  bool ok = std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  ok = ok && std::fflush(f) == 0;
+  ok = ok && fsync(fileno(f)) == 0;
+  const std::string err = ok ? "" : ErrnoText();
+  if (std::fclose(f) != 0 || !ok) {
+    const Status st = Status::Internal("error writing '" + tmp +
+                                       "': " + (ok ? ErrnoText() : err));
+    if (std::remove(tmp.c_str()) != 0) {
+      // Best effort: the stale tmp file is harmless, the write already
+      // failed and the error below is what the caller acts on.
+    }
+    return st;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status st =
+        Status::Internal("cannot rename '" + tmp + "' to '" + path +
+                         "': " + ErrnoText());
+    if (std::remove(tmp.c_str()) != 0) {
+      // Same best-effort cleanup as above.
+    }
+    return st;
+  }
+  return Status::OK();
+}
+
+Status EnsureDirectory(const std::string& path) {
+  if (mkdir(path.c_str(), 0755) == 0) return Status::OK();
+  if (errno == EEXIST) {
+    struct stat st;
+    if (stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      return Status::OK();
+    }
+    return Status::FailedPrecondition("'" + path +
+                                      "' exists and is not a directory");
+  }
+  return Status::Internal("cannot create directory '" + path +
+                          "': " + ErrnoText());
+}
+
+StatusOr<std::vector<std::string>> ListDirectory(const std::string& path) {
+  DIR* dir = opendir(path.c_str());
+  if (dir == nullptr) {
+    return Status::NotFound("cannot open directory '" + path +
+                            "': " + ErrnoText());
+  }
+  std::vector<std::string> names;
+  while (const dirent* entry = readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+StatusOr<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (stat(path.c_str(), &st) != 0) {
+    return Status::NotFound("cannot stat '" + path + "': " + ErrnoText());
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+}  // namespace uolap

@@ -1,0 +1,42 @@
+#ifndef UOLAP_COMMON_FILE_IO_H_
+#define UOLAP_COMMON_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uolap {
+
+/// Checked file I/O helpers for the persistence surface (checkpoint
+/// snapshots, the event journal, profile export). Every fallible
+/// operation reports through Status; call sites on the persistence
+/// surface must consume these results (enforced by the CON-IO-CHECKED
+/// analyze rule). POSIX-only, matching the rest of the repo.
+
+/// Reads the entire file into a string. NotFound if the file cannot be
+/// opened, Internal on a short read.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `content` to `path` atomically: write to `<path>.tmp`, flush,
+/// fsync, rename over the target. A crash mid-write leaves either the
+/// old file or no file, never a torn one.
+Status WriteFileAtomic(const std::string& path, const std::string& content);
+
+/// Creates the directory if it does not already exist (single level,
+/// like `mkdir -p` for one component). OK if it already exists and is a
+/// directory.
+Status EnsureDirectory(const std::string& path);
+
+/// Lists the entries of a directory (names only, no "." / ".."), sorted
+/// lexicographically so iteration order is deterministic across
+/// filesystems.
+StatusOr<std::vector<std::string>> ListDirectory(const std::string& path);
+
+/// Size of the file in bytes, NotFound if it cannot be stat'ed.
+StatusOr<uint64_t> FileSize(const std::string& path);
+
+}  // namespace uolap
+
+#endif  // UOLAP_COMMON_FILE_IO_H_

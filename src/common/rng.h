@@ -1,6 +1,7 @@
 #ifndef UOLAP_COMMON_RNG_H_
 #define UOLAP_COMMON_RNG_H_
 
+#include <array>
 #include <cstdint>
 
 #include "common/macros.h"
@@ -57,6 +58,15 @@ class Rng {
 
   /// Bernoulli draw with probability `p` of returning true.
   bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Full generator state, for checkpointing. Restoring a saved state
+  /// continues the stream exactly where it left off.
+  std::array<uint64_t, 4> SaveState() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void LoadState(const std::array<uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) state_[i] = state[static_cast<size_t>(i)];
+  }
 
  private:
   static uint64_t Rotl(uint64_t x, int k) {

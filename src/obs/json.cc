@@ -67,14 +67,28 @@ class Parser {
     return false;
   }
 
+  // The parser recurses once per nesting level; a hostile document of
+  // the form "[[[[..." would otherwise overflow the stack. Real profile
+  // JSON nests a handful of levels deep.
+  static constexpr int kMaxDepth = 128;
+
   Status ParseValue(JsonValue* out) {
     SkipWs();
     if (pos_ >= text_.size()) return Error("unexpected end of input");
+    if (depth_ >= kMaxDepth) return Error("nesting too deep");
     switch (text_[pos_]) {
-      case '{':
-        return ParseObject(out);
-      case '[':
-        return ParseArray(out);
+      case '{': {
+        ++depth_;
+        Status s = ParseObject(out);
+        --depth_;
+        return s;
+      }
+      case '[': {
+        ++depth_;
+        Status s = ParseArray(out);
+        --depth_;
+        return s;
+      }
       case '"':
         out->type = JsonValue::Type::kString;
         return ParseString(&out->str);
@@ -154,6 +168,12 @@ class Parser {
       const char c = text_[pos_++];
       if (c == '"') return Status::OK();
       if (c != '\\') {
+        // Strict JSON: raw control bytes (including embedded NUL and
+        // newlines) must arrive escaped, never literal.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          --pos_;
+          return Error("raw control character in string");
+        }
         *out += c;
         continue;
       }
@@ -242,6 +262,7 @@ class Parser {
 
   std::string_view text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -70,6 +70,12 @@ inline constexpr char kServerSlowdownsInjected[] =
 /// Brown-out engine downgrades applied at schedule time, per tenant.
 inline constexpr char kServerBrownoutDowngrades[] =
     "server.brownout_downgrades_total";
+/// Checkpoint snapshots written at epoch boundaries.
+inline constexpr char kServerCheckpointsTotal[] =
+    "server.checkpoints_total";
+/// Event-journal records emitted (admission/completion/shed/...).
+inline constexpr char kServerJournalRecordsTotal[] =
+    "server.journal_records_total";
 
 // --- bench harness (harness::BenchContext) --------------------------------
 /// Profiled runs recorded into the session (Profile/ProfileMulti/

@@ -150,6 +150,12 @@ class MetricsRegistry {
   /// Drops every family (tests isolate themselves with this).
   void Reset();
 
+  /// Replaces the registry contents with `snapshot`, exactly: kinds,
+  /// series, counters, gauges, and histogram `sum_micro` fixed-point
+  /// values are restored bit for bit, so Snapshot() after Restore(s)
+  /// equals s. Used by checkpoint recovery.
+  void Restore(const MetricsSnapshot& snapshot);
+
   /// The process-wide registry the engine dispatch path, the serving
   /// runtime (by default), and the bench harness publish into; the
   /// harness snapshots it into the profile JSON v4 "metrics" block.

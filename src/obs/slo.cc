@@ -1,6 +1,7 @@
 #include "obs/slo.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 #include "obs/json_writer.h"
@@ -91,8 +92,10 @@ StatusOr<std::vector<SloSpec>> ParseSloSpecs(std::string_view text) {
     }
     char* end = nullptr;
     spec.threshold = std::strtod(number.c_str(), &end);
+    // isfinite rejects "1e999999" (inf: a threshold no window can ever
+    // violate) and NaN alongside the plain non-positive cases.
     if (number.empty() || end != number.c_str() + number.size() ||
-        spec.threshold <= 0) {
+        !std::isfinite(spec.threshold) || spec.threshold <= 0) {
       return Status::InvalidArgument("SLO threshold '" + number +
                                      "' is not a positive number");
     }

@@ -100,12 +100,19 @@ class AdmissionController {
 
   const AdmissionConfig& config() const { return config_; }
 
- private:
   struct ClassModel {
     double est_ms = 0;   ///< current mean estimate
     uint64_t count = 0;  ///< observed completions folded in
   };
 
+  /// Full load-model state, for checkpointing. Restoring a saved vector
+  /// continues the running means exactly where they left off.
+  const std::vector<ClassModel>& models() const { return classes_; }
+  void RestoreModels(std::vector<ClassModel> models) {
+    classes_ = std::move(models);
+  }
+
+ private:
   AdmissionConfig config_;
   int cores_;
   std::vector<ClassModel> classes_;

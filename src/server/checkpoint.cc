@@ -1,0 +1,785 @@
+#include "server/checkpoint.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "common/crc32c.h"
+#include "common/file_io.h"
+#include "server/journal.h"
+#include "server/serving.h"
+
+namespace uolap::server {
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'U', 'O', 'L', 'A', 'P', 'C', 'K', 'P'};
+constexpr uint32_t kSnapshotVersion = 1;
+
+// --- bit-exact binary (de)serialization -----------------------------------
+// Little-endian fixed-width fields; doubles travel as raw bit patterns so
+// a restored state is bit-identical to the captured one.
+
+class BinWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void F64(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void B(bool v) { U8(v ? 1 : 0); }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void VecF64(const std::vector<double>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    for (const double x : v) F64(x);
+  }
+  void VecU64(const std::vector<uint64_t>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    for (const uint64_t x : v) U64(x);
+  }
+  void Raw(const void* p, size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+class BinReader {
+ public:
+  explicit BinReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Take(&v, sizeof(v));
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Take(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Take(&v, sizeof(v));
+    return v;
+  }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  double F64() {
+    const uint64_t bits = U64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  bool B() { return U8() != 0; }
+  std::string Str() {
+    const size_t n = Count();
+    std::string s;
+    if (failed_) return s;
+    s.assign(data_.data() + pos_, n);
+    pos_ += n;
+    return s;
+  }
+  std::vector<double> VecF64() {
+    const size_t n = Count();
+    std::vector<double> v;
+    if (failed_) return v;
+    v.reserve(n);
+    for (size_t i = 0; i < n && !failed_; ++i) v.push_back(F64());
+    return v;
+  }
+  std::vector<uint64_t> VecU64() {
+    const size_t n = Count();
+    std::vector<uint64_t> v;
+    if (failed_) return v;
+    v.reserve(n);
+    for (size_t i = 0; i < n && !failed_; ++i) v.push_back(U64());
+    return v;
+  }
+  /// A container count, bounded by the remaining bytes (every element is
+  /// at least one byte) so corrupt data cannot force a huge allocation.
+  size_t Count() {
+    const uint32_t n = U32();
+    if (!failed_ && n > data_.size() - pos_) failed_ = true;
+    return failed_ ? 0 : n;
+  }
+
+  bool failed() const { return failed_; }
+  bool AtEnd() const { return !failed_ && pos_ == data_.size(); }
+
+ private:
+  void Take(void* p, size_t n) {
+    if (failed_ || data_.size() - pos_ < n) {
+      failed_ = true;
+      std::memset(p, 0, n);
+      return;
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// --- per-struct codecs ----------------------------------------------------
+
+void PutInstance(BinWriter& w, const QueryInstance& q) {
+  w.I32(q.tenant);
+  w.U64(q.cls);
+  w.I32(q.client);
+  w.U64(q.seq);
+  w.B(q.sampled);
+  w.F64(q.arrival);
+  w.F64(q.start);
+  w.F64(q.remaining);
+  w.F64(q.scale_cycles);
+  w.F64(q.run_cycles);
+  w.I32(q.attempt);
+  w.F64(q.deadline);
+  w.F64(q.est_ms);
+  w.F64(q.cancel_remaining);
+  w.F64(q.retry_ready);
+  w.B(q.will_fail);
+  w.F64(q.slow);
+}
+
+QueryInstance GetInstance(BinReader& r) {
+  QueryInstance q;
+  q.tenant = r.I32();
+  q.cls = r.U64();
+  q.client = r.I32();
+  q.seq = r.U64();
+  q.sampled = r.B();
+  q.arrival = r.F64();
+  q.start = r.F64();
+  q.remaining = r.F64();
+  q.scale_cycles = r.F64();
+  q.run_cycles = r.F64();
+  q.attempt = r.I32();
+  q.deadline = r.F64();
+  q.est_ms = r.F64();
+  q.cancel_remaining = r.F64();
+  q.retry_ready = r.F64();
+  q.will_fail = r.B();
+  q.slow = r.F64();
+  return q;
+}
+
+void PutInstances(BinWriter& w, const std::vector<QueryInstance>& v) {
+  w.U32(static_cast<uint32_t>(v.size()));
+  for (const QueryInstance& q : v) PutInstance(w, q);
+}
+
+std::vector<QueryInstance> GetInstances(BinReader& r) {
+  const size_t n = r.Count();
+  std::vector<QueryInstance> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n && !r.failed(); ++i) v.push_back(GetInstance(r));
+  return v;
+}
+
+void PutLatMap(BinWriter& w,
+               const std::map<std::string, std::vector<double>>& m) {
+  w.U32(static_cast<uint32_t>(m.size()));
+  for (const auto& [key, values] : m) {
+    w.Str(key);
+    w.VecF64(values);
+  }
+}
+
+std::map<std::string, std::vector<double>> GetLatMap(BinReader& r) {
+  const size_t n = r.Count();
+  std::map<std::string, std::vector<double>> m;
+  for (size_t i = 0; i < n && !r.failed(); ++i) {
+    std::string key = r.Str();
+    m[std::move(key)] = r.VecF64();
+  }
+  return m;
+}
+
+void PutWindowStats(BinWriter& w, const std::vector<obs::WindowStat>& v) {
+  w.U32(static_cast<uint32_t>(v.size()));
+  for (const obs::WindowStat& s : v) {
+    w.Str(s.subject);
+    w.U64(s.completed);
+    w.F64(s.p50_ms);
+    w.F64(s.p95_ms);
+    w.F64(s.p99_ms);
+  }
+}
+
+std::vector<obs::WindowStat> GetWindowStats(BinReader& r) {
+  const size_t n = r.Count();
+  std::vector<obs::WindowStat> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n && !r.failed(); ++i) {
+    obs::WindowStat s;
+    s.subject = r.Str();
+    s.completed = r.U64();
+    s.p50_ms = r.F64();
+    s.p95_ms = r.F64();
+    s.p99_ms = r.F64();
+    v.push_back(std::move(s));
+  }
+  return v;
+}
+
+void PutLoopState(BinWriter& w, const LoopState& st) {
+  w.F64(st.vtime);
+  w.U32(static_cast<uint32_t>(st.tenants.size()));
+  for (const TenantLoopState& t : st.tenants) {
+    const std::array<uint64_t, 4> rng = t.rng.SaveState();
+    for (const uint64_t word : rng) w.U64(word);
+    w.U64(t.cap);
+    w.U64(t.submitted);
+    w.U64(t.completed);
+    w.U64(t.rejected);
+    w.U64(t.shed);
+    w.U64(t.timed_out);
+    w.U64(t.failed);
+    w.U64(t.retries);
+    w.F64(t.next_open_arrival);
+    w.VecF64(t.client_wake);
+    w.VecF64(t.zipf_cdf);
+    w.VecF64(t.latencies_ms);
+    w.VecU64(t.histogram);
+  }
+  w.U32(static_cast<uint32_t>(st.classes.size()));
+  for (const ClassLoopStats& c : st.classes) {
+    w.U64(c.executions);
+    w.F64(c.service_cycles);
+    w.F64(c.scale_cycles);
+    w.F64(c.run_cycles);
+  }
+  PutInstances(w, st.slots);
+  PutInstances(w, st.queue);
+  PutInstances(w, st.retry_queue);
+  w.U64(st.queue_head);
+  w.F64(st.queued_est_ms);
+  w.U64(st.faults_injected);
+  w.U64(st.slowdowns_injected);
+  w.U64(st.brownout_downgrades);
+  w.F64(st.total_bytes);
+  w.F64(st.peak_gbps);
+  w.B(st.saturated);
+  w.U32(static_cast<uint32_t>(st.timeline.size()));
+  for (const obs::QueueSample& s : st.timeline) {
+    w.F64(s.vtime_ms);
+    w.U32(s.running);
+    w.U32(s.queued);
+  }
+  PutLatMap(w, st.engine_latencies);
+  w.U64(st.seq_counter);
+  w.U32(static_cast<uint32_t>(st.spans.size()));
+  for (const obs::QuerySpan& s : st.spans) {
+    w.U64(s.seq);
+    w.Str(s.tenant);
+    w.Str(s.cls);
+    w.F64(s.arrival_ms);
+    w.F64(s.start_ms);
+    w.F64(s.end_ms);
+    w.I32(s.core);
+    w.Str(s.outcome);
+    w.U32(s.attempts);
+  }
+  w.VecF64(st.all_latencies);
+  w.U32(st.cur_running);
+  w.U32(st.cur_queued);
+  w.U32(st.peak_queued);
+  w.VecF64(st.acc.lat);
+  PutLatMap(w, st.acc.tenant_lat);
+  PutLatMap(w, st.acc.class_lat);
+  w.U32(st.acc.max_running);
+  w.U32(st.acc.max_queued);
+  w.I32(st.epoch_index);
+  w.F64(st.epoch_start);
+  w.U32(static_cast<uint32_t>(st.epochs.size()));
+  for (const obs::EpochRecord& e : st.epochs) {
+    w.I32(e.index);
+    w.F64(e.start_ms);
+    w.F64(e.end_ms);
+    w.U64(e.completed);
+    w.F64(e.p50_ms);
+    w.F64(e.p95_ms);
+    w.F64(e.p99_ms);
+    w.U32(e.max_running);
+    w.U32(e.max_queued);
+    PutWindowStats(w, e.tenants);
+    PutWindowStats(w, e.classes);
+  }
+}
+
+LoopState GetLoopState(BinReader& r) {
+  LoopState st;
+  st.vtime = r.F64();
+  size_t n = r.Count();
+  st.tenants.resize(n);
+  for (size_t i = 0; i < n && !r.failed(); ++i) {
+    TenantLoopState& t = st.tenants[i];
+    std::array<uint64_t, 4> rng = {};
+    for (uint64_t& word : rng) word = r.U64();
+    t.rng.LoadState(rng);
+    t.cap = r.U64();
+    t.submitted = r.U64();
+    t.completed = r.U64();
+    t.rejected = r.U64();
+    t.shed = r.U64();
+    t.timed_out = r.U64();
+    t.failed = r.U64();
+    t.retries = r.U64();
+    t.next_open_arrival = r.F64();
+    t.client_wake = r.VecF64();
+    t.zipf_cdf = r.VecF64();
+    t.latencies_ms = r.VecF64();
+    t.histogram = r.VecU64();
+  }
+  n = r.Count();
+  st.classes.resize(n);
+  for (size_t i = 0; i < n && !r.failed(); ++i) {
+    ClassLoopStats& c = st.classes[i];
+    c.executions = r.U64();
+    c.service_cycles = r.F64();
+    c.scale_cycles = r.F64();
+    c.run_cycles = r.F64();
+  }
+  st.slots = GetInstances(r);
+  st.queue = GetInstances(r);
+  st.retry_queue = GetInstances(r);
+  st.queue_head = r.U64();
+  st.queued_est_ms = r.F64();
+  st.faults_injected = r.U64();
+  st.slowdowns_injected = r.U64();
+  st.brownout_downgrades = r.U64();
+  st.total_bytes = r.F64();
+  st.peak_gbps = r.F64();
+  st.saturated = r.B();
+  n = r.Count();
+  st.timeline.resize(n);
+  for (size_t i = 0; i < n && !r.failed(); ++i) {
+    st.timeline[i].vtime_ms = r.F64();
+    st.timeline[i].running = r.U32();
+    st.timeline[i].queued = r.U32();
+  }
+  st.engine_latencies = GetLatMap(r);
+  st.seq_counter = r.U64();
+  n = r.Count();
+  st.spans.resize(n);
+  for (size_t i = 0; i < n && !r.failed(); ++i) {
+    obs::QuerySpan& s = st.spans[i];
+    s.seq = r.U64();
+    s.tenant = r.Str();
+    s.cls = r.Str();
+    s.arrival_ms = r.F64();
+    s.start_ms = r.F64();
+    s.end_ms = r.F64();
+    s.core = r.I32();
+    s.outcome = r.Str();
+    s.attempts = r.U32();
+  }
+  st.all_latencies = r.VecF64();
+  st.cur_running = r.U32();
+  st.cur_queued = r.U32();
+  st.peak_queued = r.U32();
+  st.acc.lat = r.VecF64();
+  st.acc.tenant_lat = GetLatMap(r);
+  st.acc.class_lat = GetLatMap(r);
+  st.acc.max_running = r.U32();
+  st.acc.max_queued = r.U32();
+  st.epoch_index = r.I32();
+  st.epoch_start = r.F64();
+  n = r.Count();
+  st.epochs.resize(n);
+  for (size_t i = 0; i < n && !r.failed(); ++i) {
+    obs::EpochRecord& e = st.epochs[i];
+    e.index = r.I32();
+    e.start_ms = r.F64();
+    e.end_ms = r.F64();
+    e.completed = r.U64();
+    e.p50_ms = r.F64();
+    e.p95_ms = r.F64();
+    e.p99_ms = r.F64();
+    e.max_running = r.U32();
+    e.max_queued = r.U32();
+    e.tenants = GetWindowStats(r);
+    e.classes = GetWindowStats(r);
+  }
+  return st;
+}
+
+void PutMetricsSnapshot(BinWriter& w, const obs::MetricsSnapshot& snap) {
+  w.U32(static_cast<uint32_t>(snap.families.size()));
+  for (const obs::MetricFamily& f : snap.families) {
+    w.Str(f.name);
+    w.U8(static_cast<uint8_t>(f.kind));
+    w.U32(static_cast<uint32_t>(f.series.size()));
+    for (const obs::MetricSeries& s : f.series) {
+      w.Str(s.label_key);
+      w.Str(s.label_value);
+      w.U64(s.counter);
+      w.F64(s.gauge);
+      w.VecU64(s.histogram.buckets);
+      w.U64(s.histogram.count);
+      w.U64(s.histogram.sum_micro);
+    }
+  }
+}
+
+obs::MetricsSnapshot GetMetricsSnapshot(BinReader& r) {
+  obs::MetricsSnapshot snap;
+  const size_t nf = r.Count();
+  snap.families.resize(nf);
+  for (size_t i = 0; i < nf && !r.failed(); ++i) {
+    obs::MetricFamily& f = snap.families[i];
+    f.name = r.Str();
+    f.kind = static_cast<obs::MetricKind>(r.U8());
+    const size_t ns = r.Count();
+    f.series.resize(ns);
+    for (size_t j = 0; j < ns && !r.failed(); ++j) {
+      obs::MetricSeries& s = f.series[j];
+      s.label_key = r.Str();
+      s.label_value = r.Str();
+      s.counter = r.U64();
+      s.gauge = r.F64();
+      s.histogram.buckets = r.VecU64();
+      s.histogram.count = r.U64();
+      s.histogram.sum_micro = r.U64();
+    }
+  }
+  return snap;
+}
+
+/// Parses "<prefix><8 digits><suffix>" file names; returns the index or
+/// -1 when the name does not match.
+int ParseIndexedName(const std::string& name, std::string_view prefix,
+                     std::string_view suffix) {
+  if (name.size() != prefix.size() + 8 + suffix.size()) return -1;
+  if (name.compare(0, prefix.size(), prefix) != 0) return -1;
+  if (name.compare(prefix.size() + 8, suffix.size(), suffix.data()) != 0) {
+    return -1;
+  }
+  int index = 0;
+  for (size_t i = prefix.size(); i < prefix.size() + 8; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return -1;
+    index = index * 10 + (c - '0');
+  }
+  return index;
+}
+
+}  // namespace
+
+std::string_view JournalEventTypeName(JournalEventType type) {
+  switch (type) {
+    case JournalEventType::kAdmit:
+      return "admit";
+    case JournalEventType::kReject:
+      return "reject";
+    case JournalEventType::kShed:
+      return "shed";
+    case JournalEventType::kTimeout:
+      return "timeout";
+    case JournalEventType::kFail:
+      return "fail";
+    case JournalEventType::kComplete:
+      return "complete";
+    case JournalEventType::kRetry:
+      return "retry";
+  }
+  return "unknown";
+}
+
+std::string EncodeJournalEvent(const JournalEvent& event) {
+  BinWriter w;
+  w.U8(static_cast<uint8_t>(event.type));
+  w.U64(event.seq);
+  w.I32(event.tenant);
+  w.U32(event.attempt);
+  w.F64(event.vtime_ms);
+  return w.str();
+}
+
+StatusOr<JournalEvent> DecodeJournalEvent(std::string_view payload) {
+  BinReader r(payload);
+  JournalEvent e;
+  const uint8_t type = r.U8();
+  e.seq = r.U64();
+  e.tenant = r.I32();
+  e.attempt = r.U32();
+  e.vtime_ms = r.F64();
+  if (!r.AtEnd() ||
+      type < static_cast<uint8_t>(JournalEventType::kAdmit) ||
+      type > static_cast<uint8_t>(JournalEventType::kRetry)) {
+    return Status::InvalidArgument("malformed journal event payload");
+  }
+  e.type = static_cast<JournalEventType>(type);
+  return e;
+}
+
+std::string EncodeSnapshot(const CheckpointSnapshot& snapshot) {
+  BinWriter w;
+  w.Raw(kSnapshotMagic, sizeof(kSnapshotMagic));
+  w.U32(kSnapshotVersion);
+  w.U64(snapshot.config_fingerprint);
+  w.U32(snapshot.class_digest);
+  w.I32(snapshot.epoch_index);
+  w.F64(snapshot.freq_ghz);
+  PutLoopState(w, snapshot.state);
+  w.U32(static_cast<uint32_t>(snapshot.admission_models.size()));
+  for (const AdmissionController::ClassModel& m : snapshot.admission_models) {
+    w.F64(m.est_ms);
+    w.U64(m.count);
+  }
+  PutMetricsSnapshot(w, snapshot.metrics);
+  const uint32_t crc = Crc32c(w.str());
+  std::string out = w.str();
+  out.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  return out;
+}
+
+StatusOr<CheckpointSnapshot> DecodeSnapshot(std::string_view bytes) {
+  constexpr size_t kHeader = sizeof(kSnapshotMagic) + sizeof(uint32_t);
+  if (bytes.size() < kHeader + sizeof(uint32_t)) {
+    return Status::InvalidArgument("snapshot file too short (" +
+                                   std::to_string(bytes.size()) + " bytes)");
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  const std::string_view body = bytes.substr(0, bytes.size() - sizeof(stored_crc));
+  if (Crc32c(body) != stored_crc) {
+    return Status::InvalidArgument("snapshot CRC mismatch");
+  }
+  if (std::memcmp(body.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::InvalidArgument("not a checkpoint snapshot (bad magic)");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, body.data() + sizeof(kSnapshotMagic), sizeof(version));
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version));
+  }
+  BinReader r(body.substr(kHeader));
+  CheckpointSnapshot snap;
+  snap.config_fingerprint = r.U64();
+  snap.class_digest = r.U32();
+  snap.epoch_index = r.I32();
+  snap.freq_ghz = r.F64();
+  snap.state = GetLoopState(r);
+  const size_t nm = r.Count();
+  snap.admission_models.resize(nm);
+  for (size_t i = 0; i < nm && !r.failed(); ++i) {
+    snap.admission_models[i].est_ms = r.F64();
+    snap.admission_models[i].count = r.U64();
+  }
+  snap.metrics = GetMetricsSnapshot(r);
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("snapshot payload truncated or malformed");
+  }
+  return snap;
+}
+
+std::string SnapshotFileName(int index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "snap-%08d.ckpt", index);
+  return buf;
+}
+
+std::string JournalFileName(int index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "journal-%08d.wal", index);
+  return buf;
+}
+
+Status WriteSnapshotFile(const std::string& dir,
+                         const CheckpointSnapshot& snapshot) {
+  Status made = EnsureDirectory(dir);
+  if (!made.ok()) return made;
+  return WriteFileAtomic(dir + "/" + SnapshotFileName(snapshot.epoch_index),
+                         EncodeSnapshot(snapshot));
+}
+
+StatusOr<RecoveredCheckpoint> LoadLatestCheckpoint(const std::string& dir) {
+  StatusOr<std::vector<std::string>> listing = ListDirectory(dir);
+  if (!listing.ok()) return listing.status();
+  std::vector<int> indices;
+  for (const std::string& name : listing.value()) {
+    const int index = ParseIndexedName(name, "snap-", ".ckpt");
+    if (index >= 0) indices.push_back(index);
+  }
+  if (indices.empty()) {
+    return Status::NotFound("no checkpoint snapshots in '" + dir + "'");
+  }
+  std::sort(indices.rbegin(), indices.rend());
+
+  RecoveredCheckpoint out;
+  bool loaded = false;
+  std::string last_error;
+  for (const int index : indices) {
+    const std::string path = dir + "/" + SnapshotFileName(index);
+    StatusOr<std::string> bytes = ReadFileToString(path);
+    if (!bytes.ok()) {
+      ++out.skipped_snapshots;
+      last_error = path + ": " + bytes.status().ToString();
+      continue;
+    }
+    StatusOr<CheckpointSnapshot> snap = DecodeSnapshot(bytes.value());
+    if (!snap.ok()) {
+      ++out.skipped_snapshots;
+      last_error = path + ": " + snap.status().ToString();
+      continue;
+    }
+    out.snapshot = std::move(snap).value();
+    loaded = true;
+    break;
+  }
+  if (!loaded) {
+    return Status::FailedPrecondition("no valid checkpoint snapshot in '" +
+                                      dir + "' (last failure: " + last_error +
+                                      ")");
+  }
+  out.skipped_note = last_error;
+
+  const std::string journal_path =
+      dir + "/" + JournalFileName(out.snapshot.epoch_index);
+  StatusOr<JournalReadResult> journal = ReadJournal(journal_path);
+  if (!journal.ok()) {
+    // A snapshot written moments before the kill may not have a journal
+    // yet; recovery starts one. Any other read failure is fatal.
+    if (journal.status().code() != StatusCode::kNotFound) {
+      return journal.status();
+    }
+  } else {
+    out.journal_payloads = std::move(journal.value().payloads);
+    out.journal_valid_bytes = journal.value().valid_bytes;
+    out.journal_torn = journal.value().torn_tail;
+    out.journal_tail_error = std::move(journal.value().tail_error);
+  }
+  return out;
+}
+
+uint64_t ServingConfigFingerprint(const ServerConfig& config,
+                                  const std::vector<TenantConfig>& tenants) {
+  BinWriter w;
+  w.F64(config.machine.freq_ghz);
+  w.U32(config.machine.cores_per_socket);
+  w.F64(config.machine.SocketSeqBytesPerCycle());
+  w.F64(config.machine.SocketRandBytesPerCycle());
+  w.I32(config.cores);
+  w.U64(config.default_max_queries);
+  w.U64(config.sample_interval_instructions);
+  w.F64(config.epoch_ms);
+  w.U64(config.trace_sample_n);
+  w.U32(static_cast<uint32_t>(config.slos.size()));
+  for (const obs::SloSpec& slo : config.slos) w.Str(slo.ToString());
+  w.Str(ShedPolicyName(config.admission.policy));
+  w.F64(config.admission.default_deadline_ms);
+  w.F64(config.admission.safety_factor);
+  w.U64(config.admission.tenant_shed_quota);
+  w.I32(config.admission.protect_priority);
+  w.I32(config.retry.max_retries);
+  w.F64(config.retry.backoff_base_ms);
+  w.F64(config.retry.backoff_multiplier);
+  w.F64(config.retry.backoff_jitter);
+  w.I32(config.brownout.queue_depth);
+  w.U32(static_cast<uint32_t>(config.brownout.downgrade.size()));
+  for (const auto& [from, to] : config.brownout.downgrade) {
+    w.Str(from);
+    w.Str(to);
+  }
+  w.Str(config.faults.ToString());
+  w.I32(config.checkpoint.every_epochs);
+  w.U32(static_cast<uint32_t>(tenants.size()));
+  for (const TenantConfig& t : tenants) {
+    w.Str(t.name);
+    w.Str(t.engine);
+    w.U32(static_cast<uint32_t>(t.catalog.size()));
+    for (const engine::QuerySpec& spec : t.catalog) {
+      w.Str(spec.Label());
+      w.F64(spec.deadline_ms);
+      w.F64(spec.cost_hint_ms);
+    }
+    w.F64(t.zipf_s);
+    w.F64(t.arrival_qps);
+    w.I32(t.concurrency);
+    w.F64(t.think_ms);
+    w.U64(t.max_queries);
+    w.U64(t.seed);
+    w.I32(t.priority);
+  }
+  const std::string& data = w.str();
+  return (static_cast<uint64_t>(Crc32c(data)) << 32) |
+         Crc32c(data, 0x9E3779B9u);
+}
+
+StatusOr<CheckpointDirSummary> InspectCheckpointDir(const std::string& dir) {
+  StatusOr<std::vector<std::string>> listing = ListDirectory(dir);
+  if (!listing.ok()) return listing.status();
+  CheckpointDirSummary out;
+  for (const std::string& name : listing.value()) {
+    const std::string path = dir + "/" + name;
+    const int snap_index = ParseIndexedName(name, "snap-", ".ckpt");
+    if (snap_index >= 0) {
+      SnapshotFileInfo info;
+      info.index = snap_index;
+      StatusOr<std::string> bytes = ReadFileToString(path);
+      if (!bytes.ok()) {
+        info.error = bytes.status().ToString();
+      } else {
+        info.bytes = bytes.value().size();
+        StatusOr<CheckpointSnapshot> snap = DecodeSnapshot(bytes.value());
+        if (!snap.ok()) {
+          info.error = snap.status().ToString();
+        } else {
+          info.valid = true;
+          const LoopState& st = snap.value().state;
+          const double freq = snap.value().freq_ghz;
+          info.vtime_ms = freq > 0 ? st.vtime / (freq * 1e6) : 0;
+          for (const TenantLoopState& t : st.tenants) {
+            info.submitted += t.submitted;
+          }
+          info.epochs_closed = st.epoch_index;
+          if (snap_index > out.resume_index) out.resume_index = snap_index;
+        }
+      }
+      out.snapshots.push_back(std::move(info));
+      continue;
+    }
+    const int wal_index = ParseIndexedName(name, "journal-", ".wal");
+    if (wal_index >= 0) {
+      JournalFileInfo info;
+      info.index = wal_index;
+      StatusOr<uint64_t> size = FileSize(path);
+      info.bytes = size.ok() ? size.value() : 0;
+      StatusOr<JournalReadResult> journal = ReadJournal(path);
+      if (journal.ok()) {
+        info.valid_bytes = journal.value().valid_bytes;
+        info.records = journal.value().payloads.size();
+        info.torn_tail = journal.value().torn_tail;
+        info.tail_error = std::move(journal.value().tail_error);
+      } else {
+        info.torn_tail = true;
+        info.tail_error = journal.status().ToString();
+      }
+      out.journals.push_back(std::move(info));
+    }
+  }
+  if (out.snapshots.empty() && out.journals.empty()) {
+    return Status::NotFound("no checkpoint files in '" + dir + "'");
+  }
+  return out;
+}
+
+}  // namespace uolap::server

@@ -1,5 +1,6 @@
 #include "server/fault.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -53,6 +54,11 @@ StatusOr<FaultPlan> ParseFaultPlan(std::string_view text) {
     std::string value(item.substr(eq + 1));
     char* end = nullptr;
     if (key == "seed") {
+      // strtoull silently wraps "-1" to 2^64-1; demand plain digits.
+      if (!value.empty() && (value[0] == '-' || value[0] == '+')) {
+        return Status::InvalidArgument("fault plan seed must be unsigned: " +
+                                       std::string(item));
+      }
       plan.seed = std::strtoull(value.c_str(), &end, 10);
     } else {
       const double v = std::strtod(value.c_str(), &end);
@@ -74,15 +80,18 @@ StatusOr<FaultPlan> ParseFaultPlan(std::string_view text) {
                                      std::string(item));
     }
   }
-  if (plan.fail_prob < 0 || plan.fail_prob > 1 || plan.slow_prob < 0 ||
-      plan.slow_prob > 1) {
+  // The negated comparisons also reject NaN, which would sail through
+  // `prob < 0 || prob > 1` and poison every fault draw.
+  if (!(plan.fail_prob >= 0 && plan.fail_prob <= 1) ||
+      !(plan.slow_prob >= 0 && plan.slow_prob <= 1)) {
     return Status::InvalidArgument(
         "fault plan probabilities must be in [0,1]");
   }
-  if (plan.slow_factor < 1) {
-    return Status::InvalidArgument("fault plan slowdown x must be >= 1");
+  if (!std::isfinite(plan.slow_factor) || plan.slow_factor < 1) {
+    return Status::InvalidArgument(
+        "fault plan slowdown x must be finite and >= 1");
   }
-  if (!(plan.epoch_ms > 0)) {
+  if (!std::isfinite(plan.epoch_ms) || !(plan.epoch_ms > 0)) {
     return Status::InvalidArgument("fault plan epoch must be > 0 ms");
   }
   if ((plan.fail_prob > 0 || plan.slow_prob > 0) && plan.seed == 0) {

@@ -1,0 +1,140 @@
+#include "server/journal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/file_io.h"
+
+namespace uolap::server {
+namespace {
+
+std::string ErrnoText() { return std::strerror(errno); }
+
+}  // namespace
+
+JournalWriter::~JournalWriter() {
+  if (file_ != nullptr && std::fclose(file_) != 0) {
+    // Every append already flushed; a close failure here cannot lose
+    // acknowledged frames and has no caller to report to.
+  }
+}
+
+Status JournalWriter::Create(const std::string& path) {
+  Status closed = Close();
+  if (!closed.ok()) return closed;
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot create journal '" + path +
+                            "': " + ErrnoText());
+  }
+  path_ = path;
+  return Status::OK();
+}
+
+Status JournalWriter::OpenForAppend(const std::string& path,
+                                    uint64_t valid_bytes) {
+  Status closed = Close();
+  if (!closed.ok()) return closed;
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open journal '" + path +
+                            "': " + ErrnoText());
+  }
+  // Physically discard the torn tail so the next append starts a clean
+  // frame; a crash before any append leaves the same valid prefix.
+  bool ok = ftruncate(fileno(f), static_cast<off_t>(valid_bytes)) == 0;
+  ok = ok && std::fseek(f, 0, SEEK_END) == 0;
+  if (!ok) {
+    const std::string err = ErrnoText();
+    if (std::fclose(f) != 0) {
+      // The truncate/seek error below is the actionable one.
+    }
+    return Status::Internal("cannot truncate journal '" + path + "' to " +
+                            std::to_string(valid_bytes) + " bytes: " + err);
+  }
+  file_ = f;
+  path_ = path;
+  return Status::OK();
+}
+
+Status JournalWriter::AppendRecord(std::string_view payload) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("journal is not open");
+  }
+  if (payload.size() > kMaxJournalFrameBytes) {
+    return Status::InvalidArgument(
+        "journal record of " + std::to_string(payload.size()) +
+        " bytes exceeds the frame limit");
+  }
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = Crc32c(payload);
+  bool ok = std::fwrite(&length, sizeof(length), 1, file_) == 1;
+  ok = ok && std::fwrite(&crc, sizeof(crc), 1, file_) == 1;
+  ok = ok && (payload.empty() ||
+              std::fwrite(payload.data(), 1, payload.size(), file_) ==
+                  payload.size());
+  ok = ok && std::fflush(file_) == 0;
+  if (!ok) {
+    return Status::Internal("journal append to '" + path_ +
+                            "' failed: " + ErrnoText());
+  }
+  return Status::OK();
+}
+
+Status JournalWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  std::FILE* f = file_;
+  file_ = nullptr;
+  if (std::fclose(f) != 0) {
+    return Status::Internal("cannot close journal '" + path_ +
+                            "': " + ErrnoText());
+  }
+  return Status::OK();
+}
+
+StatusOr<JournalReadResult> ReadJournal(const std::string& path) {
+  StatusOr<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  const std::string& data = bytes.value();
+
+  JournalReadResult out;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    if (pos + 8 > data.size()) {
+      out.tail_error = "truncated frame header (" +
+                       std::to_string(data.size() - pos) + " trailing bytes)";
+      break;
+    }
+    uint32_t length = 0;
+    uint32_t crc = 0;
+    std::memcpy(&length, data.data() + pos, sizeof(length));
+    std::memcpy(&crc, data.data() + pos + 4, sizeof(crc));
+    if (length > kMaxJournalFrameBytes) {
+      out.tail_error = "frame length " + std::to_string(length) +
+                       " exceeds the frame limit";
+      break;
+    }
+    if (pos + 8 + length > data.size()) {
+      out.tail_error = "truncated frame payload (" + std::to_string(length) +
+                       " bytes declared, " +
+                       std::to_string(data.size() - pos - 8) + " present)";
+      break;
+    }
+    const std::string_view payload(data.data() + pos + 8, length);
+    if (Crc32c(payload) != crc) {
+      out.tail_error = "frame CRC mismatch at byte " + std::to_string(pos);
+      break;
+    }
+    out.payloads.emplace_back(payload);
+    pos += 8 + length;
+    out.valid_bytes = pos;
+  }
+  out.torn_tail = pos < data.size();
+  return out;
+}
+
+}  // namespace uolap::server

@@ -1,0 +1,74 @@
+#ifndef UOLAP_SERVER_JOURNAL_H_
+#define UOLAP_SERVER_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uolap::server {
+
+/// Append-only event journal of length-prefixed, CRC32C-framed records
+/// (DESIGN.md §10). On-disk frame layout, little-endian:
+///
+///   u32 payload_length | u32 crc32c(payload) | payload bytes
+///
+/// Every append is fflush()ed so the on-disk prefix at any kill point is
+/// a valid journal followed by at most one torn frame. Readers tolerate
+/// exactly that: a truncated or corrupt *final* frame is detected and
+/// discarded — loudly, never silently replayed.
+
+/// Sanity bound on a single frame; serving events are ~25 bytes, so
+/// anything near this is corruption, not data.
+inline constexpr uint32_t kMaxJournalFrameBytes = 1u << 20;
+
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  /// Closes the file if still open; append-time errors were already
+  /// surfaced by AppendRecord (every frame is flushed).
+  ~JournalWriter();
+
+  /// Creates (truncating) a fresh journal at `path`.
+  Status Create(const std::string& path);
+
+  /// Opens an existing journal for appending after recovery: the file is
+  /// physically truncated to `valid_bytes` (discarding a torn tail) and
+  /// positioned at its end. Creates the file when it does not exist.
+  Status OpenForAppend(const std::string& path, uint64_t valid_bytes);
+
+  /// Appends one framed record and flushes it to the OS.
+  Status AppendRecord(std::string_view payload);
+
+  /// Closes the journal. OK when not open.
+  Status Close();
+
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// The readable prefix of a journal file.
+struct JournalReadResult {
+  std::vector<std::string> payloads;  ///< frames with matching CRCs
+  uint64_t valid_bytes = 0;           ///< byte length of that prefix
+  bool torn_tail = false;             ///< trailing bytes were discarded
+  std::string tail_error;             ///< why ("truncated frame payload", ...)
+};
+
+/// Reads every valid frame of `path`. A truncated or CRC-corrupt tail is
+/// reported via `torn_tail`/`tail_error`, not an error Status: recovery
+/// is expected to discard it (and say so). NotFound when the file does
+/// not exist.
+StatusOr<JournalReadResult> ReadJournal(const std::string& path);
+
+}  // namespace uolap::server
+
+#endif  // UOLAP_SERVER_JOURNAL_H_

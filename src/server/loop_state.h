@@ -1,0 +1,121 @@
+#ifndef UOLAP_SERVER_LOOP_STATE_H_
+#define UOLAP_SERVER_LOOP_STATE_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/record.h"
+
+namespace uolap::server {
+
+/// The complete mutable state of the serving fluid loop (Server::TryRun),
+/// made explicit so checkpointing can capture it at an epoch boundary and
+/// recovery can restore it bit for bit. Every field the loop mutates
+/// lives here; everything else the loop touches is either configuration
+/// (immutable for the run) or derivable per iteration (the running-set
+/// pointer vector, the fixed-point scratch). DESIGN.md §10 documents the
+/// capture-vs-derive split.
+
+/// A query in flight. `remaining` is the fraction of the class's work
+/// outstanding; under bandwidth scale s it drains at rate 1/g(s) per
+/// cycle, where g(s) is the class's Top-Down total at that scale.
+struct QueryInstance {
+  int tenant = -1;  ///< -1 marks a free core slot
+  uint64_t cls = 0;
+  int client = -1;  ///< closed-loop client index (-1 when open-loop)
+  uint64_t seq = 0;      ///< global admission order (span sampling key)
+  bool sampled = false;  ///< head-sampled for span tracing
+  double arrival = 0;
+  double start = 0;
+  double remaining = 1.0;
+  double scale_cycles = 0;  ///< integral of s over the run time
+  double run_cycles = 0;
+  // --- robustness (DESIGN.md §9) ---
+  int attempt = 1;  ///< 1-based execution attempt
+  /// Absolute deadline in cycles (infinity = none).
+  double deadline = std::numeric_limits<double>::infinity();
+  double est_ms = 0;  ///< load-model estimate stamped at enqueue
+  /// Once the deadline passes mid-run this holds the work fraction left
+  /// at the next operator-region boundary (cancellation lands there);
+  /// -1 while no cancellation is pending.
+  double cancel_remaining = -1;
+  double retry_ready = 0;  ///< absolute cycles a retry backoff expires at
+  bool will_fail = false;  ///< fault plan fails this attempt at its end
+  double slow = 1.0;       ///< fault-plan service-time multiplier
+};
+
+/// Per-tenant loop state: the seeded RNG stream, submission accounting,
+/// the arrival process heads, and the completed-latency series.
+struct TenantLoopState {
+  Rng rng{0};
+  uint64_t cap = 0;
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t shed = 0;
+  uint64_t timed_out = 0;
+  uint64_t failed = 0;
+  uint64_t retries = 0;
+  /// Cycles; open-loop stream head (infinity once capped/closed-loop).
+  double next_open_arrival = std::numeric_limits<double>::infinity();
+  std::vector<double> client_wake;  ///< cycles; closed-loop clients
+  std::vector<double> zipf_cdf;
+  std::vector<double> latencies_ms;
+  std::vector<uint64_t> histogram;
+};
+
+/// Per-class contention accounting.
+struct ClassLoopStats {
+  uint64_t executions = 0;
+  double service_cycles = 0;  ///< observed (contended) service time
+  double scale_cycles = 0;
+  double run_cycles = 0;
+};
+
+/// One SLO epoch window being accumulated (latencies completed inside it
+/// plus occupancy extremes).
+struct EpochAccState {
+  std::vector<double> lat;
+  std::map<std::string, std::vector<double>> tenant_lat;
+  std::map<std::string, std::vector<double>> class_lat;
+  uint32_t max_running = 0;
+  uint32_t max_queued = 0;
+};
+
+/// Everything Server::TryRun mutates between events.
+struct LoopState {
+  double vtime = 0;  ///< cycles
+  std::vector<TenantLoopState> tenants;
+  std::vector<ClassLoopStats> classes;
+  std::vector<QueryInstance> slots;        ///< one per pool core
+  std::vector<QueryInstance> queue;        ///< FIFO; queue_head pops
+  std::vector<QueryInstance> retry_queue;  ///< drained in (ready, seq) order
+  uint64_t queue_head = 0;
+  double queued_est_ms = 0;  ///< estimated service time sitting in queue
+  uint64_t faults_injected = 0;
+  uint64_t slowdowns_injected = 0;
+  uint64_t brownout_downgrades = 0;
+  double total_bytes = 0;
+  double peak_gbps = 0;
+  bool saturated = false;
+  std::vector<obs::QueueSample> timeline;
+  std::map<std::string, std::vector<double>> engine_latencies;
+  uint64_t seq_counter = 0;
+  std::vector<obs::QuerySpan> spans;
+  std::vector<double> all_latencies;
+  uint32_t cur_running = 0;
+  uint32_t cur_queued = 0;
+  uint32_t peak_queued = 0;
+  EpochAccState acc;
+  int epoch_index = 0;
+  double epoch_start = 0;  ///< cycles
+  std::vector<obs::EpochRecord> epochs;
+};
+
+}  // namespace uolap::server
+
+#endif  // UOLAP_SERVER_LOOP_STATE_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <map>
 #include <string>
@@ -10,6 +12,7 @@
 
 #include "audit/invariants.h"
 #include "audit/validation.h"
+#include "common/crc32c.h"
 #include "common/macros.h"
 #include "common/rng.h"
 #include "core/machine.h"
@@ -19,6 +22,9 @@
 #include "obs/metrics.h"
 #include "obs/region_profiler.h"
 #include "obs/slo.h"
+#include "server/checkpoint.h"
+#include "server/journal.h"
+#include "server/loop_state.h"
 
 namespace uolap::server {
 namespace {
@@ -227,7 +233,9 @@ Server::QueryClass Server::SimulateClass(const std::string& engine_key,
   return cls;
 }
 
-ServeResult Server::Run() {
+ServeResult Server::Run() { return TryRun().value(); }
+
+StatusOr<ServeResult> Server::TryRun() {
   UOLAP_CHECK_MSG(!tenants_.empty(), "no tenants added");
   EnsureClasses();
 
@@ -236,58 +244,24 @@ ServeResult Server::Run() {
   const core::TopDownModel model(cfg);
   const int cores = config_.cores;
 
-  // A query in flight. `remaining` is the fraction of the class's work
-  // outstanding; under bandwidth scale s it drains at rate 1/g(s) per
-  // cycle, where g(s) is the class's Top-Down total at that scale.
-  struct Instance {
-    int tenant = -1;  ///< -1 marks a free core slot
-    size_t cls = 0;
-    int client = -1;  ///< closed-loop client index (-1 when open-loop)
-    uint64_t seq = 0;      ///< global admission order (span sampling key)
-    bool sampled = false;  ///< head-sampled for span tracing
-    double arrival = 0;
-    double start = 0;
-    double remaining = 1.0;
-    double scale_cycles = 0;  ///< integral of s over the run time
-    double run_cycles = 0;
-    // --- robustness (DESIGN.md §9) ---
-    int attempt = 1;         ///< 1-based execution attempt
-    double deadline = kInf;  ///< absolute deadline in cycles (kInf = none)
-    double est_ms = 0;       ///< load-model estimate stamped at enqueue
-    /// Once the deadline passes mid-run this holds the work fraction left
-    /// at the next operator-region boundary (cancellation lands there);
-    /// -1 while no cancellation is pending.
-    double cancel_remaining = -1;
-    double retry_ready = 0;  ///< absolute cycles a retry backoff expires at
-    bool will_fail = false;  ///< fault plan fails this attempt at its end
-    double slow = 1.0;       ///< fault-plan service-time multiplier
-  };
+  const CheckpointConfig& ck = config_.checkpoint;
+  if (ck.enabled()) {
+    UOLAP_CHECK_MSG(config_.epoch_ms > 0,
+                    "checkpointing requires epoch windows (epoch_ms > 0)");
+    UOLAP_CHECK_MSG(ck.every_epochs >= 1, "checkpoint-every must be >= 1");
+  }
 
-  struct TenantState {
-    Rng rng{0};
-    uint64_t cap = 0;
-    uint64_t submitted = 0;
-    uint64_t completed = 0;
-    uint64_t rejected = 0;
-    uint64_t shed = 0;
-    uint64_t timed_out = 0;
-    uint64_t failed = 0;
-    uint64_t retries = 0;
-    double next_open_arrival = kInf;   ///< cycles; open-loop stream head
-    std::vector<double> client_wake;   ///< cycles; closed-loop clients
-    std::vector<double> zipf_cdf;
-    std::vector<double> latencies_ms;
-    std::vector<uint64_t> histogram;
-  };
+  // The loop's complete mutable state lives in one serializable struct
+  // (server/loop_state.h) so epoch-boundary snapshots can capture it and
+  // recovery can restore it bit for bit. The aliases and references below
+  // keep the loop body reading as it did when the state was local.
+  using Instance = QueryInstance;
+  using TenantState = TenantLoopState;
+  using ClassStats = ClassLoopStats;
+  LoopState st;
 
-  struct ClassStats {
-    uint64_t executions = 0;
-    double service_cycles = 0;  ///< observed (contended) service time
-    double scale_cycles = 0;
-    double run_cycles = 0;
-  };
-
-  std::vector<TenantState> tstates(tenants_.size());
+  std::vector<TenantState>& tstates = st.tenants;
+  tstates.resize(tenants_.size());
   for (size_t t = 0; t < tenants_.size(); ++t) {
     const TenantConfig& tc = tenants_[t];
     TenantState& ts = tstates[t];
@@ -312,7 +286,8 @@ ServeResult Server::Run() {
       }
     }
   }
-  std::vector<ClassStats> cstats(classes_.size());
+  std::vector<ClassStats>& cstats = st.classes;
+  cstats.resize(classes_.size());
 
   // Returns the tenant's drawn *catalog index* (not class index): the
   // catalog spec carries the per-submission deadline, the class only the
@@ -337,11 +312,12 @@ ServeResult Server::Run() {
   UOLAP_CHECK_MSG(config_.retry.max_retries >= 0 &&
                       config_.retry.max_retries < 1024,
                   "retry budget outside the attempt-key space");
-  std::vector<Instance> retry_queue;  // drained in (retry_ready, seq) order
-  double queued_est_ms = 0;  ///< estimated service time sitting in queue
-  uint64_t faults_injected = 0;
-  uint64_t slowdowns_injected = 0;
-  uint64_t brownout_downgrades = 0;
+  // drained in (retry_ready, seq) order
+  std::vector<Instance>& retry_queue = st.retry_queue;
+  double& queued_est_ms = st.queued_est_ms;
+  uint64_t& faults_injected = st.faults_injected;
+  uint64_t& slowdowns_injected = st.slowdowns_injected;
+  uint64_t& brownout_downgrades = st.brownout_downgrades;
 
   auto protected_tenant = [&](size_t t) {
     return tenants_[t].priority >= adm.protect_priority;
@@ -355,27 +331,111 @@ ServeResult Server::Run() {
   const bool shed_on = adm.policy == ShedPolicy::kShed ||
                        adm.policy == ShedPolicy::kBoth;
 
-  std::vector<Instance> slots(static_cast<size_t>(cores));
-  std::vector<Instance> queue;  // FIFO; head_ pops from the front
-  size_t queue_head = 0;
+  std::vector<Instance>& slots = st.slots;
+  slots.assign(static_cast<size_t>(cores), Instance{});
+  std::vector<Instance>& queue = st.queue;  // FIFO; head pops from the front
+  uint64_t& queue_head = st.queue_head;
 
-  double vtime = 0;
-  double total_bytes = 0;
-  double peak_gbps = 0;
-  bool saturated = false;
-  std::vector<obs::QueueSample> timeline;
-  std::map<std::string, std::vector<double>> engine_latencies;
+  double& vtime = st.vtime;
+  double& total_bytes = st.total_bytes;
+  double& peak_gbps = st.peak_gbps;
+  bool& saturated = st.saturated;
+  std::vector<obs::QueueSample>& timeline = st.timeline;
+  std::map<std::string, std::vector<double>>& engine_latencies =
+      st.engine_latencies;
 
   // --- serving telemetry state (DESIGN.md §8) -------------------------
   obs::MetricsRegistry& metrics =
       config_.metrics != nullptr ? *config_.metrics
                                  : obs::MetricsRegistry::Global();
-  uint64_t seq_counter = 0;
-  std::vector<obs::QuerySpan> spans;
-  std::vector<double> all_latencies;
-  uint32_t cur_running = 0;
-  uint32_t cur_queued = 0;
-  uint32_t peak_queued = 0;
+  uint64_t& seq_counter = st.seq_counter;
+  std::vector<obs::QuerySpan>& spans = st.spans;
+  std::vector<double>& all_latencies = st.all_latencies;
+  uint32_t& cur_running = st.cur_running;
+  uint32_t& cur_queued = st.cur_queued;
+  uint32_t& peak_queued = st.peak_queued;
+
+  // --- crash consistency (DESIGN.md §10) ------------------------------
+  uint64_t config_fingerprint = 0;
+  uint32_t class_digest = 0;
+  if (ck.enabled()) {
+    config_fingerprint = ServingConfigFingerprint(config_, tenants_);
+    for (const QueryClass& qc : classes_) {
+      class_digest = Crc32c(qc.label.data(), qc.label.size(), class_digest);
+      const double vals[3] = {static_cast<double>(qc.solo.total_cycles),
+                              qc.bytes_seq, qc.bytes_rand};
+      class_digest = Crc32c(vals, sizeof(vals), class_digest);
+    }
+  }
+  JournalWriter journal;
+  std::vector<std::string> expected_events;  // resume: journal to verify
+  size_t expected_pos = 0;
+  bool snapshot_pending = false;
+  Status ck_error;  // deferred journal error; surfaced at the loop top
+
+  // Emits one per-query event. Fresh runs append it to the live journal;
+  // a resumed run first *verifies* re-derived events against the crashed
+  // run's journal (replay-as-verification: the runtime is deterministic,
+  // so any divergence means the checkpoint belongs to a different
+  // configuration) and only then starts appending new ones.
+  auto journal_event = [&](JournalEventType type, const Instance& inst) {
+    if (!ck.enabled()) return;
+    // Counted before the verify/append split so a resumed run's counter
+    // matches the uninterrupted one.
+    metrics.Count(obs::metric_names::kServerJournalRecordsTotal);
+    const std::string payload = EncodeJournalEvent(
+        JournalEvent{type, inst.seq, inst.tenant,
+                     static_cast<uint32_t>(inst.attempt),
+                     CyclesToMs(vtime, freq)});
+    if (expected_pos < expected_events.size()) {
+      if (payload != expected_events[expected_pos] && ck_error.ok()) {
+        std::string detail;
+        StatusOr<JournalEvent> want =
+            DecodeJournalEvent(expected_events[expected_pos]);
+        if (want.ok()) {
+          detail = " (journal has " +
+                   std::string(JournalEventTypeName(want.value().type)) +
+                   " seq=" + std::to_string(want.value().seq) +
+                   ", re-derived " + std::string(JournalEventTypeName(type)) +
+                   " seq=" + std::to_string(inst.seq) + ")";
+        }
+        ck_error = Status::Internal("journal replay divergence at record " +
+                                    std::to_string(expected_pos) + detail);
+      }
+      ++expected_pos;
+      return;
+    }
+    if (!journal.is_open()) return;  // events before the first snapshot
+    const Status appended = journal.AppendRecord(payload);
+    if (!appended.ok() && ck_error.ok()) ck_error = appended;
+  };
+
+  // Writes the epoch-boundary snapshot and rotates the journal: events
+  // after this snapshot land in its paired journal file.
+  auto write_snapshot = [&]() -> Status {
+    // Counted before the registry capture so the snapshot's own metrics
+    // include this write — a resumed run's final counter then matches the
+    // uninterrupted one exactly.
+    metrics.Count(obs::metric_names::kServerCheckpointsTotal);
+    CheckpointSnapshot snap;
+    snap.config_fingerprint = config_fingerprint;
+    snap.class_digest = class_digest;
+    snap.epoch_index = st.epoch_index;
+    snap.freq_ghz = freq;
+    snap.state = st;
+    // The queue's popped prefix is dead weight; persist the live suffix.
+    snap.state.queue.erase(
+        snap.state.queue.begin(),
+        snap.state.queue.begin() + static_cast<long>(st.queue_head));
+    snap.state.queue_head = 0;
+    snap.admission_models = ctl.models();
+    snap.metrics = metrics.Snapshot();
+    Status written = WriteSnapshotFile(ck.dir, snap);
+    if (!written.ok()) return written;
+    Status rotated = journal.Close();
+    if (!rotated.ok()) return rotated;
+    return journal.Create(ck.dir + "/" + JournalFileName(st.epoch_index));
+  };
 
   // SLO epoch windows: fixed-width virtual-time buckets accumulating the
   // latencies completed inside them plus occupancy extremes. Epochs are
@@ -384,17 +444,10 @@ ServeResult Server::Run() {
   // window — a deterministic tie rule.
   const double epoch_cycles =
       config_.epoch_ms > 0 ? MsToCycles(config_.epoch_ms, freq) : 0;
-  struct EpochAcc {
-    std::vector<double> lat;
-    std::map<std::string, std::vector<double>> tenant_lat;
-    std::map<std::string, std::vector<double>> class_lat;
-    uint32_t max_running = 0;
-    uint32_t max_queued = 0;
-  };
-  EpochAcc acc;
-  int epoch_index = 0;
-  double epoch_start = 0;
-  std::vector<obs::EpochRecord> epochs;
+  EpochAccState& acc = st.acc;
+  int& epoch_index = st.epoch_index;
+  double& epoch_start = st.epoch_start;
+  std::vector<obs::EpochRecord>& epochs = st.epochs;
 
   auto window_stats = [&](std::map<std::string, std::vector<double>>& lat) {
     std::vector<obs::WindowStat> out;
@@ -426,13 +479,18 @@ ServeResult Server::Run() {
     e.tenants = window_stats(acc.tenant_lat);
     e.classes = window_stats(acc.class_lat);
     epochs.push_back(std::move(e));
-    acc = EpochAcc{};
+    acc = EpochAccState{};
     // Occupancy persists across the boundary; seed the new window's
     // extremes with the level it inherits.
     acc.max_running = cur_running;
     acc.max_queued = cur_queued;
     epoch_start = end_cycles;
     ++epoch_index;
+    if (ck.enabled() && epoch_index % ck.every_epochs == 0) {
+      // Snapshot at the next top-of-loop, once the boundary's completions
+      // and arrivals are settled.
+      snapshot_pending = true;
+    }
   };
 
   auto roll_epochs = [&](double now) {
@@ -490,6 +548,22 @@ ServeResult Server::Run() {
       case engine::QueryOutcome::kOk:
         break;
     }
+    JournalEventType ev = JournalEventType::kFail;
+    switch (outcome) {
+      case engine::QueryOutcome::kRejected:
+        ev = JournalEventType::kReject;
+        break;
+      case engine::QueryOutcome::kShed:
+        ev = JournalEventType::kShed;
+        break;
+      case engine::QueryOutcome::kTimedOut:
+        ev = JournalEventType::kTimeout;
+        break;
+      case engine::QueryOutcome::kFailed:
+      case engine::QueryOutcome::kOk:  // terminal() is never called with kOk
+        break;
+    }
+    journal_event(ev, inst);
     if (inst.sampled) {
       obs::QuerySpan span;
       span.seq = inst.seq;
@@ -544,6 +618,7 @@ ServeResult Server::Run() {
     inst.est_ms = ctl.MeanServiceMs(inst.cls);
     queued_est_ms += inst.est_ms;
     queue.push_back(inst);
+    journal_event(JournalEventType::kAdmit, inst);
     return true;
   };
 
@@ -624,10 +699,80 @@ ServeResult Server::Run() {
   uint64_t total_submitted = 0;
   uint64_t total_completed = 0;
 
-  process_arrivals();  // admit anything due at virtual time zero
-  sample_queue();
+  if (ck.enabled() && ck.resume) {
+    // Recovery: restore the newest valid snapshot and re-enter the loop
+    // at the exact top-of-loop point the snapshot was written at. The
+    // crashed run's journal becomes the verification stream.
+    StatusOr<RecoveredCheckpoint> recovered = LoadLatestCheckpoint(ck.dir);
+    if (!recovered.ok()) return recovered.status();
+    RecoveredCheckpoint& rec = recovered.value();
+    if (rec.snapshot.config_fingerprint != config_fingerprint) {
+      return Status::FailedPrecondition(
+          "checkpoint in '" + ck.dir +
+          "' was written under a different serving configuration");
+    }
+    if (rec.snapshot.class_digest != class_digest) {
+      return Status::FailedPrecondition(
+          "checkpoint in '" + ck.dir +
+          "' was written against different class profiles");
+    }
+    if (rec.snapshot.state.tenants.size() != tenants_.size() ||
+        rec.snapshot.state.classes.size() != classes_.size() ||
+        rec.snapshot.state.slots.size() != static_cast<size_t>(cores)) {
+      return Status::FailedPrecondition(
+          "checkpoint in '" + ck.dir +
+          "' does not match the tenant/class/core-pool shape");
+    }
+    if (rec.skipped_snapshots > 0) {
+      std::fprintf(stderr,
+                   "# recovery: skipped %d invalid snapshot(s) in %s "
+                   "(last: %s)\n",
+                   rec.skipped_snapshots, ck.dir.c_str(),
+                   rec.skipped_note.c_str());
+    }
+    if (rec.journal_torn) {
+      std::fprintf(stderr,
+                   "# recovery: discarding torn journal tail after byte "
+                   "%llu: %s\n",
+                   static_cast<unsigned long long>(rec.journal_valid_bytes),
+                   rec.journal_tail_error.c_str());
+    }
+    st = rec.snapshot.state;
+    ctl.RestoreModels(std::move(rec.snapshot.admission_models));
+    metrics.Restore(rec.snapshot.metrics);
+    expected_events = std::move(rec.journal_payloads);
+    Status opened = journal.OpenForAppend(
+        ck.dir + "/" + JournalFileName(rec.snapshot.epoch_index),
+        rec.journal_valid_bytes);
+    if (!opened.ok()) return opened;
+    std::fprintf(stderr,
+                 "# resume: snapshot %d at virtual %.3f ms, %zu journal "
+                 "record(s) to verify\n",
+                 rec.snapshot.epoch_index, CyclesToMs(vtime, freq),
+                 expected_events.size());
+  } else {
+    process_arrivals();  // admit anything due at virtual time zero
+    sample_queue();
+    // Snapshot 0 is written at loop entry, after the time-zero arrivals,
+    // so every snapshot (including the first) captures a top-of-loop
+    // state and resume re-enters uniformly.
+    if (ck.enabled()) snapshot_pending = true;
+  }
 
   while (true) {
+    if (!ck_error.ok()) return ck_error;
+    if (snapshot_pending) {
+      snapshot_pending = false;
+      Status snapped = write_snapshot();
+      if (!snapped.ok()) return snapped;
+    }
+    if (ck.crash_at_ms > 0 && CyclesToMs(vtime, freq) >= ck.crash_at_ms) {
+      // Deterministic self-kill for crash testing: no destructors, no
+      // atexit handlers — the closest in-process stand-in for SIGKILL.
+      std::fprintf(stderr, "# crash-at: exiting at virtual %.3f ms\n",
+                   CyclesToMs(vtime, freq));
+      std::_Exit(137);
+    }
     // Promote due retries to the queue tail, in (ready, seq) order —
     // retried queries requeue like fresh work, deterministically.
     if (!retry_queue.empty()) {
@@ -832,6 +977,7 @@ ServeResult Server::Run() {
           again.run_cycles = 0;
           again.retry_ready = vtime + MsToCycles(backoff_ms, freq);
           retry_queue.push_back(again);
+          journal_event(JournalEventType::kRetry, again);
         } else {
           terminal(slot, engine::QueryOutcome::kFailed,
                    static_cast<int>(slot_index));
@@ -870,6 +1016,7 @@ ServeResult Server::Run() {
                       latency_ms);
       metrics.Observe(obs::metric_names::kServerQueueWaitMs, "tenant",
                       tc.name, CyclesToMs(slot.start - slot.arrival, freq));
+      journal_event(JournalEventType::kComplete, slot);
       if (slot.sampled) {
         obs::QuerySpan span;
         span.seq = slot.seq;
@@ -890,6 +1037,18 @@ ServeResult Server::Run() {
     }
     process_arrivals();
     sample_queue();
+  }
+
+  if (!ck_error.ok()) return ck_error;
+  if (ck.enabled()) {
+    if (expected_pos < expected_events.size()) {
+      return Status::Internal(
+          "journal replay incomplete: " +
+          std::to_string(expected_events.size() - expected_pos) +
+          " journaled record(s) were never re-derived");
+    }
+    Status closed = journal.Close();
+    if (!closed.ok()) return closed;
   }
 
   // --- assemble the record -------------------------------------------

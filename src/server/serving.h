@@ -14,6 +14,7 @@
 #include "obs/record.h"
 #include "obs/slo.h"
 #include "server/admission.h"
+#include "server/checkpoint.h"
 #include "server/fault.h"
 
 namespace uolap::server {
@@ -85,6 +86,12 @@ struct ServerConfig {
   BrownoutConfig brownout;
   /// Deterministic fault injection.
   FaultPlan faults;
+
+  // --- crash consistency (DESIGN.md §10) --------------------------------
+  /// Epoch-boundary snapshots + CRC-framed event journal + resume.
+  /// Defaults to off, in which case the run performs no persistence I/O
+  /// and is bit-identical to the pre-checkpoint runtime.
+  CheckpointConfig checkpoint;
 };
 
 /// The outcome of one Server::Run().
@@ -129,8 +136,15 @@ class Server {
   void AddTenant(TenantConfig tenant);
 
   /// Simulates the serving run to completion (every tenant submits its
-  /// max_queries and drains).
+  /// max_queries and drains). CHECK-fails on checkpoint/recovery errors;
+  /// use TryRun() to handle them as Status.
   ServeResult Run();
+
+  /// Run() with recoverable failure semantics: checkpoint I/O errors,
+  /// resume against a missing/invalid/mismatched checkpoint directory,
+  /// and journal divergence come back as a non-OK Status instead of
+  /// aborting. With checkpointing off this never fails.
+  StatusOr<ServeResult> TryRun();
 
   const ServerConfig& config() const { return config_; }
 

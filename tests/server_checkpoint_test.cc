@@ -1,0 +1,619 @@
+// Tests of crash-consistent serving (DESIGN.md §10). The headline test
+// forks three children off one parent image — an uninterrupted run, a
+// run killed by --crash-at mid-flight, and a resumed run — and asserts
+// the resumed child's profile JSON is byte-identical to the
+// uninterrupted one. Around it: CRC32C known-answer vectors, journal
+// framing and torn-tail tolerance, snapshot encode/decode round-trips,
+// bit-exact MetricsRegistry restore, and the recovery failure modes
+// (missing directory, corrupt newest snapshot, nothing valid at all).
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/crc32c.h"
+#include "common/file_io.h"
+#include "engine/query_spec.h"
+#include "engine/registry.h"
+#include "harness/engines.h"
+#include "obs/metrics.h"
+#include "obs/profile_export.h"
+#include "server/checkpoint.h"
+#include "server/journal.h"
+#include "server/serving.h"
+#include "tpch/dbgen.h"
+
+namespace uolap::server {
+namespace {
+
+std::string TempDir() {
+  char tmpl[] = "/tmp/uolap_ckpt_test_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir;
+}
+
+// --- CRC32C ----------------------------------------------------------------
+
+TEST(Crc32cTest, KnownAnswerVectors) {
+  // The canonical Castagnoli check value (RFC 3720 appendix B.4 et al.).
+  EXPECT_EQ(Crc32c(std::string_view("123456789")), 0xE3069283u);
+  EXPECT_EQ(Crc32c(std::string_view("")), 0u);
+  // 32 zero bytes, another published vector.
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(std::string_view(zeros)), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, IncrementalEqualsOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32c(std::string_view(data));
+  uint32_t chained = 0;
+  for (size_t i = 0; i < data.size(); i += 7) {
+    const size_t n = std::min<size_t>(7, data.size() - i);
+    chained = Crc32c(data.data() + i, n, chained);
+  }
+  EXPECT_EQ(chained, whole);
+}
+
+// --- journal framing -------------------------------------------------------
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { path_ = TempDir() + "/j.wal"; }
+  std::string path_;
+};
+
+TEST_F(JournalTest, RoundTripsRecords) {
+  JournalWriter w;
+  ASSERT_TRUE(w.Create(path_).ok());
+  const std::vector<std::string> records = {
+      "alpha", "", std::string("b\0c\xff" "d", 5), std::string(1000, 'x')};
+  for (const std::string& r : records) {
+    ASSERT_TRUE(w.AppendRecord(r).ok());
+  }
+  ASSERT_TRUE(w.Close().ok());
+
+  const auto read = ReadJournal(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().payloads, records);
+  EXPECT_FALSE(read.value().torn_tail);
+  const auto size = FileSize(path_);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(read.value().valid_bytes, size.value());
+}
+
+TEST_F(JournalTest, MissingFileIsNotFound) {
+  const auto read = ReadJournal(path_);
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(JournalTest, TornTailIsDetectedNotReplayed) {
+  JournalWriter w;
+  ASSERT_TRUE(w.Create(path_).ok());
+  ASSERT_TRUE(w.AppendRecord("keep-me").ok());
+  ASSERT_TRUE(w.AppendRecord("and-me").ok());
+  ASSERT_TRUE(w.Close().ok());
+  const uint64_t clean_bytes = FileSize(path_).value();
+
+  // A kill mid-append leaves a truncated frame: garbage header bytes.
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputs("torn", f);
+  std::fclose(f);
+
+  const auto read = ReadJournal(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().payloads,
+            (std::vector<std::string>{"keep-me", "and-me"}));
+  EXPECT_TRUE(read.value().torn_tail);
+  EXPECT_FALSE(read.value().tail_error.empty());
+  EXPECT_EQ(read.value().valid_bytes, clean_bytes);
+}
+
+TEST_F(JournalTest, CorruptPayloadCrcIsDetected) {
+  JournalWriter w;
+  ASSERT_TRUE(w.Create(path_).ok());
+  ASSERT_TRUE(w.AppendRecord("first").ok());
+  ASSERT_TRUE(w.AppendRecord("second").ok());
+  ASSERT_TRUE(w.Close().ok());
+
+  // Flip one byte inside the *last* frame's payload.
+  auto content = ReadFileToString(path_);
+  ASSERT_TRUE(content.ok());
+  std::string bytes = content.value();
+  bytes[bytes.size() - 1] ^= 0x40;
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+
+  const auto read = ReadJournal(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().payloads, (std::vector<std::string>{"first"}));
+  EXPECT_TRUE(read.value().torn_tail);
+  EXPECT_NE(read.value().tail_error.find("CRC"), std::string::npos);
+}
+
+TEST_F(JournalTest, AbsurdFrameLengthIsCorruptionNotAllocation) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const uint32_t huge = 0xFFFFFFFFu;
+  std::fwrite(&huge, sizeof(huge), 1, f);
+  std::fwrite(&huge, sizeof(huge), 1, f);
+  std::fclose(f);
+  const auto read = ReadJournal(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read.value().payloads.empty());
+  EXPECT_TRUE(read.value().torn_tail);
+  EXPECT_NE(read.value().tail_error.find("frame limit"), std::string::npos);
+}
+
+TEST_F(JournalTest, OpenForAppendTruncatesTornTail) {
+  JournalWriter w;
+  ASSERT_TRUE(w.Create(path_).ok());
+  ASSERT_TRUE(w.AppendRecord("one").ok());
+  ASSERT_TRUE(w.Close().ok());
+  const uint64_t clean_bytes = FileSize(path_).value();
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputs("xxxx-torn-tail", f);
+  std::fclose(f);
+
+  JournalWriter again;
+  ASSERT_TRUE(again.OpenForAppend(path_, clean_bytes).ok());
+  ASSERT_TRUE(again.AppendRecord("two").ok());
+  ASSERT_TRUE(again.Close().ok());
+
+  const auto read = ReadJournal(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().payloads, (std::vector<std::string>{"one", "two"}));
+  EXPECT_FALSE(read.value().torn_tail);
+}
+
+// --- journal events --------------------------------------------------------
+
+TEST(JournalEventTest, EncodeDecodeRoundTrips) {
+  JournalEvent ev;
+  ev.type = JournalEventType::kTimeout;
+  ev.seq = 0x0123456789ABCDEFull;
+  ev.tenant = 3;
+  ev.attempt = 2;
+  ev.vtime_ms = 12.34375;
+  const std::string payload = EncodeJournalEvent(ev);
+  const auto back = DecodeJournalEvent(payload);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), ev);
+}
+
+TEST(JournalEventTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodeJournalEvent("").ok());
+  EXPECT_FALSE(DecodeJournalEvent("short").ok());
+  std::string payload = EncodeJournalEvent(JournalEvent{});
+  payload[0] = 99;  // no such event type
+  EXPECT_FALSE(DecodeJournalEvent(payload).ok());
+  payload.push_back('\0');  // trailing junk
+  EXPECT_FALSE(DecodeJournalEvent(payload).ok());
+}
+
+// --- snapshot encode/decode ------------------------------------------------
+
+CheckpointSnapshot SampleSnapshot() {
+  CheckpointSnapshot snap;
+  snap.config_fingerprint = 0xDEADBEEFCAFEF00Dull;
+  snap.class_digest = 0x1234ABCDu;
+  snap.epoch_index = 7;
+  snap.freq_ghz = 2.2;
+  snap.state.vtime = 1.5e9;
+  snap.state.queue_head = 0;
+  snap.state.tenants.resize(2);
+  snap.state.tenants[0].submitted = 11;
+  snap.state.tenants[0].zipf_cdf = {0.5, 1.0};
+  snap.state.tenants[0].latencies_ms = {1.25, 2.5};
+  snap.state.tenants[1].rng = Rng(99);
+  snap.state.classes.resize(1);
+  snap.state.classes[0].executions = 4;
+  QueryInstance inst;
+  inst.tenant = 1;
+  inst.cls = 0;
+  inst.seq = 42;
+  snap.state.queue.push_back(inst);
+  snap.state.slots.resize(2);
+  snap.state.slots[0] = inst;  // tenant >= 0 marks the slot occupied
+  snap.admission_models.resize(1);
+  snap.admission_models[0].est_ms = 3.25;
+  snap.admission_models[0].count = 9;
+  obs::MetricsRegistry reg;
+  reg.Count("server.testing_total", 5);
+  reg.Observe("server.testing_ms", 1.75);
+  snap.metrics = reg.Snapshot();
+  return snap;
+}
+
+TEST(SnapshotTest, EncodeDecodeRoundTripsBitExactly) {
+  const CheckpointSnapshot snap = SampleSnapshot();
+  const std::string bytes = EncodeSnapshot(snap);
+  const auto back = DecodeSnapshot(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  // Re-encoding the decoded snapshot must reproduce the input byte for
+  // byte — this covers every serialized field at once.
+  EXPECT_EQ(EncodeSnapshot(back.value()), bytes);
+  EXPECT_EQ(back.value().epoch_index, 7);
+  EXPECT_EQ(back.value().state.tenants.size(), 2u);
+  EXPECT_EQ(back.value().metrics, snap.metrics);
+}
+
+TEST(SnapshotTest, DetectsCorruptionTruncationAndWrongMagic) {
+  const std::string bytes = EncodeSnapshot(SampleSnapshot());
+
+  std::string flipped = bytes;
+  flipped[bytes.size() / 2] ^= 0x01;
+  EXPECT_FALSE(DecodeSnapshot(flipped).ok());
+
+  EXPECT_FALSE(DecodeSnapshot(bytes.substr(0, bytes.size() - 3)).ok());
+  EXPECT_FALSE(DecodeSnapshot("").ok());
+
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  EXPECT_FALSE(DecodeSnapshot(wrong_magic).ok());
+}
+
+// --- MetricsRegistry::Restore ----------------------------------------------
+
+TEST(MetricsRestoreTest, SnapshotAfterRestoreIsIdentical) {
+  obs::MetricsRegistry reg;
+  reg.Count("server.queries_total", 3);
+  reg.Count("server.queries_total", "tenant", "t0", 2);
+  reg.SetGauge("server.depth", 4.5);
+  // Values with fractional micro-parts: Restore must keep the
+  // fixed-point sum_micro bit for bit, not re-round through doubles.
+  reg.Observe("server.latency_ms", 0.123456);
+  reg.Observe("server.latency_ms", 7.654321);
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+
+  obs::MetricsRegistry fresh;
+  fresh.Count("server.other_total", 1);  // must be dropped by Restore
+  fresh.Restore(snap);
+  EXPECT_EQ(fresh.Snapshot(), snap);
+
+  // And restored registries keep accumulating correctly.
+  fresh.Count("server.queries_total", 1);
+  const obs::MetricsSnapshot after = fresh.Snapshot();
+  EXPECT_EQ(after.Find("server.queries_total")->series[0].counter, 4u);
+}
+
+// --- end-to-end kill and resume --------------------------------------------
+
+class CheckpointServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tpch::DbGen gen(42);
+    db_ = new tpch::Database(std::move(gen.Generate(0.01)).value());
+    registry_ = new engine::EngineRegistry(*db_);
+    harness::RegisterBuiltinEngines(*registry_);
+  }
+
+  static ServerConfig BaseConfig() {
+    ServerConfig config;
+    config.machine = core::MachineConfig::Broadwell();
+    config.cores = 2;
+    config.default_max_queries = 8;
+    config.epoch_ms = 1.0;
+    return config;
+  }
+
+  static void AddTenants(Server& server) {
+    TenantConfig t;
+    t.name = "scans";
+    t.engine = "typer";
+    t.catalog = {engine::QuerySpec::Projection(4),
+                 engine::QuerySpec::Q6(engine::MakeQ6Params())};
+    t.zipf_s = 0.5;
+    t.concurrency = 3;
+    t.think_ms = 0.05;
+    t.seed = 7;
+    server.AddTenant(t);
+    TenantConfig u;
+    u.name = "adhoc";
+    u.engine = "rowstore";
+    u.catalog = {engine::QuerySpec::Projection(2)};
+    u.arrival_qps = 400;
+    u.seed = 8;
+    server.AddTenant(u);
+  }
+
+  struct ChildSpec {
+    CheckpointConfig ckpt;
+    std::string json_path;
+    /// When non-empty the child also writes its final virtual clock (ms)
+    /// as text, so tests can prove a crash point landed mid-run.
+    std::string vtime_path;
+  };
+
+  /// Forks one serving child per spec, all back-to-back off a single
+  /// parent image, each parked on a pipe until released. The solo class
+  /// simulations are address-sensitive (real buffers feed the cache
+  /// model), so children whose outputs are byte-compared must inherit an
+  /// identical heap layout — forking them before the parent touches the
+  /// heap again guarantees that; sequential fork-per-run does not.
+  class ChildGroup {
+   public:
+    explicit ChildGroup(std::vector<ChildSpec> specs)
+        : specs_(std::move(specs)),
+          pids_(specs_.size(), -1),
+          ran_(specs_.size(), false),
+          pipes_(specs_.size(), std::array<int, 2>{-1, -1}) {
+      for (auto& p : pipes_) {
+        if (pipe(p.data()) != 0) {
+          ADD_FAILURE() << "pipe() failed";
+          return;
+        }
+      }
+      // No heap allocation between here and the last fork.
+      for (size_t i = 0; i < specs_.size(); ++i) {
+        const pid_t pid = fork();
+        if (pid == 0) {
+          char go = 0;
+          while (read(pipes_[i][0], &go, 1) != 1) {
+          }
+          ChildMain(specs_[i]);
+        }
+        pids_[i] = pid;
+      }
+    }
+
+    ~ChildGroup() {
+      for (size_t i = 0; i < pids_.size(); ++i) {
+        if (pids_[i] > 0 && !ran_[i]) {
+          kill(pids_[i], SIGKILL);
+          waitpid(pids_[i], nullptr, 0);
+        }
+        if (pipes_[i][0] >= 0) close(pipes_[i][0]);
+        if (pipes_[i][1] >= 0) close(pipes_[i][1]);
+      }
+    }
+
+    /// Releases child `i`, waits for it, and returns its exit code.
+    int Run(size_t i) {
+      EXPECT_LT(i, pids_.size());
+      EXPECT_FALSE(ran_[i]);
+      ran_[i] = true;
+      EXPECT_EQ(write(pipes_[i][1], "g", 1), 1);
+      int status = 0;
+      EXPECT_EQ(waitpid(pids_[i], &status, 0), pids_[i]);
+      return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+
+   private:
+    [[noreturn]] static void ChildMain(const ChildSpec& spec) {
+      ServerConfig config = BaseConfig();
+      config.checkpoint = spec.ckpt;
+      obs::MetricsRegistry metrics;
+      config.metrics = &metrics;
+      Server server(config, *registry_);
+      AddTenants(server);
+      StatusOr<ServeResult> run = server.TryRun();
+      if (!run.ok()) {
+        std::fprintf(stderr, "child: %s\n", run.status().ToString().c_str());
+        std::_Exit(3);
+      }
+      obs::ProfileSession session;
+      session.bench = "server_checkpoint_test";
+      session.machine = "sim-broadwell-2.2GHz";
+      session.freq_ghz = config.machine.freq_ghz;
+      session.scale_factor = 0.01;
+      session.seed = 42;
+      session.server = run.value().record;
+      for (obs::RunRecord& r : run.value().class_runs) {
+        session.runs.push_back(std::move(r));
+      }
+      session.metrics = metrics.Snapshot();
+      const Status written =
+          obs::WriteTextFile(spec.json_path, obs::ProfileToJson(session));
+      if (!written.ok()) std::_Exit(4);
+      if (!spec.vtime_path.empty()) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g\n",
+                      run.value().record.vtime_ms);
+        if (!obs::WriteTextFile(spec.vtime_path, buf).ok()) std::_Exit(4);
+      }
+      std::_Exit(0);
+    }
+
+    std::vector<ChildSpec> specs_;
+    std::vector<pid_t> pids_;
+    std::vector<bool> ran_;
+    std::vector<std::array<int, 2>> pipes_;
+  };
+
+  /// Single-child convenience for tests without byte comparisons.
+  static int RunChild(const CheckpointConfig& ckpt,
+                      const std::string& json_path,
+                      const std::string& vtime_path = "") {
+    ChildGroup group({{ckpt, json_path, vtime_path}});
+    return group.Run(0);
+  }
+
+  static std::string MustRead(const std::string& path) {
+    auto content = ReadFileToString(path);
+    EXPECT_TRUE(content.ok()) << content.status().ToString();
+    return content.ok() ? content.value() : std::string();
+  }
+
+  static tpch::Database* db_;
+  static engine::EngineRegistry* registry_;
+};
+
+tpch::Database* CheckpointServeTest::db_ = nullptr;
+engine::EngineRegistry* CheckpointServeTest::registry_ = nullptr;
+
+TEST_F(CheckpointServeTest, KillAndResumeIsByteIdentical) {
+  const std::string tmp = TempDir();
+
+  // A: uninterrupted, checkpointing on. B: the same run killed mid-flight
+  // by --crash-at. C: resume from B's checkpoint directory and finish.
+  CheckpointConfig a;
+  a.dir = tmp + "/ck_a";
+  a.every_epochs = 2;
+  CheckpointConfig b;
+  b.dir = tmp + "/ck_b";
+  b.every_epochs = 2;
+  b.crash_at_ms = 40.0;
+  CheckpointConfig c;
+  c.dir = tmp + "/ck_b";
+  c.every_epochs = 2;
+  c.resume = true;
+  ChildGroup group({{a, tmp + "/a.json", tmp + "/a.vtime"},
+                    {b, tmp + "/b.json", ""},
+                    {c, tmp + "/c.json", ""}});
+
+  ASSERT_EQ(group.Run(0), 0);
+  // A reports its final vtime, proving B's kill landed mid-run.
+  const double total_ms = std::stod(MustRead(tmp + "/a.vtime"));
+  ASSERT_GT(total_ms, b.crash_at_ms + 1.0);
+  ASSERT_EQ(group.Run(1), 137);
+  ASSERT_EQ(group.Run(2), 0);
+
+  const std::string uninterrupted = MustRead(tmp + "/a.json");
+  const std::string resumed = MustRead(tmp + "/c.json");
+  ASSERT_FALSE(uninterrupted.empty());
+  EXPECT_EQ(resumed, uninterrupted)
+      << "resumed profile JSON must be byte-identical to the "
+         "uninterrupted run's";
+  // The killed child must not have produced a profile at all.
+  EXPECT_EQ(ReadFileToString(tmp + "/b.json").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointServeTest, ResumeDiscardsTornJournalTailLoudly) {
+  const std::string tmp = TempDir();
+  CheckpointConfig ref;
+  ref.dir = tmp + "/ck_a";
+  ref.every_epochs = 4;
+  CheckpointConfig crash;
+  crash.dir = tmp + "/ck_b";
+  crash.every_epochs = 4;
+  crash.crash_at_ms = 1.6;  // between epoch-boundary snapshots
+  CheckpointConfig resume;
+  resume.dir = crash.dir;
+  resume.every_epochs = 4;
+  resume.resume = true;
+  ChildGroup group({{ref, tmp + "/a.json", ""},
+                    {crash, tmp + "/b.json", ""},
+                    {resume, tmp + "/c.json", ""}});
+
+  ASSERT_EQ(group.Run(0), 0);
+  ASSERT_EQ(group.Run(1), 137);
+
+  // Corrupt the tail of the journal paired with the newest snapshot —
+  // the bytes a real kill could have half-written.
+  const auto summary = InspectCheckpointDir(crash.dir);
+  ASSERT_TRUE(summary.ok());
+  ASSERT_GE(summary.value().resume_index, 0);
+  const std::string active =
+      crash.dir + "/" + JournalFileName(summary.value().resume_index);
+  std::FILE* f = std::fopen(active.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputs("GARBAGE-TAIL", f);
+  std::fclose(f);
+
+  ASSERT_EQ(group.Run(2), 0);
+  EXPECT_EQ(MustRead(tmp + "/c.json"), MustRead(tmp + "/a.json"));
+}
+
+TEST_F(CheckpointServeTest, ResumeSkipsCorruptNewestSnapshot) {
+  const std::string tmp = TempDir();
+  CheckpointConfig base;
+  base.dir = tmp + "/ck";
+  base.every_epochs = 2;
+  CheckpointConfig resume = base;
+  resume.resume = true;
+  ChildGroup group({{base, tmp + "/a.json", ""}, {resume, tmp + "/c.json", ""}});
+  ASSERT_EQ(group.Run(0), 0);
+
+  const auto summary = InspectCheckpointDir(base.dir);
+  ASSERT_TRUE(summary.ok());
+  ASSERT_GE(summary.value().snapshots.size(), 2u);
+  // Corrupt the newest snapshot's interior; recovery must fall back to
+  // the next older one and still converge to the identical profile.
+  const std::string newest =
+      base.dir + "/" + SnapshotFileName(summary.value().resume_index);
+  std::FILE* f = std::fopen(newest.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 64, SEEK_SET);
+  std::fputs("\xde\xad\xbe\xef", f);
+  std::fclose(f);
+
+  ASSERT_EQ(group.Run(1), 0);
+  EXPECT_EQ(MustRead(tmp + "/c.json"), MustRead(tmp + "/a.json"));
+}
+
+TEST_F(CheckpointServeTest, ResumeFailsCleanlyWithoutACheckpoint) {
+  const std::string tmp = TempDir();
+  ServerConfig config = BaseConfig();
+  config.checkpoint.dir = tmp + "/empty";
+  config.checkpoint.resume = true;
+  obs::MetricsRegistry metrics;
+  config.metrics = &metrics;
+  Server server(config, *registry_);
+  AddTenants(server);
+  const StatusOr<ServeResult> run = server.TryRun();
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointServeTest, ResumeRejectsAMismatchedConfiguration) {
+  const std::string tmp = TempDir();
+  CheckpointConfig base;
+  base.dir = tmp + "/ck";
+  base.every_epochs = 2;
+  base.crash_at_ms = 1.6;
+  ASSERT_EQ(RunChild(base, tmp + "/a.json"), 137);
+
+  // Same directory, different serving configuration: recovery must
+  // refuse rather than resume into divergence.
+  ServerConfig config = BaseConfig();
+  config.default_max_queries = 16;  // fingerprint-relevant change
+  config.checkpoint.dir = base.dir;
+  config.checkpoint.resume = true;
+  obs::MetricsRegistry metrics;
+  config.metrics = &metrics;
+  Server server(config, *registry_);
+  AddTenants(server);
+  const StatusOr<ServeResult> run = server.TryRun();
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CheckpointServeTest, InspectSummarizesTheDirectory) {
+  const std::string tmp = TempDir();
+  CheckpointConfig base;
+  base.dir = tmp + "/ck";
+  base.every_epochs = 2;
+  ASSERT_EQ(RunChild(base, tmp + "/a.json"), 0);
+
+  const auto summary = InspectCheckpointDir(base.dir);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_GE(summary.value().snapshots.size(), 1u);
+  EXPECT_GE(summary.value().resume_index, 0);
+  for (const SnapshotFileInfo& s : summary.value().snapshots) {
+    EXPECT_TRUE(s.valid) << s.error;
+    EXPECT_GT(s.bytes, 0u);
+  }
+  for (const JournalFileInfo& j : summary.value().journals) {
+    EXPECT_FALSE(j.torn_tail) << j.tail_error;
+  }
+  EXPECT_EQ(InspectCheckpointDir(tmp + "/missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace uolap::server
